@@ -1,0 +1,180 @@
+// Command mdagentd runs one MDAgent host node over real TCP: a migration
+// engine, a media library server, and a registry-center client. Two or
+// more nodes plus one mdregistry form a minimal multi-process deployment
+// of the paper's testbed.
+//
+// Terminal 1 — the registry center:
+//
+//	mdregistry -listen 127.0.0.1:7001
+//
+// Terminal 2 — the destination host (installs the player skeleton):
+//
+//	mdagentd -host hostB -listen 127.0.0.1:7003 -registry 127.0.0.1:7001 \
+//	         -install smart-media-player
+//
+// Terminal 3 — the source host, which runs the player and migrates it:
+//
+//	mdagentd -host hostA -listen 127.0.0.1:7002 -registry 127.0.0.1:7001 \
+//	         -peer hostB=127.0.0.1:7003 -run smart-media-player \
+//	         -song-bytes 2000000 -migrate-to hostB
+//
+// Durations printed by -migrate-to are wall-clock (no simulated testbed
+// in multi-process mode); use cmd/mdbench for the paper's calibrated
+// numbers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mdagent/internal/app"
+	"mdagent/internal/demoapps"
+	"mdagent/internal/media"
+	"mdagent/internal/migrate"
+	"mdagent/internal/owl"
+	"mdagent/internal/registry"
+	"mdagent/internal/transport"
+	"mdagent/internal/wsdl"
+)
+
+type peerList map[string]string
+
+func (p peerList) String() string {
+	parts := make([]string, 0, len(p))
+	for k, v := range p {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p peerList) Set(v string) error {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=addr, got %q", v)
+	}
+	p[name] = addr
+	return nil
+}
+
+func main() {
+	host := flag.String("host", "hostA", "this node's host id")
+	listen := flag.String("listen", "127.0.0.1:7002", "TCP listen address")
+	regAddr := flag.String("registry", "127.0.0.1:7001", "registry center address")
+	peers := peerList{}
+	flag.Var(peers, "peer", "peer host mapping name=addr (repeatable)")
+	install := flag.String("install", "", "install an app skeleton: smart-media-player or ubiquitous-slideshow")
+	run := flag.String("run", "", "run a full app: smart-media-player")
+	songBytes := flag.Int64("song-bytes", 2_000_000, "synthetic song size for -run")
+	migrateTo := flag.String("migrate-to", "", "after startup, follow-me the running app to this host and exit")
+	static := flag.Bool("static", false, "use static (whole-app) binding for -migrate-to")
+	flag.Parse()
+
+	node, err := transport.ListenTCP(migrate.EndpointName(*host), *listen)
+	if err != nil {
+		log.Fatalf("mdagentd: %v", err)
+	}
+	defer node.Close()
+	node.AddPeer("registry-center", *regAddr)
+	for name, addr := range peers {
+		node.AddPeer(migrate.EndpointName(name), addr)
+		node.AddPeer(migrate.MediaEndpointName(name), addr)
+	}
+
+	// The media library shares the node's endpoint: media.* and migrate.*
+	// message types coexist on one handler table.
+	lib := media.NewLibrary(*host)
+	media.ServeLibrary(lib, node.Endpoint())
+
+	cat := registry.NewClient(node.Endpoint(), "registry-center")
+	eng := migrate.NewEngine(*host, node.Endpoint(), nil, nil, cat, migrate.DefaultCosts())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cat.RegisterDevice(ctx, wsdl.DeviceProfile{
+		Host: *host, ScreenWidth: 1024, ScreenHeight: 768,
+		MemoryMB: 512, HasAudio: true, HasDisplay: true,
+	}); err != nil {
+		log.Fatalf("mdagentd: register device: %v", err)
+	}
+
+	switch *install {
+	case "":
+	case "smart-media-player":
+		eng.InstallFactory("smart-media-player", func(h string) *app.Application {
+			return demoapps.MediaPlayerSkeleton(h)
+		})
+		if err := cat.RegisterApp(ctx, registry.AppRecord{
+			Name: "smart-media-player", Host: *host,
+			Description: demoapps.MediaPlayerDesc(),
+			Components:  demoapps.MediaPlayerSkeletonComponents(),
+		}); err != nil {
+			log.Fatalf("mdagentd: register skeleton: %v", err)
+		}
+		fmt.Printf("mdagentd[%s]: installed smart-media-player skeleton\n", *host)
+	case "ubiquitous-slideshow":
+		eng.InstallFactory("ubiquitous-slideshow", func(h string) *app.Application {
+			return demoapps.SlideShowSkeleton(h)
+		})
+		if err := cat.RegisterApp(ctx, registry.AppRecord{
+			Name: "ubiquitous-slideshow", Host: *host,
+			Description: demoapps.SlideShowDesc(),
+			Components:  demoapps.SlideShowSkeletonComponents(),
+		}); err != nil {
+			log.Fatalf("mdagentd: register skeleton: %v", err)
+		}
+		fmt.Printf("mdagentd[%s]: installed ubiquitous-slideshow skeleton\n", *host)
+	default:
+		log.Fatalf("mdagentd: unknown -install %q", *install)
+	}
+
+	if *run == "smart-media-player" {
+		song := media.GenerateFile("song1", *songBytes, 3)
+		lib.Add(song)
+		player := demoapps.NewMediaPlayer(*host, song)
+		if err := eng.Run(player); err != nil {
+			log.Fatalf("mdagentd: %v", err)
+		}
+		if err := cat.RegisterApp(ctx, registry.AppRecord{
+			Name: "smart-media-player", Host: *host,
+			Description: demoapps.MediaPlayerDesc(), Components: player.Components(),
+		}); err != nil {
+			log.Fatalf("mdagentd: register app: %v", err)
+		}
+		if err := cat.RegisterResource(ctx, demoapps.MusicResource(song, *host)); err != nil {
+			log.Fatalf("mdagentd: register resource: %v", err)
+		}
+		fmt.Printf("mdagentd[%s]: running smart-media-player (%d-byte song)\n", *host, *songBytes)
+	} else if *run != "" {
+		log.Fatalf("mdagentd: unknown -run %q", *run)
+	}
+
+	if *migrateTo != "" {
+		binding := migrate.BindingAdaptive
+		if *static {
+			binding = migrate.BindingStatic
+		}
+		mctx, mcancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer mcancel()
+		rep, err := eng.FollowMe(mctx, "smart-media-player", *migrateTo, binding, owl.MatchSemantic)
+		if err != nil {
+			log.Fatalf("mdagentd: migrate: %v", err)
+		}
+		fmt.Printf("mdagentd[%s]: migrated smart-media-player to %s (%s binding)\n", *host, *migrateTo, binding)
+		fmt.Printf("  suspend %v, migrate %v, resume %v, total %v, %d bytes, carried %v\n",
+			rep.Suspend, rep.Migrate, rep.Resume, rep.Total(), rep.BytesMoved, rep.Carried)
+		return
+	}
+
+	fmt.Printf("mdagentd[%s]: serving on %s (registry %s)\n", *host, node.Addr(), *regAddr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("mdagentd[%s]: shutting down\n", *host)
+}

@@ -1,0 +1,156 @@
+// Command mdbench regenerates the paper's evaluation figures as tables
+// (and optional CSV): Fig. 7 (skew-canceling timing), Fig. 8 (adaptive
+// component binding sweep), Fig. 9 (static binding sweep), Fig. 10
+// (comparative total cost), and the demo-2 clone-dispatch fan-out.
+//
+// Usage:
+//
+//	mdbench -fig all
+//	mdbench -fig 8 -csv fig8.csv
+//	mdbench -fig clone -rooms 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mdagent/internal/bench"
+	"mdagent/internal/migrate"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10, clone, or all")
+	csvPath := flag.String("csv", "", "also write the series as CSV to this file")
+	rooms := flag.Int("rooms", 3, "overflow rooms for the clone-dispatch experiment")
+	flag.Parse()
+
+	var csv strings.Builder
+	run := func(name string, fn func(out *strings.Builder) error) {
+		if err := fn(&csv); err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	switch *fig {
+	case "7":
+		run("fig7", fig7)
+	case "8":
+		run("fig8", fig8)
+	case "9":
+		run("fig9", fig9)
+	case "10":
+		run("fig10", fig10)
+	case "clone":
+		run("clone", func(out *strings.Builder) error { return clone(out, *rooms) })
+	case "all":
+		run("fig7", fig7)
+		run("fig8", fig8)
+		run("fig9", fig9)
+		run("fig10", fig10)
+		run("clone", func(out *strings.Builder) error { return clone(out, *rooms) })
+	default:
+		fmt.Fprintf(os.Stderr, "mdbench: unknown figure %q (want 7, 8, 9, 10, clone, all)\n", *fig)
+		os.Exit(2)
+	}
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: write csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nCSV written to %s\n", *csvPath)
+	}
+}
+
+func fig7(csv *strings.Builder) error {
+	fmt.Println("== Fig. 7 — skew-canceling round-trip measurement ==")
+	fmt.Println("   (hostB's clock runs 3s ahead of hostA's)")
+	res, err := bench.RunFig7()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  injected clock offset:           %v\n", res.Skew)
+	fmt.Printf("  true round-trip migration time:  %v\n", res.TrueRTT)
+	fmt.Printf("  skew-canceled formula result:    %v  (error %v)\n",
+		res.SkewCanceled, (res.SkewCanceled - res.TrueRTT).Abs())
+	fmt.Printf("  naive cross-clock one-way:       %v  (error %v — the offset)\n",
+		res.NaiveOneWay, (res.NaiveOneWay - res.TrueOneWay).Abs())
+	fmt.Println()
+	fmt.Fprintf(csv, "fig7,skew_ms,true_rtt_ms,formula_rtt_ms,naive_oneway_ms\n")
+	fmt.Fprintf(csv, "fig7,%d,%d,%d,%d\n\n",
+		res.Skew.Milliseconds(), res.TrueRTT.Milliseconds(),
+		res.SkewCanceled.Milliseconds(), res.NaiveOneWay.Milliseconds())
+	return nil
+}
+
+func sweepTable(csv *strings.Builder, tag, title string, binding migrate.BindingMode) error {
+	fmt.Printf("== %s ==\n", title)
+	points, err := bench.Sweep(binding)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-6s %10s %10s %10s %10s %12s\n", "size", "suspend", "migrate", "resume", "total", "wrap-bytes")
+	fmt.Fprintf(csv, "%s,size,suspend_ms,migrate_ms,resume_ms,total_ms,wrap_bytes\n", tag)
+	for _, p := range points {
+		fmt.Printf("  %-6s %8dms %8dms %8dms %8dms %12d\n",
+			p.Label, p.Suspend.Milliseconds(), p.Migrate.Milliseconds(),
+			p.Resume.Milliseconds(), p.Total.Milliseconds(), p.Bytes)
+		fmt.Fprintf(csv, "%s,%s,%d,%d,%d,%d,%d\n", tag, p.Label,
+			p.Suspend.Milliseconds(), p.Migrate.Milliseconds(),
+			p.Resume.Milliseconds(), p.Total.Milliseconds(), p.Bytes)
+	}
+	fmt.Println()
+	csv.WriteString("\n")
+	return nil
+}
+
+func fig8(csv *strings.Builder) error {
+	return sweepTable(csv, "fig8", "Fig. 8 — adaptive component binding (this paper)", migrate.BindingAdaptive)
+}
+
+func fig9(csv *strings.Builder) error {
+	return sweepTable(csv, "fig9", "Fig. 9 — static component binding (original design [7])", migrate.BindingStatic)
+}
+
+func fig10(csv *strings.Builder) error {
+	fmt.Println("== Fig. 10 — comparative total cost ==")
+	rows, err := bench.RunFig10()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-6s %14s %14s %10s\n", "size", "adaptive", "static", "ratio")
+	fmt.Fprintf(csv, "fig10,size,adaptive_ms,static_ms,ratio\n")
+	for _, r := range rows {
+		fmt.Printf("  %-6s %12dms %12dms %9.1fx\n",
+			r.Label, r.Adaptive.Milliseconds(), r.Static.Milliseconds(), r.Ratio)
+		fmt.Fprintf(csv, "fig10,%s,%d,%d,%.2f\n", r.Label,
+			r.Adaptive.Milliseconds(), r.Static.Milliseconds(), r.Ratio)
+	}
+	fmt.Println()
+	csv.WriteString("\n")
+	return nil
+}
+
+func clone(csv *strings.Builder, rooms int) error {
+	fmt.Printf("== Demo 2 — clone-dispatch slideshow to %d overflow rooms ==\n", rooms)
+	results, err := bench.RunCloneFanout(rooms, 3_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-10s %10s %10s %12s %6s\n", "room", "clone", "bytes", "inter-space", "sync")
+	fmt.Fprintf(csv, "clone,room,clone_ms,bytes,inter_space,sync_ms\n")
+	for _, r := range results {
+		fmt.Printf("  %-10s %8dms %10d %12v %4dms\n",
+			r.Room, r.Report.Total().Milliseconds(), r.Report.BytesMoved,
+			r.InterSpace, r.SyncRTT.Milliseconds())
+		fmt.Fprintf(csv, "clone,%s,%d,%d,%v,%d\n", r.Room,
+			r.Report.Total().Milliseconds(), r.Report.BytesMoved,
+			r.InterSpace, r.SyncRTT.Milliseconds())
+	}
+	fmt.Println()
+	csv.WriteString("\n")
+	return nil
+}

@@ -1,0 +1,65 @@
+// Command mdregistry runs the MDAgent registry center as a standalone TCP
+// service — the paper's Juddi+MySQL backend (§5). Agent nodes (cmd/
+// mdagentd) register applications, resources and device profiles here and
+// issue semantic lookups during migration planning.
+//
+// Usage:
+//
+//	mdregistry -listen 127.0.0.1:7001 -store /var/lib/mdagent/registry.log
+//
+// The endpoint name is fixed to "registry-center"; point mdagentd's
+// -registry flag at the listen address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mdagent/internal/registry"
+	"mdagent/internal/store"
+	"mdagent/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "TCP listen address")
+	storePath := flag.String("store", "", "append-only store path (empty = in-memory)")
+	flag.Parse()
+
+	db := store.OpenMemory()
+	if *storePath != "" {
+		var err error
+		db, err = store.Open(*storePath)
+		if err != nil {
+			log.Fatalf("mdregistry: %v", err)
+		}
+	}
+	defer db.Close()
+
+	reg, err := registry.New(db)
+	if err != nil {
+		log.Fatalf("mdregistry: %v", err)
+	}
+	node, err := transport.ListenTCP("registry-center", *listen)
+	if err != nil {
+		log.Fatalf("mdregistry: %v", err)
+	}
+	defer node.Close()
+	reg.Serve(node.Endpoint())
+	fmt.Printf("mdregistry: serving registry-center on %s (store: %s)\n", node.Addr(), storeDesc(*storePath))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mdregistry: shutting down")
+}
+
+func storeDesc(path string) string {
+	if path == "" {
+		return "in-memory"
+	}
+	return path
+}

@@ -1,0 +1,130 @@
+// Clone-dispatch slideshow: the paper's second demo (§5). A lecture
+// overflows one room; the slideshow clones itself through space gateways
+// to two overflow rooms, carrying only the slides (each room already has
+// the presentation application and a projector), then the speaker's
+// controls drive every room through synchronization links.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"mdagent"
+	"mdagent/internal/app"
+	"mdagent/internal/demoapps"
+)
+
+func main() {
+	mw, err := mdagent.New(mdagent.Config{Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mw.Close()
+
+	// Three spaces (different cyber domains), gateway-connected.
+	projector := func(host string) mdagent.DeviceProfile {
+		return mdagent.DeviceProfile{Host: host, ScreenWidth: 1280, ScreenHeight: 1024,
+			MemoryMB: 512, HasDisplay: true}
+	}
+	rooms := []string{"roomHost1", "roomHost2"}
+	if err := mw.AddSpace("main-space"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mw.AddHost("mainHost", "main-space", mdagent.Pentium4_1700(), projector("mainHost"), 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.AddGateway("gw-main", "main-space", mdagent.Pentium4_1700()); err != nil {
+		log.Fatal(err)
+	}
+	for i, host := range rooms {
+		spaceName := fmt.Sprintf("overflow-space-%d", i+1)
+		if err := mw.AddSpace(spaceName); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := mw.AddHost(host, spaceName, mdagent.PentiumM_1600(), projector(host), 0); err != nil {
+			log.Fatal(err)
+		}
+		if err := mw.AddGateway("gw-"+spaceName, spaceName, mdagent.Pentium4_1700()); err != nil {
+			log.Fatal(err)
+		}
+		// Meeting rooms have the presentation app + projector; the
+		// slides are what's missing.
+		if err := mw.InstallApp(host, "ubiquitous-slideshow", demoapps.SlideShowDesc(),
+			demoapps.SlideShowSkeletonComponents(),
+			func(h string) *app.Application { return demoapps.SlideShowSkeleton(h) }); err != nil {
+			log.Fatal(err)
+		}
+		if err := mw.RegisterResource(demoapps.ProjectorResource("proj-"+host, host, "room-"+host)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The speaker's master deck: 24 slides, ~3 MB.
+	deck := mdagent.GenerateDeck("icdcs-talk", 24, 3_000_000, 9)
+	show := demoapps.NewSlideShow("mainHost", deck)
+	show.BindResource(demoapps.SlidesResource(deck, "mainHost"))
+	if err := mw.RunApp("mainHost", show); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.RegisterResource(demoapps.SlidesResource(deck, "mainHost")); err != nil {
+		log.Fatal(err)
+	}
+
+	// Clone to each overflow room.
+	mainRt, _ := mw.Host("mainHost")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	clones := make([]*mdagent.Application, 0, len(rooms))
+	for i, host := range rooms {
+		name := fmt.Sprintf("slideshow@room%d", i+1)
+		rep, err := mainRt.Engine.CloneDispatch(ctx, "ubiquitous-slideshow", host, name, mdagent.MatchSemantic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cloned to %s: %d bytes (slides) in %v, inter-space=%v, sync link up\n",
+			host, rep.BytesMoved, rep.Total(), rep.InterSpace)
+		rt, _ := mw.Host(host)
+		clone, _ := rt.Engine.App(name)
+		clones = append(clones, clone)
+	}
+
+	// The speaker advances slides; every room follows.
+	fmt.Println("\nspeaker advances through slides 2..4:")
+	for slide := 2; slide <= 4; slide++ {
+		show.Coordinator().Set("slide", fmt.Sprint(slide))
+		for i, clone := range clones {
+			waitSlide(clone, fmt.Sprint(slide))
+			v, _ := clone.Coordinator().Get("slide")
+			fmt.Printf("  room %d now shows slide %s\n", i+1, v)
+		}
+	}
+
+	// A room asks a question — the annotation flows back to the speaker.
+	clones[0].Coordinator().Set("annotation", "question from overflow room 1")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := show.Coordinator().Get("annotation"); v != "" {
+			fmt.Printf("\nspeaker sees: %q\n", v)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("annotation never reached the speaker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitSlide(clone *mdagent.Application, want string) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := clone.Coordinator().Get("slide"); v == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("clone never reached slide %s", want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

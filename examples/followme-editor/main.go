@@ -1,0 +1,100 @@
+// Follow-me editor: one of the paper's six demo applications. The editor
+// carries its document (transferable data) as bob moves across three
+// hosts; the destination installations already have the editor code, so
+// adaptive binding ships only the document and the edit state — and the
+// handheld hop shows the adaptor rescaling the presentation for a
+// PDA-class screen.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"mdagent"
+	"mdagent/internal/app"
+	"mdagent/internal/demoapps"
+)
+
+func main() {
+	mw, err := mdagent.New(mdagent.Config{Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mw.Close()
+
+	if err := mw.AddSpace("office-space"); err != nil {
+		log.Fatal(err)
+	}
+	devices := map[string]mdagent.DeviceProfile{
+		"deskA": {Host: "deskA", ScreenWidth: 1024, ScreenHeight: 768, MemoryMB: 512, HasDisplay: true},
+		"deskB": {Host: "deskB", ScreenWidth: 1280, ScreenHeight: 1024, MemoryMB: 512, HasDisplay: true},
+		"pda1":  {Host: "pda1", ScreenWidth: 320, ScreenHeight: 240, MemoryMB: 64, HasDisplay: true},
+	}
+	for host, dev := range devices {
+		profile := mdagent.Pentium4_1700()
+		if host == "pda1" {
+			profile = mdagent.HostProfile{
+				Name: "PDA-400MHz", SerializeMBps: 6, DeserializeMBps: 5,
+				FixedSuspend: 120 * time.Millisecond, FixedResume: 250 * time.Millisecond, MemoryMB: 64,
+			}
+		}
+		if _, err := mw.AddHost(host, "office-space", profile, dev, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Editor code is installed everywhere; the document lives with bob.
+	for _, host := range []string{"deskB", "pda1"} {
+		if err := mw.InstallApp(host, "followme-editor", demoapps.EditorDesc(),
+			demoapps.EditorSkeletonComponents(),
+			func(h string) *app.Application { return demoapps.EditorSkeleton(h) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	document := "MDAgent reproduction notes\n" +
+		"- adaptive binding ships only what the destination lacks\n" +
+		"- the document follows the user, the code does not\n"
+	editor := demoapps.NewEditor("deskA", document)
+	editor.SetProfile(mdagent.UserProfile{User: "bob", Preferences: map[string]string{"handedness": "left"}})
+	if err := mw.RunApp("deskA", editor); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	hop := func(from, to string) {
+		rt, _ := mw.Host(from)
+		rep, err := rt.Engine.FollowMe(ctx, "followme-editor", to, mdagent.BindingAdaptive, mdagent.MatchSemantic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, _, _ := mw.FindApp("followme-editor")
+		ui, _ := inst.Component("editor-ui")
+		fmt.Printf("%s -> %s: carried %v (%d bytes) in %v; UI now %s, mirrored=%v\n",
+			from, to, rep.Carried, rep.BytesMoved, rep.Total(),
+			ui.(*mdagent.UIComponent).GeometryString(), ui.(*mdagent.UIComponent).Mirrored())
+	}
+
+	// Edit on deskA, then follow bob to deskB and on to the PDA.
+	st, _ := editor.Component("edit-state")
+	st.(*app.StateComponent).Set("cursor", "118")
+	st.(*app.StateComponent).Set("dirty", "true")
+
+	hop("deskA", "deskB")
+	hop("deskB", "pda1")
+
+	inst, host, _ := mw.FindApp("followme-editor")
+	doc, _ := inst.Component("document")
+	snap, err := doc.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, _ := inst.Component("edit-state")
+	cursor, _ := est.(*app.StateComponent).Get("cursor")
+	fmt.Printf("\neditor on %s, cursor at %s, document intact (%d bytes):\n%s",
+		host, cursor, len(snap), string(snap))
+}

@@ -1,0 +1,110 @@
+// Follow-me player: the paper's first demo application (§5) end to end.
+// Alice wears Cricket badge-1 and walks office821 -> corridor ->
+// office822. The sensor field reports noisy distances, fusion derives her
+// location, the context kernel multicasts the events, the autonomous
+// agent reasons (move rule with the 1000 ms network guard) and orders the
+// mobile agent, and the player follows her — music data staying behind,
+// bound by URL to the origin host, exactly as the paper measures in
+// Fig. 8.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mdagent"
+	"mdagent/internal/app"
+	"mdagent/internal/demoapps"
+)
+
+func main() {
+	mw, err := mdagent.New(mdagent.Config{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mw.Close()
+
+	// Environment: one space, two hosts, three rooms.
+	if err := mw.AddSpace("lab-space"); err != nil {
+		log.Fatal(err)
+	}
+	desktop := func(host string) mdagent.DeviceProfile {
+		return mdagent.DeviceProfile{Host: host, ScreenWidth: 1024, ScreenHeight: 768,
+			MemoryMB: 512, HasAudio: true, HasDisplay: true}
+	}
+	if _, err := mw.AddHost("hostA", "lab-space", mdagent.Pentium4_1700(), desktop("hostA"), 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mw.AddHost("hostB", "lab-space", mdagent.PentiumM_1600(), desktop("hostB"), 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.AddRoom("office821", "hostA", mdagent.Point{X: 0, Y: 0}); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.AddRoom("corridor", "hostA", mdagent.Point{X: 6, Y: 5}); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.AddRoom("office822", "hostB", mdagent.Point{X: 12, Y: 0}); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.AddUser("alice", "badge-1", "office821"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The player runs on hostA; hostB has the UI skeleton.
+	song := mdagent.GenerateFile("blue-danube", 4_300_000, 3)
+	hostA, _ := mw.Host("hostA")
+	hostA.Library.Add(song)
+	player := demoapps.NewMediaPlayer("hostA", song)
+	player.SetProfile(mdagent.UserProfile{User: "alice", Preferences: map[string]string{"handedness": "left"}})
+	if err := mw.RunApp("hostA", player); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.RegisterResource(demoapps.MusicResource(song, "hostA")); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+		demoapps.MediaPlayerSkeletonComponents(),
+		func(h string) *app.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
+		log.Fatal(err)
+	}
+
+	// Watch the agent layer's decisions.
+	mw.Kernel.Subscribe(mdagent.TopicMigrated, func(ev mdagent.Event) {
+		fmt.Printf("[agents] %s migrated to %s (suspend %sms, migrate %sms, resume %sms)\n",
+			ev.Attr("app"), ev.Attr("dest"), ev.Attr("suspend_ms"), ev.Attr("migrate_ms"), ev.Attr("resume_ms"))
+	})
+	mw.Kernel.Subscribe(mdagent.TopicUserEntered, func(ev mdagent.Event) {
+		fmt.Printf("[context] alice entered %s\n", ev.Attr("room"))
+	})
+
+	// Deploy the AA/MA pairs and let alice walk.
+	if err := mw.StartAgents(mdagent.DefaultPolicy("alice", "smart-media-player")); err != nil {
+		log.Fatal(err)
+	}
+	script := mdagent.Script{Badge: "badge-1", Steps: []mdagent.Step{
+		{Room: "office821", Dwell: 2 * time.Second},
+		{Room: "corridor", Dwell: 2 * time.Second},
+		{Room: "office822", Dwell: 3 * time.Second},
+	}}
+	fmt.Println("alice starts walking (virtual time)...")
+	if err := mw.Walk(script); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.WaitAppOn("smart-media-player", "hostB", 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	inst, host, _ := mw.FindApp("smart-media-player")
+	track, _ := inst.Coordinator().Get("track")
+	fmt.Printf("\nplayer followed alice to %s; track %q still loaded\n", host, track)
+	for _, res := range inst.Resources() {
+		if url := res.Attrs["url"]; url != "" {
+			fmt.Printf("music left at origin, playing remotely via %s\n", url)
+		}
+	}
+	if room, prob, ok := mw.Predictor.PredictNext("alice"); ok {
+		fmt.Printf("predictor: alice's likely next room is %s (p=%.2f)\n", room, prob)
+	}
+}

@@ -1,0 +1,83 @@
+// Follow-me instant messenger: session continuity with code-carrying
+// migration. The destination host has NO messenger installation at all,
+// so the mobile agent carries logic + UI + session state — the paper's
+// "Otherwise, it will also carry the logics and user interface as well as
+// the states" path — and the chat history survives the move.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"mdagent"
+	"mdagent/internal/app"
+	"mdagent/internal/demoapps"
+)
+
+func main() {
+	mw, err := mdagent.New(mdagent.Config{Seed: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mw.Close()
+
+	if err := mw.AddSpace("campus"); err != nil {
+		log.Fatal(err)
+	}
+	dev := func(host string) mdagent.DeviceProfile {
+		return mdagent.DeviceProfile{Host: host, ScreenWidth: 1024, ScreenHeight: 768,
+			MemoryMB: 256, HasDisplay: true}
+	}
+	if _, err := mw.AddHost("dorm", "campus", mdagent.Pentium4_1700(), dev("dorm"), 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mw.AddHost("library", "campus", mdagent.PentiumM_1600(), dev("library"), 0); err != nil {
+		log.Fatal(err)
+	}
+
+	im := demoapps.NewMessenger("dorm", "carol")
+	if err := mw.RunApp("dorm", im); err != nil {
+		log.Fatal(err)
+	}
+	for _, msg := range []string{
+		"hey, heading to the library",
+		"bring the ICDCS paper",
+		"already have it open",
+	} {
+		if err := demoapps.MessengerSend(im, msg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("session on dorm host with 3 messages; library has NO messenger installed")
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	dorm, _ := mw.Host("dorm")
+	rep, err := dorm.Engine.FollowMe(ctx, "followme-messenger", "library", mdagent.BindingAdaptive, mdagent.MatchSemantic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmigrated carrying %v (%d bytes) in %v — code travelled with the agent\n",
+		rep.Carried, rep.BytesMoved, rep.Total())
+
+	inst, host, _ := mw.FindApp("followme-messenger")
+	st, _ := inst.Component("im-session")
+	sc := st.(*app.StateComponent)
+	countStr, _ := sc.Get("messageCount")
+	n, _ := strconv.Atoi(countStr)
+	fmt.Printf("\nsession restored on %s with %d messages:\n", host, n)
+	for i := 0; i < n; i++ {
+		msg, _ := sc.Get(fmt.Sprintf("msg-%03d", i))
+		fmt.Printf("  %2d. %s\n", i+1, msg)
+	}
+
+	// The session keeps working at the destination.
+	if err := demoapps.MessengerSend(inst, "made it — messenger followed me here"); err != nil {
+		log.Fatal(err)
+	}
+	last, _ := inst.Coordinator().Get("lastMessage")
+	fmt.Printf("\nnew message sent from %s: %q\n", host, last)
+}

@@ -1,0 +1,89 @@
+// Quickstart: the smallest complete MDAgent deployment. Two hosts on the
+// paper's simulated 10 Mbps testbed, a music player on hostA with its
+// UI-only skeleton installed on hostB, and one explicit follow-me
+// migration with the three-phase timing report (suspend / migrate /
+// resume, as in the paper's §5 evaluation).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"mdagent"
+	"mdagent/internal/app"
+	"mdagent/internal/demoapps"
+)
+
+func main() {
+	mw, err := mdagent.New(mdagent.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mw.Close()
+
+	// --- Provision the environment: one space, two hosts. ---
+	if err := mw.AddSpace("lab-space"); err != nil {
+		log.Fatal(err)
+	}
+	desktop := func(host string) mdagent.DeviceProfile {
+		return mdagent.DeviceProfile{
+			Host: host, ScreenWidth: 1024, ScreenHeight: 768,
+			MemoryMB: 512, HasAudio: true, HasDisplay: true,
+		}
+	}
+	if _, err := mw.AddHost("hostA", "lab-space", mdagent.Pentium4_1700(), desktop("hostA"), 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mw.AddHost("hostB", "lab-space", mdagent.PentiumM_1600(), desktop("hostB"), 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Run the player on hostA; install its skeleton on hostB. ---
+	song := mdagent.GenerateFile("blue-danube", 2_000_000, 7)
+	hostA, _ := mw.Host("hostA")
+	hostA.Library.Add(song)
+	player := demoapps.NewMediaPlayer("hostA", song)
+	if err := mw.RunApp("hostA", player); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.RegisterResource(demoapps.MusicResource(song, "hostA")); err != nil {
+		log.Fatal(err)
+	}
+	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+		demoapps.MediaPlayerSkeletonComponents(),
+		func(h string) *app.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
+		log.Fatal(err)
+	}
+
+	// Some playback state that must survive the migration.
+	st, _ := player.Component("playback-state")
+	st.(*app.StateComponent).Set("positionMs", "93500")
+	player.Coordinator().Set("track", song.Name)
+
+	// --- Migrate (follow-me, adaptive component binding). ---
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := hostA.Engine.FollowMe(ctx, "smart-media-player", "hostB", mdagent.BindingAdaptive, mdagent.MatchSemantic)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("follow-me migration complete (simulated 2002-era testbed time):")
+	fmt.Printf("  suspend: %8v\n", rep.Suspend)
+	fmt.Printf("  migrate: %8v\n", rep.Migrate)
+	fmt.Printf("  resume:  %8v\n", rep.Resume)
+	fmt.Printf("  total:   %8v\n", rep.Total())
+	fmt.Printf("  carried: %v (%d bytes)\n", rep.Carried, rep.BytesMoved)
+	for _, p := range rep.Rebindings {
+		fmt.Printf("  rebinding: %-10s %s\n", p.Action, p.Reason)
+	}
+
+	// --- Verify continuity at the destination. ---
+	inst, host, _ := mw.FindApp("smart-media-player")
+	pos, _ := inst.Component("playback-state")
+	v, _ := pos.(*app.StateComponent).Get("positionMs")
+	track, _ := inst.Coordinator().Get("track")
+	fmt.Printf("\nplayer now on %s, track %q at position %s ms\n", host, track, v)
+}

@@ -1,0 +1,322 @@
+package app
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mdagent/internal/owl"
+	"mdagent/internal/wsdl"
+)
+
+// RunState is the application lifecycle state.
+type RunState int
+
+// Application run states.
+const (
+	Running RunState = iota + 1
+	Suspended
+)
+
+func (s RunState) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Suspended:
+		return "suspended"
+	default:
+		return "invalid"
+	}
+}
+
+// UserProfile captures the per-user customization the paper motivates
+// with the left-handed user example (§1).
+type UserProfile struct {
+	User        string
+	Preferences map[string]string // e.g. handedness=left, volume=70
+}
+
+// Application is one running application instance on a host, assembled
+// from components per the paper's Fig. 3 model.
+type Application struct {
+	name string
+	host string
+	desc wsdl.Description
+
+	mu         sync.Mutex
+	state      RunState
+	components map[string]Component
+	order      []string // registration order for deterministic wraps
+	resources  []owl.Resource
+	profile    UserProfile
+
+	coordinator *Coordinator
+	snapshots   *SnapshotManager
+	adaptor     *Adaptor
+}
+
+// New creates a running application instance.
+func New(name, host string, desc wsdl.Description) *Application {
+	a := &Application{
+		name:       name,
+		host:       host,
+		desc:       desc,
+		state:      Running,
+		components: make(map[string]Component),
+	}
+	a.coordinator = NewCoordinator(name + "@" + host)
+	a.snapshots = NewSnapshotManager(a)
+	a.adaptor = NewAdaptor()
+	return a
+}
+
+// Name returns the application name.
+func (a *Application) Name() string { return a.name }
+
+// Host returns the host the instance runs on.
+func (a *Application) Host() string { return a.host }
+
+// SetHost records a new host after migration.
+func (a *Application) SetHost(host string) {
+	a.mu.Lock()
+	a.host = host
+	a.coordinator.origin = a.name + "@" + host
+	a.mu.Unlock()
+}
+
+// Description returns the interface description.
+func (a *Application) Description() wsdl.Description { return a.desc }
+
+// Coordinator returns the base-level coordinator.
+func (a *Application) Coordinator() *Coordinator { return a.coordinator }
+
+// Snapshots returns the snapshot manager.
+func (a *Application) Snapshots() *SnapshotManager { return a.snapshots }
+
+// Adaptor returns the adaptor.
+func (a *Application) Adaptor() *Adaptor { return a.adaptor }
+
+// State returns the run state.
+func (a *Application) State() RunState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.state
+}
+
+// AddComponent registers a component. Names must be unique.
+func (a *Application) AddComponent(c Component) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.components[c.Name()]; dup {
+		return fmt.Errorf("app: duplicate component %q", c.Name())
+	}
+	a.components[c.Name()] = c
+	a.order = append(a.order, c.Name())
+	return nil
+}
+
+// Component looks up a component by name.
+func (a *Application) Component(name string) (Component, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.components[name]
+	return c, ok
+}
+
+// Components returns the component names in registration order.
+func (a *Application) Components() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, len(a.order))
+	copy(out, a.order)
+	return out
+}
+
+// ComponentsOfKind returns names of components of one kind, sorted.
+func (a *Application) ComponentsOfKind(k ComponentKind) []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for name, c := range a.components {
+		if c.Kind() == k {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BindResource records a resource binding.
+func (a *Application) BindResource(r owl.Resource) {
+	a.mu.Lock()
+	a.resources = append(a.resources, r)
+	a.mu.Unlock()
+}
+
+// Resources returns the bound resources.
+func (a *Application) Resources() []owl.Resource {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]owl.Resource, len(a.resources))
+	copy(out, a.resources)
+	return out
+}
+
+// SetProfile attaches the user profile.
+func (a *Application) SetProfile(p UserProfile) {
+	a.mu.Lock()
+	a.profile = p
+	a.mu.Unlock()
+}
+
+// Profile returns the user profile.
+func (a *Application) Profile() UserProfile {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.profile
+}
+
+// Suspend freezes the coordinator and marks the app suspended (paper
+// Fig. 4: the coordinator suspends the application before the snapshot).
+func (a *Application) Suspend() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.state == Suspended {
+		return fmt.Errorf("app: %s already suspended", a.name)
+	}
+	a.coordinator.Freeze()
+	a.state = Suspended
+	return nil
+}
+
+// Resume thaws the coordinator and marks the app running.
+func (a *Application) Resume() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.state == Running {
+		return fmt.Errorf("app: %s already running", a.name)
+	}
+	a.coordinator.Thaw()
+	a.state = Running
+	return nil
+}
+
+// Wrap is a serialized bundle of selected components plus coordinator
+// state — what the mobile agent carries (paper §4.3: the MA "can wrap any
+// serializable part and migrate to the destination").
+type Wrap struct {
+	App        string
+	FromHost   string
+	Components map[string][]byte // component name -> snapshot
+	Kinds      map[string]ComponentKind
+	CoordState map[string]string
+	Profile    UserProfile
+}
+
+// TotalBytes reports the wrap payload size.
+func (w Wrap) TotalBytes() int64 {
+	var n int64
+	for _, b := range w.Components {
+		n += int64(len(b))
+	}
+	for k, v := range w.CoordState {
+		n += int64(len(k) + len(v))
+	}
+	return n
+}
+
+// Encode serializes the wrap for transfer.
+func (w Wrap) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("app: encode wrap: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeWrap deserializes a transferred wrap.
+func DecodeWrap(raw []byte) (Wrap, error) {
+	var w Wrap
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&w); err != nil {
+		return Wrap{}, fmt.Errorf("app: decode wrap: %w", err)
+	}
+	return w, nil
+}
+
+// WrapComponents snapshots the named components (all when names is nil)
+// into a transferable bundle. The application should be suspended first
+// for a consistent cut.
+func (a *Application) WrapComponents(names []string) (Wrap, error) {
+	a.mu.Lock()
+	if names == nil {
+		names = make([]string, len(a.order))
+		copy(names, a.order)
+	}
+	comps := make(map[string]Component, len(names))
+	for _, n := range names {
+		c, ok := a.components[n]
+		if !ok {
+			a.mu.Unlock()
+			return Wrap{}, fmt.Errorf("app: no component %q in %s", n, a.name)
+		}
+		comps[n] = c
+	}
+	host := a.host
+	profile := a.profile
+	a.mu.Unlock()
+
+	w := Wrap{
+		App:        a.name,
+		FromHost:   host,
+		Components: make(map[string][]byte, len(comps)),
+		Kinds:      make(map[string]ComponentKind, len(comps)),
+		CoordState: a.coordinator.State(),
+		Profile:    profile,
+	}
+	for n, c := range comps {
+		snap, err := c.Snapshot()
+		if err != nil {
+			return Wrap{}, fmt.Errorf("app: wrap %s/%s: %w", a.name, n, err)
+		}
+		w.Components[n] = snap
+		w.Kinds[n] = c.Kind()
+	}
+	return w, nil
+}
+
+// Unwrap restores wrapped component snapshots into this instance:
+// existing components are restored in place; missing ones are created as
+// blob components of the recorded kind (state components are recreated as
+// StateComponent). Coordinator state and profile are replaced.
+func (a *Application) Unwrap(w Wrap) error {
+	names := make([]string, 0, len(w.Components))
+	for n := range w.Components {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		snap := w.Components[n]
+		a.mu.Lock()
+		c, ok := a.components[n]
+		a.mu.Unlock()
+		if !ok {
+			switch w.Kinds[n] {
+			case KindState:
+				c = NewState(n)
+			default:
+				c = NewBlob(n, w.Kinds[n], nil)
+			}
+			if err := a.AddComponent(c); err != nil {
+				return err
+			}
+		}
+		if err := c.Restore(snap); err != nil {
+			return fmt.Errorf("app: unwrap %s/%s: %w", a.name, n, err)
+		}
+	}
+	a.coordinator.replaceState(w.CoordState)
+	a.SetProfile(w.Profile)
+	return nil
+}

@@ -1,0 +1,104 @@
+package app
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SnapshotManager is the base-level persistence controller (paper §4.2.1:
+// "The snapshot management is responsible for persistence process control
+// of running applications"). It captures full-application snapshots —
+// every component plus coordinator state — and keeps a bounded history so
+// a crashed or mis-migrated application can roll back.
+type SnapshotManager struct {
+	app *Application
+
+	mu      sync.Mutex
+	history []TaggedSnapshot
+	cap     int
+}
+
+// TaggedSnapshot is one recorded snapshot with provenance.
+type TaggedSnapshot struct {
+	Tag  string
+	At   time.Time
+	Wrap Wrap
+}
+
+// NewSnapshotManager creates a manager for app with a history cap of 8.
+func NewSnapshotManager(app *Application) *SnapshotManager {
+	return &SnapshotManager{app: app, cap: 8}
+}
+
+// SetCap adjusts the history bound (minimum 1).
+func (m *SnapshotManager) SetCap(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	m.cap = n
+	m.trimLocked()
+}
+
+func (m *SnapshotManager) trimLocked() {
+	if len(m.history) > m.cap {
+		m.history = m.history[len(m.history)-m.cap:]
+	}
+}
+
+// Record captures a full snapshot of the application under tag. The
+// timestamp is supplied by the caller so virtual-clock runs stay
+// deterministic.
+func (m *SnapshotManager) Record(tag string, at time.Time) (TaggedSnapshot, error) {
+	w, err := m.app.WrapComponents(nil)
+	if err != nil {
+		return TaggedSnapshot{}, err
+	}
+	ts := TaggedSnapshot{Tag: tag, At: at, Wrap: w}
+	m.mu.Lock()
+	m.history = append(m.history, ts)
+	m.trimLocked()
+	m.mu.Unlock()
+	return ts, nil
+}
+
+// Latest returns the most recent snapshot.
+func (m *SnapshotManager) Latest() (TaggedSnapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.history) == 0 {
+		return TaggedSnapshot{}, false
+	}
+	return m.history[len(m.history)-1], true
+}
+
+// Find returns the most recent snapshot with the given tag.
+func (m *SnapshotManager) Find(tag string) (TaggedSnapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := len(m.history) - 1; i >= 0; i-- {
+		if m.history[i].Tag == tag {
+			return m.history[i], true
+		}
+	}
+	return TaggedSnapshot{}, false
+}
+
+// Len reports how many snapshots are retained.
+func (m *SnapshotManager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.history)
+}
+
+// Rollback restores the application from the most recent snapshot with
+// the given tag — the fault-tolerance half of snapshot management.
+func (m *SnapshotManager) Rollback(tag string) error {
+	ts, ok := m.Find(tag)
+	if !ok {
+		return fmt.Errorf("app: no snapshot tagged %q", tag)
+	}
+	return m.app.Unwrap(ts.Wrap)
+}

@@ -1,0 +1,309 @@
+// Package bench assembles the paper's evaluation scenarios (§5) so the
+// root bench_test.go and cmd/mdbench regenerate every results figure:
+//
+//	Fig. 7  — skew-canceling round-trip timing method
+//	Fig. 8  — adaptive component binding: suspend/migrate/resume and
+//	          total cost vs music file size
+//	Fig. 9  — static component binding (the original design [7])
+//	Fig. 10 — comparative total cost, adaptive vs static
+//	Demo 2  — clone-dispatch fan-out to gateway-connected overflow rooms
+//
+// Every run builds a fresh deterministic deployment on a virtual clock,
+// so reported durations replay the calibrated 2002-era testbed (P4 1.7 GHz
+// and PM 1.6 GHz over 10 Mbps Ethernet) in microseconds of wall time.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mdagent/internal/app"
+	"mdagent/internal/core"
+	"mdagent/internal/demoapps"
+	"mdagent/internal/media"
+	"mdagent/internal/migrate"
+	"mdagent/internal/netsim"
+	"mdagent/internal/owl"
+	"mdagent/internal/wsdl"
+)
+
+// FileSizes are the paper's sweep points: 2.0, 3.0, 4.3, 5.6, 6.5, 7.5 MB.
+var FileSizes = []int64{
+	2_000_000, 3_000_000, 4_300_000, 5_600_000, 6_500_000, 7_500_000,
+}
+
+// FileLabels render the sweep points as the paper's x-axis labels.
+var FileLabels = []string{"2.0M", "3.0M", "4.3M", "5.6M", "6.5M", "7.5M"}
+
+// Point is one measured sweep point.
+type Point struct {
+	Label   string
+	Size    int64
+	Suspend time.Duration
+	Migrate time.Duration
+	Resume  time.Duration
+	Total   time.Duration
+	Bytes   int64 // wrap payload transferred
+}
+
+func desktop(host string) wsdl.DeviceProfile {
+	return wsdl.DeviceProfile{
+		Host: host, ScreenWidth: 1024, ScreenHeight: 768,
+		MemoryMB: 512, HasAudio: true, HasDisplay: true,
+	}
+}
+
+// deployment builds the Fig. 8/9 testbed: the player on hostA
+// (P4 1.7 GHz), its UI-only skeleton on hostB (PM 1.6 GHz), 10 Mbps
+// Ethernet, the song served from hostA's media library.
+func deployment(size int64, seed int64) (*core.Middleware, error) {
+	return deploymentOnLink(size, seed, netsim.Ethernet10())
+}
+
+// deploymentOnLink is deployment with a configurable link profile, used
+// by the link-speed ablation.
+func deploymentOnLink(size int64, seed int64, link netsim.LinkProfile) (*core.Middleware, error) {
+	mw, err := core.New(core.Config{Seed: seed, Link: link})
+	if err != nil {
+		return nil, err
+	}
+	cleanup := func(e error) (*core.Middleware, error) {
+		mw.Close()
+		return nil, e
+	}
+	if err := mw.AddSpace("lab-space"); err != nil {
+		return cleanup(err)
+	}
+	if _, err := mw.AddHost("hostA", "lab-space", netsim.Pentium4_1700(), desktop("hostA"), 0); err != nil {
+		return cleanup(err)
+	}
+	if _, err := mw.AddHost("hostB", "lab-space", netsim.PentiumM_1600(), desktop("hostB"), 3*time.Second); err != nil {
+		return cleanup(err)
+	}
+	song := media.GenerateFile("song1", size, 3)
+	hostA, _ := mw.Host("hostA")
+	hostA.Library.Add(song)
+
+	player := demoapps.NewMediaPlayer("hostA", song)
+	if err := mw.RunApp("hostA", player); err != nil {
+		return cleanup(err)
+	}
+	if err := mw.RegisterResource(demoapps.MusicResource(song, "hostA")); err != nil {
+		return cleanup(err)
+	}
+	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+		demoapps.MediaPlayerSkeletonComponents(),
+		func(host string) *app.Application { return demoapps.MediaPlayerSkeleton(host) }); err != nil {
+		return cleanup(err)
+	}
+	return mw, nil
+}
+
+// RunFollowMe measures one follow-me migration at the given file size and
+// binding mode on a fresh deployment.
+func RunFollowMe(size int64, binding migrate.BindingMode) (Point, error) {
+	return RunFollowMeOnLink(size, binding, netsim.Ethernet10())
+}
+
+// RunFollowMeOnLink is RunFollowMe on an arbitrary link profile — the
+// link-speed ablation: does adaptive binding's advantage survive faster
+// networks?
+func RunFollowMeOnLink(size int64, binding migrate.BindingMode, link netsim.LinkProfile) (Point, error) {
+	mw, err := deploymentOnLink(size, 1, link)
+	if err != nil {
+		return Point{}, err
+	}
+	defer mw.Close()
+	hostA, _ := mw.Host("hostA")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rep, err := hostA.Engine.FollowMe(ctx, "smart-media-player", "hostB", binding, owl.MatchSemantic)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Size: size, Suspend: rep.Suspend, Migrate: rep.Migrate,
+		Resume: rep.Resume, Total: rep.Total(), Bytes: rep.BytesMoved,
+	}, nil
+}
+
+// Sweep runs the full file-size sweep for one binding mode (Fig. 8 for
+// adaptive, Fig. 9 for static).
+func Sweep(binding migrate.BindingMode) ([]Point, error) {
+	out := make([]Point, 0, len(FileSizes))
+	for i, size := range FileSizes {
+		p, err := RunFollowMe(size, binding)
+		if err != nil {
+			return nil, fmt.Errorf("bench: size %s: %w", FileLabels[i], err)
+		}
+		p.Label = FileLabels[i]
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Comparison pairs the two sweeps (Fig. 10).
+type Comparison struct {
+	Label    string
+	Adaptive time.Duration
+	Static   time.Duration
+	Ratio    float64
+}
+
+// RunFig10 runs both sweeps and pairs the totals.
+func RunFig10() ([]Comparison, error) {
+	adaptive, err := Sweep(migrate.BindingAdaptive)
+	if err != nil {
+		return nil, err
+	}
+	static, err := Sweep(migrate.BindingStatic)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Comparison, len(adaptive))
+	for i := range adaptive {
+		out[i] = Comparison{
+			Label:    adaptive[i].Label,
+			Adaptive: adaptive[i].Total,
+			Static:   static[i].Total,
+			Ratio:    float64(static[i].Total) / float64(adaptive[i].Total),
+		}
+	}
+	return out, nil
+}
+
+// Fig7Result captures the skew-cancellation measurement.
+type Fig7Result struct {
+	SkewCanceled time.Duration // (T2-T1)+(T4-T3) across skewed clocks
+	TrueRTT      time.Duration // sum of the two legs' true totals
+	NaiveOneWay  time.Duration // T2-T1 read naively across clocks
+	TrueOneWay   time.Duration // outbound leg's true total
+	Skew         time.Duration // injected clock offset
+}
+
+// RunFig7 measures a round trip between hosts whose clocks differ by 3 s,
+// demonstrating that the paper's formula cancels the offset.
+func RunFig7() (Fig7Result, error) {
+	mw, err := deployment(FileSizes[0], 1)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	defer mw.Close()
+	hostA, _ := mw.Host("hostA")
+	hostB, _ := mw.Host("hostB")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rt, err := migrate.MeasureRoundTrip(ctx, hostA.Engine, hostB.Engine, "smart-media-player", migrate.BindingAdaptive, owl.MatchSemantic)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	return Fig7Result{
+		SkewCanceled: rt.SkewCanceled(),
+		TrueRTT:      rt.Out.Total() + rt.Back.Total(),
+		NaiveOneWay:  rt.NaiveOneWay(),
+		TrueOneWay:   rt.Out.Total(),
+		Skew:         3 * time.Second,
+	}, nil
+}
+
+// CloneResult is one overflow room's clone-dispatch outcome.
+type CloneResult struct {
+	Room       string
+	Report     migrate.Report
+	SyncRTT    time.Duration // virtual time for one slide change to sync
+	InterSpace bool
+}
+
+// RunCloneFanout reproduces demo 2: a lecture slideshow cloned from the
+// main room to n gateway-connected overflow rooms, then one slide change
+// propagated to every clone.
+func RunCloneFanout(n int, deckBytes int64) ([]CloneResult, error) {
+	mw, err := core.New(core.Config{Seed: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer mw.Close()
+	if err := mw.AddSpace("main-space"); err != nil {
+		return nil, err
+	}
+	if _, err := mw.AddHost("mainHost", "main-space", netsim.Pentium4_1700(), desktop("mainHost"), 0); err != nil {
+		return nil, err
+	}
+	if err := mw.AddGateway("gwMain", "main-space", netsim.Pentium4_1700()); err != nil {
+		return nil, err
+	}
+	deck := media.GenerateDeck("lecture", 20, deckBytes, 4)
+	show := demoapps.NewSlideShow("mainHost", deck)
+	show.BindResource(demoapps.SlidesResource(deck, "mainHost"))
+	if err := mw.RunApp("mainHost", show); err != nil {
+		return nil, err
+	}
+	if err := mw.RegisterResource(demoapps.SlidesResource(deck, "mainHost")); err != nil {
+		return nil, err
+	}
+
+	rooms := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		spaceName := fmt.Sprintf("overflow-space-%d", i+1)
+		host := fmt.Sprintf("roomHost%d", i+1)
+		if err := mw.AddSpace(spaceName); err != nil {
+			return nil, err
+		}
+		if _, err := mw.AddHost(host, spaceName, netsim.PentiumM_1600(), desktop(host), 0); err != nil {
+			return nil, err
+		}
+		if err := mw.AddGateway("gw-"+spaceName, spaceName, netsim.Pentium4_1700()); err != nil {
+			return nil, err
+		}
+		if err := mw.InstallApp(host, "ubiquitous-slideshow", demoapps.SlideShowDesc(),
+			demoapps.SlideShowSkeletonComponents(),
+			func(h string) *app.Application { return demoapps.SlideShowSkeleton(h) }); err != nil {
+			return nil, err
+		}
+		if err := mw.RegisterResource(demoapps.ProjectorResource("proj-"+host, host, "room-"+host)); err != nil {
+			return nil, err
+		}
+		rooms = append(rooms, host)
+	}
+
+	mainRt, _ := mw.Host("mainHost")
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	results := make([]CloneResult, 0, n)
+	for i, host := range rooms {
+		cloneName := fmt.Sprintf("slideshow@room%d", i+1)
+		rep, err := mainRt.Engine.CloneDispatch(ctx, "ubiquitous-slideshow", host, cloneName, owl.MatchSemantic)
+		if err != nil {
+			return nil, fmt.Errorf("bench: clone to %s: %w", host, err)
+		}
+		results = append(results, CloneResult{Room: host, Report: rep, InterSpace: rep.InterSpace})
+	}
+
+	// One speaker control change; measure virtual time until every clone
+	// has converged.
+	before := mw.Clock.Now()
+	show.Coordinator().Set("slide", "2")
+	deadline := time.Now().Add(30 * time.Second)
+	for i, host := range rooms {
+		rt, _ := mw.Host(host)
+		cloneName := fmt.Sprintf("slideshow@room%d", i+1)
+		for {
+			inst, ok := rt.Engine.App(cloneName)
+			if ok {
+				if v, _ := inst.Coordinator().Get("slide"); v == "2" {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("bench: clone %s never synced", cloneName)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	syncRTT := mw.Clock.Now().Sub(before)
+	for i := range results {
+		results[i].SyncRTT = syncRTT
+	}
+	return results, nil
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"mdagent/internal/migrate"
+)
+
+func TestSweepShapesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps in -short mode")
+	}
+	adaptive, err := Sweep(migrate.BindingAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := Sweep(migrate.BindingStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adaptive) != len(FileSizes) || len(static) != len(FileSizes) {
+		t.Fatalf("sweep lengths = %d/%d", len(adaptive), len(static))
+	}
+	// Fig. 8: suspend flat, resume monotonic and < 300 ms growth.
+	for i := 1; i < len(adaptive); i++ {
+		if d := (adaptive[i].Suspend - adaptive[0].Suspend).Abs(); d > 50*time.Millisecond {
+			t.Fatalf("adaptive suspend not flat at %s: drift %v", adaptive[i].Label, d)
+		}
+		if adaptive[i].Resume < adaptive[i-1].Resume {
+			t.Fatalf("adaptive resume not monotonic at %s", adaptive[i].Label)
+		}
+	}
+	growth := adaptive[len(adaptive)-1].Resume - adaptive[0].Resume
+	if growth <= 0 || growth > 300*time.Millisecond {
+		t.Fatalf("adaptive resume growth = %v, want (0, 300ms]", growth)
+	}
+	// Fig. 9: migrate strictly increasing and dominant at the top end.
+	for i := 1; i < len(static); i++ {
+		if static[i].Migrate <= static[i-1].Migrate {
+			t.Fatalf("static migrate not increasing at %s", static[i].Label)
+		}
+	}
+	last := static[len(static)-1]
+	if last.Migrate < last.Suspend+last.Resume {
+		t.Fatalf("static migrate (%v) does not dominate at 7.5M", last.Migrate)
+	}
+	// Fig. 10: adaptive wins everywhere, ratio widens.
+	prev := 0.0
+	for i := range adaptive {
+		ratio := float64(static[i].Total) / float64(adaptive[i].Total)
+		if ratio <= 1 {
+			t.Fatalf("static beat adaptive at %s", adaptive[i].Label)
+		}
+		if ratio < prev {
+			t.Fatalf("ratio shrank at %s: %.2f < %.2f", adaptive[i].Label, ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+func TestRunFig7SkewCancels(t *testing.T) {
+	res, err := RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := (res.SkewCanceled - res.TrueRTT).Abs(); diff > time.Millisecond {
+		t.Fatalf("formula error = %v", diff)
+	}
+	if naive := (res.NaiveOneWay - res.TrueOneWay).Abs(); naive < 2900*time.Millisecond {
+		t.Fatalf("naive error = %v, want ~3s", naive)
+	}
+}
+
+func TestRunFig10PairsSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps in -short mode")
+	}
+	rows, err := RunFig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FileSizes) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio <= 1 {
+			t.Fatalf("ratio at %s = %.2f", r.Label, r.Ratio)
+		}
+	}
+}
+
+func TestRunCloneFanout(t *testing.T) {
+	results, err := RunCloneFanout(2, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if !r.InterSpace {
+			t.Fatalf("%s: clone did not cross spaces", r.Room)
+		}
+		if r.Report.BytesMoved < 1_000_000 {
+			t.Fatalf("%s: only %d bytes moved, want the deck", r.Room, r.Report.BytesMoved)
+		}
+		if r.SyncRTT <= 0 {
+			t.Fatalf("%s: sync RTT = %v", r.Room, r.SyncRTT)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, err := RunFollowMe(FileSizes[0], migrate.BindingAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFollowMe(FileSizes[0], migrate.BindingAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total || a.Suspend != b.Suspend || a.Bytes != b.Bytes {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestLabelsMatchSizes(t *testing.T) {
+	if len(FileLabels) != len(FileSizes) {
+		t.Fatalf("labels %d vs sizes %d", len(FileLabels), len(FileSizes))
+	}
+}

@@ -1,0 +1,348 @@
+// Package core assembles the four MDAgent layers (Fig. 2 — Sensor,
+// Context, Agent, Application) into one middleware deployment. A
+// Middleware models a whole pervasive environment: the simulated network
+// of hosts and spaces, the Cricket sensor field, the context kernel with
+// its classifier/monitor/fusion/predictor, the agent platform, a registry
+// center, and one migration engine + media library per host. The root
+// mdagent package re-exports this facade as the public API.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mdagent/internal/agents"
+	"mdagent/internal/app"
+	"mdagent/internal/ctxkernel"
+	"mdagent/internal/media"
+	"mdagent/internal/migrate"
+	"mdagent/internal/netsim"
+	"mdagent/internal/owl"
+	"mdagent/internal/platform"
+	"mdagent/internal/registry"
+	"mdagent/internal/sensor"
+	"mdagent/internal/space"
+	"mdagent/internal/store"
+	"mdagent/internal/transport"
+	"mdagent/internal/vclock"
+	"mdagent/internal/wsdl"
+)
+
+// Config parameterizes a Middleware deployment.
+type Config struct {
+	// Clock drives all costed operations. Nil defaults to a Virtual clock
+	// starting at the Unix epoch (fast, deterministic). Use vclock.Real
+	// to pace live demos.
+	Clock vclock.Clock
+	// Seed feeds the deterministic noise sources (default 1).
+	Seed int64
+	// Link is the default link profile (default: the paper's 10 Mbps
+	// Ethernet).
+	Link netsim.LinkProfile
+	// Costs calibrates migration overheads (default: DefaultCosts).
+	Costs migrate.CostProfile
+	// SensorTick is the sampling period of the sensor walker
+	// (default 500 ms).
+	SensorTick time.Duration
+	// StorePath persists the registry to a file when non-empty.
+	StorePath string
+}
+
+// HostRuntime is everything MDAgent runs on one host.
+type HostRuntime struct {
+	Host      string
+	Space     string
+	Engine    *migrate.Engine
+	Container *platform.Container
+	Library   *media.Library
+}
+
+// Middleware is one MDAgent deployment.
+type Middleware struct {
+	cfg Config
+
+	Clock      vclock.Clock
+	Net        *netsim.Network
+	Fabric     *transport.LocalFabric
+	Registry   *registry.Registry
+	Directory  *space.Directory
+	Field      *sensor.Field
+	Kernel     *ctxkernel.Kernel
+	Classifier *ctxkernel.Classifier
+	Monitor    *ctxkernel.Monitor
+	Fusion     *ctxkernel.Fusion
+	Predictor  *ctxkernel.Predictor
+	Platform   *platform.Platform
+
+	mu    sync.Mutex
+	hosts map[string]*HostRuntime
+	db    *store.Store
+}
+
+// New builds an empty deployment from cfg.
+func New(cfg Config) (*Middleware, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewVirtual(time.Unix(0, 0))
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Link == (netsim.LinkProfile{}) {
+		cfg.Link = netsim.Ethernet10()
+	}
+	if cfg.Costs == (migrate.CostProfile{}) {
+		cfg.Costs = migrate.DefaultCosts()
+	}
+	if cfg.SensorTick <= 0 {
+		cfg.SensorTick = 500 * time.Millisecond
+	}
+
+	db := store.OpenMemory()
+	if cfg.StorePath != "" {
+		var err error
+		db, err = store.Open(cfg.StorePath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	reg, err := registry.New(db)
+	if err != nil {
+		return nil, err
+	}
+
+	net := netsim.New(cfg.Clock, netsim.WithSeed(cfg.Seed), netsim.WithDefaultLink(cfg.Link))
+	fab := transport.NewLocalFabric(net)
+	mw := &Middleware{
+		cfg:        cfg,
+		Clock:      cfg.Clock,
+		Net:        net,
+		Fabric:     fab,
+		Registry:   reg,
+		Directory:  space.NewDirectory(),
+		Field:      sensor.NewField(cfg.Clock, sensor.WithFieldSeed(cfg.Seed)),
+		Kernel:     ctxkernel.NewKernel(),
+		Classifier: ctxkernel.NewClassifier(),
+		Monitor:    ctxkernel.NewMonitor(ctxkernel.NewKernel()), // replaced below
+		Predictor:  ctxkernel.NewPredictor(),
+		Platform:   platform.NewPlatform(fab, net),
+		hosts:      make(map[string]*HostRuntime),
+		db:         db,
+	}
+	mw.Monitor = ctxkernel.NewMonitor(mw.Kernel)
+	mw.Fusion = ctxkernel.NewFusion(mw.Field, mw.Kernel)
+	mw.Classifier.AttachTo(mw.Kernel)
+	mw.Predictor.AttachTo(mw.Kernel)
+
+	// The registry center runs as a service on the fabric so remote
+	// clients (cmd/mdagentd deployments) can reach it too.
+	regEp, err := fab.Attach("registry-center", "")
+	if err != nil {
+		return nil, err
+	}
+	reg.Serve(regEp)
+	return mw, nil
+}
+
+// AddSpace declares a smart space.
+func (m *Middleware) AddSpace(name string) error {
+	return m.Directory.AddSpace(name)
+}
+
+// AddHost provisions a host: network node, space membership, device
+// profile, migration engine, agent container, and media server.
+func (m *Middleware) AddHost(host, spaceName string, profile netsim.HostProfile, dev wsdl.DeviceProfile, skew time.Duration) (*HostRuntime, error) {
+	if _, err := m.Net.AddHost(host, spaceName, profile, skew); err != nil {
+		return nil, err
+	}
+	if err := m.Directory.AddHost(host, spaceName); err != nil {
+		return nil, err
+	}
+	dev.Host = host
+	if err := m.Registry.RegisterDevice(dev); err != nil {
+		return nil, err
+	}
+	ep, err := m.Fabric.Attach(migrate.EndpointName(host), host)
+	if err != nil {
+		return nil, err
+	}
+	eng := migrate.NewEngine(host, ep, m.Net, m.Directory, migrate.Direct{R: m.Registry}, m.cfg.Costs)
+	cont, err := m.Platform.NewContainer("container@"+host, host)
+	if err != nil {
+		return nil, err
+	}
+	lib := media.NewLibrary(host)
+	mediaEp, err := m.Fabric.Attach(migrate.MediaEndpointName(host), host)
+	if err != nil {
+		return nil, err
+	}
+	media.ServeLibrary(lib, mediaEp)
+
+	rt := &HostRuntime{Host: host, Space: spaceName, Engine: eng, Container: cont, Library: lib}
+	m.mu.Lock()
+	m.hosts[host] = rt
+	m.mu.Unlock()
+	return rt, nil
+}
+
+// AddGateway provisions a gateway host bridging its space.
+func (m *Middleware) AddGateway(host, spaceName string, profile netsim.HostProfile) error {
+	if _, err := m.Net.AddGateway(host, spaceName, profile); err != nil {
+		return err
+	}
+	if err := m.Directory.AddHost(host, spaceName); err != nil {
+		return err
+	}
+	return m.Directory.SetGateway(spaceName, host)
+}
+
+// Host returns a host runtime.
+func (m *Middleware) Host(host string) (*HostRuntime, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rt, ok := m.hosts[host]
+	return rt, ok
+}
+
+// Hosts lists provisioned host ids, sorted.
+func (m *Middleware) Hosts() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.hosts))
+	for h := range m.hosts {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddRoom places a room (with its Cricket beacon) at a position and
+// assigns the serving host.
+func (m *Middleware) AddRoom(room, host string, center sensor.Point) error {
+	if err := m.Directory.AssignRoom(room, host); err != nil {
+		return err
+	}
+	m.Field.AddRoom(room, center)
+	return nil
+}
+
+// AddUser registers a badge-wearing user starting in a room.
+func (m *Middleware) AddUser(user, badge, room string) error {
+	return m.Field.AddBadge(badge, user, room)
+}
+
+// RunApp starts a constructed application on a host and registers it.
+func (m *Middleware) RunApp(host string, inst *app.Application) error {
+	rt, ok := m.Host(host)
+	if !ok {
+		return fmt.Errorf("core: unknown host %q", host)
+	}
+	if err := rt.Engine.Run(inst); err != nil {
+		return err
+	}
+	return m.Registry.RegisterApp(registry.AppRecord{
+		Name: inst.Name(), Host: host, Space: rt.Space,
+		Description: inst.Description(), Components: inst.Components(),
+	})
+}
+
+// InstallApp provisions an application skeleton factory on a host (the
+// "application exists at destination" case) and records the installed
+// components at the registry.
+func (m *Middleware) InstallApp(host, appName string, desc wsdl.Description, components []string, factory func(host string) *app.Application) error {
+	rt, ok := m.Host(host)
+	if !ok {
+		return fmt.Errorf("core: unknown host %q", host)
+	}
+	rt.Engine.InstallFactory(appName, factory)
+	return m.Registry.RegisterApp(registry.AppRecord{
+		Name: appName, Host: host, Space: rt.Space,
+		Description: desc, Components: components,
+	})
+}
+
+// RegisterResource records a resource in the registry center.
+func (m *Middleware) RegisterResource(res owl.Resource) error {
+	return m.Registry.RegisterResource(res)
+}
+
+// FindApp returns the host currently running an application instance, if
+// any engine holds it.
+func (m *Middleware) FindApp(appName string) (*app.Application, string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for h, rt := range m.hosts {
+		if inst, ok := rt.Engine.App(appName); ok {
+			return inst, h, true
+		}
+	}
+	return nil, "", false
+}
+
+// StartAgents deploys an MA manager on every host (once) and an AA for
+// the (user, app) policy on every host — whichever host currently runs
+// the app reacts, so follow-me works across any number of hops (the
+// paper's per-host AA/MA managers, Fig. 2).
+func (m *Middleware) StartAgents(policy agents.Policy) error {
+	m.mu.Lock()
+	hosts := make([]*HostRuntime, 0, len(m.hosts))
+	for _, rt := range m.hosts {
+		hosts = append(hosts, rt)
+	}
+	m.mu.Unlock()
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].Host < hosts[j].Host })
+	for _, rt := range hosts {
+		maName := "ma@" + rt.Host
+		if _, ok := rt.Container.Agent(maName); !ok {
+			if _, err := agents.StartMobileAgent(rt.Container, maName, rt.Engine); err != nil {
+				return err
+			}
+		}
+		aaName := fmt.Sprintf("aa@%s/%s@%s", policy.User, policy.App, rt.Host)
+		body := &agents.AutonomousBody{
+			Policy: policy, Kernel: m.Kernel, Dir: m.Directory,
+			Net: m.Net, Engine: rt.Engine, MAName: maName, Locator: m.Fusion,
+		}
+		if _, err := agents.StartAutonomousAgent(rt.Container, aaName, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Walk replays a movement script through the sensor field and fusion,
+// driving the whole context -> agent -> migration pipeline.
+func (m *Middleware) Walk(script sensor.Script) error {
+	w := sensor.NewWalker(m.Field, m.cfg.SensorTick)
+	return w.Run(script, m.Fusion.Consume)
+}
+
+// WaitAppOn blocks (in real time) until the app runs on host or the
+// timeout expires — migrations triggered by agents complete
+// asynchronously to Walk.
+func (m *Middleware) WaitAppOn(appName, host string, timeout time.Duration) error {
+	rt, ok := m.Host(host)
+	if !ok {
+		return fmt.Errorf("core: unknown host %q", host)
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if inst, ok := rt.Engine.App(appName); ok && inst.State() == app.Running {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: %s not running on %s after %v", appName, host, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close tears the deployment down.
+func (m *Middleware) Close() error {
+	err := m.Fabric.Close()
+	if cerr := m.db.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

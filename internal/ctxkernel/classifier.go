@@ -1,0 +1,183 @@
+package ctxkernel
+
+import (
+	"strings"
+	"sync"
+)
+
+// TemporalClass partitions context facts by how fast they change — the
+// paper's classifier "will store the data into different databases
+// according to their temporal characteristics" (§4.1), motivated by §3.4:
+// "users' location information usually changes frequently ... while users'
+// preferences or operational habits are generally more stable".
+type TemporalClass int
+
+// Temporal classes.
+const (
+	// ClassStatic facts rarely change: user preferences, habits.
+	ClassStatic TemporalClass = iota + 1
+	// ClassStable facts change occasionally: device profiles, installed apps.
+	ClassStable
+	// ClassDynamic facts change constantly: locations, network conditions.
+	ClassDynamic
+)
+
+func (c TemporalClass) String() string {
+	switch c {
+	case ClassStatic:
+		return "static"
+	case ClassStable:
+		return "stable"
+	case ClassDynamic:
+		return "dynamic"
+	default:
+		return "invalid"
+	}
+}
+
+// DefaultTopicClasses maps the well-known topic prefixes to temporal
+// classes.
+func DefaultTopicClasses() map[string]TemporalClass {
+	return map[string]TemporalClass{
+		"user.preference": ClassStatic,
+		"device.":         ClassStable,
+		"app.":            ClassStable,
+		"user.":           ClassDynamic,
+		"network.":        ClassDynamic,
+	}
+}
+
+// entry is one stored fact with bounded history for dynamic facts.
+type entry struct {
+	latest  Event
+	history []Event // ring, newest last, dynamic class only
+}
+
+// Classifier routes events into per-class databases and answers queries
+// about the latest and historical values.
+type Classifier struct {
+	mu         sync.RWMutex
+	classes    map[string]TemporalClass // topic prefix (or exact) -> class
+	dbs        map[TemporalClass]map[string]*entry
+	historyCap int
+}
+
+// ClassifierOption configures a Classifier.
+type ClassifierOption func(*Classifier)
+
+// WithHistoryCap bounds per-fact history length for dynamic facts
+// (default 32).
+func WithHistoryCap(n int) ClassifierOption {
+	return func(c *Classifier) { c.historyCap = n }
+}
+
+// WithTopicClass adds or overrides a topic-to-class mapping. Longest
+// matching prefix wins; exact topic beats prefix.
+func WithTopicClass(topicPrefix string, class TemporalClass) ClassifierOption {
+	return func(c *Classifier) { c.classes[topicPrefix] = class }
+}
+
+// NewClassifier builds a classifier with the default topic classes.
+func NewClassifier(opts ...ClassifierOption) *Classifier {
+	c := &Classifier{
+		classes: DefaultTopicClasses(),
+		dbs: map[TemporalClass]map[string]*entry{
+			ClassStatic:  make(map[string]*entry),
+			ClassStable:  make(map[string]*entry),
+			ClassDynamic: make(map[string]*entry),
+		},
+		historyCap: 32,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// ClassOf resolves the temporal class for a topic: exact match first, then
+// the longest registered prefix; unknown topics default to dynamic (safe:
+// they are re-fetched rather than assumed stable).
+func (c *Classifier) ClassOf(topic string) TemporalClass {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if cl, ok := c.classes[topic]; ok {
+		return cl
+	}
+	best, bestLen := ClassDynamic, -1
+	for prefix, cl := range c.classes {
+		if strings.HasPrefix(topic, prefix) && len(prefix) > bestLen {
+			best, bestLen = cl, len(prefix)
+		}
+	}
+	return best
+}
+
+func key(topic, subject string) string { return topic + "|" + subject }
+
+// Store files the event into its class database.
+func (c *Classifier) Store(ev Event) TemporalClass {
+	class := c.ClassOf(ev.Topic)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	db := c.dbs[class]
+	k := key(ev.Topic, ev.Subject())
+	e, ok := db[k]
+	if !ok {
+		e = &entry{}
+		db[k] = e
+	}
+	e.latest = ev
+	if class == ClassDynamic {
+		e.history = append(e.history, ev)
+		if len(e.history) > c.historyCap {
+			e.history = e.history[len(e.history)-c.historyCap:]
+		}
+	}
+	return class
+}
+
+// Latest returns the most recent fact for (topic, subject).
+func (c *Classifier) Latest(topic, subject string) (Event, bool) {
+	class := c.ClassOf(topic)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.dbs[class][key(topic, subject)]
+	if !ok {
+		return Event{}, false
+	}
+	return e.latest, true
+}
+
+// History returns up to n most recent facts for (topic, subject), oldest
+// first. Non-dynamic topics keep no history and return just the latest.
+func (c *Classifier) History(topic, subject string, n int) []Event {
+	class := c.ClassOf(topic)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.dbs[class][key(topic, subject)]
+	if !ok {
+		return nil
+	}
+	if class != ClassDynamic {
+		return []Event{e.latest}
+	}
+	h := e.history
+	if n > 0 && len(h) > n {
+		h = h[len(h)-n:]
+	}
+	out := make([]Event, len(h))
+	copy(out, h)
+	return out
+}
+
+// Size reports how many facts are stored in a class database.
+func (c *Classifier) Size(class TemporalClass) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.dbs[class])
+}
+
+// AttachTo subscribes the classifier to every event on the kernel.
+func (c *Classifier) AttachTo(k *Kernel) int {
+	return k.Subscribe("*", func(ev Event) { c.Store(ev) })
+}

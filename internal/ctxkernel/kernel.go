@@ -1,0 +1,157 @@
+// Package ctxkernel implements MDAgent's context layer (paper §4.1): a
+// publish/subscribe context kernel ("Context kernel employs a
+// publish/subscribe design pattern. When the subscribed events occur, the
+// information will be multicast to the registered listeners"), a
+// classifier that stores context facts into databases by temporal
+// characteristics, a context monitor that triggers autonomous agents when
+// predefined conditions occur, fusion of raw sensor readings into semantic
+// facts ("to map these data to useful information such as location, user
+// identity ... requires context fusion mechanisms"), and a Markov
+// next-location predictor ("some context reasoning and prediction
+// functionalities should also be provided").
+package ctxkernel
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// Well-known topics published by the fusion stage and consumed by
+// autonomous agents.
+const (
+	TopicUserEntered  = "user.entered"  // user appeared in a room
+	TopicUserLeft     = "user.left"     // user left a room
+	TopicUserLocation = "user.location" // current (user, room) fact
+	TopicNetworkRTT   = "network.rtt"   // observed response time between hosts
+	TopicPreference   = "user.preference"
+	TopicDevice       = "device.profile"
+	TopicAppState     = "app.state"
+)
+
+// Well-known attribute keys.
+const (
+	AttrUser  = "user"
+	AttrBadge = "badge"
+	AttrRoom  = "room"
+	AttrFrom  = "from"
+	AttrTo    = "to"
+	AttrRTTMs = "rtt_ms"
+	AttrKey   = "key"
+	AttrValue = "value"
+)
+
+// Event is one context fact flowing through the kernel.
+type Event struct {
+	Topic  string
+	Attrs  map[string]string
+	At     time.Time
+	Source string
+}
+
+// Attr returns an attribute value ("" when absent).
+func (e Event) Attr(key string) string { return e.Attrs[key] }
+
+// Subject identifies what the event is about, used as the storage key by
+// the classifier: the user for user.* topics, from/to pair for network
+// topics, otherwise the "key" attribute.
+func (e Event) Subject() string {
+	switch {
+	case strings.HasPrefix(e.Topic, "user."):
+		return e.Attr(AttrUser)
+	case strings.HasPrefix(e.Topic, "network."):
+		return e.Attr(AttrFrom) + ">" + e.Attr(AttrTo)
+	default:
+		return e.Attr(AttrKey)
+	}
+}
+
+// Handler consumes events. Handlers run synchronously on the publisher's
+// goroutine and must be quick; spawn work elsewhere for slow reactions.
+type Handler func(Event)
+
+type subscription struct {
+	id      int
+	pattern string
+	handler Handler
+}
+
+// Kernel is the pub/sub hub. The zero value is not usable; call NewKernel.
+type Kernel struct {
+	mu     sync.RWMutex
+	subs   []subscription
+	nextID int
+	// published counts per topic, for diagnostics and tests.
+	counts map[string]int
+}
+
+// NewKernel returns an empty kernel.
+func NewKernel() *Kernel {
+	return &Kernel{counts: make(map[string]int)}
+}
+
+// Subscribe registers a handler for a topic pattern: either an exact topic
+// or a prefix pattern ending in ".*" (e.g. "user.*"), or "*" for all.
+// It returns a subscription id for Unsubscribe.
+func (k *Kernel) Subscribe(pattern string, h Handler) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextID++
+	k.subs = append(k.subs, subscription{id: k.nextID, pattern: pattern, handler: h})
+	return k.nextID
+}
+
+// Unsubscribe removes a subscription by id.
+func (k *Kernel) Unsubscribe(id int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for i, s := range k.subs {
+		if s.id == id {
+			k.subs = append(k.subs[:i], k.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+func matches(pattern, topic string) bool {
+	if pattern == "*" || pattern == topic {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pattern, ".*"); ok {
+		return strings.HasPrefix(topic, prefix+".")
+	}
+	return false
+}
+
+// Publish multicasts the event to every matching subscriber, in
+// subscription order.
+func (k *Kernel) Publish(ev Event) {
+	k.mu.RLock()
+	handlers := make([]Handler, 0, len(k.subs))
+	for _, s := range k.subs {
+		if matches(s.pattern, ev.Topic) {
+			handlers = append(handlers, s.handler)
+		}
+	}
+	k.mu.RUnlock()
+	k.mu.Lock()
+	k.counts[ev.Topic]++
+	k.mu.Unlock()
+	for _, h := range handlers {
+		h(ev)
+	}
+}
+
+// Published reports how many events have been published on a topic.
+func (k *Kernel) Published(topic string) int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.counts[topic]
+}
+
+// SubscriberCount reports the number of live subscriptions (diagnostics).
+func (k *Kernel) SubscriberCount() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return len(k.subs)
+}

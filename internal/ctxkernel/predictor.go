@@ -1,0 +1,92 @@
+package ctxkernel
+
+import (
+	"sort"
+	"sync"
+)
+
+// Predictor learns per-user room-transition frequencies and predicts the
+// next room — the paper's "context reasoning and prediction
+// functionalities ... to improve the performance" (§3.4). Autonomous
+// agents can use predictions to pre-stage application components at the
+// likely destination before the user arrives.
+type Predictor struct {
+	mu     sync.Mutex
+	counts map[string]map[string]int // (user|from) -> to -> count
+	last   map[string]string         // user -> last room
+}
+
+// NewPredictor returns an empty predictor.
+func NewPredictor() *Predictor {
+	return &Predictor{
+		counts: make(map[string]map[string]int),
+		last:   make(map[string]string),
+	}
+}
+
+func transKey(user, from string) string { return user + "|" + from }
+
+// Observe records that user moved from one room to another.
+func (p *Predictor) Observe(user, from, to string) {
+	if from == "" || to == "" || from == to {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := transKey(user, from)
+	m, ok := p.counts[k]
+	if !ok {
+		m = make(map[string]int)
+		p.counts[k] = m
+	}
+	m[to]++
+	p.last[user] = to
+}
+
+// Predict returns the most likely next room for user from the given room,
+// with its empirical probability. ok is false when no history exists.
+func (p *Predictor) Predict(user, from string) (room string, prob float64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.counts[transKey(user, from)]
+	if len(m) == 0 {
+		return "", 0, false
+	}
+	total := 0
+	type pair struct {
+		room string
+		n    int
+	}
+	pairs := make([]pair, 0, len(m))
+	for r, n := range m {
+		total += n
+		pairs = append(pairs, pair{room: r, n: n})
+	}
+	// Deterministic tie-break: count desc, then name asc.
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].n != pairs[j].n {
+			return pairs[i].n > pairs[j].n
+		}
+		return pairs[i].room < pairs[j].room
+	})
+	return pairs[0].room, float64(pairs[0].n) / float64(total), true
+}
+
+// PredictNext predicts from the user's last observed room.
+func (p *Predictor) PredictNext(user string) (room string, prob float64, ok bool) {
+	p.mu.Lock()
+	from, known := p.last[user]
+	p.mu.Unlock()
+	if !known {
+		return "", 0, false
+	}
+	return p.Predict(user, from)
+}
+
+// AttachTo subscribes the predictor to user.entered events on the kernel,
+// learning transitions automatically.
+func (p *Predictor) AttachTo(k *Kernel) int {
+	return k.Subscribe(TopicUserEntered, func(ev Event) {
+		p.Observe(ev.Attr(AttrUser), ev.Attr(AttrFrom), ev.Attr(AttrRoom))
+	})
+}

@@ -1,0 +1,185 @@
+package media
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mdagent/internal/transport"
+)
+
+func TestGenerateFileDeterministicAndVerifies(t *testing.T) {
+	a := GenerateFile("song.mp3", 1<<16, 3)
+	b := GenerateFile("song.mp3", 1<<16, 3)
+	if a.Checksum != b.Checksum {
+		t.Fatal("same inputs produced different files")
+	}
+	if !a.Verify() {
+		t.Fatal("fresh file fails verification")
+	}
+	a.Data[0] ^= 0xff
+	if a.Verify() {
+		t.Fatal("corrupted file verified")
+	}
+	c := GenerateFile("song.mp3", 1<<16, 4)
+	if c.Checksum == b.Checksum {
+		t.Fatal("different seeds produced identical files")
+	}
+	if c.Size() != 1<<16 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+}
+
+func TestURLRoundTrip(t *testing.T) {
+	url := URL("hostA", "blue-danube.mp3")
+	host, name, err := ParseURL(url)
+	if err != nil || host != "hostA" || name != "blue-danube.mp3" {
+		t.Fatalf("ParseURL = %q %q %v", host, name, err)
+	}
+	for _, bad := range []string{"http://x/y", "mdagent://hostonly", "mdagent:///media/x", "mdagent://h/media/"} {
+		if _, _, err := ParseURL(bad); err == nil {
+			t.Fatalf("ParseURL(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	lib := NewLibrary("hostA")
+	lib.Add(GenerateFile("b.mp3", 100, 1))
+	lib.Add(GenerateFile("a.mp3", 100, 1))
+	if !lib.Has("a.mp3") || lib.Has("zzz.mp3") {
+		t.Fatal("Has wrong")
+	}
+	names := lib.Names()
+	if len(names) != 2 || names[0] != "a.mp3" {
+		t.Fatalf("Names = %v", names)
+	}
+	if lib.Host() != "hostA" {
+		t.Fatal("Host wrong")
+	}
+}
+
+func TestPlaylist(t *testing.T) {
+	p := NewPlaylist("a", "b", "c")
+	if cur, ok := p.Current(); !ok || cur != "a" {
+		t.Fatalf("Current = %q, %v", cur, ok)
+	}
+	if next, _ := p.Next(); next != "b" {
+		t.Fatalf("Next = %q", next)
+	}
+	if !p.Seek("c") {
+		t.Fatal("Seek failed")
+	}
+	if next, _ := p.Next(); next != "a" { // wraps
+		t.Fatalf("wrap Next = %q", next)
+	}
+	if p.Seek("zzz") {
+		t.Fatal("Seek to missing track succeeded")
+	}
+	if got := p.Tracks(); len(got) != 3 {
+		t.Fatalf("Tracks = %v", got)
+	}
+	empty := NewPlaylist()
+	if _, ok := empty.Current(); ok {
+		t.Fatal("empty Current ok")
+	}
+	if _, ok := empty.Next(); ok {
+		t.Fatal("empty Next ok")
+	}
+}
+
+func TestSlideDeck(t *testing.T) {
+	deck := GenerateDeck("lecture", 10, 1<<20, 7)
+	if len(deck.Slides) != 10 {
+		t.Fatalf("slides = %d", len(deck.Slides))
+	}
+	if !deck.Verify() {
+		t.Fatal("deck failed verification")
+	}
+	if deck.Size() < (1<<20)-16 || deck.Size() > 1<<20 {
+		t.Fatalf("deck size = %d", deck.Size())
+	}
+	one := GenerateDeck("x", 0, 100, 1) // n clamps to 1
+	if len(one.Slides) != 1 {
+		t.Fatalf("clamped slides = %d", len(one.Slides))
+	}
+}
+
+func streamRig(t *testing.T) (*transport.Endpoint, *Library) {
+	t.Helper()
+	fab := transport.NewLocalFabric(nil)
+	t.Cleanup(func() { fab.Close() })
+	srv, err := fab.Attach("media@hostA", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := NewLibrary("hostA")
+	lib.Add(GenerateFile("song.mp3", 300_000, 2))
+	ServeLibrary(lib, srv)
+	cli, err := fab.Attach("player@hostB", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cli, lib
+}
+
+func TestRemoteStreamReadsWholeFile(t *testing.T) {
+	cli, lib := streamRig(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rs, err := OpenRemote(ctx, cli, "media@hostA", URL("hostA", "song.mp3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := lib.Get("song.mp3")
+	if rs.Size() != want.Size() || rs.Checksum() != want.Checksum {
+		t.Fatalf("meta = %d %s", rs.Size(), rs.Checksum())
+	}
+	var got []byte
+	for {
+		chunk, eof, err := rs.ReadChunk(ctx, 64<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, chunk...)
+		if eof {
+			break
+		}
+	}
+	if int64(len(got)) != want.Size() {
+		t.Fatalf("read %d bytes, want %d", len(got), want.Size())
+	}
+	f := File{Name: "song.mp3", Data: got, Checksum: want.Checksum}
+	if !f.Verify() {
+		t.Fatal("streamed bytes corrupt")
+	}
+	if rs.Pos() != want.Size() {
+		t.Fatalf("Pos = %d", rs.Pos())
+	}
+}
+
+func TestRemoteStreamPrebuffer(t *testing.T) {
+	cli, _ := streamRig(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rs, err := OpenRemote(ctx, cli, "media@hostA", URL("hostA", "song.mp3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := rs.Prebuffer(ctx, 128<<10)
+	if err != nil || n != 128<<10 {
+		t.Fatalf("Prebuffer = %d, %v", n, err)
+	}
+}
+
+func TestRemoteStreamErrors(t *testing.T) {
+	cli, _ := streamRig(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := OpenRemote(ctx, cli, "media@hostA", "bogus://x"); err == nil {
+		t.Fatal("bogus URL accepted")
+	}
+	if _, err := OpenRemote(ctx, cli, "media@hostA", URL("hostA", "missing.mp3")); err == nil {
+		t.Fatal("missing file opened")
+	}
+}

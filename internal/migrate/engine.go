@@ -1,0 +1,503 @@
+package migrate
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mdagent/internal/app"
+	"mdagent/internal/media"
+	"mdagent/internal/netsim"
+	"mdagent/internal/owl"
+	"mdagent/internal/registry"
+	"mdagent/internal/space"
+	"mdagent/internal/transport"
+	"mdagent/internal/vclock"
+	"mdagent/internal/wsdl"
+)
+
+// Transport message types served by migration engines.
+const (
+	MsgCheckin = "migrate.checkin" // follow-me arrival
+	MsgClone   = "migrate.clone"   // clone-dispatch arrival
+	MsgSync    = "migrate.sync"    // synchronization-link state change
+)
+
+// EndpointName returns the conventional engine endpoint name for a host.
+func EndpointName(host string) string { return "migrate@" + host }
+
+// MediaEndpointName returns the conventional media server endpoint name.
+func MediaEndpointName(host string) string { return "media@" + host }
+
+// Catalog is the registry view the engine needs; *registry.Client
+// satisfies it for networked deployments and Direct adapts an in-process
+// *registry.Registry.
+type Catalog interface {
+	LookupApp(ctx context.Context, name, host string) (registry.AppRecord, bool, error)
+	RegisterApp(ctx context.Context, rec registry.AppRecord) error
+	Device(ctx context.Context, host string) (wsdl.DeviceProfile, bool, error)
+	PlanRebinding(ctx context.Context, src owl.Resource, destHost string, mode owl.MatchMode) (owl.Rebinding, error)
+}
+
+var _ Catalog = (*registry.Client)(nil)
+
+// Direct adapts an in-process registry to the Catalog interface.
+type Direct struct{ R *registry.Registry }
+
+var _ Catalog = Direct{}
+
+// LookupApp implements Catalog.
+func (d Direct) LookupApp(_ context.Context, name, host string) (registry.AppRecord, bool, error) {
+	return d.R.LookupApp(name, host)
+}
+
+// RegisterApp implements Catalog.
+func (d Direct) RegisterApp(_ context.Context, rec registry.AppRecord) error {
+	return d.R.RegisterApp(rec)
+}
+
+// Device implements Catalog.
+func (d Direct) Device(_ context.Context, host string) (wsdl.DeviceProfile, bool, error) {
+	dev, ok := d.R.Device(host)
+	return dev, ok, nil
+}
+
+// PlanRebinding implements Catalog.
+func (d Direct) PlanRebinding(_ context.Context, src owl.Resource, destHost string, mode owl.MatchMode) (owl.Rebinding, error) {
+	return d.R.PlanRebinding(src, destHost, mode)
+}
+
+// Engine is one host's migration engine. It holds the running application
+// instances, the installed application factories (what "the application
+// exists at the destination" means), and serves checkin/clone/sync
+// messages from peer engines.
+type Engine struct {
+	host  string
+	net   *netsim.Network
+	dir   *space.Directory
+	ep    *transport.Endpoint
+	cat   Catalog
+	costs CostProfile
+
+	mu        sync.Mutex
+	apps      map[string]*app.Application
+	factories map[string]func(host string) *app.Application
+}
+
+// NewEngine creates an engine for host, serving on ep. dir may be nil
+// (no space topology checks); net may be nil (no CPU cost charging).
+func NewEngine(host string, ep *transport.Endpoint, net *netsim.Network, dir *space.Directory, cat Catalog, costs CostProfile) *Engine {
+	e := &Engine{
+		host:      host,
+		net:       net,
+		dir:       dir,
+		ep:        ep,
+		cat:       cat,
+		costs:     costs,
+		apps:      make(map[string]*app.Application),
+		factories: make(map[string]func(host string) *app.Application),
+	}
+	ep.Handle(MsgCheckin, e.handleCheckin)
+	ep.Handle(MsgClone, e.handleClone)
+	ep.Handle(MsgSync, e.handleSync)
+	return e
+}
+
+// Host returns the engine's host id.
+func (e *Engine) Host() string { return e.host }
+
+// Run registers a running application instance with the engine.
+func (e *Engine) Run(a *app.Application) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.apps[a.Name()]; dup {
+		return fmt.Errorf("migrate: app %q already running on %s", a.Name(), e.host)
+	}
+	e.apps[a.Name()] = a
+	return nil
+}
+
+// App returns a running instance by name.
+func (e *Engine) App(name string) (*app.Application, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a, ok := e.apps[name]
+	return a, ok
+}
+
+// InstallFactory provisions an application skeleton factory — the local
+// installation an arriving state-only wrap restores into.
+func (e *Engine) InstallFactory(appName string, f func(host string) *app.Application) {
+	e.mu.Lock()
+	e.factories[appName] = f
+	e.mu.Unlock()
+}
+
+// clock returns the engine host's (possibly skewed) clock.
+func (e *Engine) clock() vclock.Clock {
+	if e.net != nil {
+		if h, ok := e.net.Host(e.host); ok {
+			return h.Clock()
+		}
+	}
+	return &vclock.Real{}
+}
+
+func (e *Engine) charge(d time.Duration) {
+	if e.net != nil {
+		e.net.Clock().Charge(d)
+	}
+}
+
+func (e *Engine) chargeSerialize(bytes int64) {
+	if e.net == nil {
+		return
+	}
+	if h, ok := e.net.Host(e.host); ok {
+		e.net.ChargeSerialize(h, bytes)
+	}
+}
+
+func (e *Engine) chargeDeserialize(bytes int64) {
+	if e.net == nil {
+		return
+	}
+	if h, ok := e.net.Host(e.host); ok {
+		e.net.ChargeDeserialize(h, bytes)
+	}
+}
+
+// checkinPayload crosses the wire for follow-me and clone-dispatch.
+type checkinPayload struct {
+	App        string
+	CloneName  string // clone-dispatch: instance name at the destination
+	Mode       Mode
+	Binding    BindingMode
+	WrapRaw    []byte
+	Desc       wsdl.Description
+	FromHost   string
+	FromEngine string // source engine endpoint (sync links, remote media)
+	Rebindings []owl.Rebinding
+}
+
+type checkinReply struct {
+	ResumeNanos int64
+	AdaptNotes  []string
+	RestoredApp string
+}
+
+// planComponents decides which components the MA wraps and how each data
+// resource rebinds — the autonomous-agent decision of §4.1 ("AA decides
+// whether to transfer the states only or the interface only or other
+// possible component combinations").
+func (e *Engine) planComponents(ctx context.Context, a *app.Application, destHost string, binding BindingMode, match owl.MatchMode) ([]string, []owl.Rebinding, error) {
+	if binding == BindingStatic {
+		// Original design [7]: everything moves, no rebinding plans.
+		return a.Components(), nil, nil
+	}
+	carried := a.ComponentsOfKind(app.KindState)
+	destRec, found, err := e.cat.LookupApp(ctx, a.Name(), destHost)
+	if err != nil {
+		return nil, nil, fmt.Errorf("migrate: registry lookup: %w", err)
+	}
+	for _, kind := range []app.ComponentKind{app.KindLogic, app.KindUI} {
+		for _, name := range a.ComponentsOfKind(kind) {
+			if !found || !destRec.HasComponent(name) {
+				carried = append(carried, name)
+			}
+		}
+	}
+	var plans []owl.Rebinding
+	covered := make(map[string]bool)
+	for _, res := range a.Resources() {
+		plan, err := e.cat.PlanRebinding(ctx, res, destHost, match)
+		if err != nil {
+			return nil, nil, fmt.Errorf("migrate: rebinding plan for %s: %w", res.ID, err)
+		}
+		if plan.Action == owl.RebindImpossible {
+			return nil, nil, fmt.Errorf("migrate: resource %s cannot be rebound at %s: %s", res.ID, destHost, plan.Reason)
+		}
+		comp := dataComponentFor(res)
+		covered[comp] = true
+		if plan.Action == owl.RebindCarry {
+			// Carry the matching data component when the app holds one.
+			if _, ok := a.Component(comp); ok {
+				carried = append(carried, comp)
+			}
+		}
+		plans = append(plans, plan)
+	}
+	// Data components with no resource description default to traveling
+	// with the application: there is nothing to rebind them to.
+	for _, name := range a.ComponentsOfKind(app.KindData) {
+		if !covered[name] && (!found || !destRec.HasComponent(name)) {
+			carried = append(carried, name)
+		}
+	}
+	return carried, plans, nil
+}
+
+// dataComponentFor names the data component a resource corresponds to:
+// the "component" attribute when present, else the resource id.
+func dataComponentFor(res owl.Resource) string {
+	if c, ok := res.Attrs["component"]; ok {
+		return c
+	}
+	return res.ID
+}
+
+// FollowMe migrates a running application to destHost (cut-paste). On
+// failure the application is rolled back and resumed at the source.
+func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding BindingMode, match owl.MatchMode) (Report, error) {
+	var rep Report
+	e.mu.Lock()
+	a, ok := e.apps[appName]
+	e.mu.Unlock()
+	if !ok {
+		return rep, fmt.Errorf("migrate: no running app %q on %s", appName, e.host)
+	}
+	if destHost == e.host {
+		return rep, fmt.Errorf("migrate: %q is already on %s", appName, e.host)
+	}
+	interSpace := false
+	if e.dir != nil {
+		crosses, possible, err := e.dir.CrossesSpaces(e.host, destHost)
+		if err != nil {
+			return rep, err
+		}
+		if crosses && !possible {
+			return rep, fmt.Errorf("migrate: no gateway path from %s to %s (paper Fig. 1: inter-space requires gateways)", e.host, destHost)
+		}
+		interSpace = crosses
+	}
+	clk := e.clock()
+
+	// --- Suspension phase (timed on the source host clock). ---
+	// The autonomous agent may already have suspended the app when the
+	// user left the room (paper §4.3); suspension is then a no-op here.
+	suspendStart := clk.Now()
+	if a.State() == app.Running {
+		if err := a.Suspend(); err != nil {
+			return rep, err
+		}
+	}
+	rollback := func() {
+		_ = a.Resume()
+	}
+	if _, err := a.Snapshots().Record("pre-migrate", clk.Now()); err != nil {
+		rollback()
+		return rep, err
+	}
+	carried, plans, err := e.planComponents(ctx, a, destHost, binding, match)
+	if err != nil {
+		rollback()
+		return rep, err
+	}
+	wrap, err := a.WrapComponents(carried)
+	if err != nil {
+		rollback()
+		return rep, err
+	}
+	raw, err := wrap.Encode()
+	if err != nil {
+		rollback()
+		return rep, err
+	}
+	e.chargeSerialize(wrap.TotalBytes())
+	e.charge(e.costs.CheckoutOverhead)
+	// Check out: the instance leaves this host now (paper Fig. 4); it is
+	// restored from the snapshot if check-in fails. This ordering keeps
+	// cut-paste semantics exact — the app is never visible on two hosts.
+	e.mu.Lock()
+	delete(e.apps, appName)
+	e.mu.Unlock()
+	checkinFailed := func() {
+		e.mu.Lock()
+		e.apps[appName] = a
+		e.mu.Unlock()
+	}
+	suspendDur := clk.Now().Sub(suspendStart)
+
+	// --- Migration phase. ---
+	migrateStart := clk.Now()
+	e.charge(e.costs.TransferOverhead)
+	payload := checkinPayload{
+		App: appName, Mode: FollowMe, Binding: binding, WrapRaw: raw,
+		Desc: a.Description(), FromHost: e.host, FromEngine: e.ep.Name(),
+		Rebindings: plans,
+	}
+	enc, err := transport.Encode(payload)
+	if err != nil {
+		checkinFailed()
+		rollback()
+		return rep, err
+	}
+	var reply checkinReply
+	if err := e.ep.RequestDecode(ctx, EndpointName(destHost), MsgCheckin, enc, &reply); err != nil {
+		// Check-in failed: restore from the pre-migration snapshot and
+		// resume locally (the fault-tolerance role of snapshot management).
+		checkinFailed()
+		if rerr := a.Snapshots().Rollback("pre-migrate"); rerr != nil {
+			return rep, fmt.Errorf("migrate: checkin failed (%v) and rollback failed: %w", err, rerr)
+		}
+		rollback()
+		return rep, fmt.Errorf("migrate: checkin at %s: %w", destHost, err)
+	}
+	resumeDur := time.Duration(reply.ResumeNanos)
+	migrateDur := clk.Now().Sub(migrateStart) - resumeDur
+	if migrateDur < 0 {
+		migrateDur = 0
+	}
+
+	return Report{
+		App: appName, Mode: FollowMe, Binding: binding,
+		FromHost: e.host, ToHost: destHost, InterSpace: interSpace,
+		Suspend: suspendDur, Migrate: migrateDur, Resume: resumeDur,
+		BytesMoved: int64(len(raw)), Carried: carried, Rebindings: plans,
+		AdaptNotes: reply.AdaptNotes, RestoredApp: reply.RestoredApp,
+	}, nil
+}
+
+// handleCheckin restores an arriving follow-me wrap: deserialize, rebind
+// resources, adapt to the local device, resume (paper Fig. 4's check-in
+// half). The resumption duration, measured on this host's clock, returns
+// to the source in the reply.
+func (e *Engine) handleCheckin(tm transport.Message) ([]byte, error) {
+	var p checkinPayload
+	if err := transport.Decode(tm.Payload, &p); err != nil {
+		return nil, err
+	}
+	reply, err := e.restore(p, p.App)
+	if err != nil {
+		return nil, err
+	}
+	return transport.Encode(reply)
+}
+
+// restore is the shared arrival path for follow-me and clone-dispatch.
+func (e *Engine) restore(p checkinPayload, instanceName string) (checkinReply, error) {
+	var reply checkinReply
+	clk := e.clock()
+	start := clk.Now()
+
+	e.chargeDeserialize(int64(len(p.WrapRaw)))
+	wrap, err := app.DecodeWrap(p.WrapRaw)
+	if err != nil {
+		return reply, err
+	}
+
+	// Locate or create the instance: an already-running instance, a
+	// locally installed factory, or (code-carrying migration) a bare
+	// instance rebuilt entirely from the wrap.
+	e.mu.Lock()
+	inst, running := e.apps[instanceName]
+	factory := e.factories[p.App]
+	e.mu.Unlock()
+	if !running {
+		if factory != nil {
+			inst = factory(e.host)
+		} else {
+			inst = app.New(instanceName, e.host, p.Desc)
+		}
+	}
+	if inst.State() == app.Running {
+		if err := inst.Suspend(); err != nil {
+			return reply, err
+		}
+	}
+	if err := inst.Unwrap(wrap); err != nil {
+		return reply, err
+	}
+	inst.SetHost(e.host)
+
+	// Resource rebinding (paper §3.3).
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, plan := range p.Rebindings {
+		switch plan.Action {
+		case owl.RebindUseLocal:
+			inst.BindResource(plan.Target)
+		case owl.RebindCarry:
+			inst.BindResource(plan.Source) // payload traveled in the wrap
+		case owl.RebindRemote:
+			if err := e.bindRemote(ctx, inst, plan.Source); err != nil {
+				return reply, err
+			}
+		}
+	}
+
+	// Adaptation to the destination device (paper §4.2.2).
+	var notes []string
+	if dev, ok, err := e.cat.Device(ctx, e.host); err == nil && ok {
+		plan, _, aerr := inst.Adaptor().Apply(inst, dev)
+		if aerr != nil {
+			return reply, aerr
+		}
+		e.charge(e.costs.AdaptOverhead)
+		notes = plan.Notes
+	}
+
+	e.charge(e.costs.CheckinOverhead)
+	if err := inst.Resume(); err != nil {
+		return reply, err
+	}
+	e.mu.Lock()
+	e.apps[instanceName] = inst
+	e.mu.Unlock()
+
+	// Re-register the installation so subsequent adaptive migrations know
+	// which components now exist on this host (paper §4.2.2: applications
+	// register themselves with the registry centers).
+	_ = e.cat.RegisterApp(ctx, registry.AppRecord{
+		Name: p.App, Host: e.host, Description: p.Desc,
+		Components: inst.Components(),
+	})
+
+	return checkinReply{
+		ResumeNanos: int64(clk.Now().Sub(start)),
+		AdaptNotes:  notes,
+		RestoredApp: instanceName,
+	}, nil
+}
+
+// bindRemote establishes a remote URL binding to data that stays on its
+// owning host (the resource record's host, which may differ from the host
+// the application just left): open the stream, prebuffer the playback
+// window, and charge the remote-scan cost that makes resume grow gently
+// with file size (Fig. 8).
+func (e *Engine) bindRemote(ctx context.Context, inst *app.Application, res owl.Resource) error {
+	file := dataComponentFor(res)
+	url := media.URL(res.Host, file)
+	rs, err := media.OpenRemote(ctx, e.ep, MediaEndpointName(res.Host), url)
+	if err != nil {
+		// Multi-process deployments (cmd/mdagentd) serve the media
+		// library on the engine endpoint itself rather than a dedicated
+		// media endpoint; fall back to it before giving up.
+		var ferr error
+		rs, ferr = media.OpenRemote(ctx, e.ep, EndpointName(res.Host), url)
+		if ferr != nil {
+			return fmt.Errorf("migrate: remote bind %s: %w", url, err)
+		}
+	}
+	if _, err := rs.Prebuffer(ctx, e.costs.PrebufferBytes); err != nil {
+		return fmt.Errorf("migrate: prebuffer %s: %w", url, err)
+	}
+	if e.costs.RemoteScanMBps > 0 && res.SizeBytes > 0 {
+		secs := float64(res.SizeBytes) / (e.costs.RemoteScanMBps * 1e6)
+		e.charge(time.Duration(secs * float64(time.Second)))
+	}
+	bound := res
+	if bound.Attrs == nil {
+		bound.Attrs = make(map[string]string, 1)
+	} else {
+		attrs := make(map[string]string, len(bound.Attrs)+1)
+		for k, v := range bound.Attrs {
+			attrs[k] = v
+		}
+		bound.Attrs = attrs
+	}
+	bound.Attrs["url"] = url
+	inst.BindResource(bound)
+	return nil
+}

@@ -1,0 +1,314 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mdagent/internal/transport"
+)
+
+// Transport message types for the mobility service.
+const (
+	MsgMove  = "platform.move"
+	MsgClone = "platform.clone"
+)
+
+// BodyFactory constructs a fresh body instance for a registered type.
+type BodyFactory func() MobileBody
+
+// typeRegistry is a container's set of *installed* body types. The global
+// catalog (all types compiled into the binary) models code that exists
+// somewhere; a container can only instantiate types it has installed —
+// receiving a code image "installs" a type, simulating the dynamic class
+// loading a JVM performs when a mobile agent arrives with its code
+// (DESIGN.md §3.1).
+type typeRegistry struct {
+	mu        sync.RWMutex
+	installed map[string]BodyFactory
+}
+
+func newTypeRegistry() *typeRegistry {
+	return &typeRegistry{installed: make(map[string]BodyFactory)}
+}
+
+var (
+	catalogMu sync.RWMutex
+	catalog   = make(map[string]BodyFactory)
+)
+
+// RegisterType adds a body type to the global catalog. Call from package
+// initialization of application packages (like registering gob types).
+// Registering an existing name replaces the factory.
+func RegisterType(name string, f BodyFactory) {
+	catalogMu.Lock()
+	catalog[name] = f
+	catalogMu.Unlock()
+}
+
+// CatalogTypes lists globally registered type names, sorted.
+func CatalogTypes() []string {
+	catalogMu.RLock()
+	defer catalogMu.RUnlock()
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Install activates a catalog type on this container, as if its code had
+// been provisioned locally.
+func (c *Container) Install(typeName string) error {
+	catalogMu.RLock()
+	f, ok := catalog[typeName]
+	catalogMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("platform: type %q not in catalog", typeName)
+	}
+	c.types.mu.Lock()
+	c.types.installed[typeName] = f
+	c.types.mu.Unlock()
+	return nil
+}
+
+// Installed reports whether the container can instantiate a type.
+func (c *Container) Installed(typeName string) bool {
+	c.types.mu.RLock()
+	defer c.types.mu.RUnlock()
+	_, ok := c.types.installed[typeName]
+	return ok
+}
+
+// InstalledTypes lists the container's installed types, sorted.
+func (c *Container) InstalledTypes() []string {
+	c.types.mu.RLock()
+	defer c.types.mu.RUnlock()
+	names := make([]string, 0, len(c.types.installed))
+	for n := range c.types.installed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (c *Container) factory(typeName string) (BodyFactory, bool) {
+	c.types.mu.RLock()
+	defer c.types.mu.RUnlock()
+	f, ok := c.types.installed[typeName]
+	return f, ok
+}
+
+// movePayload crosses the wire for both move and clone operations.
+type movePayload struct {
+	AgentName string
+	TypeName  string
+	State     []byte
+	CodeImage []byte // synthetic code+UI bytes when the dest lacks the type
+}
+
+// MoveOutcome reports what a Move or Clone transferred.
+type MoveOutcome struct {
+	Agent        string
+	From, To     string // container names
+	StateBytes   int
+	CodeBytes    int // 0 when the destination already had the type
+	CarriedCode  bool
+	TotalBytes   int
+	DestHadType  bool
+	RestoredName string // final agent name at the destination
+}
+
+// MoveAgent migrates a local agent to the destination container: suspend
+// and quiesce, snapshot, transfer (state only when the destination has the
+// type installed; state+code image otherwise), re-instantiate remotely,
+// then kill the original — the paper's cut-paste / follow-me mobility. On
+// remote failure the agent is resumed locally.
+//
+// typeName must be the agent body's registered catalog type; codeImage is
+// the synthetic code+UI payload carried when the destination lacks the
+// type (pass nil to fail instead when the type is missing remotely).
+func (c *Container) MoveAgent(ctx context.Context, agentName, destContainer, typeName string, codeImage []byte) (MoveOutcome, error) {
+	var out MoveOutcome
+	c.mu.RLock()
+	a, ok := c.agents[agentName]
+	c.mu.RUnlock()
+	if !ok {
+		return out, fmt.Errorf("platform: no agent %q on %s", agentName, c.name)
+	}
+	if destContainer == c.name {
+		return out, fmt.Errorf("platform: agent %q is already on %s", agentName, c.name)
+	}
+	mob, ok := a.body.(MobileBody)
+	if !ok {
+		return out, fmt.Errorf("platform: agent %q body is not mobile", agentName)
+	}
+	if _, ok := c.platform.Container(destContainer); !ok {
+		return out, fmt.Errorf("platform: unknown container %q", destContainer)
+	}
+
+	// Check out: quiesce the agent (paper Fig. 4: suspend, snapshot, wrap).
+	if !a.setMoving() {
+		return out, fmt.Errorf("platform: agent %q in state %s cannot move", agentName, a.State())
+	}
+	a.awaitParked()
+
+	state, err := mob.Snapshot()
+	if err != nil {
+		a.Resume()
+		return out, fmt.Errorf("platform: snapshot %q: %w", agentName, err)
+	}
+	c.chargeSerialize(int64(len(state)))
+
+	payload := movePayload{AgentName: agentName, TypeName: typeName, State: state, CodeImage: codeImage}
+	raw, err := transport.Encode(payload)
+	if err != nil {
+		a.Resume()
+		return out, err
+	}
+
+	// The AMS entry moves with the agent; deregister before the transfer
+	// so the destination can claim the name.
+	c.platform.unregisterAgent(agentName)
+	var reply moveReply
+	if err := c.ep.RequestDecode(ctx, destContainer, MsgMove, raw, &reply); err != nil {
+		// Check-in failed: resurrect locally.
+		if rerr := c.platform.registerAgent(agentName, c.name); rerr != nil {
+			return out, fmt.Errorf("platform: move failed (%v) and re-register failed: %w", err, rerr)
+		}
+		a.Resume()
+		return out, fmt.Errorf("platform: move %q to %s: %w", agentName, destContainer, err)
+	}
+
+	// Arrived: kill the original (cut half of cut-paste).
+	a.Kill()
+	c.mu.Lock()
+	delete(c.agents, agentName)
+	c.mu.Unlock()
+
+	out = MoveOutcome{
+		Agent: agentName, From: c.name, To: destContainer,
+		StateBytes: len(state), CodeBytes: len(codeImage),
+		CarriedCode: reply.InstalledCode, TotalBytes: len(raw),
+		DestHadType: !reply.InstalledCode, RestoredName: agentName,
+	}
+	return out, nil
+}
+
+// CloneAgent copies a local agent to the destination container under a new
+// name, leaving the original running — the paper's copy-paste /
+// clone-dispatch mobility. The clone starts from the original's snapshot.
+func (c *Container) CloneAgent(ctx context.Context, agentName, destContainer, newName, typeName string, codeImage []byte) (MoveOutcome, error) {
+	var out MoveOutcome
+	c.mu.RLock()
+	a, ok := c.agents[agentName]
+	c.mu.RUnlock()
+	if !ok {
+		return out, fmt.Errorf("platform: no agent %q on %s", agentName, c.name)
+	}
+	mob, ok := a.body.(MobileBody)
+	if !ok {
+		return out, fmt.Errorf("platform: agent %q body is not mobile", agentName)
+	}
+	if newName == agentName && destContainer == c.name {
+		return out, fmt.Errorf("platform: clone must differ in name or container")
+	}
+
+	// Snapshot under a brief suspension so state is consistent; the
+	// original resumes immediately after (copy half of copy-paste).
+	wasActive := a.State() == StateActive
+	if !a.setMoving() {
+		return out, fmt.Errorf("platform: agent %q in state %s cannot clone", agentName, a.State())
+	}
+	a.awaitParked()
+	state, err := mob.Snapshot()
+	if wasActive {
+		a.Resume()
+	}
+	if err != nil {
+		return out, fmt.Errorf("platform: snapshot %q: %w", agentName, err)
+	}
+	c.chargeSerialize(int64(len(state)))
+
+	payload := movePayload{AgentName: newName, TypeName: typeName, State: state, CodeImage: codeImage}
+	raw, err := transport.Encode(payload)
+	if err != nil {
+		return out, err
+	}
+	var reply moveReply
+	if err := c.ep.RequestDecode(ctx, destContainer, MsgClone, raw, &reply); err != nil {
+		return out, fmt.Errorf("platform: clone %q to %s: %w", agentName, destContainer, err)
+	}
+	out = MoveOutcome{
+		Agent: agentName, From: c.name, To: destContainer,
+		StateBytes: len(state), CodeBytes: len(codeImage),
+		CarriedCode: reply.InstalledCode, TotalBytes: len(raw),
+		DestHadType: !reply.InstalledCode, RestoredName: newName,
+	}
+	return out, nil
+}
+
+type moveReply struct {
+	InstalledCode bool // destination had to install the carried code image
+}
+
+// handleMove checks in an arriving agent (both move and clone land here;
+// clone uses MsgClone so containers can, e.g., meter them separately).
+func (c *Container) handleMove(tm transport.Message) ([]byte, error) {
+	return c.checkIn(tm)
+}
+
+func (c *Container) handleClone(tm transport.Message) ([]byte, error) {
+	return c.checkIn(tm)
+}
+
+func (c *Container) checkIn(tm transport.Message) ([]byte, error) {
+	var p movePayload
+	if err := transport.Decode(tm.Payload, &p); err != nil {
+		return nil, err
+	}
+	installedCode := false
+	f, ok := c.factory(p.TypeName)
+	if !ok {
+		if len(p.CodeImage) == 0 {
+			return nil, fmt.Errorf("platform: %s lacks type %q and no code image was carried", c.name, p.TypeName)
+		}
+		// "Dynamic class loading": the code image provisions the type.
+		if err := c.Install(p.TypeName); err != nil {
+			return nil, fmt.Errorf("platform: install carried code for %q: %w", p.TypeName, err)
+		}
+		installedCode = true
+		f, _ = c.factory(p.TypeName)
+	}
+	body := f()
+	c.chargeDeserialize(int64(len(p.State)))
+	if err := body.Restore(p.State); err != nil {
+		return nil, fmt.Errorf("platform: restore %q: %w", p.AgentName, err)
+	}
+	if _, err := c.CreateAgent(p.AgentName, body); err != nil {
+		return nil, err
+	}
+	return transport.Encode(moveReply{InstalledCode: installedCode})
+}
+
+// chargeSerialize charges the wrap CPU cost to this container's host.
+func (c *Container) chargeSerialize(bytes int64) {
+	if c.platform.net == nil {
+		return
+	}
+	if h, ok := c.platform.net.Host(c.host); ok {
+		c.platform.net.ChargeSerialize(h, bytes)
+	}
+}
+
+// chargeDeserialize charges the restore CPU cost to this container's host.
+func (c *Container) chargeDeserialize(bytes int64) {
+	if c.platform.net == nil {
+		return
+	}
+	if h, ok := c.platform.net.Host(c.host); ok {
+		c.platform.net.ChargeDeserialize(h, bytes)
+	}
+}

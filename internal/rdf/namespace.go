@@ -1,0 +1,123 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Well-known namespace bases. IMCL is the paper's own namespace (the
+// Internet and Mobile Computing Lab prefix used throughout Fig. 5/6).
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	OWLNS  = "http://www.w3.org/2002/07/owl#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+	IMCLNS = "http://imcl.comp.polyu.edu.hk/mdagent#"
+)
+
+// Common datatype IRIs.
+const (
+	XSDString  = XSDNS + "string"
+	XSDInteger = XSDNS + "integer"
+	XSDDouble  = XSDNS + "double"
+	XSDBoolean = XSDNS + "boolean"
+)
+
+// Frequently used vocabulary terms.
+var (
+	RDFType            = IRI(RDFNS + "type")
+	RDFSSubClassOf     = IRI(RDFSNS + "subClassOf")
+	RDFSSubPropertyOf  = IRI(RDFSNS + "subPropertyOf")
+	RDFSComment        = IRI(RDFSNS + "comment")
+	RDFSLabel          = IRI(RDFSNS + "label")
+	RDFSDomain         = IRI(RDFSNS + "domain")
+	RDFSRange          = IRI(RDFSNS + "range")
+	OWLClass           = IRI(OWLNS + "Class")
+	OWLObjectProperty  = IRI(OWLNS + "ObjectProperty")
+	OWLDatatypeProp    = IRI(OWLNS + "DatatypeProperty")
+	OWLTransitiveProp  = IRI(OWLNS + "TransitiveProperty")
+	OWLSymmetricProp   = IRI(OWLNS + "SymmetricProperty")
+	OWLFunctionalProp  = IRI(OWLNS + "FunctionalProperty")
+	OWLInverseOf       = IRI(OWLNS + "inverseOf")
+	OWLEquivalentClass = IRI(OWLNS + "equivalentClass")
+	OWLSameAs          = IRI(OWLNS + "sameAs")
+	OWLThing           = IRI(OWLNS + "Thing")
+)
+
+// Namespaces maps prefixes (without the colon) to base IRIs and supports
+// expanding "prefix:local" qualified names.
+type Namespaces struct {
+	byPrefix map[string]string
+}
+
+// NewNamespaces returns a table preloaded with the standard prefixes
+// (rdf, rdfs, owl, xsd) and the paper's imcl prefix.
+func NewNamespaces() *Namespaces {
+	ns := &Namespaces{byPrefix: make(map[string]string, 8)}
+	ns.Bind("rdf", RDFNS)
+	ns.Bind("rdfs", RDFSNS)
+	ns.Bind("owl", OWLNS)
+	ns.Bind("xsd", XSDNS)
+	ns.Bind("imcl", IMCLNS)
+	return ns
+}
+
+// Bind associates prefix with base, replacing any previous binding.
+func (n *Namespaces) Bind(prefix, base string) {
+	n.byPrefix[prefix] = base
+}
+
+// Base returns the base IRI bound to prefix.
+func (n *Namespaces) Base(prefix string) (string, bool) {
+	b, ok := n.byPrefix[prefix]
+	return b, ok
+}
+
+// Expand resolves a qualified name like "imcl:locatedIn" to a full IRI term.
+// Already-expanded IRIs (containing "://") pass through unchanged.
+func (n *Namespaces) Expand(qname string) (Term, error) {
+	if strings.Contains(qname, "://") {
+		return IRI(qname), nil
+	}
+	i := strings.IndexByte(qname, ':')
+	if i < 0 {
+		return Term{}, fmt.Errorf("rdf: %q is not a qualified name", qname)
+	}
+	prefix, local := qname[:i], qname[i+1:]
+	base, ok := n.byPrefix[prefix]
+	if !ok {
+		return Term{}, fmt.Errorf("rdf: unknown namespace prefix %q", prefix)
+	}
+	return IRI(base + local), nil
+}
+
+// MustExpand is Expand for statically known names; it panics on error and
+// is intended for package-level vocabulary construction only.
+func (n *Namespaces) MustExpand(qname string) Term {
+	t, err := n.Expand(qname)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Compact renders an IRI term as prefix:local when a binding matches,
+// preferring the longest base. Non-IRI terms render with Term.String.
+func (n *Namespaces) Compact(t Term) string {
+	if t.Kind != KindIRI {
+		return t.String()
+	}
+	bestPrefix, bestBase := "", ""
+	for p, b := range n.byPrefix {
+		if strings.HasPrefix(t.Value, b) && len(b) > len(bestBase) {
+			bestPrefix, bestBase = p, b
+		}
+	}
+	if bestBase == "" {
+		return t.String()
+	}
+	return bestPrefix + ":" + t.Value[len(bestBase):]
+}
+
+// IMCL expands a local name in the paper's namespace, e.g. IMCL("locatedIn").
+func IMCL(local string) Term { return IRI(IMCLNS + local) }

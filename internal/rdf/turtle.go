@@ -1,0 +1,373 @@
+package rdf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseTurtle reads a Turtle-lite document into a new graph, returning the
+// graph and the namespace table accumulated from @prefix directives.
+//
+// Supported syntax (enough for the paper's Fig. 5-style descriptions):
+// @prefix directives, comments (#), IRIs in angle brackets, prefixed names,
+// the "a" keyword for rdf:type, quoted literals with optional ^^datatype,
+// bare integers/doubles/booleans, blank nodes (_:label), and predicate (;)
+// and object (,) lists.
+func ParseTurtle(src string) (*Graph, *Namespaces, error) {
+	g := NewGraph()
+	ns := NewNamespaces()
+	p := &turtleParser{src: src, ns: ns, g: g, line: 1}
+	if err := p.parse(); err != nil {
+		return nil, nil, err
+	}
+	return g, ns, nil
+}
+
+type turtleParser struct {
+	src  string
+	pos  int
+	line int
+	ns   *Namespaces
+	g    *Graph
+}
+
+func (p *turtleParser) errf(format string, args ...any) error {
+	return fmt.Errorf("turtle: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *turtleParser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '#':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *turtleParser) eof() bool {
+	p.skipWS()
+	return p.pos >= len(p.src)
+}
+
+func (p *turtleParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *turtleParser) expect(c byte) error {
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return p.errf("expected %q, got %q", string(c), string(p.peek()))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *turtleParser) parse() error {
+	for !p.eof() {
+		if strings.HasPrefix(p.src[p.pos:], "@prefix") {
+			if err := p.parsePrefix(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.parseStatement(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *turtleParser) parsePrefix() error {
+	p.pos += len("@prefix")
+	p.skipWS()
+	// prefix name up to ':'
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != ':' {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return p.errf("unterminated @prefix")
+	}
+	prefix := strings.TrimSpace(p.src[start:p.pos])
+	p.pos++ // ':'
+	p.skipWS()
+	if p.peek() != '<' {
+		return p.errf("@prefix expects <iri>")
+	}
+	iri, err := p.parseIRIRef()
+	if err != nil {
+		return err
+	}
+	p.ns.Bind(prefix, iri)
+	return p.expect('.')
+}
+
+func (p *turtleParser) parseStatement() error {
+	subj, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parseTerm()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parseTerm()
+			if err != nil {
+				return err
+			}
+			p.g.Add(Triple{S: subj, P: pred, O: obj})
+			p.skipWS()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		p.skipWS()
+		switch p.peek() {
+		case ';':
+			p.pos++
+			p.skipWS()
+			// Turtle allows a trailing ';' before '.'.
+			if p.peek() == '.' {
+				p.pos++
+				return nil
+			}
+			continue
+		case '.':
+			p.pos++
+			return nil
+		default:
+			return p.errf("expected ';' or '.', got %q", string(p.peek()))
+		}
+	}
+}
+
+func (p *turtleParser) parseIRIRef() (string, error) {
+	if err := p.expect('<'); err != nil {
+		return "", err
+	}
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '>' {
+		if p.src[p.pos] == '\n' {
+			return "", p.errf("newline in IRI")
+		}
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", p.errf("unterminated IRI")
+	}
+	iri := p.src[start:p.pos]
+	p.pos++
+	return iri, nil
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *turtleParser) parseTerm() (Term, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return Term{}, p.errf("unexpected end of input")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '<':
+		iri, err := p.parseIRIRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return IRI(iri), nil
+	case c == '"':
+		return p.parseLiteral()
+	case c == '_' && p.pos+1 < len(p.src) && p.src[p.pos+1] == ':':
+		p.pos += 2
+		start := p.pos
+		for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+			p.pos++
+		}
+		return Blank(p.src[start:p.pos]), nil
+	case c == '?':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+			p.pos++
+		}
+		return Var(p.src[start:p.pos]), nil
+	case c == '+' || c == '-' || (c >= '0' && c <= '9'):
+		return p.parseNumber()
+	default:
+		return p.parseNameOrKeyword()
+	}
+}
+
+func (p *turtleParser) parseLiteral() (Term, error) {
+	// Opening quote already peeked.
+	p.pos++
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '\\' && p.pos+1 < len(p.src) {
+			next := p.src[p.pos+1]
+			switch next {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				return Term{}, p.errf("unsupported escape \\%c", next)
+			}
+			p.pos += 2
+			continue
+		}
+		if c == '"' {
+			p.pos++
+			// Optional ^^datatype.
+			if strings.HasPrefix(p.src[p.pos:], "^^") {
+				p.pos += 2
+				dt, err := p.parseTerm()
+				if err != nil {
+					return Term{}, err
+				}
+				if dt.Kind != KindIRI {
+					return Term{}, p.errf("datatype must be an IRI")
+				}
+				return TypedLit(sb.String(), dt.Value), nil
+			}
+			return Lit(sb.String()), nil
+		}
+		if c == '\n' {
+			return Term{}, p.errf("newline in literal")
+		}
+		sb.WriteByte(c)
+		p.pos++
+	}
+	return Term{}, p.errf("unterminated literal")
+}
+
+func (p *turtleParser) parseNumber() (Term, error) {
+	start := p.pos
+	if p.src[p.pos] == '+' || p.src[p.pos] == '-' {
+		p.pos++
+	}
+	isFloat := false
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' {
+			p.pos++
+			continue
+		}
+		if c == '.' && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9' {
+			isFloat = true
+			p.pos++
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			isFloat = true
+			p.pos++
+			if p.pos < len(p.src) && (p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+				p.pos++
+			}
+			continue
+		}
+		break
+	}
+	lex := p.src[start:p.pos]
+	if isFloat {
+		if _, err := strconv.ParseFloat(lex, 64); err != nil {
+			return Term{}, p.errf("bad number %q", lex)
+		}
+		return TypedLit(lex, XSDDouble), nil
+	}
+	if _, err := strconv.ParseInt(lex, 10, 64); err != nil {
+		return Term{}, p.errf("bad integer %q", lex)
+	}
+	return TypedLit(lex, XSDInteger), nil
+}
+
+func (p *turtleParser) parseNameOrKeyword() (Term, error) {
+	start := p.pos
+	for p.pos < len(p.src) && (isNameByte(p.src[p.pos]) || p.src[p.pos] == ':') {
+		p.pos++
+	}
+	word := p.src[start:p.pos]
+	switch word {
+	case "":
+		return Term{}, p.errf("unexpected character %q", string(p.src[start]))
+	case "a":
+		return RDFType, nil
+	case "true":
+		return Bool(true), nil
+	case "false":
+		return Bool(false), nil
+	}
+	// Trailing '.' belongs to the statement terminator, not the name,
+	// when followed by whitespace/EOF (e.g. "imcl:x ." ).
+	for strings.HasSuffix(word, ".") {
+		word = word[:len(word)-1]
+		p.pos--
+	}
+	if !strings.Contains(word, ":") {
+		return Term{}, p.errf("bare word %q is not a valid term", word)
+	}
+	return p.ns.Expand(word)
+}
+
+// WriteTurtle serializes the graph with the given namespaces to w in a
+// stable, sorted order. It returns the first write error encountered.
+func WriteTurtle(w io.Writer, g *Graph, ns *Namespaces) error {
+	prefixes := make([]string, 0, len(ns.byPrefix))
+	for p := range ns.byPrefix {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		if _, err := fmt.Fprintf(w, "@prefix %s: <%s> .\n", p, ns.byPrefix[p]); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, tr := range g.Triples() {
+		line := fmt.Sprintf("%s %s %s .\n", compactOrString(ns, tr.S), compactOrString(ns, tr.P), compactOrString(ns, tr.O))
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func compactOrString(ns *Namespaces, t Term) string {
+	if t.Kind == KindIRI {
+		c := ns.Compact(t)
+		if !strings.HasPrefix(c, "<") {
+			return c
+		}
+	}
+	return t.String()
+}

@@ -1,0 +1,206 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperFixture mirrors the paper's Fig. 5 printer description.
+const paperFixture = `
+@prefix imcl: <http://imcl.comp.polyu.edu.hk/mdagent#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+# hp color printer in office 821 (paper Fig. 5)
+imcl:hpLaserJet a imcl:Printer ;
+    rdfs:comment "hp color printer" ;
+    imcl:substitutable true ;
+    imcl:transferable false ;
+    imcl:locatedIn imcl:Office821 .
+
+imcl:net1 imcl:responseTime "800"^^<http://www.w3.org/2001/XMLSchema#double> .
+`
+
+func TestParsePaperFixture(t *testing.T) {
+	g, ns, err := ParseTurtle(paperFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 6 {
+		t.Fatalf("Len = %d, want 6; triples:\n%v", g.Len(), g.Triples())
+	}
+	if !g.Has(T(IMCL("hpLaserJet"), RDFType, IMCL("Printer"))) {
+		t.Fatal("missing rdf:type from 'a' keyword")
+	}
+	if !g.Has(T(IMCL("hpLaserJet"), IMCL("substitutable"), Bool(true))) {
+		t.Fatal("missing boolean literal triple")
+	}
+	if !g.Has(T(IMCL("hpLaserJet"), IRI(RDFSNS+"comment"), Lit("hp color printer"))) {
+		t.Fatal("missing comment literal")
+	}
+	rt, ok := g.FirstObject(IMCL("net1"), IMCL("responseTime"))
+	if !ok {
+		t.Fatal("missing responseTime")
+	}
+	if f, ok := rt.AsFloat(); !ok || f != 800 {
+		t.Fatalf("responseTime = %v", rt)
+	}
+	if _, ok := ns.Base("imcl"); !ok {
+		t.Fatal("imcl prefix not registered")
+	}
+}
+
+func TestParseObjectLists(t *testing.T) {
+	g, _, err := ParseTurtle(`imcl:a imcl:p imcl:b, imcl:c, imcl:d .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+}
+
+func TestParseNumbersAndNegatives(t *testing.T) {
+	g, _, err := ParseTurtle(`imcl:x imcl:count 42 ; imcl:delta -3 ; imcl:score 2.5 ; imcl:exp 1e3 .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(T(IMCL("x"), IMCL("count"), Integer(42))) {
+		t.Fatal("integer literal wrong")
+	}
+	if !g.Has(T(IMCL("x"), IMCL("delta"), Integer(-3))) {
+		t.Fatal("negative integer wrong")
+	}
+	if !g.Has(T(IMCL("x"), IMCL("score"), TypedLit("2.5", XSDDouble))) {
+		t.Fatal("double literal wrong")
+	}
+	if !g.Has(T(IMCL("x"), IMCL("exp"), TypedLit("1e3", XSDDouble))) {
+		t.Fatal("exponent literal wrong")
+	}
+}
+
+func TestParseEscapesInLiterals(t *testing.T) {
+	g, _, err := ParseTurtle(`imcl:x rdfs:comment "line1\nline2\t\"quoted\"\\" .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "line1\nline2\t\"quoted\"\\"
+	if _, ok := g.FirstObject(IMCL("x"), IRI(RDFSNS+"comment")); !ok {
+		t.Fatal("comment missing")
+	}
+	o, _ := g.FirstObject(IMCL("x"), IRI(RDFSNS+"comment"))
+	if o.Value != want {
+		t.Fatalf("escaped literal = %q, want %q", o.Value, want)
+	}
+}
+
+func TestParseBlankNodesAndIRIs(t *testing.T) {
+	g, _, err := ParseTurtle(`_:b0 imcl:p <http://example.org/thing> .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(T(Blank("b0"), IMCL("p"), IRI("http://example.org/thing"))) {
+		t.Fatalf("blank/IRI triple missing: %v", g.Triples())
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	g, _, err := ParseTurtle(`imcl:a imcl:p imcl:b ; .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unterminatedIRI", `imcl:a imcl:p <http://x`},
+		{"unterminatedLiteral", `imcl:a imcl:p "abc`},
+		{"newlineInLiteral", "imcl:a imcl:p \"ab\nc\" ."},
+		{"badEscape", `imcl:a imcl:p "a\qb" .`},
+		{"unknownPrefix", `zzz:a imcl:p imcl:b .`},
+		{"bareWord", `hello imcl:p imcl:b .`},
+		{"missingDot", `imcl:a imcl:p imcl:b`},
+		{"badPrefixDirective", `@prefix foo <http://x> .`},
+		{"datatypeNotIRI", `imcl:a imcl:p "1"^^"notiri" .`},
+		{"eofMidTriple", `imcl:a imcl:p `},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ParseTurtle(tc.src); err == nil {
+				t.Fatalf("ParseTurtle(%q) succeeded, want error", tc.src)
+			}
+		})
+	}
+}
+
+func TestParseErrorsIncludeLineNumber(t *testing.T) {
+	_, _, err := ParseTurtle("imcl:a imcl:p imcl:b .\nimcl:c imcl:p \"bad\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line 2 mention", err)
+	}
+}
+
+func TestWriteTurtleRoundTrip(t *testing.T) {
+	g1, ns, err := ParseTurtle(paperFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTurtle(&sb, g1, ns); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ParseTurtle(sb.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\ndoc:\n%s", err, sb.String())
+	}
+	if g1.Len() != g2.Len() {
+		t.Fatalf("round trip lost triples: %d -> %d", g1.Len(), g2.Len())
+	}
+	for _, tr := range g1.Triples() {
+		if !g2.Has(tr) {
+			t.Fatalf("round trip lost %v", tr)
+		}
+	}
+}
+
+func TestWriteTurtleStableOrder(t *testing.T) {
+	g := NewGraph()
+	g.Add(T(IMCL("b"), IMCL("p"), IMCL("x")))
+	g.Add(T(IMCL("a"), IMCL("p"), IMCL("x")))
+	ns := NewNamespaces()
+	var out1, out2 strings.Builder
+	if err := WriteTurtle(&out1, g, ns); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTurtle(&out2, g, ns); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatal("WriteTurtle output not deterministic")
+	}
+	if !strings.Contains(out1.String(), "imcl:a imcl:p imcl:x .") {
+		t.Fatalf("expected compacted triples, got:\n%s", out1.String())
+	}
+}
+
+func TestParseVariableTermsForRulePatterns(t *testing.T) {
+	// The rule engine reuses the term parser; ?vars must parse.
+	g, _, err := ParseTurtle(`imcl:a imcl:p "x" .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	p := &turtleParser{src: "?who", ns: NewNamespaces(), g: NewGraph(), line: 1}
+	term, err := p.parseTerm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term != Var("who") {
+		t.Fatalf("parsed %v, want ?who", term)
+	}
+}

@@ -1,0 +1,267 @@
+// Package store implements the embedded key-value store backing the
+// registry center — the stand-in for the paper's Juddi + MySQL backend
+// (§5: "We use Juddi and MySQL as the backend application and resource
+// registry center"). It is an in-memory map with an optional append-only
+// log for durability: every mutation is written through to the log, and
+// Open replays the log to recover state. Compact rewrites the log to drop
+// superseded records.
+//
+// Log format: each record is an independently gob-encoded frame preceded
+// by a uvarint length, so logs written across multiple sessions replay
+// correctly (a single shared gob stream would not survive re-opened
+// encoders re-sending type descriptors) and a torn final frame from a
+// crash is detected and ignored.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// op codes for log records.
+const (
+	opPut    = "put"
+	opDelete = "del"
+)
+
+type record struct {
+	Op    string
+	Key   string
+	Value []byte
+}
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("store: key not found")
+
+// Store is a concurrency-safe KV store with optional file durability.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+	path string   // "" for memory-only
+	log  *os.File // nil for memory-only
+}
+
+// OpenMemory returns a volatile in-memory store.
+func OpenMemory() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Open opens (or creates) a durable store backed by the append-only log at
+// path, replaying any existing records.
+func Open(path string) (*Store, error) {
+	s := &Store{data: make(map[string][]byte), path: path}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open log: %w", err)
+	}
+	s.log = f
+	return s, nil
+}
+
+func encodeFrame(r record) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(r); err != nil {
+		return nil, fmt.Errorf("store: encode: %w", err)
+	}
+	frame := make([]byte, 0, body.Len()+binary.MaxVarintLen64)
+	frame = binary.AppendUvarint(frame, uint64(body.Len()))
+	return append(frame, body.Bytes()...), nil
+}
+
+func (s *Store) replay() error {
+	f, err := os.Open(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: replay: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil // EOF or torn length — all complete frames applied
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil // torn frame from a crash mid-write
+		}
+		var r record
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&r); err != nil {
+			return nil // corrupt frame; stop at last good record
+		}
+		switch r.Op {
+		case opPut:
+			s.data[r.Key] = r.Value
+		case opDelete:
+			delete(s.data, r.Key)
+		}
+	}
+}
+
+func (s *Store) append(r record) error {
+	if s.log == nil {
+		return nil
+	}
+	frame, err := encodeFrame(r)
+	if err != nil {
+		return err
+	}
+	if _, err := s.log.Write(frame); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	return nil
+}
+
+// Put stores value under key, overwriting any previous value.
+func (s *Store) Put(key string, value []byte) error {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(record{Op: opPut, Key: key, Value: cp}); err != nil {
+		return err
+	}
+	s.data[key] = cp
+	return nil
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, nil
+}
+
+// Delete removes key. Deleting a missing key is not an error.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data[key]; !ok {
+		return nil
+	}
+	if err := s.append(record{Op: opDelete, Key: key}); err != nil {
+		return err
+	}
+	delete(s.data, key)
+	return nil
+}
+
+// Keys returns all keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Sync flushes the log to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Sync()
+}
+
+// Compact rewrites the log with only live records, bounding file growth.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	tmp := s.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	cleanup := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		frame, err := encodeFrame(record{Op: opPut, Key: k, Value: s.data[k]})
+		if err != nil {
+			cleanup()
+			return err
+		}
+		if _, err := f.Write(frame); err != nil {
+			cleanup()
+			return fmt.Errorf("store: compact: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	old := s.log
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	old.Close()
+	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen after compact: %w", err)
+	}
+	s.log = nf
+	return nil
+}
+
+// Close flushes and closes the log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Sync()
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	s.log = nil
+	return err
+}

@@ -1,0 +1,320 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryPutGetDelete(t *testing.T) {
+	s := OpenMemory()
+	if err := s.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("Get = %q", got)
+	}
+	if err := s.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete("never-existed"); err != nil {
+		t.Fatalf("Delete missing = %v, want nil", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := OpenMemory()
+	if err := s.Put("k", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := s.Get("k")
+	v1[0] = 'X'
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Fatalf("stored value mutated through Get copy: %q", v2)
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s := OpenMemory()
+	buf := []byte("abc")
+	if err := s.Put("k", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Fatalf("stored value aliased caller buffer: %q", v)
+	}
+}
+
+func TestKeysPrefixSorted(t *testing.T) {
+	s := OpenMemory()
+	for _, k := range []string{"app/zeta", "app/alpha", "res/one"} {
+		if err := s.Put(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Keys("app/")
+	if len(got) != 2 || got[0] != "app/alpha" || got[1] != "app/zeta" {
+		t.Fatalf("Keys = %v", got)
+	}
+	if n := s.Len(); n != 3 {
+		t.Fatalf("Len = %d", n)
+	}
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.log")
+	s1, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted key resurrected after reopen")
+	}
+	v, err := s2.Get("b")
+	if err != nil || string(v) != "2" {
+		t.Fatalf("Get(b) = %q, %v", v, err)
+	}
+}
+
+func TestMultiSessionAppend(t *testing.T) {
+	// Three sessions, each appending — replay must see all records. This
+	// is the case a naive single-gob-stream log gets wrong.
+	path := filepath.Join(t.TempDir(), "reg.log")
+	for i := 0; i < 3; i++ {
+		s, err := Open(path)
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 3 {
+		t.Fatalf("Len after 3 sessions = %d, want 3", s.Len())
+	}
+}
+
+func TestTornFinalRecordIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: append a frame header claiming more
+	// bytes than present.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{200, 1, 0xde, 0xad}); err != nil { // uvarint 200, then garbage
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open with torn tail: %v", err)
+	}
+	defer s2.Close()
+	v, err := s2.Get("good")
+	if err != nil || string(v) != "ok" {
+		t.Fatalf("good record lost: %q, %v", v, err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s2.Len())
+	}
+}
+
+func TestCompactShrinksAndPreserves(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many overwrites of the same key bloat the log.
+	big := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 50; i++ {
+		if err := s.Put("hot", big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("cold", []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compact did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	// Post-compact appends must still replay.
+	if err := s.Put("post", []byte("compact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for k, want := range map[string]string{"hot": string(big), "cold": "keep", "post": "compact"} {
+		v, err := s2.Get(k)
+		if err != nil || string(v) != want {
+			t.Fatalf("after compact+reopen, Get(%s) = %v, %v", k, len(v), err)
+		}
+	}
+}
+
+func TestMemoryStoreNoopDurabilityCalls(t *testing.T) {
+	s := OpenMemory()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := OpenMemory()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if err := s.Put(key, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Keys("w")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", s.Len())
+	}
+}
+
+// Property: a durable store replayed from disk equals the in-memory model.
+func TestReplayMatchesModel(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Val []byte
+		Del bool
+	}) bool {
+		path := filepath.Join(t.TempDir(), "q.log")
+		s, err := Open(path)
+		if err != nil {
+			return false
+		}
+		model := make(map[string][]byte)
+		for _, op := range ops {
+			k := fmt.Sprintf("k%d", op.Key%16)
+			if op.Del {
+				if s.Delete(k) != nil {
+					return false
+				}
+				delete(model, k)
+			} else {
+				if s.Put(k, op.Val) != nil {
+					return false
+				}
+				model[k] = op.Val
+			}
+		}
+		if s.Close() != nil {
+			return false
+		}
+		s2, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		if s2.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, err := s2.Get(k)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

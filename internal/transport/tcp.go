@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPNode hosts one endpoint reachable over TCP with gob-framed messages.
+// Peers are registered by (endpoint name, address); outbound connections
+// are dialed lazily and reused. This is the fabric behind cmd/mdagentd and
+// cmd/mdregistry for real multi-process deployments.
+type TCPNode struct {
+	ep *Endpoint
+	ln net.Listener
+
+	mu     sync.Mutex
+	peers  map[string]string   // endpoint name -> address
+	conns  map[string]*tcpLink // address -> live link (outbound)
+	routes map[string]*tcpLink // endpoint name -> inbound link (reply path)
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type tcpLink struct {
+	conn net.Conn
+	mu   sync.Mutex // serializes writes on the shared encoder
+	enc  *gob.Encoder
+}
+
+func (l *tcpLink) send(msg Message) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Encode(msg)
+}
+
+// ListenTCP starts a node named name listening on addr (e.g. "127.0.0.1:0").
+func ListenTCP(name, addr string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		ln:     ln,
+		peers:  make(map[string]string),
+		conns:  make(map[string]*tcpLink),
+		routes: make(map[string]*tcpLink),
+	}
+	n.ep = newEndpoint(name, n)
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Endpoint returns the node's endpoint for Handle/Request/Send.
+func (n *TCPNode) Endpoint() *Endpoint { return n.ep }
+
+// Addr returns the node's listen address.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// AddPeer registers the address of a remote endpoint.
+func (n *TCPNode) AddPeer(name, addr string) {
+	n.mu.Lock()
+	n.peers[name] = addr
+	n.mu.Unlock()
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go n.readLoop(&tcpLink{conn: conn, enc: gob.NewEncoder(conn)})
+	}
+}
+
+// readLoop consumes messages from link. The link's single encoder is shared
+// with the write path, so learned reply routes never open a second gob
+// stream on the same connection.
+func (n *TCPNode) readLoop(link *tcpLink) {
+	defer n.wg.Done()
+	conn := link.conn
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	var learned string
+	defer func() {
+		if learned != "" {
+			n.mu.Lock()
+			if n.routes[learned] == link {
+				delete(n.routes, learned)
+			}
+			n.mu.Unlock()
+		}
+	}()
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		// Remember the inbound link so replies to this sender flow back on
+		// the same connection even when no peer address is registered.
+		if msg.From != "" && msg.From != learned {
+			n.mu.Lock()
+			n.routes[msg.From] = link
+			n.mu.Unlock()
+			learned = msg.From
+		}
+		if msg.To == n.ep.name {
+			n.ep.dispatch(msg)
+		}
+		// Messages for other endpoints are dropped: TCP nodes are not
+		// routers; every node hosts exactly one endpoint.
+	}
+}
+
+// deliver implements fabric.
+func (n *TCPNode) deliver(msg Message) error {
+	if msg.To == n.ep.name {
+		n.ep.dispatch(msg)
+		return nil
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	// Prefer the learned inbound route (reply path), then the peer table.
+	if link, ok := n.routes[msg.To]; ok {
+		n.mu.Unlock()
+		if err := link.send(msg); err == nil {
+			return nil
+		}
+		// Inbound link died; fall through to a dialed connection if the
+		// peer is also registered by address.
+		n.mu.Lock()
+		if n.routes[msg.To] == link {
+			delete(n.routes, msg.To)
+		}
+	}
+	addr, ok := n.peers[msg.To]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoRoute, msg.To)
+	}
+	link, ok := n.conns[addr]
+	n.mu.Unlock()
+
+	if !ok {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		link = &tcpLink{conn: conn, enc: gob.NewEncoder(conn)}
+		n.mu.Lock()
+		if existing, raced := n.conns[addr]; raced {
+			n.mu.Unlock()
+			conn.Close()
+			link = existing
+		} else {
+			n.conns[addr] = link
+			n.mu.Unlock()
+			// Replies flow back on the same connection.
+			n.wg.Add(1)
+			go n.readLoop(link)
+		}
+	}
+	if err := link.send(msg); err != nil {
+		n.mu.Lock()
+		delete(n.conns, addr)
+		n.mu.Unlock()
+		link.conn.Close()
+		return fmt.Errorf("transport: send to %s: %w", msg.To, err)
+	}
+	return nil
+}
+
+// endpointClosed implements fabric.
+func (n *TCPNode) endpointClosed(string) {}
+
+// Close shuts down the listener, all connections, and the endpoint.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := n.conns
+	n.conns = make(map[string]*tcpLink)
+	n.mu.Unlock()
+
+	err := n.ln.Close()
+	for _, l := range conns {
+		l.conn.Close()
+	}
+	n.ep.Close()
+	n.wg.Wait()
+	return err
+}

@@ -1,0 +1,192 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+)
+
+func playerDesc() *Description {
+	return &Description{
+		Name:     "smart-media-player",
+		Provider: "imcl",
+		Version:  "1.0",
+		Doc:      "follow-me music player (paper §5 demo 1)",
+		Services: []Service{{
+			Name: "playback",
+			Ports: []Port{{
+				Name: "control",
+				Operations: []Operation{
+					{Name: "play", Input: "trackRef", Output: "status"},
+					{Name: "pause", Output: "status"},
+					{Name: "seek", Input: "positionMs", Output: "status"},
+				},
+			}},
+		}},
+		Requires: Requirements{
+			MinScreenWidth: 320, MinScreenHeight: 240,
+			MinMemoryMB: 64, NeedsAudio: true,
+		},
+		Preferences: []Preference{
+			{Key: "handedness", Value: "left"},
+			{Key: "volume", Value: "70"},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := playerDesc().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Description)
+	}{
+		{"noName", func(d *Description) { d.Name = "" }},
+		{"noServices", func(d *Description) { d.Services = nil }},
+		{"unnamedService", func(d *Description) { d.Services[0].Name = "" }},
+		{"dupService", func(d *Description) { d.Services = append(d.Services, d.Services[0]) }},
+		{"noPorts", func(d *Description) { d.Services[0].Ports = nil }},
+		{"unnamedPort", func(d *Description) { d.Services[0].Ports[0].Name = "" }},
+		{"noOps", func(d *Description) { d.Services[0].Ports[0].Operations = nil }},
+		{"unnamedOp", func(d *Description) { d.Services[0].Ports[0].Operations[0].Name = "" }},
+		{"negativeReq", func(d *Description) { d.Requires.MinMemoryMB = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := playerDesc()
+			tc.mutate(d)
+			if err := d.Validate(); err == nil {
+				t.Fatal("invalid description accepted")
+			}
+		})
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	d := playerDesc()
+	data, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `name="smart-media-player"`) {
+		t.Fatalf("marshaled XML missing name attr:\n%s", data)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.Version != d.Version {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if len(got.Services) != 1 || len(got.Services[0].Ports[0].Operations) != 3 {
+		t.Fatalf("services lost: %+v", got.Services)
+	}
+	if got.Requires.MinScreenWidth != 320 || !got.Requires.NeedsAudio {
+		t.Fatalf("requirements lost: %+v", got.Requires)
+	}
+	if v, ok := got.Preference("handedness"); !ok || v != "left" {
+		t.Fatalf("preference lost: %q, %v", v, ok)
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	if _, err := Marshal(&Description{}); err == nil {
+		t.Fatal("Marshal accepted invalid description")
+	}
+}
+
+func TestUnmarshalRejects(t *testing.T) {
+	if _, err := Unmarshal([]byte("not xml at all <<<")); err == nil {
+		t.Fatal("Unmarshal accepted garbage")
+	}
+	if _, err := Unmarshal([]byte("<definitions name=\"x\"></definitions>")); err == nil {
+		t.Fatal("Unmarshal accepted description failing validation")
+	}
+}
+
+func TestOperationsSortedAndHasOperation(t *testing.T) {
+	d := playerDesc()
+	ops := d.Operations()
+	want := []string{"pause", "play", "seek"}
+	if len(ops) != len(want) {
+		t.Fatalf("Operations = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("Operations = %v, want %v", ops, want)
+		}
+	}
+	if !d.HasOperation("play") {
+		t.Fatal("HasOperation(play) = false")
+	}
+	if d.HasOperation("explode") {
+		t.Fatal("HasOperation(explode) = true")
+	}
+}
+
+func TestPreferenceMiss(t *testing.T) {
+	d := playerDesc()
+	if _, ok := d.Preference("nope"); ok {
+		t.Fatal("missing preference reported present")
+	}
+}
+
+func TestDeviceSatisfies(t *testing.T) {
+	req := playerDesc().Requires
+	good := DeviceProfile{
+		Host: "hostB", ScreenWidth: 1024, ScreenHeight: 768,
+		MemoryMB: 512, HasAudio: true, HasDisplay: true, Platform: "linux",
+	}
+	if ok, reason := good.Satisfies(req); !ok {
+		t.Fatalf("good device rejected: %s", reason)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*DeviceProfile)
+		want   string
+	}{
+		{"narrowScreen", func(p *DeviceProfile) { p.ScreenWidth = 100 }, "screen width"},
+		{"shortScreen", func(p *DeviceProfile) { p.ScreenHeight = 100 }, "screen height"},
+		{"lowMemory", func(p *DeviceProfile) { p.MemoryMB = 16 }, "memory"},
+		{"noAudio", func(p *DeviceProfile) { p.HasAudio = false }, "audio"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := good
+			tc.mutate(&p)
+			ok, reason := p.Satisfies(req)
+			if ok {
+				t.Fatal("deficient device accepted")
+			}
+			if !strings.Contains(reason, tc.want) {
+				t.Fatalf("reason = %q, want mention of %q", reason, tc.want)
+			}
+		})
+	}
+}
+
+func TestDeviceSatisfiesDisplayAndPlatform(t *testing.T) {
+	req := Requirements{NeedsDisplay: true, Platform: "linux"}
+	p := DeviceProfile{HasDisplay: false, Platform: "linux"}
+	if ok, reason := p.Satisfies(req); ok || !strings.Contains(reason, "display") {
+		t.Fatalf("display check failed: %v %q", ok, reason)
+	}
+	p.HasDisplay = true
+	p.Platform = "windows"
+	if ok, reason := p.Satisfies(req); ok || !strings.Contains(reason, "platform") {
+		t.Fatalf("platform check failed: %v %q", ok, reason)
+	}
+	p.Platform = "linux"
+	if ok, _ := p.Satisfies(req); !ok {
+		t.Fatal("satisfying device rejected")
+	}
+	// Empty platform requirement accepts anything.
+	req.Platform = ""
+	p.Platform = "beos"
+	if ok, _ := p.Satisfies(req); !ok {
+		t.Fatal("any-platform requirement rejected a platform")
+	}
+}

@@ -1,0 +1,249 @@
+// Package mdagent is the public API of the MDAgent middleware — a Go
+// reproduction of "A Middleware Support for Agent-Based Application
+// Mobility in Pervasive Environments" (Zhou, Cao, Raychoudhury, Siebert,
+// Lu; ICDCS 2007 Workshops).
+//
+// MDAgent migrates running applications between hosts in a pervasive
+// environment. Autonomous agents watch context events (user location from
+// simulated Cricket sensors, network conditions), reason over an OWL/RDF
+// resource ontology with a Jena-style rule engine, and decide when, where
+// and which application components to move; mobile agents wrap the chosen
+// components and carry them. Two mobility modes are supported: follow-me
+// (cut-paste) and clone-dispatch (copy-paste with synchronization links),
+// and two binding designs: adaptive component binding (this paper) and
+// static whole-application binding (the authors' earlier system, used as
+// the evaluation baseline).
+//
+// A minimal deployment:
+//
+//	mw, err := mdagent.New(mdagent.Config{})
+//	// provision spaces, hosts, rooms, users ...
+//	mw.AddSpace("lab")
+//	mw.AddHost("hostA", "lab", mdagent.Pentium4_1700(), dev, 0)
+//	mw.AddRoom("office821", "hostA", mdagent.Point{X: 0, Y: 0})
+//	mw.AddUser("alice", "badge-1", "office821")
+//	// run an application and let the agents follow the user
+//	mw.RunApp("hostA", player)
+//	mw.StartAgents(mdagent.DefaultPolicy("alice", "smart-media-player"))
+//	mw.Walk(script)
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package mdagent
+
+import (
+	"mdagent/internal/agents"
+	"mdagent/internal/app"
+	"mdagent/internal/core"
+	"mdagent/internal/ctxkernel"
+	"mdagent/internal/media"
+	"mdagent/internal/migrate"
+	"mdagent/internal/netsim"
+	"mdagent/internal/owl"
+	"mdagent/internal/sensor"
+	"mdagent/internal/vclock"
+	"mdagent/internal/wsdl"
+)
+
+// Deployment facade.
+type (
+	// Config parameterizes a Middleware deployment.
+	Config = core.Config
+	// Middleware is one MDAgent deployment (a whole pervasive environment).
+	Middleware = core.Middleware
+	// HostRuntime is everything MDAgent runs on one host.
+	HostRuntime = core.HostRuntime
+)
+
+// New builds a deployment from cfg.
+func New(cfg Config) (*Middleware, error) { return core.New(cfg) }
+
+// Application model (paper Fig. 3).
+type (
+	// Application is one running application instance.
+	Application = app.Application
+	// Component is a migratable application part.
+	Component = app.Component
+	// ComponentKind classifies components (logic, UI, data, state).
+	ComponentKind = app.ComponentKind
+	// StateComponent is a small key-value state component.
+	StateComponent = app.StateComponent
+	// BlobComponent is an opaque payload component.
+	BlobComponent = app.BlobComponent
+	// UIComponent is an adaptable presentation.
+	UIComponent = app.UIComponent
+	// Coordinator is the observer-pattern state hub.
+	Coordinator = app.Coordinator
+	// StateChange is one observable state mutation.
+	StateChange = app.StateChange
+	// UserProfile carries per-user preferences.
+	UserProfile = app.UserProfile
+	// Adaptation is a device-adaptation plan.
+	Adaptation = app.Adaptation
+	// Wrap is the serialized bundle a mobile agent carries.
+	Wrap = app.Wrap
+)
+
+// Component kinds.
+const (
+	KindLogic = app.KindLogic
+	KindUI    = app.KindUI
+	KindData  = app.KindData
+	KindState = app.KindState
+)
+
+// NewApplication creates a running application instance.
+func NewApplication(name, host string, desc Description) *Application {
+	return app.New(name, host, desc)
+}
+
+// Component constructors.
+var (
+	NewBlob      = app.NewBlob
+	NewSizedBlob = app.NewSizedBlob
+	NewState     = app.NewState
+	NewUI        = app.NewUI
+)
+
+// Mobility (paper §3.2, Fig. 1).
+type (
+	// Report is a migration outcome with the three-phase timing split.
+	Report = migrate.Report
+	// BindingMode selects adaptive vs static component binding.
+	BindingMode = migrate.BindingMode
+	// MobilityMode selects follow-me vs clone-dispatch.
+	MobilityMode = migrate.Mode
+	// CostProfile calibrates platform overheads.
+	CostProfile = migrate.CostProfile
+	// RoundTrip is the paper's Fig. 7 skew-canceling measurement.
+	RoundTrip = migrate.RoundTrip
+	// Engine is a host's migration engine.
+	Engine = migrate.Engine
+)
+
+// Mobility constants.
+const (
+	BindingAdaptive = migrate.BindingAdaptive
+	BindingStatic   = migrate.BindingStatic
+	FollowMe        = migrate.FollowMe
+	CloneDispatch   = migrate.CloneDispatch
+)
+
+// DefaultCosts returns the calibration used for the paper reproduction.
+func DefaultCosts() CostProfile { return migrate.DefaultCosts() }
+
+// MeasureRoundTrip performs the Fig. 7 two-leg measurement.
+var MeasureRoundTrip = migrate.MeasureRoundTrip
+
+// Agents (paper §4.3).
+type (
+	// Policy configures an autonomous agent's decisions.
+	Policy = agents.Policy
+	// MoveOrder is the AA -> MA command payload.
+	MoveOrder = agents.MoveOrder
+)
+
+// DefaultPolicy returns the paper's defaults for a (user, app) pair.
+func DefaultPolicy(user, appName string) Policy { return agents.DefaultPolicy(user, appName) }
+
+// Agent-layer event topics.
+const (
+	TopicMigrated      = agents.TopicMigrated
+	TopicMigrateFailed = agents.TopicMigrateFailed
+)
+
+// Context layer (paper §3.4, §4.1).
+type (
+	// Event is one context fact.
+	Event = ctxkernel.Event
+	// Kernel is the pub/sub context hub.
+	Kernel = ctxkernel.Kernel
+)
+
+// Context topics.
+const (
+	TopicUserEntered  = ctxkernel.TopicUserEntered
+	TopicUserLeft     = ctxkernel.TopicUserLeft
+	TopicUserLocation = ctxkernel.TopicUserLocation
+	TopicNetworkRTT   = ctxkernel.TopicNetworkRTT
+)
+
+// Sensors (paper §4.1).
+type (
+	// Point is a 2-D coordinate in meters.
+	Point = sensor.Point
+	// Script is a scripted user movement path.
+	Script = sensor.Script
+	// Step is one leg of a movement path.
+	Step = sensor.Step
+)
+
+// Resources and matching (paper §4.4).
+type (
+	// Resource describes one resource instance on a host.
+	Resource = owl.Resource
+	// MatchMode selects syntactic vs semantic matching.
+	MatchMode = owl.MatchMode
+	// Rebinding is a resource rebinding plan.
+	Rebinding = owl.Rebinding
+)
+
+// Match modes and rebinding actions.
+const (
+	MatchSyntactic = owl.MatchSyntactic
+	MatchSemantic  = owl.MatchSemantic
+	RebindUseLocal = owl.RebindUseLocal
+	RebindCarry    = owl.RebindCarry
+	RebindRemote   = owl.RebindRemote
+)
+
+// Descriptions and devices (paper §4.2.2).
+type (
+	// Description is a WSDL-like interface description.
+	Description = wsdl.Description
+	// DeviceProfile describes a device's capabilities.
+	DeviceProfile = wsdl.DeviceProfile
+)
+
+// Testbed modeling (paper §5's evaluation hardware).
+type (
+	// HostProfile models a host's compute characteristics.
+	HostProfile = netsim.HostProfile
+	// LinkProfile models a network link.
+	LinkProfile = netsim.LinkProfile
+)
+
+// Testbed presets.
+var (
+	Pentium4_1700 = netsim.Pentium4_1700
+	PentiumM_1600 = netsim.PentiumM_1600
+	Ethernet10    = netsim.Ethernet10
+	Ethernet100   = netsim.Ethernet100
+	WLAN11        = netsim.WLAN11
+)
+
+// Clocks.
+type (
+	// Clock is the time source for costed operations.
+	Clock = vclock.Clock
+	// VirtualClock advances only by cost charges (deterministic, fast).
+	VirtualClock = vclock.Virtual
+	// RealClock paces operations against the wall clock.
+	RealClock = vclock.Real
+)
+
+// NewVirtualClock returns a Virtual clock starting at epoch.
+var NewVirtualClock = vclock.NewVirtual
+
+// Media (paper §5's demo payloads).
+type (
+	// MediaFile is one media payload with integrity metadata.
+	MediaFile = media.File
+	// SlideDeck is a presentation deck.
+	SlideDeck = media.SlideDeck
+)
+
+// Media generators.
+var (
+	GenerateFile = media.GenerateFile
+	GenerateDeck = media.GenerateDeck
+)

@@ -1,0 +1,141 @@
+package mdagent_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mdagent"
+	"mdagent/internal/demoapps"
+)
+
+// TestPublicAPIEndToEnd drives a complete deployment exclusively through
+// the exported facade: provision, run, migrate both ways, verify
+// continuity — the contract the examples rely on.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	mw, err := mdagent.New(mdagent.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mw.Close()
+
+	if err := mw.AddSpace("lab"); err != nil {
+		t.Fatal(err)
+	}
+	dev := mdagent.DeviceProfile{ScreenWidth: 1024, ScreenHeight: 768, MemoryMB: 512, HasAudio: true, HasDisplay: true}
+	if _, err := mw.AddHost("hostA", "lab", mdagent.Pentium4_1700(), dev, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mw.AddHost("hostB", "lab", mdagent.PentiumM_1600(), dev, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := mw.Hosts(); len(got) != 2 {
+		t.Fatalf("Hosts = %v", got)
+	}
+
+	song := mdagent.GenerateFile("track", 2_000_000, 5)
+	hostA, ok := mw.Host("hostA")
+	if !ok {
+		t.Fatal("hostA runtime missing")
+	}
+	hostA.Library.Add(song)
+	player := demoapps.NewMediaPlayer("hostA", song)
+	if err := mw.RunApp("hostA", player); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.RegisterResource(demoapps.MusicResource(song, "hostA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+		demoapps.MediaPlayerSkeletonComponents(),
+		func(h string) *mdagent.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := hostA.Engine.FollowMe(ctx, "smart-media-player", "hostB", mdagent.BindingAdaptive, mdagent.MatchSemantic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() <= 0 || rep.Suspend <= 0 || rep.Migrate <= 0 || rep.Resume <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	inst, host, ok := mw.FindApp("smart-media-player")
+	if !ok || host != "hostB" {
+		t.Fatalf("FindApp = %q, %v", host, ok)
+	}
+	if v, _ := inst.Coordinator().Get("track"); v != "track" {
+		t.Fatalf("coordinator track = %q", v)
+	}
+
+	// Round trip via the Fig. 7 helper exposed on the facade.
+	hostB, _ := mw.Host("hostB")
+	rt, err := mdagent.MeasureRoundTrip(ctx, hostB.Engine, hostA.Engine, "smart-media-player", mdagent.BindingAdaptive, mdagent.MatchSemantic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRTT := rt.Out.Total() + rt.Back.Total()
+	if diff := (rt.SkewCanceled() - trueRTT).Abs(); diff > time.Millisecond {
+		t.Fatalf("skew cancellation error = %v", diff)
+	}
+	if _, host, _ := mw.FindApp("smart-media-player"); host != "hostB" {
+		t.Fatalf("after round trip app at %q, want hostB", host)
+	}
+}
+
+// TestPublicAPIAgentsFollowUser exercises the sensor-driven path through
+// the facade.
+func TestPublicAPIAgentsFollowUser(t *testing.T) {
+	mw, err := mdagent.New(mdagent.Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mw.Close()
+	if err := mw.AddSpace("lab"); err != nil {
+		t.Fatal(err)
+	}
+	dev := mdagent.DeviceProfile{ScreenWidth: 1024, ScreenHeight: 768, MemoryMB: 512, HasAudio: true, HasDisplay: true}
+	if _, err := mw.AddHost("hostA", "lab", mdagent.Pentium4_1700(), dev, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mw.AddHost("hostB", "lab", mdagent.PentiumM_1600(), dev, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.AddRoom("r1", "hostA", mdagent.Point{X: 0, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.AddRoom("r2", "hostB", mdagent.Point{X: 10, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.AddUser("alice", "b1", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	song := mdagent.GenerateFile("s", 1_000_000, 5)
+	hostA, _ := mw.Host("hostA")
+	hostA.Library.Add(song)
+	if err := mw.RunApp("hostA", demoapps.NewMediaPlayer("hostA", song)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.RegisterResource(demoapps.MusicResource(song, "hostA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+		demoapps.MediaPlayerSkeletonComponents(),
+		func(h string) *mdagent.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.StartAgents(mdagent.DefaultPolicy("alice", "smart-media-player")); err != nil {
+		t.Fatal(err)
+	}
+	script := mdagent.Script{Badge: "b1", Steps: []mdagent.Step{
+		{Room: "r1", Dwell: time.Second},
+		{Room: "r2", Dwell: 2 * time.Second},
+	}}
+	if err := mw.Walk(script); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.WaitAppOn("smart-media-player", "hostB", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
