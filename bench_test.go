@@ -141,6 +141,31 @@ func BenchmarkCloneDispatchFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnFailover measures the cluster layer's reaction to host
+// churn in an N-space federated deployment: how long gossip takes to
+// convict a killed host (convergence-ms; bounded below by the 40 ms
+// suspicion window of bench.ChurnConfig) and how long failover then
+// takes to re-home the host's application onto a survivor (failover-ms).
+// These are wall-clock protocol timings, not simulated 2002-era
+// durations — the failure detector runs on real timers.
+func BenchmarkChurnFailover(b *testing.B) {
+	for _, spaces := range []int{3, 5, 8} {
+		b.Run(fmt.Sprintf("spaces-%d", spaces), func(b *testing.B) {
+			var last bench.ChurnResult
+			for n := 0; n < b.N; n++ {
+				res, err := bench.RunChurn(spaces, bench.ChurnConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Convergence.Milliseconds()), "convergence-ms")
+			b.ReportMetric(float64(last.Failover.Milliseconds()), "failover-ms")
+			b.ReportMetric(float64(last.Total.Milliseconds()), "total-ms")
+		})
+	}
+}
+
 // BenchmarkAblationMatching quantifies §3.3's claim that semantic
 // matching beats syntax-based matching: destination resources are
 // same-function printers under different names/subclasses.

@@ -1,7 +1,8 @@
 // Command mdagentd runs one MDAgent host node over real TCP: a migration
-// engine, a media library server, and a registry-center client. Two or
-// more nodes plus one mdregistry form a minimal multi-process deployment
-// of the paper's testbed.
+// engine, a media library server, a registry-center client, and (in
+// federated mode) a gossip membership node. Two or more nodes plus one or
+// more mdregistry centers form a multi-process deployment of the paper's
+// testbed.
 //
 // Terminal 1 — the registry center:
 //
@@ -18,6 +19,11 @@
 //	         -peer hostB=127.0.0.1:7003 -run smart-media-player \
 //	         -song-bytes 2000000 -migrate-to hostB
 //
+// Federated mode adds -space (the host's smart space, whose mdregistry
+// center must run with the same -space) and SWIM gossip membership with
+// every -peer host: the daemon prints alive/suspect/dead transitions as
+// the failure detector sees them.
+//
 // Durations printed by -migrate-to are wall-clock (no simulated testbed
 // in multi-process mode); use cmd/mdbench for the paper's calibrated
 // numbers.
@@ -25,8 +31,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -35,6 +43,7 @@ import (
 	"time"
 
 	"mdagent/internal/app"
+	"mdagent/internal/cluster"
 	"mdagent/internal/demoapps"
 	"mdagent/internal/media"
 	"mdagent/internal/migrate"
@@ -43,6 +52,29 @@ import (
 	"mdagent/internal/transport"
 	"mdagent/internal/wsdl"
 )
+
+// skeletonApp describes an installable demo-app skeleton — the single
+// source of truth for what -install accepts and how it wires up.
+type skeletonApp struct {
+	desc       wsdl.Description
+	components []string
+	factory    func(host string) *app.Application
+}
+
+func skeletonApps() map[string]skeletonApp {
+	return map[string]skeletonApp{
+		"smart-media-player": {
+			desc:       demoapps.MediaPlayerDesc(),
+			components: demoapps.MediaPlayerSkeletonComponents(),
+			factory:    func(h string) *app.Application { return demoapps.MediaPlayerSkeleton(h) },
+		},
+		"ubiquitous-slideshow": {
+			desc:       demoapps.SlideShowDesc(),
+			components: demoapps.SlideShowSkeletonComponents(),
+			factory:    func(h string) *app.Application { return demoapps.SlideShowSkeleton(h) },
+		},
+	}
+}
 
 type peerList map[string]string
 
@@ -64,24 +96,62 @@ func (p peerList) Set(v string) error {
 }
 
 func main() {
-	host := flag.String("host", "hostA", "this node's host id")
-	listen := flag.String("listen", "127.0.0.1:7002", "TCP listen address")
-	regAddr := flag.String("registry", "127.0.0.1:7001", "registry center address")
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	switch err := run(os.Args[1:], os.Stdout, nil, stop); {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+	default:
+		log.Fatalf("mdagentd: %v", err)
+	}
+}
+
+// run is the testable body of mdagentd. It reports the bound listen
+// address through ready (when non-nil), then serves until stop closes —
+// except in -migrate-to mode, which returns right after the migration.
+func run(args []string, out io.Writer, ready func(addr string), stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("mdagentd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	host := fs.String("host", "hostA", "this node's host id")
+	listen := fs.String("listen", "127.0.0.1:7002", "TCP listen address")
+	regAddr := fs.String("registry", "127.0.0.1:7001", "registry center address")
+	space := fs.String("space", "", "smart space (federated mode: registry is registry@<space>, gossip membership on)")
 	peers := peerList{}
-	flag.Var(peers, "peer", "peer host mapping name=addr (repeatable)")
-	install := flag.String("install", "", "install an app skeleton: smart-media-player or ubiquitous-slideshow")
-	run := flag.String("run", "", "run a full app: smart-media-player")
-	songBytes := flag.Int64("song-bytes", 2_000_000, "synthetic song size for -run")
-	migrateTo := flag.String("migrate-to", "", "after startup, follow-me the running app to this host and exit")
-	static := flag.Bool("static", false, "use static (whole-app) binding for -migrate-to")
-	flag.Parse()
+	fs.Var(peers, "peer", "peer host mapping name=addr (repeatable)")
+	install := fs.String("install", "", "install an app skeleton: smart-media-player or ubiquitous-slideshow")
+	runApp := fs.String("run", "", "run a full app: smart-media-player")
+	songBytes := fs.Int64("song-bytes", 2_000_000, "synthetic song size for -run")
+	migrateTo := fs.String("migrate-to", "", "after startup, follow-me the running app to this host and exit")
+	static := fs.Bool("static", false, "use static (whole-app) binding for -migrate-to")
+	probe := fs.Duration("probe", 0, "gossip probe interval (federated mode; 0 = default)")
+	suspicion := fs.Duration("suspicion", 0, "gossip suspect->dead window (federated mode; 0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	skeletons := skeletonApps()
+	if *install != "" {
+		if _, ok := skeletons[*install]; !ok {
+			return fmt.Errorf("unknown -install %q", *install)
+		}
+	}
+	if *runApp != "" && *runApp != "smart-media-player" {
+		return fmt.Errorf("unknown -run %q", *runApp)
+	}
 
 	node, err := transport.ListenTCP(migrate.EndpointName(*host), *listen)
 	if err != nil {
-		log.Fatalf("mdagentd: %v", err)
+		return err
 	}
 	defer node.Close()
-	node.AddPeer("registry-center", *regAddr)
+	registryName := "registry-center"
+	if *space != "" {
+		registryName = cluster.CenterEndpointName(*space)
+	}
+	node.AddPeer(registryName, *regAddr)
 	for name, addr := range peers {
 		node.AddPeer(migrate.EndpointName(name), addr)
 		node.AddPeer(migrate.MediaEndpointName(name), addr)
@@ -92,8 +162,25 @@ func main() {
 	lib := media.NewLibrary(*host)
 	media.ServeLibrary(lib, node.Endpoint())
 
-	cat := registry.NewClient(node.Endpoint(), "registry-center")
+	cat := registry.NewClient(node.Endpoint(), registryName)
 	eng := migrate.NewEngine(*host, node.Endpoint(), nil, nil, cat, migrate.DefaultCosts())
+
+	// Federated mode: gossip membership with every peer host, multiplexed
+	// onto the engine endpoint.
+	if *space != "" {
+		member := cluster.NewNode(cluster.Member{ID: *host, Space: *space}, node.Endpoint(), cluster.Config{
+			ProbeInterval:    *probe,
+			SuspicionTimeout: *suspicion,
+		})
+		member.OnChange(func(_ *cluster.Node, m cluster.Member) {
+			fmt.Fprintf(out, "mdagentd[%s]: member %s -> %s (incarnation %d)\n", *host, m.ID, m.State, m.Incarnation)
+		})
+		for name := range peers {
+			member.Join(cluster.Member{ID: name, Endpoint: migrate.EndpointName(name)})
+		}
+		member.Start()
+		defer member.Stop()
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -101,58 +188,39 @@ func main() {
 		Host: *host, ScreenWidth: 1024, ScreenHeight: 768,
 		MemoryMB: 512, HasAudio: true, HasDisplay: true,
 	}); err != nil {
-		log.Fatalf("mdagentd: register device: %v", err)
+		return fmt.Errorf("register device: %w", err)
 	}
 
-	switch *install {
-	case "":
-	case "smart-media-player":
-		eng.InstallFactory("smart-media-player", func(h string) *app.Application {
-			return demoapps.MediaPlayerSkeleton(h)
-		})
+	if *install != "" {
+		sk := skeletons[*install]
+		eng.InstallFactory(*install, sk.factory)
 		if err := cat.RegisterApp(ctx, registry.AppRecord{
-			Name: "smart-media-player", Host: *host,
-			Description: demoapps.MediaPlayerDesc(),
-			Components:  demoapps.MediaPlayerSkeletonComponents(),
+			Name: *install, Host: *host, Space: *space,
+			Description: sk.desc, Components: sk.components,
 		}); err != nil {
-			log.Fatalf("mdagentd: register skeleton: %v", err)
+			return fmt.Errorf("register skeleton: %w", err)
 		}
-		fmt.Printf("mdagentd[%s]: installed smart-media-player skeleton\n", *host)
-	case "ubiquitous-slideshow":
-		eng.InstallFactory("ubiquitous-slideshow", func(h string) *app.Application {
-			return demoapps.SlideShowSkeleton(h)
-		})
-		if err := cat.RegisterApp(ctx, registry.AppRecord{
-			Name: "ubiquitous-slideshow", Host: *host,
-			Description: demoapps.SlideShowDesc(),
-			Components:  demoapps.SlideShowSkeletonComponents(),
-		}); err != nil {
-			log.Fatalf("mdagentd: register skeleton: %v", err)
-		}
-		fmt.Printf("mdagentd[%s]: installed ubiquitous-slideshow skeleton\n", *host)
-	default:
-		log.Fatalf("mdagentd: unknown -install %q", *install)
+		fmt.Fprintf(out, "mdagentd[%s]: installed %s skeleton\n", *host, *install)
 	}
 
-	if *run == "smart-media-player" {
+	if *runApp == "smart-media-player" {
 		song := media.GenerateFile("song1", *songBytes, 3)
 		lib.Add(song)
 		player := demoapps.NewMediaPlayer(*host, song)
 		if err := eng.Run(player); err != nil {
-			log.Fatalf("mdagentd: %v", err)
+			return err
 		}
 		if err := cat.RegisterApp(ctx, registry.AppRecord{
-			Name: "smart-media-player", Host: *host,
+			Name: "smart-media-player", Host: *host, Space: *space,
 			Description: demoapps.MediaPlayerDesc(), Components: player.Components(),
+			Running: true,
 		}); err != nil {
-			log.Fatalf("mdagentd: register app: %v", err)
+			return fmt.Errorf("register app: %w", err)
 		}
 		if err := cat.RegisterResource(ctx, demoapps.MusicResource(song, *host)); err != nil {
-			log.Fatalf("mdagentd: register resource: %v", err)
+			return fmt.Errorf("register resource: %w", err)
 		}
-		fmt.Printf("mdagentd[%s]: running smart-media-player (%d-byte song)\n", *host, *songBytes)
-	} else if *run != "" {
-		log.Fatalf("mdagentd: unknown -run %q", *run)
+		fmt.Fprintf(out, "mdagentd[%s]: running smart-media-player (%d-byte song)\n", *host, *songBytes)
 	}
 
 	if *migrateTo != "" {
@@ -164,17 +232,19 @@ func main() {
 		defer mcancel()
 		rep, err := eng.FollowMe(mctx, "smart-media-player", *migrateTo, binding, owl.MatchSemantic)
 		if err != nil {
-			log.Fatalf("mdagentd: migrate: %v", err)
+			return fmt.Errorf("migrate: %w", err)
 		}
-		fmt.Printf("mdagentd[%s]: migrated smart-media-player to %s (%s binding)\n", *host, *migrateTo, binding)
-		fmt.Printf("  suspend %v, migrate %v, resume %v, total %v, %d bytes, carried %v\n",
+		fmt.Fprintf(out, "mdagentd[%s]: migrated smart-media-player to %s (%s binding)\n", *host, *migrateTo, binding)
+		fmt.Fprintf(out, "  suspend %v, migrate %v, resume %v, total %v, %d bytes, carried %v\n",
 			rep.Suspend, rep.Migrate, rep.Resume, rep.Total(), rep.BytesMoved, rep.Carried)
-		return
+		return nil
 	}
 
-	fmt.Printf("mdagentd[%s]: serving on %s (registry %s)\n", *host, node.Addr(), *regAddr)
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Printf("mdagentd[%s]: shutting down\n", *host)
+	fmt.Fprintf(out, "mdagentd[%s]: serving on %s (registry %s)\n", *host, node.Addr(), *regAddr)
+	if ready != nil {
+		ready(node.Addr())
+	}
+	<-stop
+	fmt.Fprintf(out, "mdagentd[%s]: shutting down\n", *host)
+	return nil
 }

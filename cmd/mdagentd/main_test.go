@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mdagent/internal/registry"
+	"mdagent/internal/store"
+	"mdagent/internal/transport"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for daemon output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// bootRegistry serves a plain registry center on 127.0.0.1:0 and returns
+// its address and the registry for assertions.
+func bootRegistry(t *testing.T) (string, *registry.Registry) {
+	t.Helper()
+	reg, err := registry.New(store.OpenMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := transport.ListenTCP("registry-center", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	reg.Serve(node.Endpoint())
+	return node.Addr(), reg
+}
+
+// startDaemon runs the mdagentd run() in a goroutine and returns its
+// bound address once ready.
+func startDaemon(t *testing.T, out *syncBuffer, args ...string) string {
+	t.Helper()
+	stop := make(chan struct{})
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(args, out, func(addr string) { addrc <- addr }, stop)
+	}()
+	t.Cleanup(func() {
+		close(stop)
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("daemon %v exited: %v", args, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Errorf("daemon %v did not shut down", args)
+		}
+	})
+	select {
+	case addr := <-addrc:
+		return addr
+	case err := <-errc:
+		t.Fatalf("daemon %v failed to start: %v", args, err)
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon %v never became ready", args)
+	}
+	return ""
+}
+
+// TestEndToEndMigrationOverTCP boots a registry center plus two agent
+// daemons on ephemeral TCP ports in-process and drives one follow-me
+// migration from hostA to hostB — the full cmd wiring, no simulation.
+func TestEndToEndMigrationOverTCP(t *testing.T) {
+	regAddr, reg := bootRegistry(t)
+
+	var outB syncBuffer
+	addrB := startDaemon(t, &outB,
+		"-host", "hostB", "-listen", "127.0.0.1:0",
+		"-registry", regAddr, "-install", "smart-media-player")
+
+	// The source daemon runs the player and migrates it, then returns.
+	var outA syncBuffer
+	err := run([]string{
+		"-host", "hostA", "-listen", "127.0.0.1:0",
+		"-registry", regAddr,
+		"-peer", "hostB=" + addrB,
+		"-run", "smart-media-player", "-song-bytes", "100000",
+		"-migrate-to", "hostB",
+	}, &outA, nil, nil)
+	if err != nil {
+		t.Fatalf("source daemon: %v\noutput:\n%s", err, outA.String())
+	}
+	if !strings.Contains(outA.String(), "migrated smart-media-player to hostB") {
+		t.Fatalf("no migration line in output:\n%s", outA.String())
+	}
+
+	// The registry records the app's new home as running.
+	rec, found, err := reg.LookupApp("smart-media-player", "hostB")
+	if err != nil || !found {
+		t.Fatalf("registry lookup after migration: found=%v err=%v", found, err)
+	}
+	if !rec.Running {
+		t.Fatalf("hostB record not marked running: %+v", rec)
+	}
+	// And the source record is demoted to a non-running installation.
+	if src, found, _ := reg.LookupApp("smart-media-player", "hostA"); found && src.Running {
+		t.Fatalf("hostA record still marked running after follow-me: %+v", src)
+	}
+}
+
+// TestFederatedDaemonsGossip boots a federated center and two daemons in
+// federated mode, then waits for gossip to converge: hostA has no -peer,
+// so it can only learn of hostB through hostB's SWIM probes.
+func TestFederatedDaemonsGossip(t *testing.T) {
+	reg, err := registry.New(store.OpenMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := transport.ListenTCP("registry@lab", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	reg.Serve(node.Endpoint())
+
+	var outA, outB syncBuffer
+	addrA := startDaemon(t, &outA,
+		"-host", "hostA", "-listen", "127.0.0.1:0",
+		"-registry", node.Addr(), "-space", "lab",
+		"-probe", "5ms", "-suspicion", "50ms")
+	_ = startDaemon(t, &outB,
+		"-host", "hostB", "-listen", "127.0.0.1:0",
+		"-registry", node.Addr(), "-space", "lab",
+		"-peer", "hostA="+addrA,
+		"-probe", "5ms", "-suspicion", "50ms")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if strings.Contains(outA.String(), "member hostB -> alive") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hostA never learned hostB via gossip:\n%s", outA.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunRejectsBadFlags covers the flag-parsing surface.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, nil, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-install", "bogus"}, &out, nil, nil); err == nil {
+		t.Fatal("unknown -install accepted")
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-run", "bogus"}, &out, nil, nil); err == nil {
+		t.Fatal("unknown -run accepted")
+	}
+}

@@ -1,18 +1,22 @@
 // Command mdbench regenerates the paper's evaluation figures as tables
 // (and optional CSV): Fig. 7 (skew-canceling timing), Fig. 8 (adaptive
 // component binding sweep), Fig. 9 (static binding sweep), Fig. 10
-// (comparative total cost), and the demo-2 clone-dispatch fan-out.
+// (comparative total cost), the demo-2 clone-dispatch fan-out, and the
+// cluster churn experiment (gossip convergence + failover latency).
 //
 // Usage:
 //
 //	mdbench -fig all
 //	mdbench -fig 8 -csv fig8.csv
 //	mdbench -fig clone -rooms 4
+//	mdbench -fig churn -spaces 5
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,64 +25,71 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10, clone, or all")
-	csvPath := flag.String("csv", "", "also write the series as CSV to this file")
-	rooms := flag.Int("rooms", 3, "overflow rooms for the clone-dispatch experiment")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-	var csv strings.Builder
-	run := func(name string, fn func(out *strings.Builder) error) {
-		if err := fn(&csv); err != nil {
-			fmt.Fprintf(os.Stderr, "mdbench: %s: %v\n", name, err)
-			os.Exit(1)
-		}
+// run is the testable body of mdbench.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mdbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fig := fs.String("fig", "all", "figure to regenerate: 7, 8, 9, 10, clone, churn, or all")
+	csvPath := fs.String("csv", "", "also write the series as CSV to this file")
+	rooms := fs.Int("rooms", 3, "overflow rooms for the clone-dispatch experiment")
+	spaces := fs.Int("spaces", 3, "smart spaces for the churn experiment (>= 3)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 
-	switch *fig {
-	case "7":
-		run("fig7", fig7)
-	case "8":
-		run("fig8", fig8)
-	case "9":
-		run("fig9", fig9)
-	case "10":
-		run("fig10", fig10)
-	case "clone":
-		run("clone", func(out *strings.Builder) error { return clone(out, *rooms) })
-	case "all":
-		run("fig7", fig7)
-		run("fig8", fig8)
-		run("fig9", fig9)
-		run("fig10", fig10)
-		run("clone", func(out *strings.Builder) error { return clone(out, *rooms) })
-	default:
-		fmt.Fprintf(os.Stderr, "mdbench: unknown figure %q (want 7, 8, 9, 10, clone, all)\n", *fig)
-		os.Exit(2)
+	var csv strings.Builder
+	figures := map[string]func() error{
+		"7":     func() error { return fig7(out, &csv) },
+		"8":     func() error { return fig8(out, &csv) },
+		"9":     func() error { return fig9(out, &csv) },
+		"10":    func() error { return fig10(out, &csv) },
+		"clone": func() error { return clone(out, &csv, *rooms) },
+		"churn": func() error { return churn(out, &csv, *spaces) },
+	}
+	var order []string
+	if *fig == "all" {
+		order = []string{"7", "8", "9", "10", "clone", "churn"}
+	} else {
+		if _, ok := figures[*fig]; !ok {
+			return fmt.Errorf("unknown figure %q (want 7, 8, 9, 10, clone, churn, all)", *fig)
+		}
+		order = []string{*fig}
+	}
+	for _, name := range order {
+		if err := figures[name](); err != nil {
+			return fmt.Errorf("fig %s: %w", name, err)
+		}
 	}
 
 	if *csvPath != "" {
 		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "mdbench: write csv: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("write csv: %w", err)
 		}
-		fmt.Printf("\nCSV written to %s\n", *csvPath)
+		fmt.Fprintf(out, "\nCSV written to %s\n", *csvPath)
 	}
+	return nil
 }
 
-func fig7(csv *strings.Builder) error {
-	fmt.Println("== Fig. 7 — skew-canceling round-trip measurement ==")
-	fmt.Println("   (hostB's clock runs 3s ahead of hostA's)")
+func fig7(out io.Writer, csv *strings.Builder) error {
+	fmt.Fprintln(out, "== Fig. 7 — skew-canceling round-trip measurement ==")
+	fmt.Fprintln(out, "   (hostB's clock runs 3s ahead of hostA's)")
 	res, err := bench.RunFig7()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  injected clock offset:           %v\n", res.Skew)
-	fmt.Printf("  true round-trip migration time:  %v\n", res.TrueRTT)
-	fmt.Printf("  skew-canceled formula result:    %v  (error %v)\n",
+	fmt.Fprintf(out, "  injected clock offset:           %v\n", res.Skew)
+	fmt.Fprintf(out, "  true round-trip migration time:  %v\n", res.TrueRTT)
+	fmt.Fprintf(out, "  skew-canceled formula result:    %v  (error %v)\n",
 		res.SkewCanceled, (res.SkewCanceled - res.TrueRTT).Abs())
-	fmt.Printf("  naive cross-clock one-way:       %v  (error %v — the offset)\n",
+	fmt.Fprintf(out, "  naive cross-clock one-way:       %v  (error %v — the offset)\n",
 		res.NaiveOneWay, (res.NaiveOneWay - res.TrueOneWay).Abs())
-	fmt.Println()
+	fmt.Fprintln(out)
 	fmt.Fprintf(csv, "fig7,skew_ms,true_rtt_ms,formula_rtt_ms,naive_oneway_ms\n")
 	fmt.Fprintf(csv, "fig7,%d,%d,%d,%d\n\n",
 		res.Skew.Milliseconds(), res.TrueRTT.Milliseconds(),
@@ -86,71 +97,89 @@ func fig7(csv *strings.Builder) error {
 	return nil
 }
 
-func sweepTable(csv *strings.Builder, tag, title string, binding migrate.BindingMode) error {
-	fmt.Printf("== %s ==\n", title)
+func sweepTable(out io.Writer, csv *strings.Builder, tag, title string, binding migrate.BindingMode) error {
+	fmt.Fprintf(out, "== %s ==\n", title)
 	points, err := bench.Sweep(binding)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %-6s %10s %10s %10s %10s %12s\n", "size", "suspend", "migrate", "resume", "total", "wrap-bytes")
+	fmt.Fprintf(out, "  %-6s %10s %10s %10s %10s %12s\n", "size", "suspend", "migrate", "resume", "total", "wrap-bytes")
 	fmt.Fprintf(csv, "%s,size,suspend_ms,migrate_ms,resume_ms,total_ms,wrap_bytes\n", tag)
 	for _, p := range points {
-		fmt.Printf("  %-6s %8dms %8dms %8dms %8dms %12d\n",
+		fmt.Fprintf(out, "  %-6s %8dms %8dms %8dms %8dms %12d\n",
 			p.Label, p.Suspend.Milliseconds(), p.Migrate.Milliseconds(),
 			p.Resume.Milliseconds(), p.Total.Milliseconds(), p.Bytes)
 		fmt.Fprintf(csv, "%s,%s,%d,%d,%d,%d,%d\n", tag, p.Label,
 			p.Suspend.Milliseconds(), p.Migrate.Milliseconds(),
 			p.Resume.Milliseconds(), p.Total.Milliseconds(), p.Bytes)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	csv.WriteString("\n")
 	return nil
 }
 
-func fig8(csv *strings.Builder) error {
-	return sweepTable(csv, "fig8", "Fig. 8 — adaptive component binding (this paper)", migrate.BindingAdaptive)
+func fig8(out io.Writer, csv *strings.Builder) error {
+	return sweepTable(out, csv, "fig8", "Fig. 8 — adaptive component binding (this paper)", migrate.BindingAdaptive)
 }
 
-func fig9(csv *strings.Builder) error {
-	return sweepTable(csv, "fig9", "Fig. 9 — static component binding (original design [7])", migrate.BindingStatic)
+func fig9(out io.Writer, csv *strings.Builder) error {
+	return sweepTable(out, csv, "fig9", "Fig. 9 — static component binding (original design [7])", migrate.BindingStatic)
 }
 
-func fig10(csv *strings.Builder) error {
-	fmt.Println("== Fig. 10 — comparative total cost ==")
+func fig10(out io.Writer, csv *strings.Builder) error {
+	fmt.Fprintln(out, "== Fig. 10 — comparative total cost ==")
 	rows, err := bench.RunFig10()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %-6s %14s %14s %10s\n", "size", "adaptive", "static", "ratio")
+	fmt.Fprintf(out, "  %-6s %14s %14s %10s\n", "size", "adaptive", "static", "ratio")
 	fmt.Fprintf(csv, "fig10,size,adaptive_ms,static_ms,ratio\n")
 	for _, r := range rows {
-		fmt.Printf("  %-6s %12dms %12dms %9.1fx\n",
+		fmt.Fprintf(out, "  %-6s %12dms %12dms %9.1fx\n",
 			r.Label, r.Adaptive.Milliseconds(), r.Static.Milliseconds(), r.Ratio)
 		fmt.Fprintf(csv, "fig10,%s,%d,%d,%.2f\n", r.Label,
 			r.Adaptive.Milliseconds(), r.Static.Milliseconds(), r.Ratio)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	csv.WriteString("\n")
 	return nil
 }
 
-func clone(csv *strings.Builder, rooms int) error {
-	fmt.Printf("== Demo 2 — clone-dispatch slideshow to %d overflow rooms ==\n", rooms)
+func clone(out io.Writer, csv *strings.Builder, rooms int) error {
+	fmt.Fprintf(out, "== Demo 2 — clone-dispatch slideshow to %d overflow rooms ==\n", rooms)
 	results, err := bench.RunCloneFanout(rooms, 3_000_000)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %-10s %10s %10s %12s %6s\n", "room", "clone", "bytes", "inter-space", "sync")
+	fmt.Fprintf(out, "  %-10s %10s %10s %12s %6s\n", "room", "clone", "bytes", "inter-space", "sync")
 	fmt.Fprintf(csv, "clone,room,clone_ms,bytes,inter_space,sync_ms\n")
 	for _, r := range results {
-		fmt.Printf("  %-10s %8dms %10d %12v %4dms\n",
+		fmt.Fprintf(out, "  %-10s %8dms %10d %12v %4dms\n",
 			r.Room, r.Report.Total().Milliseconds(), r.Report.BytesMoved,
 			r.InterSpace, r.SyncRTT.Milliseconds())
 		fmt.Fprintf(csv, "clone,%s,%d,%d,%v,%d\n", r.Room,
 			r.Report.Total().Milliseconds(), r.Report.BytesMoved,
 			r.InterSpace, r.SyncRTT.Milliseconds())
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	csv.WriteString("\n")
+	return nil
+}
+
+func churn(out io.Writer, csv *strings.Builder, spaces int) error {
+	fmt.Fprintf(out, "== Churn — kill the app's host in a %d-space federation ==\n", spaces)
+	fmt.Fprintln(out, "   (wall-clock protocol timings at a 2ms probe / 40ms suspicion cadence)")
+	res, err := bench.RunChurn(spaces, bench.ChurnConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  gossip convergence (kill -> all survivors convict): %v\n", res.Convergence)
+	fmt.Fprintf(out, "  failover (conviction -> app running on %s): %v\n", res.NewHost, res.Failover)
+	fmt.Fprintf(out, "  total outage: %v\n", res.Total)
+	fmt.Fprintln(out)
+	fmt.Fprintf(csv, "churn,spaces,convergence_ms,failover_ms,total_ms,new_host\n")
+	fmt.Fprintf(csv, "churn,%d,%d,%d,%d,%s\n\n", spaces,
+		res.Convergence.Milliseconds(), res.Failover.Milliseconds(),
+		res.Total.Milliseconds(), res.NewHost)
 	return nil
 }

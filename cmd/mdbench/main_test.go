@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFig7PrintsTableAndCSV runs the fastest figure end to end and
+// checks both the table and the CSV sidecar.
+func TestRunFig7PrintsTableAndCSV(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "fig7.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "7", "-csv", csvPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 7") || !strings.Contains(out.String(), "skew-canceled") {
+		t.Fatalf("fig7 table missing:\n%s", out.String())
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "fig7,skew_ms") {
+		t.Fatalf("csv header wrong: %q", string(csv[:min(len(csv), 40)]))
+	}
+}
+
+// TestRunChurnFigure runs the cluster churn experiment through the CLI.
+func TestRunChurnFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "churn", "-spaces", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gossip convergence") {
+		t.Fatalf("churn output missing:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsBadFlags covers the flag surface.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "nope"}, &out); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-fig", "churn", "-spaces", "2"}, &out); err == nil {
+		t.Fatal("churn with 2 spaces accepted (no quorum possible)")
+	}
+}

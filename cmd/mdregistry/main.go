@@ -1,60 +1,141 @@
-// Command mdregistry runs the MDAgent registry center as a standalone TCP
+// Command mdregistry runs an MDAgent registry center as a standalone TCP
 // service — the paper's Juddi+MySQL backend (§5). Agent nodes (cmd/
 // mdagentd) register applications, resources and device profiles here and
 // issue semantic lookups during migration planning.
 //
-// Usage:
+// Standalone (the paper's single-center topology):
 //
 //	mdregistry -listen 127.0.0.1:7001 -store /var/lib/mdagent/registry.log
 //
-// The endpoint name is fixed to "registry-center"; point mdagentd's
-// -registry flag at the listen address.
+// Federated — one center per smart space, replicating records to its
+// peers with version vectors (eventually consistent; survives any single
+// center's crash):
+//
+//	mdregistry -listen 127.0.0.1:7001 -space lab1 -fed-peer lab2=127.0.0.1:7005
+//	mdregistry -listen 127.0.0.1:7005 -space lab2 -fed-peer lab1=127.0.0.1:7001
+//
+// Standalone centers serve the endpoint name "registry-center"; federated
+// centers serve "registry@<space>" (point mdagentd's -registry and -space
+// flags accordingly).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"mdagent/internal/cluster"
 	"mdagent/internal/registry"
 	"mdagent/internal/store"
 	"mdagent/internal/transport"
 )
 
+// fedPeers accumulates repeated -fed-peer space=addr flags.
+type fedPeers map[string]string
+
+func (p fedPeers) String() string {
+	parts := make([]string, 0, len(p))
+	for k, v := range p {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p fedPeers) Set(v string) error {
+	space, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want space=addr, got %q", v)
+	}
+	p[space] = addr
+	return nil
+}
+
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7001", "TCP listen address")
-	storePath := flag.String("store", "", "append-only store path (empty = in-memory)")
-	flag.Parse()
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	switch err := run(os.Args[1:], os.Stdout, nil, stop); {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+	default:
+		log.Fatalf("mdregistry: %v", err)
+	}
+}
+
+// run is the testable body of mdregistry: it parses args, serves until
+// stop closes, and reports the bound listen address through ready (when
+// non-nil) once the center is reachable.
+func run(args []string, out io.Writer, ready func(addr string), stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("mdregistry", flag.ContinueOnError)
+	fs.SetOutput(out)
+	listen := fs.String("listen", "127.0.0.1:7001", "TCP listen address")
+	storePath := fs.String("store", "", "append-only store path (empty = in-memory)")
+	space := fs.String("space", "", "smart space served by this center (empty = standalone)")
+	peers := fedPeers{}
+	fs.Var(peers, "fed-peer", "federated peer center space=addr (repeatable; requires -space)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *space == "" && len(peers) > 0 {
+		return fmt.Errorf("-fed-peer requires -space")
+	}
 
 	db := store.OpenMemory()
 	if *storePath != "" {
 		var err error
 		db, err = store.Open(*storePath)
 		if err != nil {
-			log.Fatalf("mdregistry: %v", err)
+			return err
 		}
 	}
 	defer db.Close()
 
 	reg, err := registry.New(db)
 	if err != nil {
-		log.Fatalf("mdregistry: %v", err)
+		return err
 	}
-	node, err := transport.ListenTCP("registry-center", *listen)
+	endpoint := "registry-center"
+	if *space != "" {
+		endpoint = cluster.CenterEndpointName(*space)
+	}
+	node, err := transport.ListenTCP(endpoint, *listen)
 	if err != nil {
-		log.Fatalf("mdregistry: %v", err)
+		return err
 	}
 	defer node.Close()
-	reg.Serve(node.Endpoint())
-	fmt.Printf("mdregistry: serving registry-center on %s (store: %s)\n", node.Addr(), storeDesc(*storePath))
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Println("mdregistry: shutting down")
+	if *space == "" {
+		reg.Serve(node.Endpoint())
+		fmt.Fprintf(out, "mdregistry: serving registry-center on %s (store: %s)\n", node.Addr(), storeDesc(*storePath))
+	} else {
+		center := cluster.NewCenter(*space, reg, node.Endpoint(), cluster.Config{})
+		for peerSpace, addr := range peers {
+			peerEndpoint := cluster.CenterEndpointName(peerSpace)
+			node.AddPeer(peerEndpoint, addr)
+			center.AddPeer(peerSpace, peerEndpoint)
+		}
+		center.Serve(node.Endpoint())
+		center.Start()
+		defer center.Stop()
+		fmt.Fprintf(out, "mdregistry: serving %s on %s, federated with %d peer(s) (store: %s)\n",
+			endpoint, node.Addr(), len(peers), storeDesc(*storePath))
+	}
+
+	if ready != nil {
+		ready(node.Addr())
+	}
+	<-stop
+	fmt.Fprintln(out, "mdregistry: shutting down")
+	return nil
 }
 
 func storeDesc(path string) string {

@@ -1,0 +1,3 @@
+module mdagent
+
+go 1.24

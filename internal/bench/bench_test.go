@@ -130,3 +130,27 @@ func TestLabelsMatchSizes(t *testing.T) {
 		t.Fatalf("labels %d vs sizes %d", len(FileLabels), len(FileSizes))
 	}
 }
+
+func TestChurnFailoverRehomes(t *testing.T) {
+	res, err := RunChurn(3, ChurnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewHost == "host-1" || res.NewHost == "" {
+		t.Fatalf("app not re-homed off the victim: %+v", res)
+	}
+	// Conviction cannot beat the suspicion window, and single-digit
+	// seconds would mean the detector is broken at a 2 ms probe cadence.
+	if res.Convergence < ChurnConfig().SuspicionTimeout {
+		t.Fatalf("convergence %v faster than the suspicion window", res.Convergence)
+	}
+	if res.Convergence > 5*time.Second || res.Failover > 5*time.Second {
+		t.Fatalf("churn reaction implausibly slow: %+v", res)
+	}
+}
+
+func TestChurnRejectsTooFewSpaces(t *testing.T) {
+	if _, err := RunChurn(2, ChurnConfig()); err == nil {
+		t.Fatal("RunChurn(2) should refuse: a lone survivor has no quorum")
+	}
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mdagent/internal/app"
+	"mdagent/internal/cluster"
+	"mdagent/internal/core"
+	"mdagent/internal/demoapps"
+	"mdagent/internal/media"
+	"mdagent/internal/netsim"
+)
+
+// ChurnResult is one host-kill experiment against a federated
+// deployment. Unlike the Fig. 8-10 durations (simulated 2002-era testbed
+// time on a virtual clock), these are wall-clock protocol timings: the
+// gossip failure detector runs on real timers, so the numbers scale with
+// the configured probe cadence, not with the simulated hardware.
+type ChurnResult struct {
+	Spaces      int
+	Config      cluster.Config
+	Convergence time.Duration // kill -> every survivor sees the host dead
+	Failover    time.Duration // dead conviction -> app running on a survivor
+	Total       time.Duration // kill -> app running on a survivor
+	NewHost     string        // where the app was re-homed
+}
+
+// ChurnConfig is the gossip cadence the churn bench runs at: tight
+// enough that one experiment takes tens of milliseconds, with the
+// suspect->dead window (40 ms) still a clear multiple of the probe
+// interval.
+func ChurnConfig() cluster.Config {
+	return cluster.Config{
+		ProbeInterval:    2 * time.Millisecond,
+		ProbeTimeout:     25 * time.Millisecond,
+		SuspicionTimeout: 40 * time.Millisecond,
+		SyncInterval:     5 * time.Millisecond,
+		Seed:             13,
+	}
+}
+
+// RunChurn builds a federated deployment of n smart spaces (one host +
+// one gateway each, the media player on the first host, its skeleton
+// installed everywhere else), waits for gossip and replication to
+// converge, kills the player's host via netsim fault injection, and
+// measures how long membership takes to convict it and failover takes to
+// re-home the application. n must be at least 3 (a lone survivor has no
+// quorum).
+func RunChurn(n int, cfg cluster.Config) (ChurnResult, error) {
+	if n < 3 {
+		return ChurnResult{}, fmt.Errorf("bench: churn needs >= 3 spaces for quorum, got %d", n)
+	}
+	mw, err := core.New(core.Config{Seed: 3, Cluster: &cfg})
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	defer mw.Close()
+
+	hosts := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		space := fmt.Sprintf("space-%d", i+1)
+		host := fmt.Sprintf("host-%d", i+1)
+		if err := mw.AddSpace(space); err != nil {
+			return ChurnResult{}, err
+		}
+		if err := mw.AddGateway("gw-"+space, space, netsim.Pentium4_1700()); err != nil {
+			return ChurnResult{}, err
+		}
+		if _, err := mw.AddHost(host, space, netsim.PentiumM_1600(), desktop(host), 0); err != nil {
+			return ChurnResult{}, err
+		}
+		hosts = append(hosts, host)
+	}
+	victim := hosts[0]
+	song := media.GenerateFile("song1", 2_000_000, 3)
+	rt0, _ := mw.Host(victim)
+	rt0.Library.Add(song)
+	if err := mw.RunApp(victim, demoapps.NewMediaPlayer(victim, song)); err != nil {
+		return ChurnResult{}, err
+	}
+	for _, host := range hosts[1:] {
+		if err := mw.InstallApp(host, "smart-media-player", demoapps.MediaPlayerDesc(),
+			demoapps.MediaPlayerSkeletonComponents(),
+			func(h string) *app.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
+			return ChurnResult{}, err
+		}
+	}
+
+	// Converge: every node sees n alive, and the victim's running record
+	// has replicated to every surviving space's center.
+	ctx := context.Background()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ready := true
+		for _, host := range hosts {
+			node, ok := mw.Cluster.Node(host)
+			if !ok || len(node.AliveHosts()) != n {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			for i := 1; i < n; i++ {
+				center, ok := mw.Cluster.Center(fmt.Sprintf("space-%d", i+1))
+				if !ok {
+					ready = false
+					break
+				}
+				if rec, found, _ := center.LookupApp(ctx, "smart-media-player", victim); !found || !rec.Running {
+					ready = false
+					break
+				}
+			}
+		}
+		if ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			return ChurnResult{}, fmt.Errorf("bench: churn deployment never converged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill, then measure conviction and re-homing.
+	killAt := time.Now()
+	if err := mw.Net.SetHostDown(victim, true); err != nil {
+		return ChurnResult{}, err
+	}
+	for {
+		converged := true
+		for _, host := range hosts[1:] {
+			node, _ := mw.Cluster.Node(host)
+			if m, ok := node.Member(victim); !ok || m.State != cluster.StateDead {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(killAt.Add(30 * time.Second)) {
+			return ChurnResult{}, fmt.Errorf("bench: survivors never convicted %s", victim)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	convergedAt := time.Now()
+
+	// The victim's engine still holds its (unreachable) instance — only
+	// the network died — so look for the app on survivors specifically.
+	var newHost string
+	for newHost == "" {
+		for _, host := range hosts[1:] {
+			rt, _ := mw.Host(host)
+			if inst, ok := rt.Engine.App("smart-media-player"); ok && inst.State() == app.Running {
+				newHost = host
+				break
+			}
+		}
+		if newHost == "" {
+			if time.Now().After(convergedAt.Add(30 * time.Second)) {
+				return ChurnResult{}, fmt.Errorf("bench: app never re-homed off %s", victim)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	doneAt := time.Now()
+
+	return ChurnResult{
+		Spaces:      n,
+		Config:      cfg,
+		Convergence: convergedAt.Sub(killAt),
+		Failover:    doneAt.Sub(convergedAt),
+		Total:       doneAt.Sub(killAt),
+		NewHost:     newHost,
+	}, nil
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"mdagent/internal/registry"
+)
+
+// Rehoming is one completed failover: an application that was running on
+// a dead host relaunched on a survivor.
+type Rehoming struct {
+	App      string
+	From     string // dead host
+	To       string // surviving host the app was re-homed onto
+	NewSpace string
+}
+
+// LaunchFunc relaunches the application described by rec (its record on
+// the dead host) on the target host and returns the new installation
+// record to register — internal/core wires this to the target host's
+// migration engine, reusing the clone-dispatch restore machinery (factory
+// instantiation, paper §4.2.2).
+type LaunchFunc func(rec registry.AppRecord, target string) (registry.AppRecord, error)
+
+// Failover plans and executes re-homing when membership declares a host
+// dead: every application recorded as *running* on the dead host is
+// relaunched on the best surviving host, chosen from the federated
+// registry (prefer hosts that already hold an installation, then the most
+// completely provisioned one). The registry is updated through the
+// replicating center, so every space sees the app's new home.
+type Failover struct {
+	// Center is the replicated registry view used for planning and for
+	// recording outcomes.
+	Center *Center
+	// Alive lists host ids currently believed alive (the reporter node's
+	// view); the dead host is excluded by the planner regardless.
+	Alive func() []string
+	// Launch relaunches one application on a chosen host.
+	Launch LaunchFunc
+}
+
+// Rehome re-homes every application running on deadHost. It returns the
+// successful rehomings; a per-app failure aborts with the rehomings
+// completed so far.
+func (f *Failover) Rehome(ctx context.Context, deadHost string) ([]Rehoming, error) {
+	recs, err := f.Center.Registry().AppsOnHost(deadHost)
+	if err != nil {
+		return nil, err
+	}
+	alive := make(map[string]bool)
+	for _, h := range f.Alive() {
+		if h != deadHost {
+			alive[h] = true
+		}
+	}
+	var done []Rehoming
+	for _, rec := range recs {
+		if !rec.Running {
+			continue // skeleton installs have nothing to re-home
+		}
+		target, err := f.pickTarget(rec, alive)
+		if err != nil {
+			return done, fmt.Errorf("cluster: rehome %s from %s: %w", rec.Name, deadHost, err)
+		}
+		newRec, err := f.Launch(rec, target)
+		if err != nil {
+			return done, fmt.Errorf("cluster: relaunch %s on %s: %w", rec.Name, target, err)
+		}
+		newRec.Running = true
+		if err := f.Center.RegisterApp(ctx, newRec); err != nil {
+			return done, err
+		}
+		if err := f.Center.UnregisterApp(ctx, rec.Name, deadHost); err != nil {
+			return done, err
+		}
+		done = append(done, Rehoming{App: rec.Name, From: deadHost, To: target, NewSpace: newRec.Space})
+	}
+	return done, nil
+}
+
+// pickTarget ranks surviving hosts for one application: hosts already
+// holding an installation record beat bare hosts, more installed
+// components beat fewer, and host id breaks ties deterministically.
+func (f *Failover) pickTarget(rec registry.AppRecord, alive map[string]bool) (string, error) {
+	installs, err := f.Center.Registry().FindApp(rec.Name)
+	if err != nil {
+		return "", err
+	}
+	type candidate struct {
+		host       string
+		components int
+	}
+	var cands []candidate
+	for _, inst := range installs {
+		if alive[inst.Host] {
+			cands = append(cands, candidate{inst.Host, len(inst.Components)})
+		}
+	}
+	if len(cands) == 0 {
+		// No surviving installation: any alive host can host a bare
+		// restart from the interface description.
+		for h := range alive {
+			cands = append(cands, candidate{h, 0})
+		}
+	}
+	if len(cands) == 0 {
+		return "", fmt.Errorf("no surviving host")
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].components != cands[j].components {
+			return cands[i].components > cands[j].components
+		}
+		return cands[i].host < cands[j].host
+	})
+	return cands[0].host, nil
+}

@@ -1,0 +1,424 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mdagent/internal/owl"
+	"mdagent/internal/registry"
+	"mdagent/internal/transport"
+	"mdagent/internal/vclock"
+	"mdagent/internal/wsdl"
+)
+
+// Center is one smart space's registry center, federated with its peers:
+// every app, resource, and device record written here is stamped with a
+// per-record version vector (vclock.Version), pushed to peer centers
+// best-effort, and reconciled by periodic anti-entropy digests. Reads see
+// the union of all spaces once replication converges, so OWL rebinding
+// queries resolve against every space's inventory. Center satisfies
+// migrate.Catalog, so engines use it exactly like a single registry.
+type Center struct {
+	space string
+	reg   *registry.Registry
+	ep    *transport.Endpoint
+	cfg   Config
+
+	mu      sync.Mutex
+	records map[string]Record
+	peers   map[string]string // peer space -> endpoint name
+	rng     *rand.Rand
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// fedKeyPrefix prefixes the store keys the center persists its
+// replication state (records + version vectors) under.
+const fedKeyPrefix = "fed/"
+
+// NewCenter creates the center for space over local registry reg, serving
+// federation messages on ep. Replication state is persisted to the
+// registry's store, so a center backed by a durable store resumes its
+// version history after a restart instead of re-issuing counters its
+// peers have already seen (which they would reject as stale). Call Start
+// to begin anti-entropy; pushes and digest answers work as soon as it is
+// created.
+func NewCenter(space string, reg *registry.Registry, ep *transport.Endpoint, cfg Config) *Center {
+	cfg = cfg.withDefaults()
+	c := &Center{
+		space:   space,
+		reg:     reg,
+		ep:      ep,
+		cfg:     cfg,
+		records: make(map[string]Record),
+		peers:   make(map[string]string),
+		rng:     rand.New(rand.NewSource(cfg.Seed + int64(len(space)))),
+		stop:    make(chan struct{}),
+	}
+	db := reg.Store()
+	for _, key := range db.Keys(fedKeyPrefix) {
+		raw, err := db.Get(key)
+		if err != nil {
+			continue // raced with delete
+		}
+		var r Record
+		if err := transport.Decode(raw, &r); err != nil {
+			continue // corrupt frame; the peer re-offers it via anti-entropy
+		}
+		c.records[r.Key] = r
+	}
+	ep.Handle(MsgFedDigest, c.handleDigest)
+	ep.Handle(MsgFedPush, c.handlePush)
+	return c
+}
+
+// Space returns the smart space this center serves.
+func (c *Center) Space() string { return c.space }
+
+// Registry exposes the center's local registry — after convergence it
+// holds the union of every federated space's records.
+func (c *Center) Registry() *registry.Registry { return c.reg }
+
+// AddPeer federates with another space's center at the given endpoint.
+func (c *Center) AddPeer(space, endpoint string) {
+	c.mu.Lock()
+	c.peers[space] = endpoint
+	c.mu.Unlock()
+}
+
+// Start launches the anti-entropy loop.
+func (c *Center) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.cfg.SyncInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.syncOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts anti-entropy. The center answers peers until its endpoint
+// closes.
+func (c *Center) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// --- Write API (each write stamps a version and replicates). ---
+
+// RegisterApp registers an application installation, stamping a version
+// and replicating to peers. An empty Space defaults to this center's.
+func (c *Center) RegisterApp(_ context.Context, rec registry.AppRecord) error {
+	if rec.Space == "" {
+		rec.Space = c.space
+	}
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	return c.write(Record{Key: rec.Key(), Kind: RecordApp, App: rec})
+}
+
+// UnregisterApp tombstones an application installation across the
+// federation.
+func (c *Center) UnregisterApp(_ context.Context, name, host string) error {
+	rec := registry.AppRecord{Name: name, Host: host}
+	return c.write(Record{Key: rec.Key(), Kind: RecordApp, App: rec, Deleted: true})
+}
+
+// RegisterResource registers a resource description federation-wide.
+func (c *Center) RegisterResource(_ context.Context, res owl.Resource) error {
+	if err := res.Validate(); err != nil {
+		return err
+	}
+	return c.write(Record{Key: "res/" + res.ID, Kind: RecordResource, Res: res})
+}
+
+// RegisterDevice registers a host device profile federation-wide.
+func (c *Center) RegisterDevice(_ context.Context, dev wsdl.DeviceProfile) error {
+	if dev.Host == "" {
+		return fmt.Errorf("cluster: device profile has no host")
+	}
+	return c.write(Record{Key: "dev/" + dev.Host, Kind: RecordDevice, Dev: dev})
+}
+
+// write stamps a locally originated record and replicates it. Stamping,
+// installing, and mirroring into the registry happen under one critical
+// section: two racing writers must produce two *ordered* versions (the
+// second ticks on top of the first), never two identical vectors that
+// peers could receive in different orders and diverge on.
+func (c *Center) write(r Record) error {
+	c.mu.Lock()
+	prev := c.records[r.Key]
+	r.Version = prev.Version.Tick(c.space)
+	r.Origin = c.space
+	c.records[r.Key] = r
+	c.persist(r)
+	err := c.applyToRegistry(r)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.pushAsync([]Record{r})
+	return nil
+}
+
+// persist writes a record's replication state through to the registry's
+// store (a no-op cost for memory-backed stores); callers hold c.mu.
+func (c *Center) persist(r Record) {
+	if raw, err := transport.Encode(r); err == nil {
+		_ = c.reg.Store().Put(fedKeyPrefix+r.Key, raw)
+	}
+}
+
+// apply installs a remotely received record if its version wins,
+// mirroring it into the local registry. Concurrent versions resolve
+// deterministically (higher origin space wins) with the merged vector,
+// so every center converges to the same state regardless of delivery
+// order. The registry mirror happens under c.mu so two winning applies
+// cannot land in the registry out of version order.
+func (c *Center) apply(r Record) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ex, known := c.records[r.Key]
+	if known {
+		switch r.Version.Compare(ex.Version) {
+		case vclock.Before, vclock.Equal:
+			return false, nil
+		case vclock.Concurrent:
+			merged := r.Version.Merge(ex.Version)
+			if r.Origin < ex.Origin {
+				ex.Version = merged
+				c.records[r.Key] = ex
+				c.persist(ex)
+				return false, nil
+			}
+			r.Version = merged
+		}
+	}
+	c.records[r.Key] = r
+	c.persist(r)
+	return true, c.applyToRegistry(r)
+}
+
+// applyToRegistry mirrors a winning record into the local registry.
+func (c *Center) applyToRegistry(r Record) error {
+	switch r.Kind {
+	case RecordApp:
+		if r.Deleted {
+			return c.reg.UnregisterApp(r.App.Name, r.App.Host)
+		}
+		return c.reg.RegisterApp(r.App)
+	case RecordResource:
+		if r.Deleted {
+			return nil // resource tombstones only stop replication
+		}
+		return c.reg.RegisterResource(r.Res)
+	case RecordDevice:
+		if r.Deleted {
+			return nil
+		}
+		return c.reg.RegisterDevice(r.Dev)
+	}
+	return fmt.Errorf("cluster: unknown record kind %d", r.Kind)
+}
+
+// --- Read API (local registry = converged union; Catalog shape). ---
+
+// LookupApp reads one installation record from the replicated view.
+func (c *Center) LookupApp(_ context.Context, name, host string) (registry.AppRecord, bool, error) {
+	return c.reg.LookupApp(name, host)
+}
+
+// Device reads a host device profile from the replicated view.
+func (c *Center) Device(_ context.Context, host string) (wsdl.DeviceProfile, bool, error) {
+	dev, ok := c.reg.Device(host)
+	return dev, ok, nil
+}
+
+// PlanRebinding answers a rebinding plan against the replicated union of
+// every space's resources.
+func (c *Center) PlanRebinding(_ context.Context, src owl.Resource, destHost string, mode owl.MatchMode) (owl.Rebinding, error) {
+	return c.reg.PlanRebinding(src, destHost, mode)
+}
+
+// Serve binds the standard registry wire protocol onto ep with the write
+// operations routed through the center (versioned + replicated) instead
+// of straight into the local store — remote daemons talk to a federated
+// center exactly as they would to a standalone registry, but their
+// registrations propagate to every space. Reads keep the plain registry
+// handlers (the local store holds the converged union).
+func (c *Center) Serve(ep *transport.Endpoint) *Center {
+	c.reg.Serve(ep) // read handlers + fallback writes...
+	// ...then shadow the write handlers with replicating versions.
+	ep.Handle(registry.MsgRegisterApp, func(msg transport.Message) ([]byte, error) {
+		var rec registry.AppRecord
+		if err := transport.Decode(msg.Payload, &rec); err != nil {
+			return nil, err
+		}
+		return nil, c.RegisterApp(context.Background(), rec)
+	})
+	ep.Handle(registry.MsgUnregisterApp, func(msg transport.Message) ([]byte, error) {
+		var req struct{ Name, Host string }
+		if err := transport.Decode(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		return nil, c.UnregisterApp(context.Background(), req.Name, req.Host)
+	})
+	ep.Handle(registry.MsgRegisterResource, func(msg transport.Message) ([]byte, error) {
+		var res owl.Resource
+		if err := transport.Decode(msg.Payload, &res); err != nil {
+			return nil, err
+		}
+		return nil, c.RegisterResource(context.Background(), res)
+	})
+	ep.Handle(registry.MsgRegisterDevice, func(msg transport.Message) ([]byte, error) {
+		var dev wsdl.DeviceProfile
+		if err := transport.Decode(msg.Payload, &dev); err != nil {
+			return nil, err
+		}
+		return nil, c.RegisterDevice(context.Background(), dev)
+	})
+	return c
+}
+
+// --- Replication plumbing. ---
+
+// digest snapshots key -> version for anti-entropy.
+func (c *Center) digest() map[string]vclock.Version {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := make(map[string]vclock.Version, len(c.records))
+	for k, r := range c.records {
+		d[k] = r.Version.Clone()
+	}
+	return d
+}
+
+// missingFor collects the records the given digest has not seen (unknown
+// keys, or versions ours is not dominated by).
+func (c *Center) missingFor(d map[string]vclock.Version) []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Record
+	for k, r := range c.records {
+		theirs, ok := d[k]
+		if !ok || !theirs.Dominates(r.Version) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// syncOnce pulls from one random peer.
+func (c *Center) syncOnce() {
+	c.mu.Lock()
+	var spaces []string
+	for s := range c.peers {
+		spaces = append(spaces, s)
+	}
+	if len(spaces) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	sort.Strings(spaces)
+	peer := c.peers[spaces[c.rng.Intn(len(spaces))]]
+	c.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	_ = c.pullFrom(ctx, peer)
+}
+
+// SyncNow performs one synchronous digest exchange with every peer —
+// tests and benches use it to force convergence without waiting out the
+// anti-entropy timer.
+func (c *Center) SyncNow(ctx context.Context) error {
+	c.mu.Lock()
+	eps := make([]string, 0, len(c.peers))
+	for _, ep := range c.peers {
+		eps = append(eps, ep)
+	}
+	c.mu.Unlock()
+	sort.Strings(eps)
+	var firstErr error
+	for _, ep := range eps {
+		if err := c.pullFrom(ctx, ep); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// pullFrom sends our digest to a peer and applies whatever it returns.
+func (c *Center) pullFrom(ctx context.Context, endpoint string) error {
+	var reply digestReply
+	err := c.ep.RequestDecode(ctx, endpoint, MsgFedDigest,
+		transport.MustEncode(digestMsg{From: c.space, Digest: c.digest()}), &reply)
+	if err != nil {
+		return err
+	}
+	for _, r := range reply.Records {
+		if _, err := c.apply(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pushAsync best-effort sends records to every peer without blocking the
+// writer; anti-entropy repairs anything a push misses.
+func (c *Center) pushAsync(records []Record) {
+	c.mu.Lock()
+	eps := make([]string, 0, len(c.peers))
+	for _, ep := range c.peers {
+		eps = append(eps, ep)
+	}
+	c.mu.Unlock()
+	if len(eps) == 0 {
+		return
+	}
+	payload := transport.MustEncode(pushMsg{From: c.space, Records: records})
+	// Untracked on purpose: a push races shutdown harmlessly (the endpoint
+	// just reports closed), and tying it to c.wg would race Stop's Wait.
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+		defer cancel()
+		for _, ep := range eps {
+			_, _ = c.ep.Request(ctx, ep, MsgFedPush, payload)
+		}
+	}()
+}
+
+func (c *Center) handleDigest(msg transport.Message) ([]byte, error) {
+	var d digestMsg
+	if err := transport.Decode(msg.Payload, &d); err != nil {
+		return nil, err
+	}
+	return transport.Encode(digestReply{Records: c.missingFor(d.Digest)})
+}
+
+func (c *Center) handlePush(msg transport.Message) ([]byte, error) {
+	var p pushMsg
+	if err := transport.Decode(msg.Payload, &p); err != nil {
+		return nil, err
+	}
+	for _, r := range p.Records {
+		if _, err := c.apply(r); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mdagent/internal/owl"
+	"mdagent/internal/rdf"
+	"mdagent/internal/registry"
+	"mdagent/internal/store"
+	"mdagent/internal/transport"
+	"mdagent/internal/wsdl"
+)
+
+func newCenterPair(t *testing.T) (*Center, *Center) {
+	t.Helper()
+	fab := transport.NewLocalFabric(nil)
+	t.Cleanup(func() { fab.Close() })
+	mk := func(space string) *Center {
+		regDB, err := registry.New(store.OpenMemory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := fab.Attach(CenterEndpointName(space), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewCenter(space, regDB, ep, testConfig())
+	}
+	a, b := mk("alpha"), mk("beta")
+	a.AddPeer("beta", CenterEndpointName("beta"))
+	b.AddPeer("alpha", CenterEndpointName("alpha"))
+	return a, b
+}
+
+func appDesc(name string) wsdl.Description {
+	return wsdl.Description{
+		Name: name,
+		Services: []wsdl.Service{{Name: "svc", Ports: []wsdl.Port{{
+			Name: "p", Operations: []wsdl.Operation{{Name: "op"}},
+		}}}},
+	}
+}
+
+func TestFederationReplicatesAllRecordKinds(t *testing.T) {
+	a, b := newCenterPair(t)
+	ctx := context.Background()
+
+	rec := registry.AppRecord{
+		Name: "player", Host: "hostA", Description: appDesc("player"),
+		Components: []string{"ui", "logic"}, Running: true,
+	}
+	if err := a.RegisterApp(ctx, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RegisterResource(ctx, owl.Resource{
+		ID: "song-1", Class: rdf.IMCL("MusicFile"), Host: "hostA", SizeBytes: 1024,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RegisterDevice(ctx, wsdl.DeviceProfile{Host: "hostA", MemoryMB: 256}); err != nil {
+		t.Fatal(err)
+	}
+	// The record's space defaulted to the writing center's.
+	if got, found, _ := a.LookupApp(ctx, "player", "hostA"); !found || got.Space != "alpha" {
+		t.Fatalf("local record = %+v (found %v), want space alpha", got, found)
+	}
+
+	// b pulls everything in one anti-entropy round.
+	if err := b.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := b.LookupApp(ctx, "player", "hostA")
+	if err != nil || !found {
+		t.Fatalf("replicated app lookup: found=%v err=%v", found, err)
+	}
+	if !got.Running || len(got.Components) != 2 || got.Space != "alpha" {
+		t.Fatalf("replicated record mangled: %+v", got)
+	}
+	if _, found, _ := b.Device(ctx, "hostA"); !found {
+		t.Fatal("device profile not replicated")
+	}
+	res, err := b.Registry().ResourcesOnHost("hostA")
+	if err != nil || len(res) != 1 || res[0].ID != "song-1" {
+		t.Fatalf("resource not replicated: %v err=%v", res, err)
+	}
+}
+
+func TestFederationPushPropagatesWithoutSync(t *testing.T) {
+	a, b := newCenterPair(t)
+	ctx := context.Background()
+	if err := a.RegisterApp(ctx, registry.AppRecord{
+		Name: "editor", Host: "hostA", Description: appDesc("editor"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// No SyncNow: the asynchronous push alone must land it at b.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, found, _ := b.LookupApp(ctx, "editor", "hostA"); found {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("push never reached peer center")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFederationTombstoneRemovesEverywhere(t *testing.T) {
+	a, b := newCenterPair(t)
+	ctx := context.Background()
+	if err := a.RegisterApp(ctx, registry.AppRecord{
+		Name: "player", Host: "hostA", Description: appDesc("player"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := b.LookupApp(ctx, "player", "hostA"); !found {
+		t.Fatal("precondition: record replicated")
+	}
+	if err := a.UnregisterApp(ctx, "player", "hostA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := b.LookupApp(ctx, "player", "hostA"); found {
+		t.Fatal("tombstone did not remove replicated record")
+	}
+	// The tombstone must not resurrect via a's next sync either.
+	if err := a.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := a.LookupApp(ctx, "player", "hostA"); found {
+		t.Fatal("tombstoned record resurrected at origin")
+	}
+}
+
+func TestFederationConcurrentWritesConverge(t *testing.T) {
+	a, b := newCenterPair(t)
+	ctx := context.Background()
+	// Both centers write the same key before either hears of the other's
+	// version: a genuine concurrent update.
+	mk := func(space string) registry.AppRecord {
+		return registry.AppRecord{
+			Name: "player", Host: "hostA", Space: space,
+			Description: appDesc("player"), Components: []string{"from-" + space},
+		}
+	}
+	if err := a.RegisterApp(ctx, mk("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RegisterApp(ctx, mk("beta")); err != nil {
+		t.Fatal(err)
+	}
+	// Full reconciliation both directions, twice (merge then re-offer).
+	for i := 0; i < 2; i++ {
+		if err := a.SyncNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SyncNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ra, _, _ := a.LookupApp(ctx, "player", "hostA")
+	rb, _, _ := b.LookupApp(ctx, "player", "hostA")
+	if ra.Space != rb.Space || len(ra.Components) != 1 || ra.Components[0] != rb.Components[0] {
+		t.Fatalf("centers diverged: a=%+v b=%+v", ra, rb)
+	}
+	// Deterministic winner: the higher origin space id.
+	if ra.Space != "beta" {
+		t.Fatalf("tiebreak picked %q, want beta", ra.Space)
+	}
+}
+
+// TestFederationConcurrentLocalWritesAreOrdered hammers one center with
+// racing writers for the same key: every write must tick on top of the
+// previous (one totally ordered history), never produce two identical
+// vectors that peers could adopt in different orders.
+func TestFederationConcurrentLocalWritesAreOrdered(t *testing.T) {
+	a, b := newCenterPair(t)
+	ctx := context.Background()
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := registry.AppRecord{
+					Name: "player", Host: "hostA",
+					Description: appDesc("player"),
+					Components:  []string{fmt.Sprintf("w%d-i%d", w, i)},
+				}
+				if err := a.RegisterApp(ctx, rec); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	key := registry.AppRecord{Name: "player", Host: "hostA"}.Key()
+	a.mu.Lock()
+	got := a.records[key].Version.Counter("alpha")
+	a.mu.Unlock()
+	if want := uint64(writers * perWriter); got != want {
+		t.Fatalf("version counter = %d, want %d (lost writes mean racing identical vectors)", got, want)
+	}
+	// And the peer converges to exactly that version.
+	if err := b.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	peer := b.records[key].Version.Counter("alpha")
+	b.mu.Unlock()
+	if peer != uint64(writers*perWriter) {
+		t.Fatalf("peer version counter = %d, want %d", peer, writers*perWriter)
+	}
+}
+
+// TestFederationVersionsSurviveRestart rebuilds a center over the same
+// durable store: post-restart writes must continue the version history
+// ({alpha:3}, not a fresh {alpha:1} that peers would reject as stale
+// and silently revert via anti-entropy).
+func TestFederationVersionsSurviveRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "center.log")
+	key := registry.AppRecord{Name: "player", Host: "hostA"}.Key()
+	ctx := context.Background()
+
+	open := func() (*Center, func()) {
+		db, err := store.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg, err := registry.New(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab := transport.NewLocalFabric(nil)
+		ep, err := fab.Attach(CenterEndpointName("alpha"), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewCenter("alpha", reg, ep, testConfig()), func() {
+			fab.Close()
+			db.Close()
+		}
+	}
+
+	c1, close1 := open()
+	for i := 0; i < 2; i++ {
+		if err := c1.RegisterApp(ctx, registry.AppRecord{
+			Name: "player", Host: "hostA", Description: appDesc("player"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1.mu.Lock()
+	before := c1.records[key].Version.Counter("alpha")
+	c1.mu.Unlock()
+	if before != 2 {
+		t.Fatalf("pre-restart counter = %d, want 2", before)
+	}
+	close1()
+
+	c2, close2 := open()
+	defer close2()
+	if err := c2.RegisterApp(ctx, registry.AppRecord{
+		Name: "player", Host: "hostA", Description: appDesc("player"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c2.mu.Lock()
+	after := c2.records[key].Version.Counter("alpha")
+	c2.mu.Unlock()
+	if after != 3 {
+		t.Fatalf("post-restart counter = %d, want 3 (history lost across restart)", after)
+	}
+}

@@ -1,0 +1,488 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mdagent/internal/transport"
+)
+
+// State is a member's health as seen by one node.
+type State int
+
+// Member states, in escalation order.
+const (
+	StateAlive State = iota + 1
+	StateSuspect
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Member is one host's entry in the membership table.
+type Member struct {
+	ID          string // host id
+	Endpoint    string // transport endpoint the member's node listens on
+	Space       string // smart space the host belongs to
+	State       State
+	Incarnation uint64 // refutation counter (only the member itself bumps it)
+}
+
+// Config parameterizes a cluster deployment: SWIM probe cadence, the
+// suspect->dead escalation window, and the federation anti-entropy period.
+// The zero value takes the defaults below; tests shrink every interval.
+type Config struct {
+	// ProbeInterval is the period between SWIM probes (default 100 ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one direct or indirect probe (default 250 ms).
+	ProbeTimeout time.Duration
+	// SuspicionTimeout is how long a suspect may linger before it is
+	// declared dead (default 1 s).
+	SuspicionTimeout time.Duration
+	// SyncInterval is the federation anti-entropy period (default 250 ms).
+	SyncInterval time.Duration
+	// IndirectProbes is how many relays an indirect probe uses (default 2).
+	IndirectProbes int
+	// Seed feeds probe-target shuffling (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 100 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 250 * time.Millisecond
+	}
+	if c.SuspicionTimeout <= 0 {
+		c.SuspicionTimeout = time.Second
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 250 * time.Millisecond
+	}
+	if c.IndirectProbes <= 0 {
+		c.IndirectProbes = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Node runs SWIM-style membership for one host: it probes a random peer
+// every ProbeInterval, escalates unresponsive peers alive -> suspect ->
+// dead, piggybacks its table on every probe and ack, and refutes rumors
+// about itself by bumping its incarnation. It runs over any transport
+// endpoint — the in-process fabric (where netsim fault injection severs
+// probes) or a TCP node.
+type Node struct {
+	cfg Config
+	ep  *transport.Endpoint
+
+	mu        sync.Mutex
+	self      Member
+	members   map[string]*memberEntry
+	rotation  []string // shuffled probe order
+	rotIdx    int
+	rng       *rand.Rand
+	listeners []func(*Node, Member)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+type memberEntry struct {
+	Member
+	suspectSince time.Time
+}
+
+// NewNode creates a membership node for host self, serving probes on ep.
+// Call Start to begin probing; the node answers peers' probes as soon as
+// it is created.
+func NewNode(self Member, ep *transport.Endpoint, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	self.State = StateAlive
+	if self.Incarnation == 0 {
+		self.Incarnation = 1
+	}
+	if self.Endpoint == "" {
+		self.Endpoint = ep.Name()
+	}
+	n := &Node{
+		cfg:     cfg,
+		ep:      ep,
+		self:    self,
+		members: map[string]*memberEntry{self.ID: {Member: self}},
+		rng:     rand.New(rand.NewSource(cfg.Seed + int64(len(self.ID)))),
+		stop:    make(chan struct{}),
+	}
+	ep.Handle(MsgPing, n.handlePing)
+	ep.Handle(MsgPingReq, n.handlePingReq)
+	return n
+}
+
+// Self returns this node's own membership entry.
+func (n *Node) Self() Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.self
+}
+
+// Join seeds the table with a known peer (assumed alive until probed).
+func (n *Node) Join(peer Member) {
+	peer.State = StateAlive
+	n.applyTable([]Member{peer})
+}
+
+// OnChange registers a callback fired (off the node's lock, on the
+// probing goroutine) whenever a member transitions state or is first
+// learned. The reporting node rides along so listeners can consult its
+// view (e.g. HasQuorum) before acting.
+func (n *Node) OnChange(f func(*Node, Member)) {
+	n.mu.Lock()
+	n.listeners = append(n.listeners, f)
+	n.mu.Unlock()
+}
+
+// Members returns the full table, sorted by id.
+func (n *Node) Members() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Member, 0, len(n.members))
+	for _, e := range n.members {
+		out = append(out, e.Member)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Member returns one entry by host id.
+func (n *Node) Member(id string) (Member, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.members[id]
+	if !ok {
+		return Member{}, false
+	}
+	return e.Member, true
+}
+
+// AliveHosts lists the ids of members this node currently believes alive
+// (including itself), sorted.
+func (n *Node) AliveHosts() []string {
+	var out []string
+	for _, m := range n.Members() {
+		if m.State == StateAlive {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// HasQuorum reports whether this node sees a strict majority of the known
+// membership alive. An isolated node loses quorum and must not act on its
+// (necessarily wrong) belief that everyone else died — the guard that
+// keeps a crashed-but-running host from re-homing the world onto itself.
+func (n *Node) HasQuorum() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	alive, total := 0, 0
+	for _, e := range n.members {
+		total++
+		if e.State == StateAlive {
+			alive++
+		}
+	}
+	return alive*2 > total
+}
+
+// Start launches the probe loop.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(n.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+				n.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts probing. The node still answers peers until its endpoint
+// closes.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// Tick runs one protocol round synchronously: sweep overdue suspects,
+// then probe the next member in the shuffled rotation. Tests drive it
+// directly for determinism; Start calls it on a ticker.
+func (n *Node) Tick() {
+	n.sweep(time.Now())
+	target, ok := n.nextTarget()
+	if !ok {
+		return
+	}
+	n.probe(target)
+}
+
+// nextTarget picks the next probeable member in round-robin order over a
+// shuffled rotation (SWIM's bounded-staleness target selection).
+func (n *Node) nextTarget() (Member, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.rotIdx >= len(n.rotation) {
+		n.rotation = n.rotation[:0]
+		for id, e := range n.members {
+			if id == n.self.ID || e.State == StateDead {
+				continue
+			}
+			n.rotation = append(n.rotation, id)
+		}
+		sort.Strings(n.rotation)
+		n.rng.Shuffle(len(n.rotation), func(i, j int) {
+			n.rotation[i], n.rotation[j] = n.rotation[j], n.rotation[i]
+		})
+		n.rotIdx = 0
+	}
+	for n.rotIdx < len(n.rotation) {
+		id := n.rotation[n.rotIdx]
+		n.rotIdx++
+		if e, ok := n.members[id]; ok && e.State != StateDead {
+			return e.Member, true
+		}
+	}
+	return Member{}, false
+}
+
+// probe pings target directly, falling back to indirect probes through
+// IndirectProbes relays; on total failure the target becomes a suspect.
+func (n *Node) probe(target Member) {
+	table := n.tableSnapshot()
+	if n.ping(target.Endpoint, table) {
+		return
+	}
+	for _, relay := range n.relays(target.ID) {
+		if n.pingVia(relay, target, table) {
+			return
+		}
+	}
+	n.markSuspect(target.ID)
+}
+
+// ping sends one direct probe and merges the ack table.
+func (n *Node) ping(endpoint string, table []Member) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
+	defer cancel()
+	var ack ackMsg
+	err := n.ep.RequestDecode(ctx, endpoint, MsgPing,
+		transport.MustEncode(pingMsg{From: n.self.ID, Table: table}), &ack)
+	if err != nil {
+		return false
+	}
+	n.applyTable(ack.Table)
+	return true
+}
+
+// pingVia asks relay to probe target on our behalf.
+func (n *Node) pingVia(relay, target Member, table []Member) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
+	defer cancel()
+	var ack ackMsg
+	err := n.ep.RequestDecode(ctx, relay.Endpoint, MsgPingReq,
+		transport.MustEncode(pingReqMsg{From: n.self.ID, Target: target, Table: table}), &ack)
+	if err != nil || !ack.OK {
+		return false
+	}
+	n.applyTable(ack.Table)
+	return true
+}
+
+// relays picks up to IndirectProbes alive members other than self and the
+// target.
+func (n *Node) relays(targetID string) []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var pool []Member
+	for id, e := range n.members {
+		if id == n.self.ID || id == targetID || e.State != StateAlive {
+			continue
+		}
+		pool = append(pool, e.Member)
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].ID < pool[j].ID })
+	n.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > n.cfg.IndirectProbes {
+		pool = pool[:n.cfg.IndirectProbes]
+	}
+	return pool
+}
+
+// markSuspect escalates a member to suspect (a no-op if it is already
+// suspect or dead).
+func (n *Node) markSuspect(id string) {
+	n.mu.Lock()
+	e, ok := n.members[id]
+	if !ok || e.State != StateAlive {
+		n.mu.Unlock()
+		return
+	}
+	e.State = StateSuspect
+	e.suspectSince = time.Now()
+	changed := e.Member
+	n.mu.Unlock()
+	n.notify(changed)
+}
+
+// sweep declares overdue suspects dead.
+func (n *Node) sweep(now time.Time) {
+	n.mu.Lock()
+	var dead []Member
+	for _, e := range n.members {
+		if e.State == StateSuspect && now.Sub(e.suspectSince) >= n.cfg.SuspicionTimeout {
+			e.State = StateDead
+			dead = append(dead, e.Member)
+		}
+	}
+	n.mu.Unlock()
+	for _, m := range dead {
+		n.notify(m)
+	}
+}
+
+// tableSnapshot copies the membership table for piggybacking.
+func (n *Node) tableSnapshot() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Member, 0, len(n.members))
+	for _, e := range n.members {
+		out = append(out, e.Member)
+	}
+	return out
+}
+
+// applyTable merges a received table under SWIM's precedence rules:
+// higher incarnation wins; at equal incarnation dead > suspect > alive;
+// dead additionally overrides any lower incarnation (a death certificate
+// does not expire). Rumors about self that are not alive are refuted by
+// bumping our incarnation past them.
+func (n *Node) applyTable(table []Member) {
+	n.mu.Lock()
+	var changed []Member
+	for _, m := range table {
+		if m.ID == n.self.ID {
+			if m.State != StateAlive && m.Incarnation >= n.self.Incarnation {
+				n.self.Incarnation = m.Incarnation + 1
+				n.members[n.self.ID].Member = n.self
+			}
+			continue
+		}
+		e, known := n.members[m.ID]
+		if !known {
+			e = &memberEntry{Member: m}
+			if m.State == StateSuspect {
+				e.suspectSince = time.Now()
+			}
+			n.members[m.ID] = e
+			changed = append(changed, e.Member)
+			continue
+		}
+		if !supersedes(m, e.Member) {
+			continue
+		}
+		prev := e.State
+		e.Member = m
+		if m.State == StateSuspect && prev != StateSuspect {
+			e.suspectSince = time.Now()
+		}
+		if m.State != prev {
+			changed = append(changed, e.Member)
+		}
+	}
+	n.mu.Unlock()
+	for _, m := range changed {
+		n.notify(m)
+	}
+}
+
+// supersedes reports whether update m should replace current.
+func supersedes(m, current Member) bool {
+	if m.State == StateDead {
+		return current.State != StateDead
+	}
+	if current.State == StateDead {
+		// Only a fresh incarnation (a restarted member) clears a death
+		// certificate.
+		return m.State == StateAlive && m.Incarnation > current.Incarnation
+	}
+	if m.Incarnation != current.Incarnation {
+		return m.Incarnation > current.Incarnation
+	}
+	return statePrecedence(m.State) > statePrecedence(current.State)
+}
+
+func statePrecedence(s State) int {
+	switch s {
+	case StateAlive:
+		return 0
+	case StateSuspect:
+		return 1
+	case StateDead:
+		return 2
+	}
+	return -1
+}
+
+func (n *Node) notify(m Member) {
+	n.mu.Lock()
+	ls := make([]func(*Node, Member), len(n.listeners))
+	copy(ls, n.listeners)
+	n.mu.Unlock()
+	for _, f := range ls {
+		f(n, m)
+	}
+}
+
+// handlePing answers a direct probe: merge the sender's table, ack with
+// ours.
+func (n *Node) handlePing(msg transport.Message) ([]byte, error) {
+	var p pingMsg
+	if err := transport.Decode(msg.Payload, &p); err != nil {
+		return nil, err
+	}
+	n.applyTable(p.Table)
+	return transport.Encode(ackMsg{OK: true, Table: n.tableSnapshot()})
+}
+
+// handlePingReq probes the requested target on the asker's behalf.
+func (n *Node) handlePingReq(msg transport.Message) ([]byte, error) {
+	var p pingReqMsg
+	if err := transport.Decode(msg.Payload, &p); err != nil {
+		return nil, err
+	}
+	n.applyTable(p.Table)
+	ok := n.ping(p.Target.Endpoint, n.tableSnapshot())
+	return transport.Encode(ackMsg{OK: ok, Table: n.tableSnapshot()})
+}

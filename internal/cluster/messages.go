@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"mdagent/internal/owl"
+	"mdagent/internal/registry"
+	"mdagent/internal/vclock"
+	"mdagent/internal/wsdl"
+)
+
+// Transport message types served by cluster nodes and federated centers.
+const (
+	MsgPing      = "cluster.ping"       // direct SWIM probe
+	MsgPingReq   = "cluster.ping-req"   // indirect probe through a relay
+	MsgFedDigest = "cluster.fed-digest" // anti-entropy digest exchange
+	MsgFedPush   = "cluster.fed-push"   // best-effort replication push
+)
+
+// MemberEndpointName returns the conventional membership endpoint name for
+// a host (used by in-process deployments; cmd daemons share their engine
+// endpoint instead).
+func MemberEndpointName(host string) string { return "cluster@" + host }
+
+// CenterEndpointName returns the conventional endpoint name of a smart
+// space's federated registry center.
+func CenterEndpointName(space string) string { return "registry@" + space }
+
+// pingMsg is a direct probe: the sender's full membership table rides
+// along (SWIM's piggybacked dissemination, degenerate full-table form —
+// tables are tens of entries, not thousands).
+type pingMsg struct {
+	From  string
+	Table []Member
+}
+
+// ackMsg acknowledges a probe, carrying the responder's table back.
+type ackMsg struct {
+	OK    bool
+	Table []Member
+}
+
+// pingReqMsg asks a relay to probe Target on the sender's behalf (SWIM's
+// indirect probe, which distinguishes a dead target from a lossy path).
+type pingReqMsg struct {
+	From   string
+	Target Member
+	Table  []Member
+}
+
+// RecordKind classifies a replicated registry record.
+type RecordKind int
+
+// Replicated record kinds.
+const (
+	RecordApp RecordKind = iota + 1
+	RecordResource
+	RecordDevice
+)
+
+// Record is one versioned, replicated registry entry. Exactly one of App,
+// Res, Dev is meaningful, selected by Kind; gob cannot carry interfaces
+// without registration churn, so the union is explicit.
+type Record struct {
+	Key     string // store key, e.g. "app/hostA/smart-media-player"
+	Kind    RecordKind
+	Origin  string // space of the last writer (concurrent-update tiebreak)
+	Version vclock.Version
+	Deleted bool // tombstone: the entry was unregistered
+
+	App registry.AppRecord
+	Res owl.Resource
+	Dev wsdl.DeviceProfile
+}
+
+// digestMsg asks a peer center for every record the sender's digest has
+// not seen.
+type digestMsg struct {
+	From   string // sender space
+	Digest map[string]vclock.Version
+}
+
+// digestReply carries the records the responder holds that the digest
+// does not dominate.
+type digestReply struct {
+	Records []Record
+}
+
+// pushMsg carries freshly written records to a peer center.
+type pushMsg struct {
+	From    string
+	Records []Record
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"mdagent/internal/app"
+	"mdagent/internal/cluster"
+	"mdagent/internal/ctxkernel"
+	"mdagent/internal/demoapps"
+	"mdagent/internal/media"
+	"mdagent/internal/netsim"
+	"mdagent/internal/wsdl"
+)
+
+func clusterTestConfig() *cluster.Config {
+	return &cluster.Config{
+		ProbeInterval:    2 * time.Millisecond,
+		ProbeTimeout:     25 * time.Millisecond,
+		SuspicionTimeout: 40 * time.Millisecond,
+		SyncInterval:     5 * time.Millisecond,
+		Seed:             11,
+	}
+}
+
+func testDevice(host string) wsdl.DeviceProfile {
+	return wsdl.DeviceProfile{
+		Host: host, ScreenWidth: 1024, ScreenHeight: 768,
+		MemoryMB: 512, HasAudio: true, HasDisplay: true,
+	}
+}
+
+// newFederatedDeployment builds the churn testbed: three smart spaces,
+// one host each, the media player running on h1 with its skeleton
+// installed on h2 and h3.
+func newFederatedDeployment(t *testing.T) *Middleware {
+	t.Helper()
+	mw, err := New(Config{Seed: 5, Cluster: clusterTestConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mw.Close() })
+	hosts := []string{"h1", "h2", "h3"}
+	for i, host := range hosts {
+		space := []string{"lab1", "lab2", "lab3"}[i]
+		if err := mw.AddSpace(space); err != nil {
+			t.Fatal(err)
+		}
+		// Inter-space traffic (gossip probes, federation digests, clone
+		// wraps) requires each space to expose a gateway (paper Fig. 1).
+		if err := mw.AddGateway("gw-"+space, space, netsim.Pentium4_1700()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mw.AddHost(host, space, netsim.Pentium4_1700(), testDevice(host), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	song := media.GenerateFile("song1", 2_000_000, 3)
+	rt1, _ := mw.Host("h1")
+	rt1.Library.Add(song)
+	if err := mw.RunApp("h1", demoapps.NewMediaPlayer("h1", song)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.RegisterResource(demoapps.MusicResource(song, "h1")); err != nil {
+		t.Fatal(err)
+	}
+	for _, host := range []string{"h2", "h3"} {
+		if err := mw.InstallApp(host, "smart-media-player", demoapps.MediaPlayerDesc(),
+			demoapps.MediaPlayerSkeletonComponents(),
+			func(h string) *app.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mw
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFederatedFailoverRehomesAcrossSpaces is the acceptance scenario:
+// three federated spaces, the app's host killed by netsim fault
+// injection, membership converging to dead within the suspicion window,
+// and the app automatically re-homed — its registry records intact on a
+// *different* space's center.
+func TestFederatedFailoverRehomesAcrossSpaces(t *testing.T) {
+	mw := newFederatedDeployment(t)
+	ctx := context.Background()
+
+	// Replication: h1's running record reaches lab3's center.
+	lab3, ok := mw.Cluster.Center("lab3")
+	if !ok {
+		t.Fatal("no center for lab3")
+	}
+	// Both the running record AND the resource must replicate before the
+	// kill: anything that only ever lived on the dying center is lost
+	// (eventual consistency is not durability).
+	waitFor(t, 5*time.Second, "replication of h1's records to lab3", func() bool {
+		rec, found, _ := lab3.LookupApp(ctx, "smart-media-player", "h1")
+		if !found || !rec.Running {
+			return false
+		}
+		res, err := lab3.Registry().ResourcesOnHost("h1")
+		return err == nil && len(res) == 1
+	})
+
+	// Membership: everyone sees three alive.
+	for _, host := range []string{"h1", "h2", "h3"} {
+		node, _ := mw.Cluster.Node(host)
+		waitFor(t, 5*time.Second, host+" seeing 3 alive", func() bool {
+			return len(node.AliveHosts()) == 3
+		})
+	}
+
+	// Watch for the failure-detection and re-homing events.
+	var evMu sync.Mutex
+	events := make(map[string]ctxkernel.Event)
+	mw.Kernel.Subscribe("cluster.*", func(ev ctxkernel.Event) {
+		evMu.Lock()
+		events[ev.Topic] = ev
+		evMu.Unlock()
+	})
+
+	// Kill h1. Survivors must converge to dead within the configured
+	// suspicion timeout (generous wall-time bound: the probe interval is
+	// 2 ms and suspicion 40 ms, so seconds of slack are orders of margin).
+	if err := mw.Net.SetHostDown("h1", true); err != nil {
+		t.Fatal(err)
+	}
+	detectStart := time.Now()
+	n2, _ := mw.Cluster.Node("h2")
+	n3, _ := mw.Cluster.Node("h3")
+	waitFor(t, 5*time.Second, "survivors declaring h1 dead", func() bool {
+		m2, _ := n2.Member("h1")
+		m3, _ := n3.Member("h1")
+		return m2.State == cluster.StateDead && m3.State == cluster.StateDead
+	})
+	t.Logf("membership converged to dead in %v", time.Since(detectStart))
+
+	// The app lands on a survivor. Both carry the same skeleton, so the
+	// deterministic tiebreak picks h2.
+	if err := mw.WaitAppOn("smart-media-player", "h2", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Registry records intact on a different space's center: lab3 (whose
+	// host h3 neither died nor received the app) sees the new home and no
+	// stale record for the dead host.
+	waitFor(t, 5*time.Second, "lab3 center seeing the re-homed record", func() bool {
+		rec, found, _ := lab3.LookupApp(ctx, "smart-media-player", "h2")
+		if !found || !rec.Running || rec.Space != "lab2" {
+			return false
+		}
+		_, stale, _ := lab3.LookupApp(ctx, "smart-media-player", "h1")
+		return !stale
+	})
+	// The resource registered on h1 is still known federation-wide.
+	res, err := lab3.Registry().ResourcesOnHost("h1")
+	if err != nil || len(res) != 1 {
+		t.Fatalf("music resource lost from replicated registry: %v err=%v", res, err)
+	}
+
+	// The kernel narrated the incident.
+	evMu.Lock()
+	defer evMu.Unlock()
+	if _, ok := events[TopicHostDead]; !ok {
+		t.Error("no cluster.host-dead event published")
+	}
+	re, ok := events[TopicRehomed]
+	if !ok {
+		t.Fatal("no cluster.rehomed event published")
+	}
+	if re.Attr("app") != "smart-media-player" || re.Attr("from") != "h1" || re.Attr("to") != "h2" {
+		t.Fatalf("rehomed event attrs = %v", re.Attrs)
+	}
+}
+
+// TestIsolatedHostDoesNotStealApps drives the split-brain guard: the
+// killed host's own node sees everyone else dead but has no quorum, so
+// it must not re-home the survivors' applications onto itself.
+func TestIsolatedHostDoesNotStealApps(t *testing.T) {
+	mw := newFederatedDeployment(t)
+
+	// Run a second app on h2 so the isolated h1 would have something to
+	// steal if the guard failed.
+	song := media.GenerateFile("song2", 1_000_000, 4)
+	rt2, _ := mw.Host("h2")
+	rt2.Library.Add(song)
+	if err := mw.RunApp("h2", demoapps.NewHandheldPlayer("h2", song)); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, host := range []string{"h1", "h2", "h3"} {
+		node, _ := mw.Cluster.Node(host)
+		waitFor(t, 5*time.Second, host+" seeing 3 alive", func() bool {
+			return len(node.AliveHosts()) == 3
+		})
+	}
+	if err := mw.Net.SetHostDown("h1", true); err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := mw.Cluster.Node("h1")
+	waitFor(t, 5*time.Second, "isolated h1 losing quorum", func() bool {
+		return !n1.HasQuorum()
+	})
+	// Give h1 ample time to (wrongly) act; the app must stay put.
+	time.Sleep(100 * time.Millisecond)
+	rt1, _ := mw.Host("h1")
+	if _, stolen := rt1.Engine.App("handheld-player"); stolen {
+		t.Fatal("isolated host re-homed a survivor's app onto itself")
+	}
+	if _, ok := rt2.Engine.App("handheld-player"); !ok {
+		t.Fatal("survivor lost its app")
+	}
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	"mdagent/internal/agents"
 	"mdagent/internal/app"
+	"mdagent/internal/cluster"
 	"mdagent/internal/ctxkernel"
 	"mdagent/internal/media"
 	"mdagent/internal/migrate"
@@ -48,7 +50,24 @@ type Config struct {
 	SensorTick time.Duration
 	// StorePath persists the registry to a file when non-empty.
 	StorePath string
+	// Cluster opts the deployment into the distribution layer: gossip
+	// membership per host, one federated registry center per smart space
+	// (replacing the single registry center as the engines' catalog), and
+	// automatic failover re-homing of a dead host's applications. Nil
+	// (the default) keeps the paper's single-center topology.
+	Cluster *cluster.Config
 }
+
+// Kernel topics published by the cluster layer.
+const (
+	// TopicHostDead fires when membership declares a host dead (with
+	// quorum) and failover begins.
+	TopicHostDead = "cluster.host-dead"
+	// TopicRehomed fires for each application relaunched on a survivor.
+	TopicRehomed = "cluster.rehomed"
+	// TopicRehomeFailed fires when failover could not re-home an app.
+	TopicRehomeFailed = "cluster.rehome-failed"
+)
 
 // HostRuntime is everything MDAgent runs on one host.
 type HostRuntime struct {
@@ -75,11 +94,21 @@ type Middleware struct {
 	Fusion     *ctxkernel.Fusion
 	Predictor  *ctxkernel.Predictor
 	Platform   *platform.Platform
+	// Cluster is the distribution layer (nil unless Config.Cluster set).
+	Cluster *cluster.Cluster
 
 	mu    sync.Mutex
 	hosts map[string]*HostRuntime
 	db    *store.Store
+
+	rehomeMu    sync.Mutex
+	rehomed     map[string]bool   // dead hosts already re-homed (dedupes reporters)
+	rehomeTries map[string]int    // failed attempts per dead host (bounded retry)
+	centerHosts map[string]string // space -> host its center endpoint lives on
 }
+
+// maxRehomeAttempts bounds the failover retry loop for one dead host.
+const maxRehomeAttempts = 5
 
 // New builds an empty deployment from cfg.
 func New(cfg Config) (*Middleware, error) {
@@ -142,6 +171,15 @@ func New(cfg Config) (*Middleware, error) {
 		return nil, err
 	}
 	reg.Serve(regEp)
+
+	if cfg.Cluster != nil {
+		mw.Cluster = cluster.New(*cfg.Cluster)
+		mw.rehomed = make(map[string]bool)
+		mw.rehomeTries = make(map[string]int)
+		mw.centerHosts = make(map[string]string)
+		mw.Cluster.OnMemberChange(mw.onMemberChange)
+		mw.Cluster.Start()
+	}
 	return mw, nil
 }
 
@@ -163,11 +201,27 @@ func (m *Middleware) AddHost(host, spaceName string, profile netsim.HostProfile,
 	if err := m.Registry.RegisterDevice(dev); err != nil {
 		return nil, err
 	}
+	cat := migrate.Catalog(migrate.Direct{R: m.Registry})
+	if m.Cluster != nil {
+		center, err := m.ensureCenter(spaceName, host)
+		if err != nil {
+			return nil, err
+		}
+		if err := center.RegisterDevice(context.Background(), dev); err != nil {
+			return nil, err
+		}
+		memberEp, err := m.Fabric.Attach(cluster.MemberEndpointName(host), host)
+		if err != nil {
+			return nil, err
+		}
+		m.Cluster.AddNode(host, spaceName, memberEp)
+		cat = center
+	}
 	ep, err := m.Fabric.Attach(migrate.EndpointName(host), host)
 	if err != nil {
 		return nil, err
 	}
-	eng := migrate.NewEngine(host, ep, m.Net, m.Directory, migrate.Direct{R: m.Registry}, m.cfg.Costs)
+	eng := migrate.NewEngine(host, ep, m.Net, m.Directory, cat, m.cfg.Costs)
 	cont, err := m.Platform.NewContainer("container@"+host, host)
 	if err != nil {
 		return nil, err
@@ -184,6 +238,185 @@ func (m *Middleware) AddHost(host, spaceName string, profile netsim.HostProfile,
 	m.hosts[host] = rt
 	m.mu.Unlock()
 	return rt, nil
+}
+
+// ensureCenter lazily creates a space's federated registry center,
+// co-locating its endpoint on the space's first provisioned host — when
+// that host dies, the space's center dies with it, and lookups must be
+// served by the surviving spaces' replicas (the paper's one-center-per-
+// space topology, made crash-honest).
+func (m *Middleware) ensureCenter(spaceName, host string) (*cluster.Center, error) {
+	if center, ok := m.Cluster.Center(spaceName); ok {
+		return center, nil
+	}
+	reg, err := registry.New(store.OpenMemory())
+	if err != nil {
+		return nil, err
+	}
+	ep, err := m.Fabric.Attach(cluster.CenterEndpointName(spaceName), host)
+	if err != nil {
+		return nil, err
+	}
+	m.rehomeMu.Lock()
+	m.centerHosts[spaceName] = host
+	m.rehomeMu.Unlock()
+	return m.Cluster.AddCenter(spaceName, reg, ep), nil
+}
+
+// onMemberChange reacts to gossip transitions: a dead declaration from a
+// reporter that still holds quorum triggers failover re-homing, once per
+// dead host no matter how many survivors report it. A failed attempt
+// clears the dedupe flag and schedules a bounded retry — a transiently
+// unreachable center or a mid-conviction race must not strand the dead
+// host's applications forever.
+func (m *Middleware) onMemberChange(reporter *cluster.Node, mem cluster.Member) {
+	if mem.State != cluster.StateDead || !reporter.HasQuorum() {
+		return
+	}
+	m.rehomeMu.Lock()
+	if m.rehomed[mem.ID] {
+		m.rehomeMu.Unlock()
+		return
+	}
+	m.rehomed[mem.ID] = true
+	m.rehomeMu.Unlock()
+	// Off the gossip goroutine: re-homing talks to engines and centers.
+	go m.rehomeAttempt(reporter, mem.ID)
+}
+
+// rehomeAttempt runs one failover attempt and schedules a retry with
+// backoff on failure, up to maxRehomeAttempts.
+func (m *Middleware) rehomeAttempt(reporter *cluster.Node, deadHost string) {
+	if m.rehomeDead(reporter, deadHost) {
+		return
+	}
+	m.rehomeMu.Lock()
+	m.rehomeTries[deadHost]++
+	tries := m.rehomeTries[deadHost]
+	exhausted := tries >= maxRehomeAttempts
+	if !exhausted {
+		delete(m.rehomed, deadHost) // let a concurrent reporter claim it
+	}
+	m.rehomeMu.Unlock()
+	if exhausted {
+		return
+	}
+	delay := m.Cluster.Config().SuspicionTimeout * time.Duration(tries)
+	time.AfterFunc(delay, func() {
+		m.rehomeMu.Lock()
+		claimed := m.rehomed[deadHost]
+		if !claimed {
+			m.rehomed[deadHost] = true
+		}
+		m.rehomeMu.Unlock()
+		if !claimed {
+			m.rehomeAttempt(reporter, deadHost)
+		}
+	})
+}
+
+// rehomeDead relaunches every application the dead host was running on
+// the best surviving host, planning against a surviving space center:
+// centers are co-located with their space's first host, so the dead
+// host may have taken its own space's center down with it — pick a
+// replica whose host the reporter still sees alive.
+func (m *Middleware) rehomeDead(reporter *cluster.Node, deadHost string) bool {
+	now := m.Clock.Now()
+	m.Kernel.Publish(ctxkernel.Event{
+		Topic: TopicHostDead, At: now, Source: "cluster",
+		Attrs: map[string]string{"host": deadHost, "reporter": reporter.Self().ID},
+	})
+	center, ok := m.survivingCenter(reporter, deadHost)
+	if !ok {
+		m.Kernel.Publish(ctxkernel.Event{
+			Topic: TopicRehomeFailed, At: now, Source: "cluster",
+			Attrs: map[string]string{"host": deadHost, "error": "no surviving registry center"},
+		})
+		return false
+	}
+	f := &cluster.Failover{Center: center, Alive: reporter.AliveHosts, Launch: m.relaunch}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done, err := f.Rehome(ctx, deadHost)
+	for _, r := range done {
+		m.Kernel.Publish(ctxkernel.Event{
+			Topic: TopicRehomed, At: m.Clock.Now(), Source: "cluster",
+			Attrs: map[string]string{"app": r.App, "from": r.From, "to": r.To, "space": r.NewSpace},
+		})
+	}
+	if err != nil {
+		m.Kernel.Publish(ctxkernel.Event{
+			Topic: TopicRehomeFailed, At: m.Clock.Now(), Source: "cluster",
+			Attrs: map[string]string{"host": deadHost, "error": err.Error()},
+		})
+		return false
+	}
+	return true
+}
+
+// survivingCenter picks a registry center whose co-located host the
+// reporter believes alive, preferring the reporter's own space and
+// falling back through the remaining spaces in sorted order.
+func (m *Middleware) survivingCenter(reporter *cluster.Node, deadHost string) (*cluster.Center, bool) {
+	spaces := append([]string{reporter.Self().Space}, m.Cluster.Spaces()...)
+	for _, space := range spaces {
+		m.rehomeMu.Lock()
+		host := m.centerHosts[space]
+		m.rehomeMu.Unlock()
+		if host == "" || host == deadHost {
+			continue
+		}
+		if mem, ok := reporter.Member(host); !ok || mem.State != cluster.StateAlive {
+			continue
+		}
+		if center, ok := m.Cluster.Center(space); ok {
+			return center, true
+		}
+	}
+	return nil, false
+}
+
+// relaunch restores one application on the chosen survivor: through the
+// host's installed skeleton factory when one exists (the clone-dispatch
+// arrival machinery), else as a bare instance rebuilt from the replicated
+// interface description.
+func (m *Middleware) relaunch(rec registry.AppRecord, target string) (registry.AppRecord, error) {
+	rt, ok := m.Host(target)
+	if !ok {
+		return registry.AppRecord{}, fmt.Errorf("core: unknown failover target %q", target)
+	}
+	// Idempotent: a retried failover may find the app already relaunched
+	// here by an earlier partial attempt — that is success, not a
+	// duplicate-run error.
+	if existing, ok := rt.Engine.App(rec.Name); ok {
+		if existing.State() == app.Suspended {
+			if err := existing.Resume(); err != nil {
+				return registry.AppRecord{}, err
+			}
+		}
+		return registry.AppRecord{
+			Name: rec.Name, Host: target, Space: rt.Space,
+			Description: rec.Description, Components: existing.Components(), Running: true,
+		}, nil
+	}
+	var inst *app.Application
+	if factory, ok := rt.Engine.Factory(rec.Name); ok {
+		inst = factory(target)
+	} else {
+		inst = app.New(rec.Name, target, rec.Description)
+	}
+	if inst.State() == app.Suspended {
+		if err := inst.Resume(); err != nil {
+			return registry.AppRecord{}, err
+		}
+	}
+	if err := rt.Engine.Run(inst); err != nil {
+		return registry.AppRecord{}, err
+	}
+	return registry.AppRecord{
+		Name: rec.Name, Host: target, Space: rt.Space,
+		Description: rec.Description, Components: inst.Components(), Running: true,
+	}, nil
 }
 
 // AddGateway provisions a gateway host bridging its space.
@@ -241,10 +474,22 @@ func (m *Middleware) RunApp(host string, inst *app.Application) error {
 	if err := rt.Engine.Run(inst); err != nil {
 		return err
 	}
-	return m.Registry.RegisterApp(registry.AppRecord{
+	return m.registerApp(registry.AppRecord{
 		Name: inst.Name(), Host: host, Space: rt.Space,
 		Description: inst.Description(), Components: inst.Components(),
+		Running: true,
 	})
+}
+
+// registerApp records an installation at the host's space center when
+// clustered, else at the single registry center.
+func (m *Middleware) registerApp(rec registry.AppRecord) error {
+	if m.Cluster != nil {
+		if center, ok := m.Cluster.Center(rec.Space); ok {
+			return center.RegisterApp(context.Background(), rec)
+		}
+	}
+	return m.Registry.RegisterApp(rec)
 }
 
 // InstallApp provisions an application skeleton factory on a host (the
@@ -256,14 +501,23 @@ func (m *Middleware) InstallApp(host, appName string, desc wsdl.Description, com
 		return fmt.Errorf("core: unknown host %q", host)
 	}
 	rt.Engine.InstallFactory(appName, factory)
-	return m.Registry.RegisterApp(registry.AppRecord{
+	return m.registerApp(registry.AppRecord{
 		Name: appName, Host: host, Space: rt.Space,
 		Description: desc, Components: components,
 	})
 }
 
-// RegisterResource records a resource in the registry center.
+// RegisterResource records a resource in the registry center — the
+// owning host's space center when clustered (whence it replicates to
+// every space), else the single center.
 func (m *Middleware) RegisterResource(res owl.Resource) error {
+	if m.Cluster != nil {
+		if space, ok := m.Directory.SpaceOfHost(res.Host); ok {
+			if center, ok := m.Cluster.Center(space); ok {
+				return center.RegisterResource(context.Background(), res)
+			}
+		}
+	}
 	return m.Registry.RegisterResource(res)
 }
 
@@ -340,6 +594,9 @@ func (m *Middleware) WaitAppOn(appName, host string, timeout time.Duration) erro
 
 // Close tears the deployment down.
 func (m *Middleware) Close() error {
+	if m.Cluster != nil {
+		m.Cluster.Stop()
+	}
 	err := m.Fabric.Close()
 	if cerr := m.db.Close(); err == nil {
 		err = cerr

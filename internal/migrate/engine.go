@@ -134,6 +134,15 @@ func (e *Engine) InstallFactory(appName string, f func(host string) *app.Applica
 	e.mu.Unlock()
 }
 
+// Factory returns the installed skeleton factory for an app, if any —
+// cluster failover uses it to relaunch a dead host's application here.
+func (e *Engine) Factory(appName string) (func(host string) *app.Application, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f, ok := e.factories[appName]
+	return f, ok
+}
+
 // clock returns the engine host's (possibly skewed) clock.
 func (e *Engine) clock() vclock.Clock {
 	if e.net != nil {
@@ -350,12 +359,30 @@ func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding
 		migrateDur = 0
 	}
 
+	// The instance left this host: demote the source record to a plain
+	// installation so cluster failover never resurrects a departed app
+	// from a stale record if this host later dies. A fresh context keeps
+	// the demotion from being skipped just because a long transfer
+	// exhausted the caller's deadline; failure is reported in the report
+	// so operators can see the stale record risk.
+	demoteCtx, demoteCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer demoteCancel()
+	var demoteNote []string
+	if srcRec, found, err := e.cat.LookupApp(demoteCtx, appName, e.host); err != nil {
+		demoteNote = append(demoteNote, "source record not demoted: "+err.Error())
+	} else if found && srcRec.Running {
+		srcRec.Running = false
+		if err := e.cat.RegisterApp(demoteCtx, srcRec); err != nil {
+			demoteNote = append(demoteNote, "source record not demoted: "+err.Error())
+		}
+	}
+
 	return Report{
 		App: appName, Mode: FollowMe, Binding: binding,
 		FromHost: e.host, ToHost: destHost, InterSpace: interSpace,
 		Suspend: suspendDur, Migrate: migrateDur, Resume: resumeDur,
 		BytesMoved: int64(len(raw)), Carried: carried, Rebindings: plans,
-		AdaptNotes: reply.AdaptNotes, RestoredApp: reply.RestoredApp,
+		AdaptNotes: append(reply.AdaptNotes, demoteNote...), RestoredApp: reply.RestoredApp,
 	}, nil
 }
 
@@ -451,7 +478,7 @@ func (e *Engine) restore(p checkinPayload, instanceName string) (checkinReply, e
 	// register themselves with the registry centers).
 	_ = e.cat.RegisterApp(ctx, registry.AppRecord{
 		Name: p.App, Host: e.host, Description: p.Desc,
-		Components: inst.Components(),
+		Components: inst.Components(), Running: true,
 	})
 
 	return checkinReply{

@@ -10,6 +10,7 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -17,6 +18,14 @@ import (
 
 	"mdagent/internal/vclock"
 )
+
+// ErrHostDown is wrapped by routing errors when an endpoint of a transfer
+// has been taken down by fault injection.
+var ErrHostDown = errors.New("netsim: host down")
+
+// ErrPartitioned is wrapped by routing errors when the two endpoints of a
+// transfer sit on different sides of an injected partition.
+var ErrPartitioned = errors.New("netsim: network partitioned")
 
 // HostProfile describes the compute characteristics of a simulated host.
 // Serialization throughput governs suspend/wrap cost; deserialization
@@ -112,6 +121,8 @@ type Network struct {
 	defaultLink LinkProfile
 	gatewayCost time.Duration // per gateway traversal (paper: inter-space requires gateway support)
 	rng         *rand.Rand
+	down        map[string]bool   // fault injection: crashed hosts
+	partition   map[string]string // fault injection: host -> partition side
 }
 
 // Option configures a Network.
@@ -143,6 +154,8 @@ func New(clock vclock.Clock, opts ...Option) *Network {
 		defaultLink: Ethernet10(),
 		gatewayCost: 25 * time.Millisecond,
 		rng:         rand.New(rand.NewSource(1)),
+		down:        make(map[string]bool),
+		partition:   make(map[string]string),
 	}
 	for _, o := range opts {
 		o(n)
@@ -241,6 +254,68 @@ type Route struct {
 	InterSpace bool
 }
 
+// SetHostDown injects (down=true) or repairs (down=false) a host crash:
+// every transfer to or from a down host fails with ErrHostDown. The host's
+// simulated processes keep running — only its network is severed — which
+// models the paper testbed's machine becoming unreachable.
+func (n *Network) SetHostDown(id string, down bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[id]; !ok {
+		return fmt.Errorf("netsim: unknown host %q", id)
+	}
+	if down {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+	return nil
+}
+
+// HostDown reports whether a host is currently failed.
+func (n *Network) HostDown(id string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.down[id]
+}
+
+// Partition splits the network: hosts named in groups can only reach hosts
+// within their own group. Hosts in no group stay reachable from every
+// group. It replaces any previous partition; call HealPartition to rejoin.
+func (n *Network) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]string)
+	for i, g := range groups {
+		side := fmt.Sprintf("side-%d", i)
+		for _, h := range g {
+			n.partition[h] = side
+		}
+	}
+}
+
+// HealPartition removes any injected partition.
+func (n *Network) HealPartition() {
+	n.mu.Lock()
+	n.partition = make(map[string]string)
+	n.mu.Unlock()
+}
+
+// reachable checks fault-injection state; callers hold n.mu.
+func (n *Network) reachable(from, to string) error {
+	if n.down[from] {
+		return fmt.Errorf("%w: %q", ErrHostDown, from)
+	}
+	if n.down[to] {
+		return fmt.Errorf("%w: %q", ErrHostDown, to)
+	}
+	sa, sb := n.partition[from], n.partition[to]
+	if sa != "" && sb != "" && sa != sb {
+		return fmt.Errorf("%w: %q / %q", ErrPartitioned, from, to)
+	}
+	return nil
+}
+
 // RouteBetween computes the route from one host to another. Hosts in the
 // same space connect directly; hosts in different spaces route through each
 // space's gateway (paper Fig. 1: inter-space mobility requires gateways).
@@ -254,6 +329,11 @@ func (n *Network) RouteBetween(from, to string) (Route, error) {
 	dst, ok := n.hosts[to]
 	if !ok {
 		return Route{}, fmt.Errorf("netsim: unknown destination host %q", to)
+	}
+	if from != to {
+		if err := n.reachable(from, to); err != nil {
+			return Route{}, err
+		}
 	}
 	if from == to {
 		return Route{Hops: []string{from}}, nil
@@ -278,6 +358,11 @@ func (n *Network) RouteBetween(from, to string) (Route, error) {
 	}
 	if gwDst.ID != to {
 		hops = append(hops, to)
+	}
+	for _, hop := range hops {
+		if n.down[hop] {
+			return Route{}, fmt.Errorf("%w: gateway hop %q", ErrHostDown, hop)
+		}
 	}
 	return Route{Hops: hops, Gateways: gateways, InterSpace: true}, nil
 }

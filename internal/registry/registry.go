@@ -27,6 +27,7 @@ type AppRecord struct {
 	Space       string           // smart space of the host
 	Description wsdl.Description // interface description
 	Components  []string         // component factory names installed on the host
+	Running     bool             // a live instance (vs an installed skeleton) — failover re-homes only these
 }
 
 // Key returns the storage key for the record.
@@ -107,6 +108,11 @@ func New(db *store.Store) (*Registry, error) {
 
 // Ontology exposes the registry's resource ontology (read-mostly).
 func (r *Registry) Ontology() *owl.Ontology { return r.onto }
+
+// Store exposes the backing store so cooperating layers (the federated
+// cluster centers) can persist their replication metadata with the same
+// durability as the records themselves.
+func (r *Registry) Store() *store.Store { return r.db }
 
 // RegisterApp stores (or replaces) an application installation record.
 func (r *Registry) RegisterApp(rec AppRecord) error {

@@ -16,9 +16,10 @@ type TCPNode struct {
 	ln net.Listener
 
 	mu     sync.Mutex
-	peers  map[string]string   // endpoint name -> address
-	conns  map[string]*tcpLink // address -> live link (outbound)
-	routes map[string]*tcpLink // endpoint name -> inbound link (reply path)
+	peers  map[string]string     // endpoint name -> address
+	conns  map[string]*tcpLink   // address -> live link (outbound)
+	routes map[string]*tcpLink   // endpoint name -> inbound link (reply path)
+	links  map[*tcpLink]struct{} // every live link, inbound and outbound
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -46,6 +47,7 @@ func ListenTCP(name, addr string) (*TCPNode, error) {
 		peers:  make(map[string]string),
 		conns:  make(map[string]*tcpLink),
 		routes: make(map[string]*tcpLink),
+		links:  make(map[*tcpLink]struct{}),
 	}
 	n.ep = newEndpoint(name, n)
 	n.wg.Add(1)
@@ -73,9 +75,26 @@ func (n *TCPNode) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		link := &tcpLink{conn: conn, enc: gob.NewEncoder(conn)}
+		if !n.trackLink(link) {
+			conn.Close()
+			return
+		}
 		n.wg.Add(1)
-		go n.readLoop(&tcpLink{conn: conn, enc: gob.NewEncoder(conn)})
+		go n.readLoop(link)
 	}
+}
+
+// trackLink registers a live link so Close can sever it; it refuses (and
+// reports false) once the node is closed.
+func (n *TCPNode) trackLink(link *tcpLink) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.links[link] = struct{}{}
+	return true
 }
 
 // readLoop consumes messages from link. The link's single encoder is shared
@@ -88,13 +107,12 @@ func (n *TCPNode) readLoop(link *tcpLink) {
 	dec := gob.NewDecoder(conn)
 	var learned string
 	defer func() {
-		if learned != "" {
-			n.mu.Lock()
-			if n.routes[learned] == link {
-				delete(n.routes, learned)
-			}
-			n.mu.Unlock()
+		n.mu.Lock()
+		delete(n.links, link)
+		if learned != "" && n.routes[learned] == link {
+			delete(n.routes, learned)
 		}
+		n.mu.Unlock()
 	}()
 	for {
 		var msg Message
@@ -146,42 +164,87 @@ func (n *TCPNode) deliver(msg Message) error {
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoRoute, msg.To)
 	}
-	link, ok := n.conns[addr]
+	link, cached := n.conns[addr]
 	n.mu.Unlock()
 
-	if !ok {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			return fmt.Errorf("transport: dial %s: %w", addr, err)
-		}
-		link = &tcpLink{conn: conn, enc: gob.NewEncoder(conn)}
-		n.mu.Lock()
-		if existing, raced := n.conns[addr]; raced {
-			n.mu.Unlock()
-			conn.Close()
-			link = existing
-		} else {
-			n.conns[addr] = link
-			n.mu.Unlock()
-			// Replies flow back on the same connection.
-			n.wg.Add(1)
-			go n.readLoop(link)
+	if !cached {
+		var err error
+		if link, err = n.dialLink(addr); err != nil {
+			return err
 		}
 	}
-	if err := link.send(msg); err != nil {
-		n.mu.Lock()
-		delete(n.conns, addr)
-		n.mu.Unlock()
-		link.conn.Close()
+	err := link.send(msg)
+	if err == nil {
+		return nil
+	}
+	// The cached link died under us (peer restarted, connection dropped
+	// mid-stream): evict it and redial once before giving up, so a peer
+	// restart costs callers at most the request that was in flight.
+	n.dropLink(addr, link)
+	if !cached {
+		return fmt.Errorf("transport: send to %s: %w", msg.To, err)
+	}
+	fresh, derr := n.dialLink(addr)
+	if derr != nil {
+		return fmt.Errorf("transport: send to %s after redial: %w", msg.To, derr)
+	}
+	if err := fresh.send(msg); err != nil {
+		n.dropLink(addr, fresh)
 		return fmt.Errorf("transport: send to %s: %w", msg.To, err)
 	}
 	return nil
 }
 
+// dialLink returns the live outbound link for addr, dialing when none is
+// cached (losing a dial race just adopts the winner's link).
+func (n *TCPNode) dialLink(addr string) (*tcpLink, error) {
+	n.mu.Lock()
+	if link, ok := n.conns[addr]; ok {
+		n.mu.Unlock()
+		return link, nil
+	}
+	n.mu.Unlock()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	link := &tcpLink{conn: conn, enc: gob.NewEncoder(conn)}
+	n.mu.Lock()
+	if existing, raced := n.conns[addr]; raced {
+		n.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	n.conns[addr] = link
+	n.links[link] = struct{}{}
+	n.mu.Unlock()
+	// Replies flow back on the same connection.
+	n.wg.Add(1)
+	go n.readLoop(link)
+	return link, nil
+}
+
+// dropLink evicts a dead outbound link, leaving any replacement that
+// raced in untouched.
+func (n *TCPNode) dropLink(addr string, link *tcpLink) {
+	n.mu.Lock()
+	if n.conns[addr] == link {
+		delete(n.conns, addr)
+	}
+	n.mu.Unlock()
+	link.conn.Close()
+}
+
 // endpointClosed implements fabric.
 func (n *TCPNode) endpointClosed(string) {}
 
-// Close shuts down the listener, all connections, and the endpoint.
+// Close shuts down the listener, every connection (inbound and
+// outbound), and the endpoint.
 func (n *TCPNode) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -189,12 +252,15 @@ func (n *TCPNode) Close() error {
 		return nil
 	}
 	n.closed = true
-	conns := n.conns
+	links := make([]*tcpLink, 0, len(n.links))
+	for l := range n.links {
+		links = append(links, l)
+	}
 	n.conns = make(map[string]*tcpLink)
 	n.mu.Unlock()
 
 	err := n.ln.Close()
-	for _, l := range conns {
+	for _, l := range links {
 		l.conn.Close()
 	}
 	n.ep.Close()

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// echoNode starts a TCP node whose endpoint echoes "echo" requests.
+func echoNode(t *testing.T, name, addr string) *TCPNode {
+	t.Helper()
+	n, err := ListenTCP(name, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Endpoint().Handle("echo", func(msg Message) ([]byte, error) {
+		return msg.Payload, nil
+	})
+	return n
+}
+
+func requestEcho(n *TCPNode, to string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_, err := n.Endpoint().Request(ctx, to, "echo", []byte("hi"))
+	return err
+}
+
+// TestTCPRedialsAfterPeerRestart drives the lazily-dialed, reused
+// outbound link through a peer crash: after the peer restarts on the
+// same address, the cached dead link must be detected and replaced by a
+// redial instead of poisoning every future send.
+func TestTCPRedialsAfterPeerRestart(t *testing.T) {
+	b := echoNode(t, "epB", "127.0.0.1:0")
+	addr := b.Addr()
+
+	a := echoNode(t, "epA", "127.0.0.1:0")
+	defer a.Close()
+	a.AddPeer("epB", addr)
+
+	// Warm the cached outbound link.
+	if err := requestEcho(a, "epB", 5*time.Second); err != nil {
+		t.Fatalf("initial request: %v", err)
+	}
+
+	// Kill B mid-conversation and restart it on the same address.
+	if err := b.Close(); err != nil {
+		t.Fatalf("close B: %v", err)
+	}
+	b2 := echoNode(t, "epB", addr)
+	defer b2.Close()
+
+	// A's cached link is now a corpse. The first write may be swallowed
+	// by the kernel buffer (the RST races the send), so a request may
+	// time out once — but detection must evict the link and redial, and
+	// the path must heal within a couple of attempts, not stay poisoned.
+	deadline := time.Now().Add(10 * time.Second)
+	attempts := 0
+	for {
+		attempts++
+		if err := requestEcho(a, "epB", 500*time.Millisecond); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("link never healed after peer restart (%d attempts)", attempts)
+		}
+	}
+	if attempts > 3 {
+		t.Fatalf("took %d attempts to heal; dead-link detection is not working", attempts)
+	}
+
+	// The healed link is the steady state: requests keep succeeding.
+	for i := 0; i < 3; i++ {
+		if err := requestEcho(a, "epB", 5*time.Second); err != nil {
+			t.Fatalf("request %d after heal: %v", i, err)
+		}
+	}
+}
+
+// TestTCPSendToDownPeerFailsFast verifies that when the peer is gone for
+// good, sends fail with an error rather than blocking.
+func TestTCPSendToDownPeerFailsFast(t *testing.T) {
+	b := echoNode(t, "epB", "127.0.0.1:0")
+	addr := b.Addr()
+	b.Close()
+
+	a := echoNode(t, "epA", "127.0.0.1:0")
+	defer a.Close()
+	a.AddPeer("epB", addr)
+	if err := a.Endpoint().Send("epB", "echo", []byte("hi")); err == nil {
+		t.Fatal("send to closed peer succeeded")
+	}
+}

@@ -1,0 +1,133 @@
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Version is a version vector: a map from node id to that node's update
+// counter. The federated registry (internal/cluster) stamps every
+// replicated record with one so that concurrent updates from different
+// smart-space centers are detected instead of silently overwritten.
+//
+// The zero value (nil map) is a valid "never written" version. Versions
+// are value types: methods never mutate the receiver, they return copies.
+type Version map[string]uint64
+
+// Ordering is the outcome of comparing two version vectors.
+type Ordering int
+
+// Comparison outcomes.
+const (
+	Equal      Ordering = iota // identical histories
+	Before                     // receiver strictly precedes the argument
+	After                      // receiver strictly succeeds the argument
+	Concurrent                 // histories diverged (conflict)
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
+// Tick returns a copy of v with node's counter advanced by one.
+func (v Version) Tick(node string) Version {
+	out := make(Version, len(v)+1)
+	for k, c := range v {
+		out[k] = c
+	}
+	out[node]++
+	return out
+}
+
+// Merge returns the element-wise maximum of v and o — the version after
+// an observer has seen both histories.
+func (v Version) Merge(o Version) Version {
+	out := make(Version, len(v)+len(o))
+	for k, c := range v {
+		out[k] = c
+	}
+	for k, c := range o {
+		if c > out[k] {
+			out[k] = c
+		}
+	}
+	return out
+}
+
+// Compare orders v against o.
+func (v Version) Compare(o Version) Ordering {
+	var less, more bool
+	for k, c := range v {
+		oc := o[k]
+		if c > oc {
+			more = true
+		} else if c < oc {
+			less = true
+		}
+	}
+	for k, oc := range o {
+		if v[k] < oc {
+			less = true
+		}
+	}
+	switch {
+	case less && more:
+		return Concurrent
+	case less:
+		return Before
+	case more:
+		return After
+	}
+	return Equal
+}
+
+// Dominates reports whether v has seen everything o has (v >= o).
+func (v Version) Dominates(o Version) bool {
+	ord := v.Compare(o)
+	return ord == Equal || ord == After
+}
+
+// Counter returns node's counter in v.
+func (v Version) Counter(node string) uint64 { return v[node] }
+
+// Clone returns an independent copy of v.
+func (v Version) Clone() Version {
+	if v == nil {
+		return nil
+	}
+	out := make(Version, len(v))
+	for k, c := range v {
+		out[k] = c
+	}
+	return out
+}
+
+// String renders the vector deterministically, e.g. "{a:2 b:1}".
+func (v Version) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, v[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

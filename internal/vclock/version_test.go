@@ -1,0 +1,60 @@
+package vclock
+
+import "testing"
+
+func TestVersionTickAndCompare(t *testing.T) {
+	var zero Version
+	a := zero.Tick("a")   // {a:1}
+	a2 := a.Tick("a")     // {a:2}
+	b := zero.Tick("b")   // {b:1}
+	merged := a2.Merge(b) // {a:2 b:1}
+	mergedB := merged.Tick("b")
+
+	cases := []struct {
+		name string
+		x, y Version
+		want Ordering
+	}{
+		{"zero-equal", zero, nil, Equal},
+		{"zero-before", zero, a, Before},
+		{"after-zero", a, zero, After},
+		{"self-equal", a2, a2, Equal},
+		{"ancestor", a, a2, Before},
+		{"descendant", a2, a, After},
+		{"concurrent", a2, b, Concurrent},
+		{"merge-dominates-both", merged, a2, After},
+		{"merge-dominates-b", merged, b, After},
+		{"tick-after-merge", mergedB, merged, After},
+	}
+	for _, c := range cases {
+		if got := c.x.Compare(c.y); got != c.want {
+			t.Errorf("%s: %v.Compare(%v) = %v, want %v", c.name, c.x, c.y, got, c.want)
+		}
+	}
+	if !merged.Dominates(a2) || !merged.Dominates(b) || !merged.Dominates(nil) {
+		t.Errorf("merged %v should dominate its inputs", merged)
+	}
+	if a2.Dominates(b) {
+		t.Errorf("%v should not dominate concurrent %v", a2, b)
+	}
+}
+
+func TestVersionValueSemantics(t *testing.T) {
+	a := Version{}.Tick("a")
+	before := a.Clone()
+	_ = a.Tick("a")
+	_ = a.Merge(Version{"b": 9})
+	if a.Compare(before) != Equal {
+		t.Fatalf("Tick/Merge mutated the receiver: %v != %v", a, before)
+	}
+	if a.Counter("a") != 1 || a.Counter("missing") != 0 {
+		t.Fatalf("Counter: got a=%d missing=%d", a.Counter("a"), a.Counter("missing"))
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	v := Version{"b": 1, "a": 2}
+	if got, want := v.String(), "{a:2 b:1}"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -33,6 +33,7 @@ package mdagent
 import (
 	"mdagent/internal/agents"
 	"mdagent/internal/app"
+	"mdagent/internal/cluster"
 	"mdagent/internal/core"
 	"mdagent/internal/ctxkernel"
 	"mdagent/internal/media"
@@ -133,6 +134,40 @@ func DefaultCosts() CostProfile { return migrate.DefaultCosts() }
 
 // MeasureRoundTrip performs the Fig. 7 two-leg measurement.
 var MeasureRoundTrip = migrate.MeasureRoundTrip
+
+// Distribution layer (beyond the paper: gossip membership, federated
+// registry centers, failover re-homing). Enable it with
+// Config{Cluster: &mdagent.ClusterConfig{}}; the deployment then runs
+// one replicating registry center per smart space, a SWIM-style
+// membership node per host, and automatically re-homes a dead host's
+// applications onto the best survivor.
+type (
+	// ClusterConfig tunes gossip cadence, failure-detection windows and
+	// federation anti-entropy.
+	ClusterConfig = cluster.Config
+	// Cluster is a deployment's distribution layer (Middleware.Cluster).
+	Cluster = cluster.Cluster
+	// ClusterMember is one host's entry in the gossip membership table.
+	ClusterMember = cluster.Member
+	// MemberState is a member's health (alive / suspect / dead).
+	MemberState = cluster.State
+	// RegistryCenter is one smart space's federated registry center.
+	RegistryCenter = cluster.Center
+)
+
+// Membership states.
+const (
+	StateAlive   = cluster.StateAlive
+	StateSuspect = cluster.StateSuspect
+	StateDead    = cluster.StateDead
+)
+
+// Cluster-layer event topics.
+const (
+	TopicHostDead     = core.TopicHostDead
+	TopicRehomed      = core.TopicRehomed
+	TopicRehomeFailed = core.TopicRehomeFailed
+)
 
 // Agents (paper §4.3).
 type (

@@ -139,3 +139,97 @@ func TestPublicAPIAgentsFollowUser(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPublicAPIClusterFailover drives the distribution layer through the
+// exported facade: a two-space federated deployment survives its app
+// host's crash, re-homing the app onto the survivor.
+func TestPublicAPIClusterFailover(t *testing.T) {
+	mw, err := mdagent.New(mdagent.Config{Seed: 9, Cluster: &mdagent.ClusterConfig{
+		ProbeInterval:    2 * time.Millisecond,
+		ProbeTimeout:     25 * time.Millisecond,
+		SuspicionTimeout: 40 * time.Millisecond,
+		SyncInterval:     5 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mw.Close()
+
+	dev := mdagent.DeviceProfile{ScreenWidth: 1024, ScreenHeight: 768, MemoryMB: 512, HasAudio: true, HasDisplay: true}
+	for i, host := range []string{"hostA", "hostB"} {
+		space := []string{"east", "west"}[i]
+		if err := mw.AddSpace(space); err != nil {
+			t.Fatal(err)
+		}
+		if err := mw.AddGateway("gw-"+space, space, mdagent.Pentium4_1700()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mw.AddHost(host, space, mdagent.Pentium4_1700(), dev, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A third member keeps a strict majority alive after one crash — a
+	// lone survivor of a two-host cluster cannot tell a peer crash from
+	// its own isolation, so it (correctly) refuses to act.
+	if _, err := mw.AddHost("hostC", "west", mdagent.PentiumM_1600(), dev, 0); err != nil {
+		t.Fatal(err)
+	}
+	song := mdagent.GenerateFile("track", 1_000_000, 5)
+	hostA, _ := mw.Host("hostA")
+	hostA.Library.Add(song)
+	if err := mw.RunApp("hostA", demoapps.NewMediaPlayer("hostA", song)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+		demoapps.MediaPlayerSkeletonComponents(),
+		func(h string) *mdagent.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until hostA's record has replicated to the west center — a
+	// record that only ever lived on the crashed host's center cannot be
+	// recovered (eventual consistency is not durability) — then crash.
+	west, ok := mw.Cluster.Center("west")
+	if !ok {
+		t.Fatal("no west center")
+	}
+	nodeB, ok := mw.Cluster.Node("hostB")
+	if !ok {
+		t.Fatal("hostB has no membership node")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec, found, _ := west.LookupApp(context.Background(), "smart-media-player", "hostA")
+		if found && rec.Running && len(nodeB.AliveHosts()) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication/membership never converged (found=%v, alive=%v)", found, nodeB.AliveHosts())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := mw.Net.SetHostDown("hostA", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.WaitAppOn("smart-media-player", "hostB", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Failover may have been triggered by hostC's conviction while hostB
+	// still holds "suspect" — poll until hostB's own detector catches up.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if m, _ := nodeB.Member("hostA"); m.State == mdagent.StateDead {
+			break
+		}
+		if time.Now().After(deadline) {
+			m, _ := nodeB.Member("hostA")
+			t.Fatalf("hostA state on survivor = %v, want dead", m.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The survivor's own space center holds the re-homed record.
+	rec, found, err := west.LookupApp(context.Background(), "smart-media-player", "hostB")
+	if err != nil || !found || !rec.Running {
+		t.Fatalf("re-homed record: found=%v running=%v err=%v", found, rec.Running, err)
+	}
+}
