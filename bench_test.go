@@ -148,20 +148,64 @@ func BenchmarkCloneDispatchFanout(b *testing.B) {
 // takes to re-home the host's application onto a survivor (failover-ms).
 // These are wall-clock protocol timings, not simulated 2002-era
 // durations — the failure detector runs on real timers.
+//
+// The "state" variants run with snapshot-state replication on
+// (bench.ChurnStateConfig): replication-ms is how long a state write
+// takes to reach every surviving center, failover-ms now includes the
+// snapshot restore, and state-intact confirms the value-level check.
 func BenchmarkChurnFailover(b *testing.B) {
 	for _, spaces := range []int{3, 5, 8} {
+		for _, withState := range []bool{false, true} {
+			name := fmt.Sprintf("spaces-%d", spaces)
+			cfg := bench.ChurnConfig()
+			if withState {
+				name += "-state"
+				cfg = bench.ChurnStateConfig()
+			}
+			b.Run(name, func(b *testing.B) {
+				var last bench.ChurnResult
+				for n := 0; n < b.N; n++ {
+					res, err := bench.RunChurn(spaces, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(float64(last.Convergence.Milliseconds()), "convergence-ms")
+				b.ReportMetric(float64(last.Failover.Milliseconds()), "failover-ms")
+				b.ReportMetric(float64(last.Total.Milliseconds()), "total-ms")
+				if withState {
+					b.ReportMetric(float64(last.Replication.Milliseconds()), "replication-ms")
+					b.ReportMetric(float64(last.SnapshotBytes), "snapshot-bytes")
+					intact := 0.0
+					if last.StateIntact {
+						intact = 1
+					}
+					b.ReportMetric(intact, "state-intact")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFlapStability measures failure-detector robustness under a
+// flapping link: false suspicions leaked past the indirect probes, false
+// convictions (should be zero), and how fast membership settles once the
+// flapping stops.
+func BenchmarkFlapStability(b *testing.B) {
+	for _, spaces := range []int{3, 5} {
 		b.Run(fmt.Sprintf("spaces-%d", spaces), func(b *testing.B) {
-			var last bench.ChurnResult
+			var last bench.FlapResult
 			for n := 0; n < b.N; n++ {
-				res, err := bench.RunChurn(spaces, bench.ChurnConfig())
+				res, err := bench.RunFlap(spaces, bench.ChurnConfig(), 10*time.Millisecond, 10)
 				if err != nil {
 					b.Fatal(err)
 				}
 				last = res
 			}
-			b.ReportMetric(float64(last.Convergence.Milliseconds()), "convergence-ms")
-			b.ReportMetric(float64(last.Failover.Milliseconds()), "failover-ms")
-			b.ReportMetric(float64(last.Total.Milliseconds()), "total-ms")
+			b.ReportMetric(float64(last.Suspicions), "suspicions")
+			b.ReportMetric(float64(last.Convictions), "convictions")
+			b.ReportMetric(float64(last.HealTime.Milliseconds()), "heal-ms")
 		})
 	}
 }

@@ -158,7 +158,11 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 	}
 
 	// The media library shares the node's endpoint: media.* and migrate.*
-	// message types coexist on one handler table.
+	// message types coexist on one handler table. The alias makes the
+	// node answer requests addressed to its media name — peers map
+	// media@<host> to this same address, and without the alias those
+	// requests would be silently dropped (the sender hangs to deadline).
+	node.AddAlias(migrate.MediaEndpointName(*host))
 	lib := media.NewLibrary(*host)
 	media.ServeLibrary(lib, node.Endpoint())
 
@@ -180,6 +184,14 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 		}
 		member.Start()
 		defer member.Stop()
+		// A (re)starting daemon announces itself: peers that convicted a
+		// previous incarnation of this host hold death certificates that
+		// only an alive rumor with a higher incarnation clears. Rejoin
+		// bumps ours and pings every peer so the refutation lands now;
+		// the periodic dead-member probe (Config.DeadProbeEvery) covers
+		// later silent reconnections, e.g. a healed network partition.
+		member.Rejoin()
+		fmt.Fprintf(out, "mdagentd[%s]: rejoined membership (incarnation %d)\n", *host, member.Self().Incarnation)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

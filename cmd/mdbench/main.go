@@ -1,8 +1,10 @@
 // Command mdbench regenerates the paper's evaluation figures as tables
 // (and optional CSV): Fig. 7 (skew-canceling timing), Fig. 8 (adaptive
 // component binding sweep), Fig. 9 (static binding sweep), Fig. 10
-// (comparative total cost), the demo-2 clone-dispatch fan-out, and the
-// cluster churn experiment (gossip convergence + failover latency).
+// (comparative total cost), the demo-2 clone-dispatch fan-out, the
+// cluster churn experiment (gossip convergence + failover latency, with
+// and without snapshot-state replication), and the flapping-link
+// experiment (false-positive suspicion under link flap).
 //
 // Usage:
 //
@@ -10,6 +12,7 @@
 //	mdbench -fig 8 -csv fig8.csv
 //	mdbench -fig clone -rooms 4
 //	mdbench -fig churn -spaces 5
+//	mdbench -fig flap -flap-period 10ms -flap-cycles 20
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"mdagent/internal/bench"
 	"mdagent/internal/migrate"
@@ -35,10 +39,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mdbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	fig := fs.String("fig", "all", "figure to regenerate: 7, 8, 9, 10, clone, churn, or all")
+	fig := fs.String("fig", "all", "figure to regenerate: 7, 8, 9, 10, clone, churn, flap, or all")
 	csvPath := fs.String("csv", "", "also write the series as CSV to this file")
 	rooms := fs.Int("rooms", 3, "overflow rooms for the clone-dispatch experiment")
-	spaces := fs.Int("spaces", 3, "smart spaces for the churn experiment (>= 3)")
+	spaces := fs.Int("spaces", 3, "smart spaces for the churn and flap experiments (>= 3)")
+	flapPeriod := fs.Duration("flap-period", 10*time.Millisecond, "link toggle half-period for the flap experiment")
+	flapCycles := fs.Int("flap-cycles", 20, "down/up toggles for the flap experiment")
+	songBytes := fs.Int64("song-bytes", 2_000_000, "song size for the churn experiment (sets the snapshot frame size)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,14 +57,15 @@ func run(args []string, out io.Writer) error {
 		"9":     func() error { return fig9(out, &csv) },
 		"10":    func() error { return fig10(out, &csv) },
 		"clone": func() error { return clone(out, &csv, *rooms) },
-		"churn": func() error { return churn(out, &csv, *spaces) },
+		"churn": func() error { return churn(out, &csv, *spaces, *songBytes) },
+		"flap":  func() error { return flap(out, &csv, *spaces, *flapPeriod, *flapCycles) },
 	}
 	var order []string
 	if *fig == "all" {
-		order = []string{"7", "8", "9", "10", "clone", "churn"}
+		order = []string{"7", "8", "9", "10", "clone", "churn", "flap"}
 	} else {
 		if _, ok := figures[*fig]; !ok {
-			return fmt.Errorf("unknown figure %q (want 7, 8, 9, 10, clone, churn, all)", *fig)
+			return fmt.Errorf("unknown figure %q (want 7, 8, 9, 10, clone, churn, flap, all)", *fig)
 		}
 		order = []string{*fig}
 	}
@@ -166,20 +174,52 @@ func clone(out io.Writer, csv *strings.Builder, rooms int) error {
 	return nil
 }
 
-func churn(out io.Writer, csv *strings.Builder, spaces int) error {
+func churn(out io.Writer, csv *strings.Builder, spaces int, songBytes int64) error {
 	fmt.Fprintf(out, "== Churn — kill the app's host in a %d-space federation ==\n", spaces)
 	fmt.Fprintln(out, "   (wall-clock protocol timings at a 2ms probe / 40ms suspicion cadence)")
-	res, err := bench.RunChurn(spaces, bench.ChurnConfig())
+	res, err := bench.RunChurnSized(spaces, bench.ChurnConfig(), songBytes)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "  gossip convergence (kill -> all survivors convict): %v\n", res.Convergence)
 	fmt.Fprintf(out, "  failover (conviction -> app running on %s): %v\n", res.NewHost, res.Failover)
-	fmt.Fprintf(out, "  total outage: %v\n", res.Total)
+	fmt.Fprintf(out, "  total outage: %v (skeleton relaunch: in-flight state lost)\n", res.Total)
+
+	sres, err := bench.RunChurnSized(spaces, bench.ChurnStateConfig(), songBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "  -- with snapshot-state replication (ReplicateState on) --")
+	fmt.Fprintf(out, "  snapshot replication (state write -> every survivor center): %v (%d-byte frame)\n",
+		sres.Replication, sres.SnapshotBytes)
+	fmt.Fprintf(out, "  failover with state (conviction -> app resumed on %s): %v\n", sres.NewHost, sres.Failover)
+	fmt.Fprintf(out, "  total outage: %v, state intact: %v\n", sres.Total, sres.StateIntact)
 	fmt.Fprintln(out)
-	fmt.Fprintf(csv, "churn,spaces,convergence_ms,failover_ms,total_ms,new_host\n")
-	fmt.Fprintf(csv, "churn,%d,%d,%d,%d,%s\n\n", spaces,
+	fmt.Fprintf(csv, "churn,spaces,state,convergence_ms,failover_ms,total_ms,replication_ms,snapshot_bytes,state_intact,new_host\n")
+	fmt.Fprintf(csv, "churn,%d,off,%d,%d,%d,,,,%s\n", spaces,
 		res.Convergence.Milliseconds(), res.Failover.Milliseconds(),
 		res.Total.Milliseconds(), res.NewHost)
+	fmt.Fprintf(csv, "churn,%d,on,%d,%d,%d,%d,%d,%v,%s\n\n", spaces,
+		sres.Convergence.Milliseconds(), sres.Failover.Milliseconds(),
+		sres.Total.Milliseconds(), sres.Replication.Milliseconds(),
+		sres.SnapshotBytes, sres.StateIntact, sres.NewHost)
+	return nil
+}
+
+func flap(out io.Writer, csv *strings.Builder, spaces int, period time.Duration, cycles int) error {
+	fmt.Fprintf(out, "== Flap — toggle one link every %v for %d cycles in a %d-space federation ==\n",
+		period, cycles, spaces)
+	fmt.Fprintln(out, "   (indirect probes should mask a single flapping link: no false convictions)")
+	res, err := bench.RunFlap(spaces, bench.ChurnConfig(), period, cycles)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  false suspicions on the flapped pair: %d\n", res.Suspicions)
+	fmt.Fprintf(out, "  false dead convictions: %d\n", res.Convictions)
+	fmt.Fprintf(out, "  healed after schedule: %v (in %v)\n", res.Healed, res.HealTime)
+	fmt.Fprintln(out)
+	fmt.Fprintf(csv, "flap,spaces,period_ms,cycles,suspicions,convictions,healed,heal_ms\n")
+	fmt.Fprintf(csv, "flap,%d,%d,%d,%d,%d,%v,%d\n\n", spaces, period.Milliseconds(), cycles,
+		res.Suspicions, res.Convictions, res.Healed, res.HealTime.Milliseconds())
 	return nil
 }

@@ -31,7 +31,9 @@ func TestRunFig7PrintsTableAndCSV(t *testing.T) {
 // TestRunChurnFigure runs the cluster churn experiment through the CLI.
 func TestRunChurnFigure(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-fig", "churn", "-spaces", "3"}, &out); err != nil {
+	// Small song: under -race, multi-megabyte snapshot captures at the
+	// tight churn cadence can starve the probe loops.
+	if err := run([]string{"-fig", "churn", "-spaces", "3", "-song-bytes", "100000"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "gossip convergence") {
@@ -50,5 +52,16 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-fig", "churn", "-spaces", "2"}, &out); err == nil {
 		t.Fatal("churn with 2 spaces accepted (no quorum possible)")
+	}
+}
+
+// TestRunFlapFigure runs the flapping-link experiment through the CLI.
+func TestRunFlapFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "flap", "-spaces", "3", "-flap-period", "5ms", "-flap-cycles", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "false dead convictions") {
+		t.Fatalf("flap output missing:\n%s", out.String())
 	}
 }

@@ -200,6 +200,16 @@ func (b *AutonomousBody) Setup(a *platform.Agent) error {
 		}
 		repost(ev)
 	}))
+	// Failover re-homing is an arrival too: when the cluster layer
+	// relaunches the managed app on this AA's host, the AA re-attaches —
+	// it re-evaluates immediately so a user who moved on during the
+	// outage is chased without waiting for their next movement event.
+	b.subIDs = append(b.subIDs, b.Kernel.Subscribe(ctxkernel.TopicClusterRehomed, func(ev ctxkernel.Event) {
+		if ev.Attr("app") != b.Policy.App {
+			return
+		}
+		repost(ev)
+	}))
 
 	tmpl := platform.MatchAnd(platform.MatchPerformative(platform.Inform), platform.MatchOntology("mdagent-context"))
 	a.AddBehaviour(platform.MessageHandler(tmpl, func(a *platform.Agent, msg platform.ACLMessage) {
@@ -236,25 +246,33 @@ func (b *AutonomousBody) handleEvent(ev ctxkernel.Event) {
 		}
 	case ctxkernel.TopicUserEntered:
 		b.decideAndOrder(ev)
-	case TopicMigrated:
-		// The app just landed somewhere. If it landed here and the user
-		// is already in a room served elsewhere, chase them.
-		if b.Locator == nil {
-			return
-		}
-		if _, ok := b.Engine.App(b.Policy.App); !ok {
-			return
-		}
-		room, ok := b.Locator.Location(b.Policy.User)
-		if !ok {
-			return
-		}
-		synth := ctxkernel.Event{
-			Topic: ctxkernel.TopicUserEntered, At: ev.At, Source: "aa-reevaluate",
-			Attrs: map[string]string{ctxkernel.AttrUser: b.Policy.User, ctxkernel.AttrRoom: room},
-		}
-		b.decideAndOrder(synth)
+	case TopicMigrated, ctxkernel.TopicClusterRehomed:
+		// The app just landed somewhere — by migration or by failover
+		// re-homing. If it landed here and the user is already in a room
+		// served elsewhere, chase them.
+		b.reevaluate(ev)
 	}
+}
+
+// reevaluate re-runs the move decision as if the user had just entered
+// their current room — the arrival-side half of multi-hop follow-me and
+// the agent layer's re-attachment after failover.
+func (b *AutonomousBody) reevaluate(ev ctxkernel.Event) {
+	if b.Locator == nil {
+		return
+	}
+	if _, ok := b.Engine.App(b.Policy.App); !ok {
+		return
+	}
+	room, ok := b.Locator.Location(b.Policy.User)
+	if !ok {
+		return
+	}
+	synth := ctxkernel.Event{
+		Topic: ctxkernel.TopicUserEntered, At: ev.At, Source: "aa-reevaluate",
+		Attrs: map[string]string{ctxkernel.AttrUser: b.Policy.User, ctxkernel.AttrRoom: room},
+	}
+	b.decideAndOrder(synth)
 }
 
 // decideAndOrder builds the fact base, runs the move rule, and commands

@@ -355,3 +355,57 @@ func TestDefaultPolicy(t *testing.T) {
 		t.Fatalf("policy = %+v", p)
 	}
 }
+
+// staticLocator pins a user to a room for re-evaluation tests.
+type staticLocator struct{ user, room string }
+
+func (l staticLocator) Location(user string) (string, bool) {
+	if user != l.user {
+		return "", false
+	}
+	return l.room, true
+}
+
+// TestAAReattachesOnClusterRehome drives the agent layer's failover
+// follow-up: the cluster layer re-homes the managed app onto this AA's
+// host while the user has meanwhile settled in a room served elsewhere;
+// the cluster.rehomed event alone must make the AA chase them.
+func TestAAReattachesOnClusterRehome(t *testing.T) {
+	r := newAgentRig(t)
+	r.aaBody.Locator = staticLocator{user: "alice", room: "office822"}
+
+	// Simulate failover having relaunched the player here (the rig's
+	// instance already runs on hostA, the AA's engine).
+	r.kernel.Publish(ctxkernel.Event{
+		Topic: ctxkernel.TopicClusterRehomed, At: time.Unix(1, 0), Source: "cluster",
+		Attrs: map[string]string{"app": "player", "from": "hostC", "to": "hostA", "restored": "true"},
+	})
+
+	// The AA re-evaluates: alice is in office822 (served by hostB), so it
+	// orders the MA to follow her without any fresh movement event.
+	waitFor(t, "app chased to hostB after rehome", func() bool {
+		inst, ok := r.engB.App("player")
+		return ok && inst.State() == app.Running
+	})
+	if _, still := r.engA.App("player"); still {
+		t.Fatal("player still on hostA after post-rehome chase")
+	}
+}
+
+// TestAAIgnoresRehomeOfOtherApps: a rehomed event for an app this AA does
+// not manage must not trigger any order.
+func TestAAIgnoresRehomeOfOtherApps(t *testing.T) {
+	r := newAgentRig(t)
+	r.aaBody.Locator = staticLocator{user: "alice", room: "office822"}
+	r.kernel.Publish(ctxkernel.Event{
+		Topic: ctxkernel.TopicClusterRehomed, At: time.Unix(1, 0), Source: "cluster",
+		Attrs: map[string]string{"app": "someone-elses-app", "from": "hostC", "to": "hostA"},
+	})
+	time.Sleep(50 * time.Millisecond)
+	if _, moved := r.engB.App("player"); moved {
+		t.Fatal("AA reacted to another app's rehome")
+	}
+	if _, ok := r.engA.App("player"); !ok {
+		t.Fatal("player left hostA without an order")
+	}
+}

@@ -297,19 +297,12 @@ func TestWrapEncodeDecodeUnwrap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := w.Encode()
-	if err != nil {
-		t.Fatal(err)
-	}
-	w2, err := DecodeWrap(raw)
-	if err != nil {
-		t.Fatal(err)
-	}
 
 	// Fresh instance at the destination with no components at all: unwrap
-	// must recreate them (code-carrying migration).
+	// must recreate them (code-carrying migration). Wire framing is
+	// internal/state's job now and is tested there.
 	b := New("player", "hostB", desc("player"))
-	if err := b.Unwrap(w2); err != nil {
+	if err := b.Unwrap(w); err != nil {
 		t.Fatal(err)
 	}
 	if len(b.Components()) != 4 {
@@ -328,9 +321,6 @@ func TestWrapEncodeDecodeUnwrap(t *testing.T) {
 	}
 	if b.Profile().Preferences["handedness"] != "left" {
 		t.Fatal("profile lost")
-	}
-	if _, err := DecodeWrap([]byte("garbage")); err == nil {
-		t.Fatal("garbage wrap decoded")
 	}
 }
 
@@ -494,16 +484,8 @@ func TestWrapRoundTripProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		raw, err := w.Encode()
-		if err != nil {
-			return false
-		}
-		w2, err := DecodeWrap(raw)
-		if err != nil {
-			return false
-		}
 		b := New("x", "h2", desc("x"))
-		if err := b.Unwrap(w2); err != nil {
+		if err := b.Unwrap(w); err != nil {
 			return false
 		}
 		rst, ok := b.Component("s")

@@ -1,8 +1,6 @@
 package app
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
 	"sync"
@@ -225,24 +223,6 @@ func (w Wrap) TotalBytes() int64 {
 		n += int64(len(k) + len(v))
 	}
 	return n
-}
-
-// Encode serializes the wrap for transfer.
-func (w Wrap) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, fmt.Errorf("app: encode wrap: %w", err)
-	}
-	return buf.Bytes(), nil
-}
-
-// DecodeWrap deserializes a transferred wrap.
-func DecodeWrap(raw []byte) (Wrap, error) {
-	var w Wrap
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&w); err != nil {
-		return Wrap{}, fmt.Errorf("app: decode wrap: %w", err)
-	}
-	return w, nil
 }
 
 // WrapComponents snapshots the named components (all when names is nil)

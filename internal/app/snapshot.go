@@ -14,9 +14,11 @@ import (
 type SnapshotManager struct {
 	app *Application
 
-	mu      sync.Mutex
-	history []TaggedSnapshot
-	cap     int
+	mu         sync.Mutex
+	history    []TaggedSnapshot
+	cap        int
+	onRecord   map[int]func(TaggedSnapshot)
+	nextHookID int
 }
 
 // TaggedSnapshot is one recorded snapshot with provenance.
@@ -48,6 +50,29 @@ func (m *SnapshotManager) trimLocked() {
 	}
 }
 
+// OnRecord registers an observer fired (outside the manager's lock, on
+// the recording goroutine) after every successful Record — the state
+// pipeline's replicator hooks here so explicitly captured snapshots
+// replicate immediately instead of waiting out the capture interval.
+// The returned id detaches the observer via RemoveOnRecord.
+func (m *SnapshotManager) OnRecord(f func(TaggedSnapshot)) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.onRecord == nil {
+		m.onRecord = make(map[int]func(TaggedSnapshot))
+	}
+	m.nextHookID++
+	m.onRecord[m.nextHookID] = f
+	return m.nextHookID
+}
+
+// RemoveOnRecord detaches an OnRecord observer.
+func (m *SnapshotManager) RemoveOnRecord(id int) {
+	m.mu.Lock()
+	delete(m.onRecord, id)
+	m.mu.Unlock()
+}
+
 // Record captures a full snapshot of the application under tag. The
 // timestamp is supplied by the caller so virtual-clock runs stay
 // deterministic.
@@ -60,7 +85,14 @@ func (m *SnapshotManager) Record(tag string, at time.Time) (TaggedSnapshot, erro
 	m.mu.Lock()
 	m.history = append(m.history, ts)
 	m.trimLocked()
+	observers := make([]func(TaggedSnapshot), 0, len(m.onRecord))
+	for _, f := range m.onRecord {
+		observers = append(observers, f)
+	}
 	m.mu.Unlock()
+	for _, f := range observers {
+		f(ts)
+	}
 	return ts, nil
 }
 

@@ -154,3 +154,54 @@ func TestChurnRejectsTooFewSpaces(t *testing.T) {
 		t.Fatal("RunChurn(2) should refuse: a lone survivor has no quorum")
 	}
 }
+
+func TestChurnWithStateRestoresSnapshot(t *testing.T) {
+	// Relaxed cadence and a small song: under -race the benchmark's 2 ms
+	// probes plus multi-megabyte captures cause false convictions.
+	cfg := ChurnStateConfig()
+	cfg.ProbeInterval = 5 * time.Millisecond
+	cfg.ProbeTimeout = 100 * time.Millisecond
+	cfg.SuspicionTimeout = 300 * time.Millisecond
+	cfg.SyncInterval = 10 * time.Millisecond
+	cfg.ReplicateInterval = 5 * time.Millisecond
+	res, err := RunChurnSized(3, cfg, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewHost == "host-1" || res.NewHost == "" {
+		t.Fatalf("app not re-homed off the victim: %+v", res)
+	}
+	if !res.StateIntact {
+		t.Fatalf("re-homed app lost its in-flight state: %+v", res)
+	}
+	if res.SnapshotBytes == 0 {
+		t.Fatalf("no snapshot frame measured: %+v", res)
+	}
+	if res.Replication <= 0 || res.Replication > 5*time.Second {
+		t.Fatalf("implausible replication latency: %v", res.Replication)
+	}
+}
+
+func TestFlapDoesNotConvict(t *testing.T) {
+	res, err := RunFlap(3, ChurnConfig(), 10*time.Millisecond, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indirect probes relay around a single flapping link: nobody may be
+	// wrongly declared dead, and membership must settle afterwards.
+	if res.Convictions != 0 {
+		t.Fatalf("flapping link caused %d false dead convictions", res.Convictions)
+	}
+	if !res.Healed {
+		t.Fatal("membership did not settle after the flap schedule")
+	}
+}
+
+func TestFlapRejectsBadParams(t *testing.T) {
+	if _, err := RunFlap(2, ChurnConfig(), time.Millisecond, 1); err == nil {
+		t.Fatal("RunFlap(2) should refuse: no relay for indirect probes")
+	}
+	if _, err := RunFlap(3, ChurnConfig(), time.Millisecond, 0); err == nil {
+		t.Fatal("RunFlap with 0 cycles should refuse")
+	}
+}

@@ -25,7 +25,16 @@ type ChurnResult struct {
 	Failover    time.Duration // dead conviction -> app running on a survivor
 	Total       time.Duration // kill -> app running on a survivor
 	NewHost     string        // where the app was re-homed
+
+	// State-pipeline measurements (Config.ReplicateState experiments).
+	Replication   time.Duration // state write -> snapshot on every survivor center
+	SnapshotBytes int           // replicated snapshot frame size
+	StateIntact   bool          // re-homed app resumed with the replicated value
 }
+
+// churnStateValue is the in-flight state the with-state churn experiment
+// plants before the kill and expects back after re-homing.
+const churnStateValue = "31337"
 
 // ChurnConfig is the gossip cadence the churn bench runs at: tight
 // enough that one experiment takes tens of milliseconds, with the
@@ -41,6 +50,44 @@ func ChurnConfig() cluster.Config {
 	}
 }
 
+// ChurnStateConfig is ChurnConfig with snapshot-state replication on at a
+// tight capture cadence — the with-state failover experiment.
+func ChurnStateConfig() cluster.Config {
+	cfg := ChurnConfig()
+	cfg.ReplicateState = true
+	cfg.ReplicateInterval = 2 * time.Millisecond
+	return cfg
+}
+
+// newFederation builds an n-space federated deployment (one host + one
+// gateway per space) and returns it with the host ids, in space order.
+// Callers own closing the middleware.
+func newFederation(n int, cfg cluster.Config) (*core.Middleware, []string, error) {
+	mw, err := core.New(core.Config{Seed: 3, Cluster: &cfg})
+	if err != nil {
+		return nil, nil, err
+	}
+	hosts := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		space := fmt.Sprintf("space-%d", i+1)
+		host := fmt.Sprintf("host-%d", i+1)
+		if err := mw.AddSpace(space); err != nil {
+			mw.Close()
+			return nil, nil, err
+		}
+		if err := mw.AddGateway("gw-"+space, space, netsim.Pentium4_1700()); err != nil {
+			mw.Close()
+			return nil, nil, err
+		}
+		if _, err := mw.AddHost(host, space, netsim.PentiumM_1600(), desktop(host), 0); err != nil {
+			mw.Close()
+			return nil, nil, err
+		}
+		hosts = append(hosts, host)
+	}
+	return mw, hosts, nil
+}
+
 // RunChurn builds a federated deployment of n smart spaces (one host +
 // one gateway each, the media player on the first host, its skeleton
 // installed everywhere else), waits for gossip and replication to
@@ -48,33 +95,31 @@ func ChurnConfig() cluster.Config {
 // measures how long membership takes to convict it and failover takes to
 // re-home the application. n must be at least 3 (a lone survivor has no
 // quorum).
+//
+// With cfg.ReplicateState set, the experiment additionally plants a
+// playback position in the player's state, measures how long the snapshot
+// takes to replicate to every surviving center, and value-checks that the
+// re-homed instance resumed with the planted state.
 func RunChurn(n int, cfg cluster.Config) (ChurnResult, error) {
+	return RunChurnSized(n, cfg, 2_000_000)
+}
+
+// RunChurnSized additionally sizes the player's song: tests under the
+// race detector use a small one (full-wrap captures of a multi-megabyte
+// song at a 2 ms cadence starve the probe loops under instrumentation),
+// and mdbench exposes it as -song-bytes for sweeping snapshot size.
+func RunChurnSized(n int, cfg cluster.Config, songBytes int64) (ChurnResult, error) {
 	if n < 3 {
 		return ChurnResult{}, fmt.Errorf("bench: churn needs >= 3 spaces for quorum, got %d", n)
 	}
-	mw, err := core.New(core.Config{Seed: 3, Cluster: &cfg})
+	mw, hosts, err := newFederation(n, cfg)
 	if err != nil {
 		return ChurnResult{}, err
 	}
 	defer mw.Close()
 
-	hosts := make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		space := fmt.Sprintf("space-%d", i+1)
-		host := fmt.Sprintf("host-%d", i+1)
-		if err := mw.AddSpace(space); err != nil {
-			return ChurnResult{}, err
-		}
-		if err := mw.AddGateway("gw-"+space, space, netsim.Pentium4_1700()); err != nil {
-			return ChurnResult{}, err
-		}
-		if _, err := mw.AddHost(host, space, netsim.PentiumM_1600(), desktop(host), 0); err != nil {
-			return ChurnResult{}, err
-		}
-		hosts = append(hosts, host)
-	}
 	victim := hosts[0]
-	song := media.GenerateFile("song1", 2_000_000, 3)
+	song := media.GenerateFile("song1", songBytes, 3)
 	rt0, _ := mw.Host(victim)
 	rt0.Library.Add(song)
 	if err := mw.RunApp(victim, demoapps.NewMediaPlayer(victim, song)); err != nil {
@@ -123,10 +168,63 @@ func RunChurn(n int, cfg cluster.Config) (ChurnResult, error) {
 		time.Sleep(time.Millisecond)
 	}
 
+	var res ChurnResult
+	res.Spaces = n
+	res.Config = cfg
+
+	// With state replication on: plant in-flight state and measure how
+	// long the snapshot takes to reach every surviving center.
+	if cfg.ReplicateState {
+		inst, ok := rt0.Engine.App("smart-media-player")
+		if !ok {
+			return res, fmt.Errorf("bench: player not running on %s", victim)
+		}
+		if st, ok := inst.Component("playback-state"); ok {
+			st.(*app.StateComponent).Set("positionMs", churnStateValue)
+		}
+		inst.Coordinator().Set("positionMs", churnStateValue)
+		writeAt := time.Now()
+		repDeadline := writeAt.Add(10 * time.Second)
+		// Frames are full app wraps (megabytes): decode each center's
+		// snapshot only when a new capture sequence lands there.
+		lastSeq := make(map[int]uint64, n)
+		hasValue := make(map[int]bool, n)
+		for {
+			replicated := true
+			for i := 1; i < n; i++ {
+				if hasValue[i] {
+					continue
+				}
+				center, _ := mw.Cluster.Center(fmt.Sprintf("space-%d", i+1))
+				sr, ok := center.LatestSnapshot("smart-media-player")
+				if !ok || sr.Seq == lastSeq[i] {
+					replicated = false
+					continue
+				}
+				lastSeq[i] = sr.Seq
+				ts, err := sr.Snapshot()
+				if err != nil || ts.Wrap.CoordState["positionMs"] != churnStateValue {
+					replicated = false
+					continue
+				}
+				hasValue[i] = true
+				res.SnapshotBytes = len(sr.Frame)
+			}
+			if replicated {
+				break
+			}
+			if time.Now().After(repDeadline) {
+				return res, fmt.Errorf("bench: snapshot never replicated to every survivor")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		res.Replication = time.Since(writeAt)
+	}
+
 	// Kill, then measure conviction and re-homing.
 	killAt := time.Now()
 	if err := mw.Net.SetHostDown(victim, true); err != nil {
-		return ChurnResult{}, err
+		return res, err
 	}
 	for {
 		converged := true
@@ -141,7 +239,7 @@ func RunChurn(n int, cfg cluster.Config) (ChurnResult, error) {
 			break
 		}
 		if time.Now().After(killAt.Add(30 * time.Second)) {
-			return ChurnResult{}, fmt.Errorf("bench: survivors never convicted %s", victim)
+			return res, fmt.Errorf("bench: survivors never convicted %s", victim)
 		}
 		time.Sleep(100 * time.Microsecond)
 	}
@@ -150,29 +248,36 @@ func RunChurn(n int, cfg cluster.Config) (ChurnResult, error) {
 	// The victim's engine still holds its (unreachable) instance — only
 	// the network died — so look for the app on survivors specifically.
 	var newHost string
+	var restored *app.Application
 	for newHost == "" {
 		for _, host := range hosts[1:] {
 			rt, _ := mw.Host(host)
 			if inst, ok := rt.Engine.App("smart-media-player"); ok && inst.State() == app.Running {
 				newHost = host
+				restored = inst
 				break
 			}
 		}
 		if newHost == "" {
 			if time.Now().After(convergedAt.Add(30 * time.Second)) {
-				return ChurnResult{}, fmt.Errorf("bench: app never re-homed off %s", victim)
+				return res, fmt.Errorf("bench: app never re-homed off %s", victim)
 			}
 			time.Sleep(100 * time.Microsecond)
 		}
 	}
 	doneAt := time.Now()
 
-	return ChurnResult{
-		Spaces:      n,
-		Config:      cfg,
-		Convergence: convergedAt.Sub(killAt),
-		Failover:    doneAt.Sub(convergedAt),
-		Total:       doneAt.Sub(killAt),
-		NewHost:     newHost,
-	}, nil
+	res.Convergence = convergedAt.Sub(killAt)
+	res.Failover = doneAt.Sub(convergedAt)
+	res.Total = doneAt.Sub(killAt)
+	res.NewHost = newHost
+	if cfg.ReplicateState {
+		coordVal, _ := restored.Coordinator().Get("positionMs")
+		compVal := ""
+		if st, ok := restored.Component("playback-state"); ok {
+			compVal, _ = st.(*app.StateComponent).Get("positionMs")
+		}
+		res.StateIntact = coordVal == churnStateValue && compVal == churnStateValue
+	}
+	return res, nil
 }

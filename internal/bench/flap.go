@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mdagent/internal/cluster"
+)
+
+// FlapResult is one flapping-link experiment: the link between two hosts
+// of an n-space federation toggles down/up on a fixed period while
+// membership runs, then heals. A robust failure detector masks a single
+// flapping link through indirect probes (SWIM's ping-req relays), so the
+// interesting numbers are how many false suspicions leaked through and
+// whether anyone was wrongly convicted dead.
+type FlapResult struct {
+	Spaces      int
+	Period      time.Duration // link toggle half-period
+	Cycles      int           // down/up toggles executed
+	Suspicions  int           // suspect transitions observed for the flapped pair
+	Convictions int           // dead transitions observed for the flapped pair
+	Healed      bool          // every node saw every host alive after the schedule
+	HealTime    time.Duration // schedule stop -> full all-alive convergence
+}
+
+// RunFlap builds an n-space federation (n >= 3 so indirect probes have a
+// relay), flaps the link between the first two hosts for cycles toggles
+// of the given period, stops the schedule, and reports the false
+// suspicions/convictions observed plus how long membership took to settle
+// back to all-alive.
+func RunFlap(n int, cfg cluster.Config, period time.Duration, cycles int) (FlapResult, error) {
+	if n < 3 {
+		return FlapResult{}, fmt.Errorf("bench: flap needs >= 3 spaces for indirect probes, got %d", n)
+	}
+	if cycles < 1 {
+		return FlapResult{}, fmt.Errorf("bench: flap needs >= 1 cycle, got %d", cycles)
+	}
+	mw, hosts, err := newFederation(n, cfg)
+	if err != nil {
+		return FlapResult{}, err
+	}
+	defer mw.Close()
+
+	a, b := hosts[0], hosts[1]
+	var mu sync.Mutex
+	suspicions, convictions := 0, 0
+	mw.Cluster.OnMemberChange(func(_ *cluster.Node, m cluster.Member) {
+		if m.ID != a && m.ID != b {
+			return
+		}
+		mu.Lock()
+		switch m.State {
+		case cluster.StateSuspect:
+			suspicions++
+		case cluster.StateDead:
+			convictions++
+		}
+		mu.Unlock()
+	})
+
+	// Converge to all-alive before injecting faults.
+	allAlive := func() bool {
+		for _, host := range hosts {
+			node, ok := mw.Cluster.Node(host)
+			if !ok || len(node.AliveHosts()) != n {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !allAlive() {
+		if time.Now().After(deadline) {
+			return FlapResult{}, fmt.Errorf("bench: flap deployment never converged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	stop := mw.Net.Flap(a, b, period)
+	time.Sleep(time.Duration(cycles) * period)
+	stop()
+	stoppedAt := time.Now()
+
+	res := FlapResult{Spaces: n, Period: period, Cycles: cycles}
+	healDeadline := stoppedAt.Add(30 * time.Second)
+	for !allAlive() {
+		if time.Now().After(healDeadline) {
+			mu.Lock()
+			res.Suspicions, res.Convictions = suspicions, convictions
+			mu.Unlock()
+			return res, fmt.Errorf("bench: membership never healed after flapping stopped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res.Healed = true
+	res.HealTime = time.Since(stoppedAt)
+	mu.Lock()
+	res.Suspicions, res.Convictions = suspicions, convictions
+	mu.Unlock()
+	return res, nil
+}

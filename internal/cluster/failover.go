@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mdagent/internal/registry"
+	"mdagent/internal/state"
 )
 
 // Rehoming is one completed failover: an application that was running on
@@ -15,21 +16,35 @@ type Rehoming struct {
 	From     string // dead host
 	To       string // surviving host the app was re-homed onto
 	NewSpace string
+	// Restored reports that the relaunch carried a replicated state
+	// snapshot (state pipeline) instead of starting from a bare skeleton.
+	Restored bool
+	// SnapshotSeq is the restored snapshot's capture sequence (0 when no
+	// snapshot was restored).
+	SnapshotSeq uint64
 }
 
 // LaunchFunc relaunches the application described by rec (its record on
 // the dead host) on the target host and returns the new installation
 // record to register — internal/core wires this to the target host's
 // migration engine, reusing the clone-dispatch restore machinery (factory
-// instantiation, paper §4.2.2).
-type LaunchFunc func(rec registry.AppRecord, target string) (registry.AppRecord, error)
+// instantiation, paper §4.2.2). snap, when non-nil, is the freshest
+// replicated state snapshot; the launcher unwraps it into the new
+// instance before resuming so the application continues where it left
+// off, and reports via restored whether it actually applied it (a retried
+// failover finding the app already relaunched, or a frame that fails its
+// decode, degrades to a launch without state).
+type LaunchFunc func(rec registry.AppRecord, target string, snap *state.SnapshotRecord) (newRec registry.AppRecord, restored bool, err error)
 
 // Failover plans and executes re-homing when membership declares a host
 // dead: every application recorded as *running* on the dead host is
 // relaunched on the best surviving host, chosen from the federated
 // registry (prefer hosts that already hold an installation, then the most
 // completely provisioned one). The registry is updated through the
-// replicating center, so every space sees the app's new home.
+// replicating center, so every space sees the app's new home. With
+// RestoreState set, the relaunch restores the freshest replicated
+// snapshot the planning center holds, so in-flight component state
+// survives the crash.
 type Failover struct {
 	// Center is the replicated registry view used for planning and for
 	// recording outcomes.
@@ -39,6 +54,8 @@ type Failover struct {
 	Alive func() []string
 	// Launch relaunches one application on a chosen host.
 	Launch LaunchFunc
+	// RestoreState enables snapshot restoration (Config.ReplicateState).
+	RestoreState bool
 }
 
 // Rehome re-homes every application running on deadHost. It returns the
@@ -64,7 +81,8 @@ func (f *Failover) Rehome(ctx context.Context, deadHost string) ([]Rehoming, err
 		if err != nil {
 			return done, fmt.Errorf("cluster: rehome %s from %s: %w", rec.Name, deadHost, err)
 		}
-		newRec, err := f.Launch(rec, target)
+		snap := f.snapshotFor(rec.Name)
+		newRec, restored, err := f.Launch(rec, target, snap)
 		if err != nil {
 			return done, fmt.Errorf("cluster: relaunch %s on %s: %w", rec.Name, target, err)
 		}
@@ -75,9 +93,32 @@ func (f *Failover) Rehome(ctx context.Context, deadHost string) ([]Rehoming, err
 		if err := f.Center.UnregisterApp(ctx, rec.Name, deadHost); err != nil {
 			return done, err
 		}
-		done = append(done, Rehoming{App: rec.Name, From: deadHost, To: target, NewSpace: newRec.Space})
+		r := Rehoming{App: rec.Name, From: deadHost, To: target, NewSpace: newRec.Space, Restored: restored}
+		if restored && snap != nil {
+			r.SnapshotSeq = snap.Seq
+		}
+		done = append(done, r)
 	}
 	return done, nil
+}
+
+// snapshotFor fetches the freshest replicated snapshot for an app when
+// state restoration is enabled, verifying the frame's header and
+// checksum (cheap — no decode; the launcher decodes exactly once) so a
+// corrupt record degrades to a skeleton relaunch instead of failing the
+// failover.
+func (f *Failover) snapshotFor(appName string) *state.SnapshotRecord {
+	if !f.RestoreState {
+		return nil
+	}
+	sr, ok := f.Center.LatestSnapshot(appName)
+	if !ok {
+		return nil
+	}
+	if err := state.VerifySnapshot(sr.Frame); err != nil {
+		return nil
+	}
+	return &sr
 }
 
 // pickTarget ranks surviving hosts for one application: hosts already

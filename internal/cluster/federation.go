@@ -10,6 +10,7 @@ import (
 
 	"mdagent/internal/owl"
 	"mdagent/internal/registry"
+	"mdagent/internal/state"
 	"mdagent/internal/transport"
 	"mdagent/internal/vclock"
 	"mdagent/internal/wsdl"
@@ -138,6 +139,52 @@ func (c *Center) UnregisterApp(_ context.Context, name, host string) error {
 	return c.write(Record{Key: rec.Key(), Kind: RecordApp, App: rec, Deleted: true})
 }
 
+// snapKey is the replication-table key for an app's latest snapshot.
+// Keyed by application (not host): failover wants the freshest state
+// wherever it was captured, and a migrating app's new host simply
+// supersedes the old one's record.
+func snapKey(appName string) string { return "snap/" + appName }
+
+// A Center is the state pipeline's publisher.
+var _ state.Publisher = (*Center)(nil)
+
+// PutSnapshot stores an application's latest state snapshot and
+// replicates it federation-wide. The center assigns the record's capture
+// sequence (previous + 1 under the write lock), so concurrent snapshots
+// from different spaces resolve to the longest capture history.
+func (c *Center) PutSnapshot(_ context.Context, sr state.SnapshotRecord) (state.SnapshotRecord, error) {
+	if sr.App == "" {
+		return sr, fmt.Errorf("cluster: snapshot record has no app")
+	}
+	if sr.Space == "" {
+		sr.Space = c.space
+	}
+	rec, err := c.writeStamped(Record{Key: snapKey(sr.App), Kind: RecordSnapshot, Snap: sr})
+	return rec.Snap, err
+}
+
+// DropSnapshot tombstones an application's replicated snapshot — the
+// graceful-stop path, so failover never restores state for an app an
+// operator deliberately stopped.
+func (c *Center) DropSnapshot(_ context.Context, appName, host string) error {
+	return c.write(Record{
+		Key: snapKey(appName), Kind: RecordSnapshot,
+		Snap: state.SnapshotRecord{App: appName, Host: host}, Deleted: true,
+	})
+}
+
+// LatestSnapshot returns the freshest replicated snapshot this center
+// knows for an application (false when none, or when it was tombstoned).
+func (c *Center) LatestSnapshot(appName string) (state.SnapshotRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.records[snapKey(appName)]
+	if !ok || r.Deleted || r.Kind != RecordSnapshot {
+		return state.SnapshotRecord{}, false
+	}
+	return r.Snap, true
+}
+
 // RegisterResource registers a resource description federation-wide.
 func (c *Center) RegisterResource(_ context.Context, res owl.Resource) error {
 	if err := res.Validate(); err != nil {
@@ -154,25 +201,36 @@ func (c *Center) RegisterDevice(_ context.Context, dev wsdl.DeviceProfile) error
 	return c.write(Record{Key: "dev/" + dev.Host, Kind: RecordDevice, Dev: dev})
 }
 
-// write stamps a locally originated record and replicates it. Stamping,
-// installing, and mirroring into the registry happen under one critical
-// section: two racing writers must produce two *ordered* versions (the
-// second ticks on top of the first), never two identical vectors that
-// peers could receive in different orders and diverge on.
+// write stamps a locally originated record and replicates it.
 func (c *Center) write(r Record) error {
+	_, err := c.writeStamped(r)
+	return err
+}
+
+// writeStamped stamps a locally originated record, replicates it, and
+// returns it as stamped. Stamping, installing, and mirroring into the
+// registry happen under one critical section: two racing writers must
+// produce two *ordered* versions (the second ticks on top of the first),
+// never two identical vectors that peers could receive in different
+// orders and diverge on. Snapshot records additionally get the next
+// capture sequence under the same section.
+func (c *Center) writeStamped(r Record) (Record, error) {
 	c.mu.Lock()
 	prev := c.records[r.Key]
 	r.Version = prev.Version.Tick(c.space)
 	r.Origin = c.space
+	if r.Kind == RecordSnapshot {
+		r.Snap.Seq = prev.Snap.Seq + 1
+	}
 	c.records[r.Key] = r
 	c.persist(r)
 	err := c.applyToRegistry(r)
 	c.mu.Unlock()
 	if err != nil {
-		return err
+		return r, err
 	}
 	c.pushAsync([]Record{r})
-	return nil
+	return r, nil
 }
 
 // persist writes a record's replication state through to the registry's
@@ -199,7 +257,7 @@ func (c *Center) apply(r Record) (bool, error) {
 			return false, nil
 		case vclock.Concurrent:
 			merged := r.Version.Merge(ex.Version)
-			if r.Origin < ex.Origin {
+			if !concurrentWins(r, ex) {
 				ex.Version = merged
 				c.records[r.Key] = ex
 				c.persist(ex)
@@ -211,6 +269,29 @@ func (c *Center) apply(r Record) (bool, error) {
 	c.records[r.Key] = r
 	c.persist(r)
 	return true, c.applyToRegistry(r)
+}
+
+// concurrentWins resolves a concurrent-version conflict deterministically
+// — every center must pick the same winner regardless of delivery order,
+// so only record-payload fields may be consulted. Snapshot records prefer
+// the longer capture history (higher sequence), then a graceful-stop
+// tombstone (a deliberate stop must not be undone by a concurrent capture
+// whose At would beat the tombstone's zero time), then the later capture
+// time; everything else, and residual ties, fall to the higher origin
+// space.
+func concurrentWins(r, ex Record) bool {
+	if r.Kind == RecordSnapshot && ex.Kind == RecordSnapshot {
+		if r.Snap.Seq != ex.Snap.Seq {
+			return r.Snap.Seq > ex.Snap.Seq
+		}
+		if r.Deleted != ex.Deleted {
+			return r.Deleted
+		}
+		if !r.Snap.At.Equal(ex.Snap.At) {
+			return r.Snap.At.After(ex.Snap.At)
+		}
+	}
+	return r.Origin >= ex.Origin
 }
 
 // applyToRegistry mirrors a winning record into the local registry.
@@ -231,6 +312,10 @@ func (c *Center) applyToRegistry(r Record) error {
 			return nil
 		}
 		return c.reg.RegisterDevice(r.Dev)
+	case RecordSnapshot:
+		// Snapshots live only in the replication table (and its persisted
+		// mirror); the registry proper never sees them.
+		return nil
 	}
 	return fmt.Errorf("cluster: unknown record kind %d", r.Kind)
 }

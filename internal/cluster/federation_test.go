@@ -8,9 +8,11 @@ import (
 	"testing"
 	"time"
 
+	"mdagent/internal/app"
 	"mdagent/internal/owl"
 	"mdagent/internal/rdf"
 	"mdagent/internal/registry"
+	"mdagent/internal/state"
 	"mdagent/internal/store"
 	"mdagent/internal/transport"
 	"mdagent/internal/wsdl"
@@ -283,5 +285,167 @@ func TestFederationVersionsSurviveRestart(t *testing.T) {
 	c2.mu.Unlock()
 	if after != 3 {
 		t.Fatalf("post-restart counter = %d, want 3 (history lost across restart)", after)
+	}
+}
+
+func mustSnapshot(t *testing.T, appName, host string, val string) state.SnapshotRecord {
+	t.Helper()
+	inst := app.New(appName, host, appDesc(appName))
+	st := app.NewState("st")
+	st.Set("v", val)
+	if err := inst.AddComponent(st); err != nil {
+		t.Fatal(err)
+	}
+	w, err := inst.WrapComponents(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := state.EncodeSnapshot(app.TaggedSnapshot{Tag: "replica", At: time.Unix(1, 0), Wrap: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return state.SnapshotRecord{App: appName, Host: host, At: time.Unix(1, 0), Frame: frame}
+}
+
+func snapValue(t *testing.T, sr state.SnapshotRecord) string {
+	t.Helper()
+	ts, err := sr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ts.Wrap
+	inst := app.New(w.App, "check", appDesc(w.App))
+	if err := inst.Unwrap(w); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := inst.Component("st")
+	if !ok {
+		t.Fatal("snapshot lost its state component")
+	}
+	v, _ := st.(*app.StateComponent).Get("v")
+	return v
+}
+
+func TestFederationReplicatesSnapshots(t *testing.T) {
+	a, b := newCenterPair(t)
+	ctx := context.Background()
+
+	stamped, err := a.PutSnapshot(ctx, mustSnapshot(t, "player", "hostA", "pos-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamped.Seq != 1 {
+		t.Fatalf("first snapshot seq = %d, want 1", stamped.Seq)
+	}
+	if stamped.Space != "alpha" {
+		t.Fatalf("stamped space = %q, want alpha", stamped.Space)
+	}
+	if err := b.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.LatestSnapshot("player")
+	if !ok {
+		t.Fatal("snapshot did not replicate to beta")
+	}
+	if v := snapValue(t, got); v != "pos-1" {
+		t.Fatalf("replicated snapshot value = %q, want pos-1", v)
+	}
+
+	// A newer capture supersedes, and its center-assigned sequence grows.
+	stamped2, err := a.PutSnapshot(ctx, mustSnapshot(t, "player", "hostA", "pos-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamped2.Seq != 2 {
+		t.Fatalf("second snapshot seq = %d, want 2", stamped2.Seq)
+	}
+	if err := b.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.LatestSnapshot("player"); snapValue(t, got) != "pos-2" {
+		t.Fatalf("beta kept the stale snapshot")
+	}
+}
+
+func TestFederationSnapshotTombstone(t *testing.T) {
+	a, b := newCenterPair(t)
+	ctx := context.Background()
+	if _, err := a.PutSnapshot(ctx, mustSnapshot(t, "player", "hostA", "pos-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.LatestSnapshot("player"); !ok {
+		t.Fatal("snapshot did not replicate before the tombstone")
+	}
+	// Graceful stop: the tombstone replicates and hides the snapshot
+	// everywhere.
+	if err := a.DropSnapshot(ctx, "player", "hostA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.LatestSnapshot("player"); ok {
+		t.Fatal("alpha still serves a tombstoned snapshot")
+	}
+	if err := b.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.LatestSnapshot("player"); ok {
+		t.Fatal("beta still serves a tombstoned snapshot")
+	}
+}
+
+func TestFederationConcurrentSnapshotsPreferLongerHistory(t *testing.T) {
+	a, b := newCenterPair(t)
+	ctx := context.Background()
+	// Both centers accept snapshots for the same app without having seen
+	// each other's writes: beta has captured twice (longer history),
+	// alpha once. After convergence both must agree on beta's latest,
+	// regardless of the origin-space tiebreak that would pick beta anyway
+	// — so run it mirrored too.
+	if _, err := a.PutSnapshot(ctx, mustSnapshot(t, "player", "hostA", "alpha-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PutSnapshot(ctx, mustSnapshot(t, "player", "hostB", "beta-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PutSnapshot(ctx, mustSnapshot(t, "player", "hostB", "beta-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	av, _ := a.LatestSnapshot("player")
+	bv, _ := b.LatestSnapshot("player")
+	if snapValue(t, av) != "beta-2" || snapValue(t, bv) != "beta-2" {
+		t.Fatalf("centers disagree or picked the shorter history: alpha=%q beta=%q",
+			snapValue(t, av), snapValue(t, bv))
+	}
+
+	// Mirrored: now alpha develops the longer history concurrently.
+	a2, b2 := newCenterPair(t)
+	if _, err := b2.PutSnapshot(ctx, mustSnapshot(t, "player", "hostB", "beta-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.PutSnapshot(ctx, mustSnapshot(t, "player", "hostA", "alpha-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.PutSnapshot(ctx, mustSnapshot(t, "player", "hostA", "alpha-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	av2, _ := a2.LatestSnapshot("player")
+	bv2, _ := b2.LatestSnapshot("player")
+	if snapValue(t, av2) != "alpha-2" || snapValue(t, bv2) != "alpha-2" {
+		t.Fatalf("longer alpha history lost: alpha=%q beta=%q",
+			snapValue(t, av2), snapValue(t, bv2))
 	}
 }

@@ -57,8 +57,22 @@ type Config struct {
 	SyncInterval time.Duration
 	// IndirectProbes is how many relays an indirect probe uses (default 2).
 	IndirectProbes int
+	// DeadProbeEvery makes every Nth protocol tick additionally probe one
+	// dead member, so a healed partition or restarted peer is rediscovered
+	// and its death certificate refuted without manual intervention
+	// (default 8; negative disables).
+	DeadProbeEvery int
 	// Seed feeds probe-target shuffling (default 1).
 	Seed int64
+
+	// ReplicateState opts hosts into the state pipeline: each host's
+	// replicator streams its applications' snapshots to its space's
+	// registry center (and on to every peer space via federation), and
+	// failover restores the freshest snapshot instead of a skeleton.
+	ReplicateState bool
+	// ReplicateInterval is the snapshot capture period (default 250 ms;
+	// meaningful only with ReplicateState).
+	ReplicateInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -77,8 +91,14 @@ func (c Config) withDefaults() Config {
 	if c.IndirectProbes <= 0 {
 		c.IndirectProbes = 2
 	}
+	if c.DeadProbeEvery == 0 {
+		c.DeadProbeEvery = 8
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.ReplicateInterval <= 0 {
+		c.ReplicateInterval = 250 * time.Millisecond
 	}
 	return c
 }
@@ -98,6 +118,7 @@ type Node struct {
 	members   map[string]*memberEntry
 	rotation  []string // shuffled probe order
 	rotIdx    int
+	ticks     uint64 // protocol rounds run (dead-probe cadence)
 	rng       *rand.Rand
 	listeners []func(*Node, Member)
 
@@ -237,15 +258,113 @@ func (n *Node) Stop() {
 }
 
 // Tick runs one protocol round synchronously: sweep overdue suspects,
-// then probe the next member in the shuffled rotation. Tests drive it
-// directly for determinism; Start calls it on a ticker.
+// every DeadProbeEvery rounds ping one dead member (partition-heal
+// rediscovery), then probe the next live member in the shuffled rotation.
+// Tests drive it directly for determinism; Start calls it on a ticker.
 func (n *Node) Tick() {
 	n.sweep(time.Now())
+	n.mu.Lock()
+	n.ticks++
+	probeDead := n.cfg.DeadProbeEvery > 0 && n.ticks%uint64(n.cfg.DeadProbeEvery) == 0
+	n.mu.Unlock()
+	if probeDead {
+		if dead, ok := n.deadTarget(); ok {
+			// Best-effort: the ping carries our table (including the
+			// peer's death certificate); a peer that is actually back
+			// refutes it by bumping its incarnation, and the refutation in
+			// its ack clears the certificate here, whence gossip spreads
+			// it. Without this, two sides of a healed partition would
+			// never probe each other again. Off the protocol round: in the
+			// common case the member really is dead and the ping eats the
+			// full ProbeTimeout, which must not stall live probing.
+			// Untracked on purpose, like the federation's pushAsync: a
+			// probe racing shutdown just reports a closed endpoint.
+			table := n.tableSnapshot()
+			go n.ping(dead.Endpoint, table)
+		}
+	}
 	target, ok := n.nextTarget()
 	if !ok {
 		return
 	}
 	n.probe(target)
+}
+
+// deadTarget picks one dead member at random.
+func (n *Node) deadTarget() (Member, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var pool []Member
+	for id, e := range n.members {
+		if id != n.self.ID && e.State == StateDead {
+			pool = append(pool, e.Member)
+		}
+	}
+	if len(pool) == 0 {
+		return Member{}, false
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].ID < pool[j].ID })
+	return pool[n.rng.Intn(len(pool))], true
+}
+
+// ConfirmDead re-probes a member this node believes dead, directly and
+// then through indirect relays (a severed reporter->member link must not
+// "confirm" a live member), as a last check before acting on the
+// conviction (e.g. re-homing its applications). It returns false — the
+// member is NOT confirmed dead — when any probe is answered; the ack's
+// table then carries the member's refutation, so the false conviction
+// also starts clearing. A genuinely crashed host fails fast (connection
+// refused / netsim host-down), so the common failover path pays almost
+// nothing.
+func (n *Node) ConfirmDead(id string) bool {
+	n.mu.Lock()
+	e, ok := n.members[id]
+	if !ok {
+		n.mu.Unlock()
+		return false // unknown member: nothing to act on
+	}
+	if e.State != StateDead {
+		n.mu.Unlock()
+		return false // already cleared
+	}
+	target := e.Member
+	n.mu.Unlock()
+	table := n.tableSnapshot()
+	if n.ping(target.Endpoint, table) {
+		return false
+	}
+	for _, relay := range n.relays(id) {
+		if n.pingVia(relay, target, table) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rejoin announces this node after a restart or a healed partition: it
+// bumps our incarnation past rumors in flight and synchronously pings
+// every known member — dead ones included — so death certificates on both
+// sides are refuted immediately instead of waiting out the dead-probe
+// cadence. A second round runs when the first taught us of a certificate
+// our bumped incarnation did not yet clear (a restarted node rejoining a
+// cluster that convicted its previous life at a higher incarnation).
+func (n *Node) Rejoin() {
+	n.mu.Lock()
+	n.self.Incarnation++
+	n.members[n.self.ID].Member = n.self
+	n.mu.Unlock()
+	for round := 0; round < 2; round++ {
+		before := n.Self().Incarnation
+		for _, m := range n.Members() {
+			if m.ID == n.Self().ID {
+				continue
+			}
+			n.ping(m.Endpoint, n.tableSnapshot())
+		}
+		if n.Self().Incarnation == before {
+			return // no peer held a certificate we had not already beaten
+		}
+	}
 }
 
 // nextTarget picks the next probeable member in round-robin order over a
@@ -429,13 +548,22 @@ func (n *Node) applyTable(table []Member) {
 
 // supersedes reports whether update m should replace current.
 func supersedes(m, current Member) bool {
-	if m.State == StateDead {
-		return current.State != StateDead
-	}
 	if current.State == StateDead {
-		// Only a fresh incarnation (a restarted member) clears a death
-		// certificate.
+		// Only a fresh incarnation (a restarted or refuted member) clears
+		// a death certificate.
 		return m.State == StateAlive && m.Incarnation > current.Incarnation
+	}
+	if m.State == StateDead {
+		// A death certificate overrides suspicion unconditionally, and
+		// overrides alive at the same or lower incarnation — but NOT a
+		// refuted alive at a higher incarnation. Without the incarnation
+		// check, stale certificates circulating after a healed partition
+		// keep re-killing members that already refuted them, and the
+		// membership ping-pongs dead<->alive forever.
+		if current.State == StateAlive {
+			return m.Incarnation >= current.Incarnation
+		}
+		return true
 	}
 	if m.Incarnation != current.Incarnation {
 		return m.Incarnation > current.Incarnation

@@ -241,3 +241,85 @@ func TestQuorumLostWhenIsolated(t *testing.T) {
 		t.Fatal("survivors lost quorum despite majority alive")
 	}
 }
+
+// TestRejoinClearsDeathCertificates drives the partition-healing path: a
+// convicted host comes back, calls Rejoin, and both sides' death
+// certificates clear without manual intervention.
+func TestRejoinClearsDeathCertificates(t *testing.T) {
+	r := newGossipRig(t, 3)
+	for i := 0; i < 3; i++ {
+		r.tickAll()
+	}
+	if err := r.net.SetHostDown("h3", true); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r, r.nodes[0], "h3", StateDead)
+	waitState(t, r, r.nodes[1], "h3", StateDead)
+	// During its isolation, h3 convicted the others too.
+	waitState(t, r, r.nodes[2], "h1", StateDead)
+	waitState(t, r, r.nodes[2], "h2", StateDead)
+
+	if err := r.net.SetHostDown("h3", false); err != nil {
+		t.Fatal(err)
+	}
+	r.nodes[2].Rejoin()
+
+	// Rejoin pings every member directly: the survivors learn h3 is back
+	// (alive at a bumped incarnation beats the certificate)...
+	for _, observer := range []int{0, 1} {
+		if m, _ := r.nodes[observer].Member("h3"); m.State != StateAlive {
+			t.Fatalf("h%d still holds h3's death certificate after Rejoin: %+v", observer+1, m)
+		}
+	}
+	// ...and the acks carried the survivors' refutations back to h3.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(r.nodes[2].AliveHosts()) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("h3 never cleared its certificates; sees alive %v", r.nodes[2].AliveHosts())
+		}
+		r.tickAll()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDeadProbeHealsPartitionWithoutRejoin: after a symmetric partition
+// heals, the periodic dead-member probe (Config.DeadProbeEvery) alone
+// must rediscover the other side — no explicit Rejoin call — because the
+// regular rotation never probes members marked dead.
+func TestDeadProbeHealsPartitionWithoutRejoin(t *testing.T) {
+	r := newGossipRig(t, 4)
+	for i := 0; i < 4; i++ {
+		r.tickAll()
+	}
+	r.net.Partition([]string{"h1", "h2"}, []string{"h3", "h4"})
+	waitState(t, r, r.nodes[0], "h3", StateDead)
+	waitState(t, r, r.nodes[0], "h4", StateDead)
+	waitState(t, r, r.nodes[2], "h1", StateDead)
+	waitState(t, r, r.nodes[2], "h2", StateDead)
+
+	r.net.HealPartition()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		healed := true
+		for _, n := range r.nodes {
+			if len(n.AliveHosts()) != 4 {
+				healed = false
+				break
+			}
+		}
+		if healed {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, n := range r.nodes {
+				t.Logf("%s sees alive: %v", n.Self().ID, n.AliveHosts())
+			}
+			t.Fatal("membership never healed after the partition")
+		}
+		r.tickAll()
+		time.Sleep(time.Millisecond)
+	}
+}

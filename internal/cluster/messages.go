@@ -3,6 +3,7 @@ package cluster
 import (
 	"mdagent/internal/owl"
 	"mdagent/internal/registry"
+	"mdagent/internal/state"
 	"mdagent/internal/vclock"
 	"mdagent/internal/wsdl"
 )
@@ -54,11 +55,12 @@ const (
 	RecordApp RecordKind = iota + 1
 	RecordResource
 	RecordDevice
+	RecordSnapshot // an application's latest replicated state snapshot
 )
 
 // Record is one versioned, replicated registry entry. Exactly one of App,
-// Res, Dev is meaningful, selected by Kind; gob cannot carry interfaces
-// without registration churn, so the union is explicit.
+// Res, Dev, Snap is meaningful, selected by Kind; gob cannot carry
+// interfaces without registration churn, so the union is explicit.
 type Record struct {
 	Key     string // store key, e.g. "app/hostA/smart-media-player"
 	Kind    RecordKind
@@ -66,9 +68,10 @@ type Record struct {
 	Version vclock.Version
 	Deleted bool // tombstone: the entry was unregistered
 
-	App registry.AppRecord
-	Res owl.Resource
-	Dev wsdl.DeviceProfile
+	App  registry.AppRecord
+	Res  owl.Resource
+	Dev  wsdl.DeviceProfile
+	Snap state.SnapshotRecord
 }
 
 // digestMsg asks a peer center for every record the sender's digest has

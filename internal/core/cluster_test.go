@@ -37,7 +37,20 @@ func testDevice(host string) wsdl.DeviceProfile {
 // installed on h2 and h3.
 func newFederatedDeployment(t *testing.T) *Middleware {
 	t.Helper()
-	mw, err := New(Config{Seed: 5, Cluster: clusterTestConfig()})
+	return newFederatedDeploymentCfg(t, clusterTestConfig())
+}
+
+func newFederatedDeploymentCfg(t *testing.T, cfg *cluster.Config) *Middleware {
+	t.Helper()
+	return newFederatedDeploymentSong(t, cfg, 2_000_000)
+}
+
+// newFederatedDeploymentSong additionally sizes the player's song — the
+// state-pipeline tests use a small one so that frame decodes inside
+// 1 ms-poll conditions stay cheap under the race detector.
+func newFederatedDeploymentSong(t *testing.T, cfg *cluster.Config, songBytes int64) *Middleware {
+	t.Helper()
+	mw, err := New(Config{Seed: 5, Cluster: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +70,7 @@ func newFederatedDeployment(t *testing.T) *Middleware {
 			t.Fatal(err)
 		}
 	}
-	song := media.GenerateFile("song1", 2_000_000, 3)
+	song := media.GenerateFile("song1", songBytes, 3)
 	rt1, _ := mw.Host("h1")
 	rt1.Library.Add(song)
 	if err := mw.RunApp("h1", demoapps.NewMediaPlayer("h1", song)); err != nil {
@@ -220,5 +233,230 @@ func TestIsolatedHostDoesNotStealApps(t *testing.T) {
 	}
 	if _, ok := rt2.Engine.App("handheld-player"); !ok {
 		t.Fatal("survivor lost its app")
+	}
+}
+
+// TestFailoverRestoresReplicatedState is the state-pipeline acceptance
+// scenario: with Config.Cluster.ReplicateState on, the player's host is
+// killed mid-run and the re-homed instance must resume with the exact
+// component and coordinator state of the last replicated snapshot — a
+// value-level check, not just liveness.
+func TestFailoverRestoresReplicatedState(t *testing.T) {
+	cfg := clusterTestConfig()
+	cfg.ReplicateState = true
+	cfg.ReplicateInterval = 2 * time.Millisecond
+	mw := newFederatedDeploymentSong(t, cfg, 64_000)
+	ctx := context.Background()
+
+	rt1, _ := mw.Host("h1")
+	if rt1.Replicator == nil {
+		t.Fatal("ReplicateState on but h1 has no replicator")
+	}
+	inst, ok := rt1.Engine.App("smart-media-player")
+	if !ok {
+		t.Fatal("player not running on h1")
+	}
+
+	// Membership: everyone sees three alive before the kill.
+	for _, host := range []string{"h1", "h2", "h3"} {
+		node, _ := mw.Cluster.Node(host)
+		waitFor(t, 5*time.Second, host+" seeing 3 alive", func() bool {
+			return len(node.AliveHosts()) == 3
+		})
+	}
+
+	// Watch the state-pipeline events.
+	var evMu sync.Mutex
+	events := make(map[string]ctxkernel.Event)
+	mw.Kernel.Subscribe("cluster.*", func(ev ctxkernel.Event) {
+		evMu.Lock()
+		events[ev.Topic] = ev
+		evMu.Unlock()
+	})
+
+	// Plant in-flight state: playback progressed to 424242 ms.
+	st, ok := inst.Component("playback-state")
+	if !ok {
+		t.Fatal("player has no playback-state component")
+	}
+	st.(*app.StateComponent).Set("positionMs", "424242")
+	inst.Coordinator().Set("positionMs", "424242")
+
+	// The snapshot must reach a center that will SURVIVE the kill (lab3)
+	// with the planted value before h1 dies — replication, not luck.
+	// Decode only when a new sequence lands: frames are full app wraps.
+	lab3, _ := mw.Cluster.Center("lab3")
+	var lastSeq uint64
+	waitFor(t, 30*time.Second, "snapshot with planted state on lab3", func() bool {
+		sr, ok := lab3.LatestSnapshot("smart-media-player")
+		if !ok || sr.Seq == lastSeq {
+			return false
+		}
+		lastSeq = sr.Seq
+		ts, err := sr.Snapshot()
+		if err != nil {
+			return false
+		}
+		return ts.Wrap.CoordState["positionMs"] == "424242"
+	})
+
+	// Kill h1; the app must land on h2 (same deterministic tiebreak as
+	// the skeleton scenario).
+	if err := mw.Net.SetHostDown("h1", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.WaitAppOn("smart-media-player", "h2", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Value-level check: the re-homed instance carries the replicated
+	// component AND coordinator state, not skeleton defaults.
+	rt2, _ := mw.Host("h2")
+	restored, _ := rt2.Engine.App("smart-media-player")
+	rst, ok := restored.Component("playback-state")
+	if !ok {
+		t.Fatal("re-homed instance has no playback-state (skeleton relaunch, state lost)")
+	}
+	if v, _ := rst.(*app.StateComponent).Get("positionMs"); v != "424242" {
+		t.Fatalf("re-homed component state positionMs = %q, want 424242", v)
+	}
+	if v, _ := restored.Coordinator().Get("positionMs"); v != "424242" {
+		t.Fatalf("re-homed coordinator positionMs = %q, want 424242", v)
+	}
+	if v, _ := restored.Coordinator().Get("track"); v != "song1" {
+		t.Fatalf("re-homed coordinator track = %q, want song1", v)
+	}
+	if restored.Host() != "h2" {
+		t.Fatalf("restored instance host = %q, want h2", restored.Host())
+	}
+
+	// The registry converged on the new home.
+	waitFor(t, 5*time.Second, "lab3 seeing the re-homed record", func() bool {
+		rec, found, _ := lab3.LookupApp(ctx, "smart-media-player", "h2")
+		return found && rec.Running
+	})
+
+	// The kernel narrated the restoration. Events publish after the
+	// relaunch is already observable, so poll rather than assert.
+	seen := func(topic string) func() bool {
+		return func() bool {
+			evMu.Lock()
+			defer evMu.Unlock()
+			_, ok := events[topic]
+			return ok
+		}
+	}
+	waitFor(t, 5*time.Second, "cluster.rehomed event", seen(TopicRehomed))
+	waitFor(t, 5*time.Second, "cluster.state.restored event", seen(TopicStateRestored))
+	waitFor(t, 5*time.Second, "cluster.state.replicated event", seen(TopicStateReplicated))
+	evMu.Lock()
+	defer evMu.Unlock()
+	if re := events[TopicRehomed]; re.Attr("restored") != "true" {
+		t.Fatalf("rehomed event restored attr = %q, want true", re.Attr("restored"))
+	}
+}
+
+// TestStopAppRetiresSnapshot drives the graceful-stop tombstone: after
+// StopApp, no center may serve a snapshot (or a running record) that
+// failover could resurrect the app from.
+func TestStopAppRetiresSnapshot(t *testing.T) {
+	cfg := clusterTestConfig()
+	cfg.ReplicateState = true
+	cfg.ReplicateInterval = 2 * time.Millisecond
+	mw := newFederatedDeploymentSong(t, cfg, 64_000)
+	ctx := context.Background()
+
+	lab3, _ := mw.Cluster.Center("lab3")
+	waitFor(t, 5*time.Second, "snapshot replicated to lab3", func() bool {
+		_, ok := lab3.LatestSnapshot("smart-media-player")
+		return ok
+	})
+
+	if err := mw.StopApp("h1", "smart-media-player"); err != nil {
+		t.Fatal(err)
+	}
+	rt1, _ := mw.Host("h1")
+	if _, still := rt1.Engine.App("smart-media-player"); still {
+		t.Fatal("engine still lists the stopped app")
+	}
+	lab1, _ := mw.Cluster.Center("lab1")
+	if _, ok := lab1.LatestSnapshot("smart-media-player"); ok {
+		t.Fatal("lab1 still serves the stopped app's snapshot")
+	}
+	waitFor(t, 5*time.Second, "tombstones reaching lab3", func() bool {
+		if _, ok := lab3.LatestSnapshot("smart-media-player"); ok {
+			return false
+		}
+		_, found, _ := lab3.LookupApp(ctx, "smart-media-player", "h1")
+		return !found
+	})
+}
+
+// TestPartitionHealRearmsFailover runs the full-stack partition-healing
+// scenario: h1 is cut off and convicted (its app re-homed), the partition
+// heals, and the dead-member probe must bring h1 back to alive in every
+// survivor's view — re-arming failover for a future, real death.
+func TestPartitionHealRearmsFailover(t *testing.T) {
+	mw := newFederatedDeployment(t)
+	ctx := context.Background()
+	for _, host := range []string{"h1", "h2", "h3"} {
+		node, _ := mw.Cluster.Node(host)
+		waitFor(t, 5*time.Second, host+" seeing 3 alive", func() bool {
+			return len(node.AliveHosts()) == 3
+		})
+	}
+	// The running record must replicate off lab1 before the cut: failover
+	// plans against a surviving center, which can only re-home what it
+	// has seen.
+	for _, lab := range []string{"lab2", "lab3"} {
+		center, _ := mw.Cluster.Center(lab)
+		waitFor(t, 5*time.Second, "running record on "+lab, func() bool {
+			rec, found, _ := center.LookupApp(ctx, "smart-media-player", "h1")
+			return found && rec.Running
+		})
+	}
+
+	mw.Net.Partition([]string{"h1"}, []string{"h2", "h3"})
+	n2, _ := mw.Cluster.Node("h2")
+	n3, _ := mw.Cluster.Node("h3")
+	waitFor(t, 5*time.Second, "survivors convicting h1", func() bool {
+		m2, _ := n2.Member("h1")
+		m3, _ := n3.Member("h1")
+		return m2.State == cluster.StateDead && m3.State == cluster.StateDead
+	})
+	// The app re-homes off h1 while it is cut off.
+	if err := mw.WaitAppOn("smart-media-player", "h2", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	mw.Net.HealPartition()
+	// No manual Rejoin: the periodic dead-member probes on both sides
+	// must clear the certificates.
+	for _, pair := range []struct {
+		node *cluster.Node
+		name string
+	}{{n2, "h2"}, {n3, "h3"}} {
+		node := pair.node
+		waitFor(t, 10*time.Second, pair.name+" clearing h1's certificate", func() bool {
+			m, _ := node.Member("h1")
+			return m.State == cluster.StateAlive
+		})
+	}
+	n1, _ := mw.Cluster.Node("h1")
+	waitFor(t, 10*time.Second, "h1 regaining full membership", func() bool {
+		return len(n1.AliveHosts()) == 3
+	})
+
+	// The revived h1 still held its pre-partition player instance — a
+	// stale duplicate of the re-homed copy on h2. Reconciliation must
+	// stop it, leaving exactly one live instance.
+	rt1, _ := mw.Host("h1")
+	waitFor(t, 10*time.Second, "h1 dropping its superseded instance", func() bool {
+		_, still := rt1.Engine.App("smart-media-player")
+		return !still
+	})
+	rt2, _ := mw.Host("h2")
+	if inst, ok := rt2.Engine.App("smart-media-player"); !ok || inst.State() != app.Running {
+		t.Fatal("re-homed copy on h2 disturbed by reconciliation")
 	}
 }

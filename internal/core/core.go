@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"mdagent/internal/registry"
 	"mdagent/internal/sensor"
 	"mdagent/internal/space"
+	"mdagent/internal/state"
 	"mdagent/internal/store"
 	"mdagent/internal/transport"
 	"mdagent/internal/vclock"
@@ -58,15 +60,25 @@ type Config struct {
 	Cluster *cluster.Config
 }
 
-// Kernel topics published by the cluster layer.
+// Kernel topics published by the cluster layer (canonical strings live in
+// ctxkernel so the agent layer can subscribe without importing core).
 const (
 	// TopicHostDead fires when membership declares a host dead (with
 	// quorum) and failover begins.
-	TopicHostDead = "cluster.host-dead"
+	TopicHostDead = ctxkernel.TopicClusterHostDead
 	// TopicRehomed fires for each application relaunched on a survivor.
-	TopicRehomed = "cluster.rehomed"
+	TopicRehomed = ctxkernel.TopicClusterRehomed
 	// TopicRehomeFailed fires when failover could not re-home an app.
-	TopicRehomeFailed = "cluster.rehome-failed"
+	TopicRehomeFailed = ctxkernel.TopicClusterRehomeFailed
+	// TopicSuperseded fires when a revived host stops its stale copy of
+	// an app that was re-homed during its conviction (attrs: app, host).
+	TopicSuperseded = ctxkernel.TopicClusterSuperseded
+	// TopicStateReplicated fires per snapshot published by a host's
+	// replicator (attrs: app, host, seq, bytes).
+	TopicStateReplicated = ctxkernel.TopicStateReplicated
+	// TopicStateRestored fires when failover restores a re-homed app from
+	// a replicated snapshot (attrs: app, to, seq).
+	TopicStateRestored = ctxkernel.TopicStateRestored
 )
 
 // HostRuntime is everything MDAgent runs on one host.
@@ -76,6 +88,9 @@ type HostRuntime struct {
 	Engine    *migrate.Engine
 	Container *platform.Container
 	Library   *media.Library
+	// Replicator streams this host's application snapshots to its space
+	// center (nil unless Config.Cluster.ReplicateState).
+	Replicator *state.Replicator
 }
 
 // Middleware is one MDAgent deployment.
@@ -202,8 +217,10 @@ func (m *Middleware) AddHost(host, spaceName string, profile netsim.HostProfile,
 		return nil, err
 	}
 	cat := migrate.Catalog(migrate.Direct{R: m.Registry})
+	var center *cluster.Center
 	if m.Cluster != nil {
-		center, err := m.ensureCenter(spaceName, host)
+		var err error
+		center, err = m.ensureCenter(spaceName, host)
 		if err != nil {
 			return nil, err
 		}
@@ -234,6 +251,22 @@ func (m *Middleware) AddHost(host, spaceName string, profile netsim.HostProfile,
 	media.ServeLibrary(lib, mediaEp)
 
 	rt := &HostRuntime{Host: host, Space: spaceName, Engine: eng, Container: cont, Library: lib}
+	if center != nil && m.Cluster.Config().ReplicateState {
+		rep := state.NewReplicator(host, spaceName, eng.Apps, center, m.Clock,
+			m.Cluster.Config().ReplicateInterval)
+		rep.OnPublish(func(sr state.SnapshotRecord) {
+			m.Kernel.Publish(ctxkernel.Event{
+				Topic: TopicStateReplicated, At: sr.At, Source: "state",
+				Attrs: map[string]string{
+					"app": sr.App, "host": sr.Host,
+					"seq":   strconv.FormatUint(sr.Seq, 10),
+					"bytes": strconv.Itoa(len(sr.Frame)),
+				},
+			})
+		})
+		rep.Start()
+		rt.Replicator = rep
+	}
 	m.mu.Lock()
 	m.hosts[host] = rt
 	m.mu.Unlock()
@@ -270,6 +303,21 @@ func (m *Middleware) ensureCenter(spaceName, host string) (*cluster.Center, erro
 // unreachable center or a mid-conviction race must not strand the dead
 // host's applications forever.
 func (m *Middleware) onMemberChange(reporter *cluster.Node, mem cluster.Member) {
+	if mem.State == cluster.StateAlive {
+		// A host coming back (healed partition, refuted rumor, restart)
+		// re-arms failover for it: a later, real death must re-home again.
+		// If its apps were re-homed while it was convicted, its local
+		// copies are stale duplicates now — reconcile them away.
+		m.rehomeMu.Lock()
+		wasRehomed := m.rehomed[mem.ID]
+		delete(m.rehomed, mem.ID)
+		delete(m.rehomeTries, mem.ID)
+		m.rehomeMu.Unlock()
+		if wasRehomed {
+			go m.reconcileRevived(mem.ID)
+		}
+		return
+	}
 	if mem.State != cluster.StateDead || !reporter.HasQuorum() {
 		return
 	}
@@ -321,6 +369,17 @@ func (m *Middleware) rehomeAttempt(reporter *cluster.Node, deadHost string) {
 // host may have taken its own space's center down with it — pick a
 // replica whose host the reporter still sees alive.
 func (m *Middleware) rehomeDead(reporter *cluster.Node, deadHost string) bool {
+	// Last-chance liveness check: a stale death certificate landing after
+	// a healed partition can convict a host that is actually up, and
+	// re-homing a live host's applications creates duplicates. If the
+	// "dead" host answers a direct probe, abort — the ack already carried
+	// its refutation, and the alive transition re-arms failover.
+	if !reporter.ConfirmDead(deadHost) {
+		m.rehomeMu.Lock()
+		delete(m.rehomed, deadHost)
+		m.rehomeMu.Unlock()
+		return true
+	}
 	now := m.Clock.Now()
 	m.Kernel.Publish(ctxkernel.Event{
 		Topic: TopicHostDead, At: now, Source: "cluster",
@@ -334,15 +393,30 @@ func (m *Middleware) rehomeDead(reporter *cluster.Node, deadHost string) bool {
 		})
 		return false
 	}
-	f := &cluster.Failover{Center: center, Alive: reporter.AliveHosts, Launch: m.relaunch}
+	f := &cluster.Failover{
+		Center: center, Alive: reporter.AliveHosts, Launch: m.relaunch,
+		RestoreState: m.Cluster.Config().ReplicateState,
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	done, err := f.Rehome(ctx, deadHost)
 	for _, r := range done {
 		m.Kernel.Publish(ctxkernel.Event{
 			Topic: TopicRehomed, At: m.Clock.Now(), Source: "cluster",
-			Attrs: map[string]string{"app": r.App, "from": r.From, "to": r.To, "space": r.NewSpace},
+			Attrs: map[string]string{
+				"app": r.App, "from": r.From, "to": r.To, "space": r.NewSpace,
+				"restored": strconv.FormatBool(r.Restored),
+			},
 		})
+		if r.Restored {
+			m.Kernel.Publish(ctxkernel.Event{
+				Topic: TopicStateRestored, At: m.Clock.Now(), Source: "cluster",
+				Attrs: map[string]string{
+					"app": r.App, "to": r.To,
+					"seq": strconv.FormatUint(r.SnapshotSeq, 10),
+				},
+			})
+		}
 	}
 	if err != nil {
 		m.Kernel.Publish(ctxkernel.Event{
@@ -352,6 +426,82 @@ func (m *Middleware) rehomeDead(reporter *cluster.Node, deadHost string) bool {
 		return false
 	}
 	return true
+}
+
+// reconcileRevived stops a returned host's superseded application
+// copies: while the host was (falsely) convicted, failover re-homed its
+// running apps onto survivors and tombstoned their records here, so the
+// returning instances are stale duplicates — without this, the same app
+// runs live on two hosts and (with ReplicateState) both replicators
+// fight over one snapshot key. The revived host's own center may itself
+// still be catching up on the federation history, so poll for a bounded
+// number of anti-entropy rounds before giving up. The local instance is
+// suspended and removed but its snapshot is NOT tombstoned: the snapshot
+// key now belongs to the app's new home.
+func (m *Middleware) reconcileRevived(host string) {
+	rt, ok := m.Host(host)
+	if !ok || m.Cluster == nil {
+		return
+	}
+	center, ok := m.Cluster.Center(rt.Space)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	syncInterval := m.Cluster.Config().SyncInterval
+	// Poll the FULL window: "the registry says this host still owns it"
+	// is exactly what this host's center reports before anti-entropy
+	// delivers the failover tombstone, so a clean-looking round proves
+	// nothing — only an empty engine ends reconciliation early.
+	for round := 0; round < 100; round++ {
+		apps := rt.Engine.Apps()
+		if len(apps) == 0 {
+			return
+		}
+		for _, inst := range apps {
+			name := inst.Name()
+			rec, found, err := center.LookupApp(ctx, name, host)
+			runningHere := err == nil && found && rec.Running
+			if runningHere {
+				continue // possibly stale; re-checked next round
+			}
+			installs, err := center.Registry().FindApp(name)
+			if err != nil {
+				continue
+			}
+			elsewhere := ""
+			for _, other := range installs {
+				if other.Host != host && other.Running {
+					elsewhere = other.Host
+					break
+				}
+			}
+			if elsewhere == "" {
+				continue // tombstone seen but no new home yet: wait
+			}
+			// Tombstoned here, running elsewhere: our copy is stale.
+			if inst.State() == app.Running {
+				_ = inst.Suspend()
+			}
+			rt.Engine.Remove(name)
+			// The stale replica's snapshots may have won the federation's
+			// latest slot (its capture sequence kept growing during the
+			// partition); force the new home to republish past them.
+			if ort, ok := m.Host(elsewhere); ok && ort.Replicator != nil {
+				ort.Replicator.ForceRepublish(name)
+			}
+			m.Kernel.Publish(ctxkernel.Event{
+				Topic: TopicSuperseded, At: m.Clock.Now(), Source: "cluster",
+				Attrs: map[string]string{"app": name, "host": host, "running-on": elsewhere},
+			})
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(syncInterval):
+		}
+	}
 }
 
 // survivingCenter picks a registry center whose co-located host the
@@ -379,25 +529,28 @@ func (m *Middleware) survivingCenter(reporter *cluster.Node, deadHost string) (*
 // relaunch restores one application on the chosen survivor: through the
 // host's installed skeleton factory when one exists (the clone-dispatch
 // arrival machinery), else as a bare instance rebuilt from the replicated
-// interface description.
-func (m *Middleware) relaunch(rec registry.AppRecord, target string) (registry.AppRecord, error) {
+// interface description. When a replicated snapshot rides along, it is
+// unwrapped into the new instance before resumption, so the application
+// continues from its last replicated state instead of a blank skeleton.
+func (m *Middleware) relaunch(rec registry.AppRecord, target string, snap *state.SnapshotRecord) (registry.AppRecord, bool, error) {
 	rt, ok := m.Host(target)
 	if !ok {
-		return registry.AppRecord{}, fmt.Errorf("core: unknown failover target %q", target)
+		return registry.AppRecord{}, false, fmt.Errorf("core: unknown failover target %q", target)
 	}
 	// Idempotent: a retried failover may find the app already relaunched
 	// here by an earlier partial attempt — that is success, not a
-	// duplicate-run error.
+	// duplicate-run error (and its live state must not be clobbered by a
+	// re-applied snapshot).
 	if existing, ok := rt.Engine.App(rec.Name); ok {
 		if existing.State() == app.Suspended {
 			if err := existing.Resume(); err != nil {
-				return registry.AppRecord{}, err
+				return registry.AppRecord{}, false, err
 			}
 		}
 		return registry.AppRecord{
 			Name: rec.Name, Host: target, Space: rt.Space,
 			Description: rec.Description, Components: existing.Components(), Running: true,
-		}, nil
+		}, false, nil
 	}
 	var inst *app.Application
 	if factory, ok := rt.Engine.Factory(rec.Name); ok {
@@ -405,18 +558,40 @@ func (m *Middleware) relaunch(rec registry.AppRecord, target string) (registry.A
 	} else {
 		inst = app.New(rec.Name, target, rec.Description)
 	}
+	restored := false
+	if snap != nil {
+		ts, err := snap.Snapshot()
+		// A frame that fails its checksum degrades to a skeleton
+		// relaunch; failover validated it, so an error here is a race
+		// with nothing better to fall back to anyway.
+		if err == nil && ts.Wrap.App == rec.Name {
+			if inst.State() == app.Running {
+				if err := inst.Suspend(); err != nil {
+					return registry.AppRecord{}, false, err
+				}
+			}
+			if err := inst.Unwrap(ts.Wrap); err != nil {
+				return registry.AppRecord{}, false, fmt.Errorf("core: restore snapshot for %s: %w", rec.Name, err)
+			}
+			inst.SetHost(target)
+			restored = true
+		}
+	}
 	if inst.State() == app.Suspended {
 		if err := inst.Resume(); err != nil {
-			return registry.AppRecord{}, err
+			return registry.AppRecord{}, false, err
 		}
 	}
 	if err := rt.Engine.Run(inst); err != nil {
-		return registry.AppRecord{}, err
+		return registry.AppRecord{}, false, err
+	}
+	if rt.Replicator != nil {
+		rt.Replicator.Reinstate(rec.Name)
 	}
 	return registry.AppRecord{
 		Name: rec.Name, Host: target, Space: rt.Space,
 		Description: rec.Description, Components: inst.Components(), Running: true,
-	}, nil
+	}, restored, nil
 }
 
 // AddGateway provisions a gateway host bridging its space.
@@ -474,11 +649,59 @@ func (m *Middleware) RunApp(host string, inst *app.Application) error {
 	if err := rt.Engine.Run(inst); err != nil {
 		return err
 	}
+	if rt.Replicator != nil {
+		// A restart after a graceful stop lifts the snapshot retirement.
+		rt.Replicator.Reinstate(inst.Name())
+	}
 	return m.registerApp(registry.AppRecord{
 		Name: inst.Name(), Host: host, Space: rt.Space,
 		Description: inst.Description(), Components: inst.Components(),
 		Running: true,
 	})
+}
+
+// StopApp gracefully stops a running application on a host: the instance
+// is suspended and removed from the engine, its replicated snapshot is
+// tombstoned (so failover never resurrects a deliberately stopped app),
+// and its registry record is unregistered — federation-wide when
+// clustered.
+func (m *Middleware) StopApp(host, appName string) error {
+	rt, ok := m.Host(host)
+	if !ok {
+		return fmt.Errorf("core: unknown host %q", host)
+	}
+	// Remove from the engine LAST: if retiring or unregistering fails
+	// mid-way, the app must stay addressable so a retried StopApp can
+	// complete the tombstone path instead of erroring on a ghost.
+	inst, ok := rt.Engine.App(appName)
+	if !ok {
+		return fmt.Errorf("core: no running app %q on %s", appName, host)
+	}
+	if inst.State() == app.Running {
+		if err := inst.Suspend(); err != nil {
+			return err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	stopRecords := func() error {
+		if m.Cluster != nil {
+			if center, ok := m.Cluster.Center(rt.Space); ok {
+				if rt.Replicator != nil {
+					if err := rt.Replicator.Retire(ctx, appName); err != nil {
+						return err
+					}
+				}
+				return center.UnregisterApp(ctx, appName, host)
+			}
+		}
+		return m.Registry.UnregisterApp(appName, host)
+	}
+	if err := stopRecords(); err != nil {
+		return err
+	}
+	rt.Engine.Remove(appName)
+	return nil
 }
 
 // registerApp records an installation at the host's space center when
@@ -594,6 +817,17 @@ func (m *Middleware) WaitAppOn(appName, host string, timeout time.Duration) erro
 
 // Close tears the deployment down.
 func (m *Middleware) Close() error {
+	m.mu.Lock()
+	reps := make([]*state.Replicator, 0, len(m.hosts))
+	for _, rt := range m.hosts {
+		if rt.Replicator != nil {
+			reps = append(reps, rt.Replicator)
+		}
+	}
+	m.mu.Unlock()
+	for _, rep := range reps {
+		rep.Stop()
+	}
 	if m.Cluster != nil {
 		m.Cluster.Stop()
 	}

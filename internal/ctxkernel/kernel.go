@@ -29,6 +29,31 @@ const (
 	TopicAppState     = "app.state"
 )
 
+// Well-known topics published by the cluster layer (internal/core's
+// distribution wiring); defined here so the agent layer can follow
+// failover without importing core.
+const (
+	// TopicClusterHostDead fires when membership declares a host dead
+	// (with quorum) and failover begins.
+	TopicClusterHostDead = "cluster.host-dead"
+	// TopicClusterRehomed fires for each application relaunched on a
+	// survivor (attrs: app, from, to, space, restored).
+	TopicClusterRehomed = "cluster.rehomed"
+	// TopicClusterRehomeFailed fires when failover could not re-home an
+	// app.
+	TopicClusterRehomeFailed = "cluster.rehome-failed"
+	// TopicClusterSuperseded fires when a host that returned from a false
+	// death conviction stops its local copy of an application that
+	// failover meanwhile re-homed elsewhere.
+	TopicClusterSuperseded = "cluster.superseded"
+	// TopicStateReplicated fires each time a host's replicator publishes
+	// an application snapshot to its registry center.
+	TopicStateReplicated = "cluster.state.replicated"
+	// TopicStateRestored fires when failover restores a re-homed app from
+	// a replicated snapshot instead of a skeleton.
+	TopicStateRestored = "cluster.state.restored"
+)
+
 // Well-known attribute keys.
 const (
 	AttrUser  = "user"

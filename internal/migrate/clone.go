@@ -7,6 +7,7 @@ import (
 
 	"mdagent/internal/app"
 	"mdagent/internal/owl"
+	"mdagent/internal/state"
 	"mdagent/internal/transport"
 )
 
@@ -65,7 +66,7 @@ func (e *Engine) CloneDispatch(ctx context.Context, appName, destHost, cloneName
 		_ = a.Resume()
 		return rep, err
 	}
-	raw, err := wrap.Encode()
+	raw, err := state.EncodeWrap(wrap)
 	if err != nil {
 		_ = a.Resume()
 		return rep, err

@@ -3,6 +3,7 @@ package migrate
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"mdagent/internal/owl"
 	"mdagent/internal/registry"
 	"mdagent/internal/space"
+	"mdagent/internal/state"
 	"mdagent/internal/transport"
 	"mdagent/internal/vclock"
 	"mdagent/internal/wsdl"
@@ -123,6 +125,31 @@ func (e *Engine) App(name string) (*app.Application, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	a, ok := e.apps[name]
+	return a, ok
+}
+
+// Apps returns every running instance, sorted by name — the state
+// replicator's capture set.
+func (e *Engine) Apps() []*app.Application {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*app.Application, 0, len(e.apps))
+	for _, a := range e.apps {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Remove unregisters a running instance without suspending it (graceful
+// stop and administrative teardown), returning the instance if present.
+func (e *Engine) Remove(name string) (*app.Application, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a, ok := e.apps[name]
+	if ok {
+		delete(e.apps, name)
+	}
 	return a, ok
 }
 
@@ -308,7 +335,7 @@ func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding
 		rollback()
 		return rep, err
 	}
-	raw, err := wrap.Encode()
+	raw, err := state.EncodeWrap(wrap)
 	if err != nil {
 		rollback()
 		return rep, err
@@ -409,7 +436,7 @@ func (e *Engine) restore(p checkinPayload, instanceName string) (checkinReply, e
 	start := clk.Now()
 
 	e.chargeDeserialize(int64(len(p.WrapRaw)))
-	wrap, err := app.DecodeWrap(p.WrapRaw)
+	wrap, err := state.DecodeWrap(p.WrapRaw)
 	if err != nil {
 		return reply, err
 	}

@@ -99,3 +99,68 @@ func TestDownGatewayBlocksInterSpaceRoute(t *testing.T) {
 		t.Fatalf("route through down gateway: err = %v, want ErrHostDown", err)
 	}
 }
+
+func TestLinkDownBlocksOnlyThatPair(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	n := New(clk)
+	for _, id := range []string{"h1", "h2", "h3"} {
+		if _, err := n.AddHost(id, "lab", Pentium4_1700(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.SetLinkDown("h1", "h2", true)
+	if !n.LinkDown("h1", "h2") || !n.LinkDown("h2", "h1") {
+		t.Fatal("LinkDown not symmetric")
+	}
+	if _, _, err := n.Transfer("h1", "h2", 64); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("transfer over severed link: err = %v, want ErrLinkDown", err)
+	}
+	if _, _, err := n.Transfer("h2", "h1", 64); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("reverse transfer over severed link: err = %v, want ErrLinkDown", err)
+	}
+	// The rest of the mesh is untouched: both endpoints reach h3.
+	if _, _, err := n.Transfer("h1", "h3", 64); err != nil {
+		t.Fatalf("h1->h3 with h1-h2 severed: %v", err)
+	}
+	if _, _, err := n.Transfer("h3", "h2", 64); err != nil {
+		t.Fatalf("h3->h2 with h1-h2 severed: %v", err)
+	}
+	n.SetLinkDown("h1", "h2", false)
+	if _, _, err := n.Transfer("h1", "h2", 64); err != nil {
+		t.Fatalf("transfer after restore: %v", err)
+	}
+}
+
+func TestFlapTogglesAndStops(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	n := New(clk)
+	for _, id := range []string{"h1", "h2"} {
+		if _, err := n.AddHost(id, "lab", Pentium4_1700(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := n.Flap("h1", "h2", time.Millisecond)
+	// The schedule must produce both states within a generous window.
+	sawDown, sawUp := false, false
+	deadline := time.Now().Add(5 * time.Second)
+	for !(sawDown && sawUp) {
+		if n.LinkDown("h1", "h2") {
+			sawDown = true
+		} else if sawDown {
+			sawUp = true
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flap never toggled (down=%v up-after-down=%v)", sawDown, sawUp)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Stop restores the link and is idempotent.
+	stop()
+	stop()
+	if n.LinkDown("h1", "h2") {
+		t.Fatal("link still down after stop")
+	}
+	if _, _, err := n.Transfer("h1", "h2", 64); err != nil {
+		t.Fatalf("transfer after flap stop: %v", err)
+	}
+}

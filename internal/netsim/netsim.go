@@ -27,6 +27,11 @@ var ErrHostDown = errors.New("netsim: host down")
 // transfer sit on different sides of an injected partition.
 var ErrPartitioned = errors.New("netsim: network partitioned")
 
+// ErrLinkDown is wrapped by routing errors when the link between the two
+// endpoints of a transfer has been severed by fault injection (SetLinkDown
+// or a Flap schedule).
+var ErrLinkDown = errors.New("netsim: link down")
+
 // HostProfile describes the compute characteristics of a simulated host.
 // Serialization throughput governs suspend/wrap cost; deserialization
 // throughput governs resume/unwrap cost; the fixed overheads model the
@@ -123,6 +128,7 @@ type Network struct {
 	rng         *rand.Rand
 	down        map[string]bool   // fault injection: crashed hosts
 	partition   map[string]string // fault injection: host -> partition side
+	linkDown    map[edge]bool     // fault injection: severed host pairs
 }
 
 // Option configures a Network.
@@ -156,6 +162,7 @@ func New(clock vclock.Clock, opts ...Option) *Network {
 		rng:         rand.New(rand.NewSource(1)),
 		down:        make(map[string]bool),
 		partition:   make(map[string]string),
+		linkDown:    make(map[edge]bool),
 	}
 	for _, o := range opts {
 		o(n)
@@ -313,7 +320,66 @@ func (n *Network) reachable(from, to string) error {
 	if sa != "" && sb != "" && sa != sb {
 		return fmt.Errorf("%w: %q / %q", ErrPartitioned, from, to)
 	}
+	if n.linkDown[normEdge(from, to)] {
+		return fmt.Errorf("%w: %q - %q", ErrLinkDown, from, to)
+	}
 	return nil
+}
+
+// SetLinkDown severs (down=true) or restores (down=false) the pairwise
+// link between two hosts: transfers between exactly that pair fail with
+// ErrLinkDown while every other path — including indirect routes through
+// a common peer — stays up. It is the single-link analogue of Partition,
+// modeling a flaky cable or a marginal wireless association.
+func (n *Network) SetLinkDown(a, b string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.linkDown[normEdge(a, b)] = true
+	} else {
+		delete(n.linkDown, normEdge(a, b))
+	}
+}
+
+// LinkDown reports whether the a-b link is currently severed.
+func (n *Network) LinkDown(a, b string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.linkDown[normEdge(a, b)]
+}
+
+// Flap starts a flapping-link fault schedule: the a-b link toggles
+// down/up every period until the returned stop function is called, which
+// also restores the link. The schedule runs on the wall clock — it drives
+// the gossip and federation protocols, which run on real timers, not the
+// simulated testbed clock.
+func (n *Network) Flap(a, b string, period time.Duration) (stop func()) {
+	stopCh := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		down := false
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				down = !down
+				n.SetLinkDown(a, b, down)
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(stopCh)
+			wg.Wait()
+			n.SetLinkDown(a, b, false)
+		})
+	}
 }
 
 // RouteBetween computes the route from one host to another. Hosts in the

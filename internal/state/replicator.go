@@ -1,0 +1,360 @@
+package state
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"mdagent/internal/app"
+	"mdagent/internal/vclock"
+)
+
+// SnapshotRecord is one application's replicated snapshot as stored and
+// federated by the registry centers: the codec-framed TaggedSnapshot plus
+// the provenance failover needs to pick the freshest copy.
+type SnapshotRecord struct {
+	App   string
+	Host  string // host that captured the snapshot
+	Space string // smart space the capturing host belonged to
+	// Seq is a capture sequence assigned by the registry center the
+	// record was written to (monotone per app at each center); it breaks
+	// ties between concurrently replicated snapshots deterministically.
+	Seq   uint64
+	At    time.Time // capture time on the capturing host's clock
+	Frame []byte    // EncodeSnapshot frame (checksummed)
+}
+
+// Snapshot decodes the framed snapshot carried by the record.
+func (r SnapshotRecord) Snapshot() (app.TaggedSnapshot, error) {
+	return DecodeSnapshot(r.Frame)
+}
+
+// Publisher is where a Replicator writes snapshot records —
+// *cluster.Center satisfies it, versioning each record with a
+// vclock.Version, persisting it through the center's store, and
+// replicating it to every peer space over the federation's push and
+// anti-entropy channels.
+type Publisher interface {
+	// PutSnapshot writes (or overwrites) an app's latest snapshot,
+	// returning the record as stamped (sequence assigned).
+	PutSnapshot(ctx context.Context, rec SnapshotRecord) (SnapshotRecord, error)
+	// DropSnapshot tombstones an app's snapshot federation-wide — the
+	// graceful-stop path, so failover never resurrects a stopped app.
+	DropSnapshot(ctx context.Context, appName, host string) error
+}
+
+// Replicator streams one host's application snapshots to its space's
+// registry center. It captures every running application on a fixed
+// interval (skipping publishes when nothing changed) and additionally
+// forwards every snapshot the SnapshotManager records explicitly
+// (pre-migrate, user-left), so the replicated copy is at most one
+// interval — often zero — behind the live state.
+type Replicator struct {
+	host     string
+	space    string
+	apps     func() []*app.Application // running apps on this host
+	pub      Publisher
+	clock    vclock.Clock
+	interval time.Duration
+
+	mu        sync.Mutex
+	hooked    map[*app.Application]int // instance -> its OnRecord hook id
+	onPublish func(SnapshotRecord)
+
+	// pubMu serializes publishes: it is held across the digest check, the
+	// Publisher call, and the bookkeeping update, so concurrent captures
+	// (periodic loop vs. OnRecord hook) publish one at a time and a
+	// retirement cannot interleave with an in-flight publish. If racing
+	// captures land out of order, the stale one holds "latest" for at
+	// most one interval: the next periodic capture's digest differs from
+	// lastSum and republishes the live state.
+	pubMu   sync.Mutex
+	lastSum map[string][sha256.Size]byte // app -> digest of last published wrap
+	retired map[string]bool              // gracefully stopped apps: refuse publishes
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewReplicator creates a replicator for host (in space) over the running
+// apps listed by apps, publishing to pub every interval once started.
+// clock stamps capture times (nil defaults to real time).
+func NewReplicator(host, space string, apps func() []*app.Application, pub Publisher, clock vclock.Clock, interval time.Duration) *Replicator {
+	if clock == nil {
+		clock = &vclock.Real{}
+	}
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	return &Replicator{
+		host:     host,
+		space:    space,
+		apps:     apps,
+		pub:      pub,
+		clock:    clock,
+		interval: interval,
+		lastSum:  make(map[string][sha256.Size]byte),
+		retired:  make(map[string]bool),
+		hooked:   make(map[*app.Application]int),
+		stop:     make(chan struct{}),
+	}
+}
+
+// OnPublish registers an observer called after each successful publish
+// (internal/core bridges it onto the context kernel as
+// cluster.state.replicated events).
+func (r *Replicator) OnPublish(f func(SnapshotRecord)) {
+	r.mu.Lock()
+	r.onPublish = f
+	r.mu.Unlock()
+}
+
+// Start launches the periodic capture loop.
+func (r *Replicator) Start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), r.interval*4+time.Second)
+				_ = r.SyncNow(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Stop halts the capture loop (idempotent).
+func (r *Replicator) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// SyncNow captures and publishes every running application's current
+// state once, synchronously. Unchanged applications are skipped. Tests
+// and benches call it to bound replication lag deterministically.
+func (r *Replicator) SyncNow(ctx context.Context) error {
+	var firstErr error
+	current := make(map[*app.Application]bool)
+	for _, inst := range r.apps() {
+		current[inst] = true
+		r.observe(inst)
+		if err := r.Capture(ctx, inst); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	r.pruneHooks(current)
+	return firstErr
+}
+
+// observe attaches (once per instance) to the instance's SnapshotManager
+// so explicitly recorded snapshots replicate immediately. Keyed by
+// pointer: a re-homed replacement instance under the same name gets its
+// own hook.
+func (r *Replicator) observe(inst *app.Application) {
+	r.mu.Lock()
+	if _, ok := r.hooked[inst]; ok {
+		r.mu.Unlock()
+		return
+	}
+	r.hooked[inst] = 0 // reserved; real id recorded below
+	r.mu.Unlock()
+	id := inst.Snapshots().OnRecord(func(ts app.TaggedSnapshot) {
+		// The instance object survives migration to another host's engine
+		// (in-process deployments share pointers), so publish only while
+		// this host still runs it.
+		if !r.owns(inst) {
+			return
+		}
+		// Off the recording goroutine: Record fires mid-migration inside
+		// the suspend window, which must not pay for a full-state encode
+		// and a center write. pubMu serializes with the periodic loop,
+		// and any misordering self-heals within one capture interval.
+		// Untracked on purpose (like the federation's pushAsync): a
+		// publish racing Stop fails harmlessly, and tying it to r.wg
+		// would race Stop's Wait.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), r.interval*4+time.Second)
+			defer cancel()
+			_ = r.publish(ctx, ts)
+		}()
+	})
+	r.mu.Lock()
+	r.hooked[inst] = id
+	r.mu.Unlock()
+}
+
+// pruneHooks detaches the OnRecord hooks of instances no longer running
+// on this host (migrated away, stopped), so a long-lived daemon does not
+// retain dead instances — and their component state — indefinitely.
+func (r *Replicator) pruneHooks(current map[*app.Application]bool) {
+	r.mu.Lock()
+	var gone []*app.Application
+	for inst := range r.hooked {
+		if !current[inst] {
+			gone = append(gone, inst)
+		}
+	}
+	ids := make([]int, len(gone))
+	for i, inst := range gone {
+		ids[i] = r.hooked[inst]
+		delete(r.hooked, inst)
+	}
+	r.mu.Unlock()
+	for i, inst := range gone {
+		if ids[i] != 0 {
+			inst.Snapshots().RemoveOnRecord(ids[i])
+		}
+	}
+}
+
+// owns reports whether the instance is currently listed on this host.
+func (r *Replicator) owns(inst *app.Application) bool {
+	for _, a := range r.apps() {
+		if a == inst {
+			return true
+		}
+	}
+	return false
+}
+
+// Capture wraps the instance's full current state and publishes it if it
+// differs from the last published snapshot. The capture is
+// crash-consistent (per-component locking, no suspension): replication
+// must not disturb a running application.
+func (r *Replicator) Capture(ctx context.Context, inst *app.Application) error {
+	w, err := inst.WrapComponents(nil)
+	if err != nil {
+		return fmt.Errorf("state: capture %s: %w", inst.Name(), err)
+	}
+	return r.publish(ctx, app.TaggedSnapshot{Tag: "replica", At: r.clock.Now(), Wrap: w})
+}
+
+// wrapDigest hashes a wrap's content canonically (sorted map walks — gob
+// encodes maps in random iteration order, so hashing an encoded frame
+// would defeat deduplication).
+func wrapDigest(w app.Wrap) [sha256.Size]byte {
+	h := sha256.New()
+	writeField := func(s string) {
+		_ = binary.Write(h, binary.BigEndian, uint32(len(s)))
+		_, _ = io.WriteString(h, s)
+	}
+	writeField(w.App)
+	writeField(w.FromHost)
+	names := make([]string, 0, len(w.Components))
+	for n := range w.Components {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeField(n)
+		_ = binary.Write(h, binary.BigEndian, int32(w.Kinds[n]))
+		_ = binary.Write(h, binary.BigEndian, uint32(len(w.Components[n])))
+		_, _ = h.Write(w.Components[n])
+	}
+	keys := make([]string, 0, len(w.CoordState))
+	for k := range w.CoordState {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		writeField(k)
+		writeField(w.CoordState[k])
+	}
+	writeField(w.Profile.User)
+	prefs := make([]string, 0, len(w.Profile.Preferences))
+	for k := range w.Profile.Preferences {
+		prefs = append(prefs, k)
+	}
+	sort.Strings(prefs)
+	for _, k := range prefs {
+		writeField(k)
+		writeField(w.Profile.Preferences[k])
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// publish frames and ships one snapshot, deduplicating on wrap content.
+// Serialized under pubMu so the publisher sees captures in order and a
+// retirement cannot interleave with an in-flight publish.
+func (r *Replicator) publish(ctx context.Context, ts app.TaggedSnapshot) error {
+	sum := wrapDigest(ts.Wrap)
+	appName := ts.Wrap.App
+	r.pubMu.Lock()
+	if r.retired[appName] {
+		r.pubMu.Unlock()
+		return nil // gracefully stopped: nothing may overwrite the tombstone
+	}
+	if r.lastSum[appName] == sum {
+		r.pubMu.Unlock()
+		return nil
+	}
+	frame, err := EncodeSnapshot(ts)
+	if err != nil {
+		r.pubMu.Unlock()
+		return err
+	}
+	stamped, err := r.pub.PutSnapshot(ctx, SnapshotRecord{
+		App: appName, Host: r.host, Space: r.space, At: ts.At, Frame: frame,
+	})
+	if err != nil {
+		r.pubMu.Unlock()
+		return fmt.Errorf("state: replicate %s: %w", appName, err)
+	}
+	r.lastSum[appName] = sum
+	r.pubMu.Unlock()
+	// Callback outside pubMu: it runs arbitrary kernel subscribers, which
+	// must be free to call back into the replicator (e.g. Retire via
+	// StopApp) without self-deadlocking.
+	r.mu.Lock()
+	f := r.onPublish
+	r.mu.Unlock()
+	if f != nil {
+		f(stamped)
+	}
+	return nil
+}
+
+// Retire tombstones an app's replicated snapshot — call it when the
+// application stops gracefully on this host. Further publishes for the
+// app are refused (even ones already captured and racing this call)
+// until Reinstate, so the tombstone cannot be overwritten by a stale
+// in-flight snapshot.
+func (r *Replicator) Retire(ctx context.Context, appName string) error {
+	r.pubMu.Lock()
+	r.retired[appName] = true
+	delete(r.lastSum, appName)
+	r.pubMu.Unlock()
+	return r.pub.DropSnapshot(ctx, appName, r.host)
+}
+
+// Reinstate lifts an app's retirement — call it when the application is
+// deliberately started again on this host, re-enabling replication.
+func (r *Replicator) Reinstate(appName string) {
+	r.pubMu.Lock()
+	delete(r.retired, appName)
+	r.pubMu.Unlock()
+}
+
+// ForceRepublish forgets an app's dedupe digest so the next capture
+// publishes even if its content is unchanged — used when a superseded
+// replica's stale snapshot may have claimed the federation's latest
+// slot and must be re-superseded by the live copy.
+func (r *Replicator) ForceRepublish(appName string) {
+	r.pubMu.Lock()
+	delete(r.lastSum, appName)
+	r.pubMu.Unlock()
+}

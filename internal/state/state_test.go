@@ -1,0 +1,357 @@
+package state_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mdagent/internal/app"
+	"mdagent/internal/state"
+	"mdagent/internal/wsdl"
+)
+
+func testApp(t *testing.T, name, host string) *app.Application {
+	t.Helper()
+	a := app.New(name, host, wsdl.Description{Name: name})
+	st := app.NewState("st")
+	st.Set("cursor", "7")
+	if err := a.AddComponent(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddComponent(app.NewBlob("data", app.KindData, []byte("payload"))); err != nil {
+		t.Fatal(err)
+	}
+	a.Coordinator().Set("track", "t1")
+	return a
+}
+
+func TestWrapFrameRoundTrip(t *testing.T) {
+	a := testApp(t, "x", "h1")
+	w, err := a.WrapComponents(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := state.EncodeWrap(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := state.DecodeWrap(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := app.New("x", "h2", wsdl.Description{Name: "x"})
+	if err := b.Unwrap(w2); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := b.Component("st")
+	if !ok {
+		t.Fatal("state component lost in transfer")
+	}
+	if v, _ := st.(*app.StateComponent).Get("cursor"); v != "7" {
+		t.Fatalf("restored cursor = %q, want 7", v)
+	}
+	if v, _ := b.Coordinator().Get("track"); v != "t1" {
+		t.Fatalf("restored coord track = %q, want t1", v)
+	}
+}
+
+func TestSnapshotFrameRoundTrip(t *testing.T) {
+	a := testApp(t, "x", "h1")
+	w, err := a.WrapComponents(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := app.TaggedSnapshot{Tag: "replica", At: time.Unix(42, 0), Wrap: w}
+	raw, err := state.EncodeSnapshot(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := state.DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != "replica" || !got.At.Equal(ts.At) || got.Wrap.App != "x" {
+		t.Fatalf("snapshot round trip = %+v", got)
+	}
+}
+
+func TestDecodeRejectsGarbageTamperingAndWrongKind(t *testing.T) {
+	a := testApp(t, "x", "h1")
+	w, _ := a.WrapComponents(nil)
+	raw, err := state.EncodeWrap(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := state.DecodeWrap([]byte("garbage")); !errors.Is(err, state.ErrBadFrame) {
+		t.Fatalf("garbage: err = %v, want ErrBadFrame", err)
+	}
+	if _, err := state.DecodeWrap(nil); !errors.Is(err, state.ErrBadFrame) {
+		t.Fatalf("nil: err = %v, want ErrBadFrame", err)
+	}
+
+	// Flip one payload byte: the checksum must catch it.
+	tampered := append([]byte(nil), raw...)
+	tampered[len(tampered)-1] ^= 0xFF
+	if _, err := state.DecodeWrap(tampered); !errors.Is(err, state.ErrChecksum) {
+		t.Fatalf("tampered: err = %v, want ErrChecksum", err)
+	}
+
+	// A wrap frame is not a snapshot frame.
+	if _, err := state.DecodeSnapshot(raw); !errors.Is(err, state.ErrKind) {
+		t.Fatalf("wrong kind: err = %v, want ErrKind", err)
+	}
+
+	// A frame from a future codec version is refused, not misparsed.
+	future := append([]byte(nil), raw...)
+	future[4] = 99
+	if _, err := state.DecodeWrap(future); !errors.Is(err, state.ErrVersion) {
+		t.Fatalf("future version: err = %v, want ErrVersion", err)
+	}
+}
+
+// fakePublisher records snapshot traffic, assigning sequences like a
+// registry center.
+type fakePublisher struct {
+	mu    sync.Mutex
+	puts  []state.SnapshotRecord
+	drops []string
+	seq   map[string]uint64
+}
+
+func newFakePublisher() *fakePublisher {
+	return &fakePublisher{seq: make(map[string]uint64)}
+}
+
+func (p *fakePublisher) PutSnapshot(_ context.Context, rec state.SnapshotRecord) (state.SnapshotRecord, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq[rec.App]++
+	rec.Seq = p.seq[rec.App]
+	p.puts = append(p.puts, rec)
+	return rec, nil
+}
+
+func (p *fakePublisher) DropSnapshot(_ context.Context, appName, _ string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.drops = append(p.drops, appName)
+	return nil
+}
+
+func (p *fakePublisher) putCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.puts)
+}
+
+func (p *fakePublisher) lastPut() (state.SnapshotRecord, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.puts) == 0 {
+		return state.SnapshotRecord{}, false
+	}
+	return p.puts[len(p.puts)-1], true
+}
+
+func TestReplicatorPublishesAndDeduplicates(t *testing.T) {
+	a := testApp(t, "player", "h1")
+	pub := newFakePublisher()
+	rep := state.NewReplicator("h1", "lab", func() []*app.Application { return []*app.Application{a} },
+		pub, nil, time.Hour /* manual syncs only */)
+	ctx := context.Background()
+
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if pub.putCount() != 1 {
+		t.Fatalf("puts after first sync = %d, want 1", pub.putCount())
+	}
+	rec, _ := pub.lastPut()
+	if rec.App != "player" || rec.Host != "h1" || rec.Space != "lab" || rec.Seq != 1 {
+		t.Fatalf("published record = %+v", rec)
+	}
+	ts, err := rec.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ts.Wrap.CoordState["track"]; v != "t1" {
+		t.Fatalf("replicated coord track = %q, want t1", v)
+	}
+
+	// Unchanged state: no new publish.
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if pub.putCount() != 1 {
+		t.Fatalf("puts after idle sync = %d, want 1 (dedupe)", pub.putCount())
+	}
+
+	// Changed state: republished.
+	a.Coordinator().Set("track", "t2")
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if pub.putCount() != 2 {
+		t.Fatalf("puts after state change = %d, want 2", pub.putCount())
+	}
+}
+
+func TestReplicatorForwardsRecordedSnapshots(t *testing.T) {
+	a := testApp(t, "player", "h1")
+	owned := true
+	var mu sync.Mutex
+	pub := newFakePublisher()
+	rep := state.NewReplicator("h1", "lab", func() []*app.Application {
+		mu.Lock()
+		defer mu.Unlock()
+		if !owned {
+			return nil
+		}
+		return []*app.Application{a}
+	}, pub, nil, time.Hour)
+	ctx := context.Background()
+	if err := rep.SyncNow(ctx); err != nil { // attaches the OnRecord hook
+		t.Fatal(err)
+	}
+	base := pub.putCount()
+
+	// An explicitly recorded snapshot (e.g. pre-migrate) replicates
+	// promptly (async, off the recording goroutine), without waiting for
+	// the next capture interval.
+	a.Coordinator().Set("track", "t3")
+	if _, err := a.Snapshots().Record("pre-migrate", time.Unix(50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pub.putCount() != base+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("puts after Record = %d, want %d", pub.putCount(), base+1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Once the app leaves this host, recorded snapshots no longer publish
+	// through this replicator.
+	mu.Lock()
+	owned = false
+	mu.Unlock()
+	a.Coordinator().Set("track", "t4")
+	if _, err := a.Snapshots().Record("post-departure", time.Unix(60, 0)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // would-be async publish window
+	if pub.putCount() != base+1 {
+		t.Fatalf("departed app still replicated: puts = %d, want %d", pub.putCount(), base+1)
+	}
+}
+
+func TestReplicatorRetireTombstones(t *testing.T) {
+	a := testApp(t, "player", "h1")
+	pub := newFakePublisher()
+	rep := state.NewReplicator("h1", "lab", func() []*app.Application { return []*app.Application{a} },
+		pub, nil, time.Hour)
+	ctx := context.Background()
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Retire(ctx, "player"); err != nil {
+		t.Fatal(err)
+	}
+	pub.mu.Lock()
+	drops := append([]string(nil), pub.drops...)
+	pub.mu.Unlock()
+	if len(drops) != 1 || drops[0] != "player" {
+		t.Fatalf("drops = %v, want [player]", drops)
+	}
+	// Retire also forgets the dedupe hash: a deliberately restarted app
+	// (Reinstate) republishes even with identical content.
+	rep.Reinstate("player")
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if pub.putCount() != 2 {
+		t.Fatalf("puts after retire+reinstate+sync = %d, want 2", pub.putCount())
+	}
+}
+
+func TestReplicatorPeriodicLoop(t *testing.T) {
+	a := testApp(t, "player", "h1")
+	pub := newFakePublisher()
+	rep := state.NewReplicator("h1", "lab", func() []*app.Application { return []*app.Application{a} },
+		pub, nil, 2*time.Millisecond)
+	published := make(chan state.SnapshotRecord, 16)
+	rep.OnPublish(func(sr state.SnapshotRecord) {
+		select {
+		case published <- sr:
+		default:
+		}
+	})
+	rep.Start()
+	defer rep.Stop()
+	select {
+	case sr := <-published:
+		if sr.App != "player" {
+			t.Fatalf("published app = %q", sr.App)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("periodic loop never published")
+	}
+}
+
+func TestRetireBlocksLatePublishesUntilReinstate(t *testing.T) {
+	a := testApp(t, "player", "h1")
+	pub := newFakePublisher()
+	rep := state.NewReplicator("h1", "lab", func() []*app.Application { return []*app.Application{a} },
+		pub, nil, time.Hour)
+	ctx := context.Background()
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Retire(ctx, "player"); err != nil {
+		t.Fatal(err)
+	}
+	// A capture racing the stop (here: arriving after Retire) must not
+	// overwrite the tombstone.
+	a.Coordinator().Set("track", "post-stop")
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if pub.putCount() != 1 {
+		t.Fatalf("puts after retire = %d, want 1 (publish refused)", pub.putCount())
+	}
+	// A deliberate restart lifts the retirement.
+	rep.Reinstate("player")
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if pub.putCount() != 2 {
+		t.Fatalf("puts after reinstate = %d, want 2", pub.putCount())
+	}
+}
+
+func TestVerifySnapshotCheapCheck(t *testing.T) {
+	a := testApp(t, "x", "h1")
+	w, _ := a.WrapComponents(nil)
+	snap, err := state.EncodeSnapshot(app.TaggedSnapshot{Tag: "r", At: time.Unix(1, 0), Wrap: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := state.VerifySnapshot(snap); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	tampered := append([]byte(nil), snap...)
+	tampered[len(tampered)-1] ^= 0xFF
+	if err := state.VerifySnapshot(tampered); !errors.Is(err, state.ErrChecksum) {
+		t.Fatalf("tampered: err = %v, want ErrChecksum", err)
+	}
+	wrapFrame, _ := state.EncodeWrap(w)
+	if err := state.VerifySnapshot(wrapFrame); !errors.Is(err, state.ErrKind) {
+		t.Fatalf("wrap frame: err = %v, want ErrKind", err)
+	}
+	if err := state.VerifySnapshot([]byte("junk")); !errors.Is(err, state.ErrBadFrame) {
+		t.Fatalf("junk: err = %v, want ErrBadFrame", err)
+	}
+}

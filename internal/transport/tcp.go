@@ -15,13 +15,14 @@ type TCPNode struct {
 	ep *Endpoint
 	ln net.Listener
 
-	mu     sync.Mutex
-	peers  map[string]string     // endpoint name -> address
-	conns  map[string]*tcpLink   // address -> live link (outbound)
-	routes map[string]*tcpLink   // endpoint name -> inbound link (reply path)
-	links  map[*tcpLink]struct{} // every live link, inbound and outbound
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	peers   map[string]string     // endpoint name -> address
+	conns   map[string]*tcpLink   // address -> live link (outbound)
+	routes  map[string]*tcpLink   // endpoint name -> inbound link (reply path)
+	links   map[*tcpLink]struct{} // every live link, inbound and outbound
+	aliases map[string]bool       // extra names this node answers to
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 type tcpLink struct {
@@ -43,11 +44,12 @@ func ListenTCP(name, addr string) (*TCPNode, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	n := &TCPNode{
-		ln:     ln,
-		peers:  make(map[string]string),
-		conns:  make(map[string]*tcpLink),
-		routes: make(map[string]*tcpLink),
-		links:  make(map[*tcpLink]struct{}),
+		ln:      ln,
+		peers:   make(map[string]string),
+		conns:   make(map[string]*tcpLink),
+		routes:  make(map[string]*tcpLink),
+		links:   make(map[*tcpLink]struct{}),
+		aliases: make(map[string]bool),
 	}
 	n.ep = newEndpoint(name, n)
 	n.wg.Add(1)
@@ -60,6 +62,27 @@ func (n *TCPNode) Endpoint() *Endpoint { return n.ep }
 
 // Addr returns the node's listen address.
 func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// AddAlias declares an extra endpoint name this node answers to.
+// Daemons multiplex several logical services onto one handler table
+// (mdagentd serves migrate.* and media.* on its engine endpoint); without
+// an alias, a message addressed to the service name would be silently
+// dropped and the sender would hang until its deadline.
+func (n *TCPNode) AddAlias(name string) {
+	n.mu.Lock()
+	n.aliases[name] = true
+	n.mu.Unlock()
+}
+
+// isLocal reports whether a destination name is served by this node.
+func (n *TCPNode) isLocal(to string) bool {
+	if to == n.ep.name {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.aliases[to]
+}
 
 // AddPeer registers the address of a remote endpoint.
 func (n *TCPNode) AddPeer(name, addr string) {
@@ -127,17 +150,17 @@ func (n *TCPNode) readLoop(link *tcpLink) {
 			n.mu.Unlock()
 			learned = msg.From
 		}
-		if msg.To == n.ep.name {
+		if n.isLocal(msg.To) {
 			n.ep.dispatch(msg)
 		}
 		// Messages for other endpoints are dropped: TCP nodes are not
-		// routers; every node hosts exactly one endpoint.
+		// routers; every node hosts exactly one endpoint (plus aliases).
 	}
 }
 
 // deliver implements fabric.
 func (n *TCPNode) deliver(msg Message) error {
-	if msg.To == n.ep.name {
+	if n.isLocal(msg.To) {
 		n.ep.dispatch(msg)
 		return nil
 	}

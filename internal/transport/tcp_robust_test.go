@@ -91,3 +91,48 @@ func TestTCPSendToDownPeerFailsFast(t *testing.T) {
 		t.Fatal("send to closed peer succeeded")
 	}
 }
+
+// TestTCPAliasServesMultiplexedNames: daemons multiplex several logical
+// services (engine + media) onto one node; a request addressed to a
+// registered alias must reach the shared handler table instead of being
+// silently dropped.
+func TestTCPAliasServesMultiplexedNames(t *testing.T) {
+	srv, err := ListenTCP("migrate@hostX", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.AddAlias("media@hostX")
+	srv.Endpoint().Handle("echo", func(m Message) ([]byte, error) {
+		return m.Payload, nil
+	})
+
+	cli, err := ListenTCP("migrate@hostY", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.AddPeer("migrate@hostX", srv.Addr())
+	cli.AddPeer("media@hostX", srv.Addr())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, to := range []string{"migrate@hostX", "media@hostX"} {
+		reply, err := cli.Endpoint().Request(ctx, to, "echo", []byte("ping"))
+		if err != nil {
+			t.Fatalf("request to %s: %v", to, err)
+		}
+		if string(reply.Payload) != "ping" {
+			t.Fatalf("reply via %s = %q", to, reply.Payload)
+		}
+	}
+
+	// An unregistered name is still dropped (nodes are not routers), and
+	// the caller gets a deadline error rather than a wrong answer.
+	shortCtx, shortCancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer shortCancel()
+	cli.AddPeer("other@hostX", srv.Addr())
+	if _, err := cli.Endpoint().Request(shortCtx, "other@hostX", "echo", []byte("x")); err == nil {
+		t.Fatal("request to unaliased name succeeded")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"mdagent/internal/netsim"
 	"mdagent/internal/owl"
 	"mdagent/internal/sensor"
+	"mdagent/internal/state"
 	"mdagent/internal/vclock"
 	"mdagent/internal/wsdl"
 )
@@ -164,10 +165,34 @@ const (
 
 // Cluster-layer event topics.
 const (
-	TopicHostDead     = core.TopicHostDead
-	TopicRehomed      = core.TopicRehomed
-	TopicRehomeFailed = core.TopicRehomeFailed
+	TopicHostDead        = core.TopicHostDead
+	TopicRehomed         = core.TopicRehomed
+	TopicRehomeFailed    = core.TopicRehomeFailed
+	TopicSuperseded      = core.TopicSuperseded
+	TopicStateReplicated = core.TopicStateReplicated
+	TopicStateRestored   = core.TopicStateRestored
 )
+
+// State pipeline (snapshot codec + replication). With
+// ClusterConfig.ReplicateState set, every host streams its applications'
+// snapshots to its space's registry center (HostRuntime.Replicator), the
+// federation replicates them to every peer space, and failover restores
+// the freshest copy so re-homed applications resume where they left off.
+type (
+	// SnapshotRecord is one application's replicated snapshot.
+	SnapshotRecord = state.SnapshotRecord
+	// Replicator streams one host's application snapshots.
+	Replicator = state.Replicator
+	// TaggedSnapshot is one recorded snapshot with provenance.
+	TaggedSnapshot = app.TaggedSnapshot
+)
+
+// EncodeWrap frames a wrap with the versioned, checksummed state codec —
+// the single wire format for migration and snapshot replication.
+func EncodeWrap(w Wrap) ([]byte, error) { return state.EncodeWrap(w) }
+
+// DecodeWrap verifies and decodes a framed wrap.
+func DecodeWrap(raw []byte) (Wrap, error) { return state.DecodeWrap(raw) }
 
 // Agents (paper §4.3).
 type (
