@@ -49,6 +49,7 @@ import (
 	"mdagent/internal/migrate"
 	"mdagent/internal/owl"
 	"mdagent/internal/registry"
+	"mdagent/internal/state"
 	"mdagent/internal/transport"
 	"mdagent/internal/wsdl"
 )
@@ -129,6 +130,7 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 	static := fs.Bool("static", false, "use static (whole-app) binding for -migrate-to")
 	probe := fs.Duration("probe", 0, "gossip probe interval (federated mode; 0 = default)")
 	suspicion := fs.Duration("suspicion", 0, "gossip suspect->dead window (federated mode; 0 = default)")
+	replicate := fs.Duration("replicate", 0, "stream application snapshots to the space center on this interval (federated mode; 0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -192,6 +194,19 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 		// later silent reconnections, e.g. a healed network partition.
 		member.Rejoin()
 		fmt.Fprintf(out, "mdagentd[%s]: rejoined membership (incarnation %d)\n", *host, member.Self().Incarnation)
+	}
+
+	// State replication over the wire: the daemon's replicator publishes
+	// delta-pipelined snapshot puts to the space center through the same
+	// TCP endpoint its registry traffic uses, so a multi-process
+	// deployment joins the state pipeline (and failover restores) exactly
+	// like an in-process one.
+	if *space != "" && *replicate > 0 {
+		repl := state.NewReplicator(*host, *space, eng.Apps,
+			cluster.NewSnapshotClient(node.Endpoint(), registryName), nil, *replicate, state.Tuning{})
+		repl.Start()
+		defer repl.Stop()
+		fmt.Fprintf(out, "mdagentd[%s]: replicating application state every %v\n", *host, *replicate)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"mdagent/internal/cluster"
 	"mdagent/internal/registry"
 	"mdagent/internal/store"
 	"mdagent/internal/transport"
@@ -169,5 +171,66 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-listen", "127.0.0.1:0", "-run", "bogus"}, &out, nil, nil); err == nil {
 		t.Fatal("unknown -run accepted")
+	}
+}
+
+// TestDaemonReplicatesStateOverTCP boots a federated center and one
+// daemon with -replicate, then watches the daemon's snapshot arrive at
+// the center over the wire protocol — and reads it back through a
+// SnapshotClient, the same path a remote failover planner would use.
+func TestDaemonReplicatesStateOverTCP(t *testing.T) {
+	reg, err := registry.New(store.OpenMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := transport.ListenTCP("registry@lab", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	center := cluster.NewCenter("lab", reg, node.Endpoint(), cluster.Config{})
+	center.Serve(node.Endpoint())
+
+	var outA syncBuffer
+	startDaemon(t, &outA,
+		"-host", "hostA", "-listen", "127.0.0.1:0",
+		"-registry", node.Addr(), "-space", "lab",
+		"-run", "smart-media-player", "-song-bytes", "100000",
+		"-replicate", "5ms")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if rec, ok := center.LatestSnapshot("smart-media-player"); ok {
+			ts, err := rec.Snapshot()
+			if err != nil {
+				t.Fatalf("replicated record does not reassemble: %v", err)
+			}
+			if ts.Wrap.App != "smart-media-player" || rec.Host != "hostA" {
+				t.Fatalf("unexpected record: app=%q host=%q", ts.Wrap.App, rec.Host)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot never replicated over TCP:\n%s", outA.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Read it back over the wire, as a remote restore would.
+	probe, err := transport.ListenTCP("probe@test", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { probe.Close() })
+	probe.AddPeer("registry@lab", node.Addr())
+	cli := cluster.NewSnapshotClient(probe.Endpoint(), "registry@lab")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rec, found, err := cli.LatestSnapshot(ctx, "smart-media-player")
+	if err != nil || !found {
+		t.Fatalf("remote snapshot fetch: found=%v err=%v", found, err)
+	}
+	if err := rec.Verify(); err != nil {
+		t.Fatalf("fetched record fails verification: %v", err)
 	}
 }

@@ -3,8 +3,10 @@
 // component binding sweep), Fig. 9 (static binding sweep), Fig. 10
 // (comparative total cost), the demo-2 clone-dispatch fan-out, the
 // cluster churn experiment (gossip convergence + failover latency, with
-// and without snapshot-state replication), and the flapping-link
-// experiment (false-positive suspicion under link flap).
+// and without snapshot-state replication), the flapping-link experiment
+// (false-positive suspicion under link flap), and the delta sweep
+// (replicated bytes per capture tick, full-frame vs delta pipeline,
+// across app sizes).
 //
 // Usage:
 //
@@ -13,6 +15,7 @@
 //	mdbench -fig clone -rooms 4
 //	mdbench -fig churn -spaces 5
 //	mdbench -fig flap -flap-period 10ms -flap-cycles 20
+//	mdbench -fig delta -delta-ticks 16
 package main
 
 import (
@@ -46,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	flapPeriod := fs.Duration("flap-period", 10*time.Millisecond, "link toggle half-period for the flap experiment")
 	flapCycles := fs.Int("flap-cycles", 20, "down/up toggles for the flap experiment")
 	songBytes := fs.Int64("song-bytes", 2_000_000, "song size for the churn experiment (sets the snapshot frame size)")
+	deltaTicks := fs.Int("delta-ticks", 16, "mutated capture ticks per cell of the delta sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,13 +63,14 @@ func run(args []string, out io.Writer) error {
 		"clone": func() error { return clone(out, &csv, *rooms) },
 		"churn": func() error { return churn(out, &csv, *spaces, *songBytes) },
 		"flap":  func() error { return flap(out, &csv, *spaces, *flapPeriod, *flapCycles) },
+		"delta": func() error { return delta(out, &csv, *deltaTicks) },
 	}
 	var order []string
 	if *fig == "all" {
-		order = []string{"7", "8", "9", "10", "clone", "churn", "flap"}
+		order = []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta"}
 	} else {
 		if _, ok := figures[*fig]; !ok {
-			return fmt.Errorf("unknown figure %q (want 7, 8, 9, 10, clone, churn, flap, all)", *fig)
+			return fmt.Errorf("unknown figure %q (want 7, 8, 9, 10, clone, churn, flap, delta, all)", *fig)
 		}
 		order = []string{*fig}
 	}
@@ -190,19 +195,51 @@ func churn(out io.Writer, csv *strings.Builder, spaces int, songBytes int64) err
 		return err
 	}
 	fmt.Fprintln(out, "  -- with snapshot-state replication (ReplicateState on) --")
-	fmt.Fprintf(out, "  snapshot replication (state write -> every survivor center): %v (%d-byte frame)\n",
-		sres.Replication, sres.SnapshotBytes)
+	fmt.Fprintf(out, "  snapshot replication (state write -> every survivor center): %v\n", sres.Replication)
+	fmt.Fprintf(out, "  record: %d bytes total, %d-delta chain; the planted state crossed as a %d-byte frame\n",
+		sres.SnapshotBytes, sres.SnapshotDeltas, sres.DeltaBytes)
 	fmt.Fprintf(out, "  failover with state (conviction -> app resumed on %s): %v\n", sres.NewHost, sres.Failover)
 	fmt.Fprintf(out, "  total outage: %v, state intact: %v\n", sres.Total, sres.StateIntact)
 	fmt.Fprintln(out)
-	fmt.Fprintf(csv, "churn,spaces,state,convergence_ms,failover_ms,total_ms,replication_ms,snapshot_bytes,state_intact,new_host\n")
-	fmt.Fprintf(csv, "churn,%d,off,%d,%d,%d,,,,%s\n", spaces,
+	fmt.Fprintf(csv, "churn,spaces,state,convergence_ms,failover_ms,total_ms,replication_ms,snapshot_bytes,delta_bytes,chain,state_intact,new_host\n")
+	fmt.Fprintf(csv, "churn,%d,off,%d,%d,%d,,,,,,%s\n", spaces,
 		res.Convergence.Milliseconds(), res.Failover.Milliseconds(),
 		res.Total.Milliseconds(), res.NewHost)
-	fmt.Fprintf(csv, "churn,%d,on,%d,%d,%d,%d,%d,%v,%s\n\n", spaces,
+	fmt.Fprintf(csv, "churn,%d,on,%d,%d,%d,%d,%d,%d,%d,%v,%s\n\n", spaces,
 		sres.Convergence.Milliseconds(), sres.Failover.Milliseconds(),
 		sres.Total.Milliseconds(), sres.Replication.Milliseconds(),
-		sres.SnapshotBytes, sres.StateIntact, sres.NewHost)
+		sres.SnapshotBytes, sres.DeltaBytes, sres.SnapshotDeltas, sres.StateIntact, sres.NewHost)
+	return nil
+}
+
+func delta(out io.Writer, csv *strings.Builder, ticks int) error {
+	fmt.Fprintln(out, "== Delta — replicated bytes per capture tick, full-frame vs delta pipeline ==")
+	fmt.Fprintf(out, "   (media player, one small playback write per tick, %d ticks per cell)\n", ticks)
+	sizes := []int64{500_000, 2_000_000, 8_000_000}
+	points, err := bench.RunDeltaSweep(sizes, ticks)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  %-10s %-6s %12s %12s %7s %7s %7s %7s\n",
+		"song", "mode", "base-bytes", "bytes/tick", "full", "delta", "idle0", "intact")
+	fmt.Fprintf(csv, "delta,song_bytes,mode,ticks,base_bytes,bytes_per_tick,full_frames,delta_frames,skipped_clean,state_intact\n")
+	// bytes/tick pairs: remember the full-mode figure to print the ratio.
+	perTick := make(map[int64]int64)
+	for _, p := range points {
+		fmt.Fprintf(out, "  %-10d %-6s %12d %12d %7d %7d %7d %7v",
+			p.SongBytes, p.Mode, p.BaseBytes, p.BytesPerTick,
+			p.FullFrames, p.DeltaFrames, p.SkippedClean, p.StateIntact)
+		if p.Mode == "full" {
+			perTick[p.SongBytes] = p.BytesPerTick
+		} else if fullBytes := perTick[p.SongBytes]; fullBytes > 0 && p.BytesPerTick > 0 {
+			fmt.Fprintf(out, "  (%.0fx fewer bytes)", float64(fullBytes)/float64(p.BytesPerTick))
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintf(csv, "delta,%d,%s,%d,%d,%d,%d,%d,%d,%v\n", p.SongBytes, p.Mode, p.Ticks,
+			p.BaseBytes, p.BytesPerTick, p.FullFrames, p.DeltaFrames, p.SkippedClean, p.StateIntact)
+	}
+	fmt.Fprintln(out)
+	csv.WriteString("\n")
 	return nil
 }
 

@@ -65,3 +65,15 @@ func TestRunFlapFigure(t *testing.T) {
 		t.Fatalf("flap output missing:\n%s", out.String())
 	}
 }
+
+// TestRunDeltaFigure runs the delta sweep through the CLI with a short
+// tick count.
+func TestRunDeltaFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "delta", "-delta-ticks", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fewer bytes") {
+		t.Fatalf("delta sweep output missing the savings ratio:\n%s", out.String())
+	}
+}

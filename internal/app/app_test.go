@@ -504,3 +504,89 @@ func TestWrapRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// plainComp is a Component without ChangeNotifier — the always-dirty
+// fallback case.
+type plainComp struct{ data []byte }
+
+func (p *plainComp) Name() string              { return "plain" }
+func (p *plainComp) Kind() ComponentKind       { return KindData }
+func (p *plainComp) SizeBytes() int64          { return int64(len(p.data)) }
+func (p *plainComp) Snapshot() ([]byte, error) { return append([]byte(nil), p.data...), nil }
+func (p *plainComp) Restore(b []byte) error    { p.data = append([]byte(nil), b...); return nil }
+
+func TestDirtyCountersEnumerateChanges(t *testing.T) {
+	a := New("x", "h1", desc("x"))
+	st := NewState("st")
+	blob := NewBlob("blob", KindData, []byte("v1"))
+	if err := a.AddComponent(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddComponent(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !a.FullyTracked() {
+		t.Fatal("state+blob app reported untracked")
+	}
+	base := a.ChangeSeq()
+	if got := a.ChangedSince(base); len(got) != 0 {
+		t.Fatalf("nothing changed yet ChangedSince = %v", got)
+	}
+
+	// Component mutations are attributed to the right component.
+	st.Set("k", "v")
+	if got := a.ChangedSince(base); len(got) != 1 || got[0] != "st" {
+		t.Fatalf("after st.Set ChangedSince = %v, want [st]", got)
+	}
+	blob.SetContent([]byte("v2"))
+	if got := a.ChangedSince(base); len(got) != 2 {
+		t.Fatalf("after SetContent ChangedSince = %v, want [st blob]", got)
+	}
+	if a.ChangeSeq() == base {
+		t.Fatal("mutations did not advance ChangeSeq")
+	}
+
+	// Coordinator and profile mutations advance the counter without
+	// naming a component (they always ride along whole).
+	mid := a.ChangeSeq()
+	a.Coordinator().Set("track", "t1")
+	if a.ChangeSeq() == mid {
+		t.Fatal("coordinator mutation did not advance ChangeSeq")
+	}
+	if got := a.ChangedSince(mid); len(got) != 0 {
+		t.Fatalf("coordinator change attributed to a component: %v", got)
+	}
+	mid = a.ChangeSeq()
+	a.SetProfile(UserProfile{User: "alice"})
+	if a.ChangeSeq() == mid {
+		t.Fatal("profile mutation did not advance ChangeSeq")
+	}
+
+	// Restore (unwrap path) marks the restored component dirty.
+	mid = a.ChangeSeq()
+	if err := blob.Restore([]byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.ChangedSince(mid); len(got) != 1 || got[0] != "blob" {
+		t.Fatalf("after Restore ChangedSince = %v, want [blob]", got)
+	}
+}
+
+func TestUntrackedComponentsAreAlwaysDirty(t *testing.T) {
+	a := New("x", "h1", desc("x"))
+	if err := a.AddComponent(NewState("st")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddComponent(&plainComp{data: []byte("p")}); err != nil {
+		t.Fatal(err)
+	}
+	if a.FullyTracked() {
+		t.Fatal("app with a plain component reported fully tracked")
+	}
+	// The untracked component is in every ChangedSince answer — it
+	// cannot prove itself clean.
+	seq := a.ChangeSeq()
+	if got := a.ChangedSince(seq); len(got) != 1 || got[0] != "plain" {
+		t.Fatalf("ChangedSince = %v, want [plain]", got)
+	}
+}

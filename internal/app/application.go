@@ -50,6 +50,15 @@ type Application struct {
 	resources  []owl.Resource
 	profile    UserProfile
 
+	// Dirty tracking for the state pipeline: changeSeq counts every
+	// observable state mutation (component content, coordinator state,
+	// profile); compSeq records the changeSeq at each component's last
+	// mutation; untracked lists components that cannot announce changes
+	// (no ChangeNotifier) and so must be treated as always dirty.
+	changeSeq uint64
+	compSeq   map[string]uint64
+	untracked map[string]bool
+
 	coordinator *Coordinator
 	snapshots   *SnapshotManager
 	adaptor     *Adaptor
@@ -63,11 +72,61 @@ func New(name, host string, desc wsdl.Description) *Application {
 		desc:       desc,
 		state:      Running,
 		components: make(map[string]Component),
+		compSeq:    make(map[string]uint64),
+		untracked:  make(map[string]bool),
 	}
 	a.coordinator = NewCoordinator(name + "@" + host)
+	a.coordinator.onMutate = func() { a.markDirty("") }
 	a.snapshots = NewSnapshotManager(a)
 	a.adaptor = NewAdaptor()
 	return a
+}
+
+// markDirty advances the application's mutation counter; a non-empty
+// component name additionally records that component as changed at the
+// new counter value.
+func (a *Application) markDirty(component string) {
+	a.mu.Lock()
+	a.changeSeq++
+	if component != "" {
+		a.compSeq[component] = a.changeSeq
+	}
+	a.mu.Unlock()
+}
+
+// ChangeSeq returns the application's mutation counter: it advances on
+// every component content change, coordinator state change, and profile
+// replacement. A capture that records the counter can skip all
+// serialization work on the next tick when the counter has not moved —
+// the state pipeline's idle fast path.
+func (a *Application) ChangeSeq() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.changeSeq
+}
+
+// ChangedSince lists (in registration order) the components mutated
+// after the given ChangeSeq value, plus every untracked component —
+// exactly the set a delta capture must serialize.
+func (a *Application) ChangedSince(seq uint64) []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for _, n := range a.order {
+		if a.untracked[n] || a.compSeq[n] > seq {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// FullyTracked reports whether every component announces its mutations
+// (implements ChangeNotifier). Only then is an unmoved ChangeSeq proof
+// that the application's serialized state is unchanged.
+func (a *Application) FullyTracked() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.untracked) == 0
 }
 
 // Name returns the application name.
@@ -103,15 +162,28 @@ func (a *Application) State() RunState {
 	return a.state
 }
 
-// AddComponent registers a component. Names must be unique.
+// AddComponent registers a component. Names must be unique. Components
+// that implement ChangeNotifier feed the application's dirty counters;
+// others are tracked as always-dirty.
 func (a *Application) AddComponent(c Component) error {
+	name := c.Name()
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if _, dup := a.components[c.Name()]; dup {
-		return fmt.Errorf("app: duplicate component %q", c.Name())
+	if _, dup := a.components[name]; dup {
+		a.mu.Unlock()
+		return fmt.Errorf("app: duplicate component %q", name)
 	}
-	a.components[c.Name()] = c
-	a.order = append(a.order, c.Name())
+	a.components[name] = c
+	a.order = append(a.order, name)
+	a.changeSeq++
+	a.compSeq[name] = a.changeSeq
+	notifier, tracked := c.(ChangeNotifier)
+	if !tracked {
+		a.untracked[name] = true
+	}
+	a.mu.Unlock()
+	if tracked {
+		notifier.OnContentChange(func() { a.markDirty(name) })
+	}
 	return nil
 }
 
@@ -166,6 +238,7 @@ func (a *Application) Resources() []owl.Resource {
 func (a *Application) SetProfile(p UserProfile) {
 	a.mu.Lock()
 	a.profile = p
+	a.changeSeq++
 	a.mu.Unlock()
 }
 

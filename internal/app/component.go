@@ -56,17 +56,33 @@ type Component interface {
 	Restore(state []byte) error
 }
 
+// ChangeNotifier is implemented by components that announce content
+// mutations. The Application registers a callback when such a component
+// is added, maintaining per-component dirty counters so the state
+// pipeline can skip serializing components — or whole applications —
+// that have not changed since the last capture. Components that do not
+// implement it are treated as always-dirty (see Application.FullyTracked).
+type ChangeNotifier interface {
+	// OnContentChange registers fn to be called (outside the component's
+	// own lock) after every mutation of the serialized content.
+	OnContentChange(fn func())
+}
+
 // BlobComponent is a Component holding opaque bytes — the stand-in for
 // compiled logic, UI bundles, and media data payloads.
 type BlobComponent struct {
 	name string
 	kind ComponentKind
 
-	mu   sync.Mutex
-	data []byte
+	mu       sync.Mutex
+	data     []byte
+	onChange func()
 }
 
-var _ Component = (*BlobComponent)(nil)
+var (
+	_ Component      = (*BlobComponent)(nil)
+	_ ChangeNotifier = (*BlobComponent)(nil)
+)
 
 // NewBlob creates a blob component with the given payload.
 func NewBlob(name string, kind ComponentKind, data []byte) *BlobComponent {
@@ -113,13 +129,38 @@ func (b *BlobComponent) Snapshot() ([]byte, error) {
 	return cp, nil
 }
 
+// SetContent replaces the payload in place — a media app swapping its
+// buffer, an editor saving a document. The mutation bumps the owning
+// application's dirty counter so the next state capture ships it.
+func (b *BlobComponent) SetContent(data []byte) {
+	b.mu.Lock()
+	b.data = make([]byte, len(data))
+	copy(b.data, data)
+	fn := b.onChange
+	b.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
 // Restore implements Component.
 func (b *BlobComponent) Restore(state []byte) error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.data = make([]byte, len(state))
 	copy(b.data, state)
+	fn := b.onChange
+	b.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 	return nil
+}
+
+// OnContentChange implements ChangeNotifier.
+func (b *BlobComponent) OnContentChange(fn func()) {
+	b.mu.Lock()
+	b.onChange = fn
+	b.mu.Unlock()
 }
 
 // StateComponent is a small key-value state component — playback
@@ -128,11 +169,15 @@ func (b *BlobComponent) Restore(state []byte) error {
 type StateComponent struct {
 	name string
 
-	mu     sync.Mutex
-	fields map[string]string
+	mu       sync.Mutex
+	fields   map[string]string
+	onChange func()
 }
 
-var _ Component = (*StateComponent)(nil)
+var (
+	_ Component      = (*StateComponent)(nil)
+	_ ChangeNotifier = (*StateComponent)(nil)
+)
 
 // NewState creates an empty state component.
 func NewState(name string) *StateComponent {
@@ -149,7 +194,11 @@ func (s *StateComponent) Kind() ComponentKind { return KindState }
 func (s *StateComponent) Set(key, value string) {
 	s.mu.Lock()
 	s.fields[key] = value
+	fn := s.onChange
 	s.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // Get reads a state field.
@@ -197,6 +246,17 @@ func (s *StateComponent) Restore(state []byte) error {
 	}
 	s.mu.Lock()
 	s.fields = fields
+	fn := s.onChange
 	s.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 	return nil
+}
+
+// OnContentChange implements ChangeNotifier.
+func (s *StateComponent) OnContentChange(fn func()) {
+	s.mu.Lock()
+	s.onChange = fn
+	s.mu.Unlock()
 }

@@ -36,6 +36,11 @@ func (f ObserverFunc) Notify(c StateChange) { f(c) }
 type Coordinator struct {
 	origin string // owning application instance id
 
+	// onMutate, when set (by the owning Application), is called outside
+	// c.mu after every accepted state mutation — the dirty-counter feed
+	// for the state pipeline.
+	onMutate func()
+
 	mu        sync.Mutex
 	state     map[string]string
 	seq       uint64
@@ -124,6 +129,9 @@ func (c *Coordinator) Set(key, value string) bool {
 	obs, links := c.snapshotTargetsLocked()
 	c.mu.Unlock()
 
+	if c.onMutate != nil {
+		c.onMutate()
+	}
 	for _, o := range obs {
 		o.Notify(change)
 	}
@@ -149,6 +157,9 @@ func (c *Coordinator) ApplyRemote(change StateChange) {
 	obs, links := c.snapshotTargetsLocked()
 	c.mu.Unlock()
 
+	if c.onMutate != nil {
+		c.onMutate()
+	}
 	for _, o := range obs {
 		o.Notify(change)
 	}
@@ -222,4 +233,7 @@ func (c *Coordinator) replaceState(state map[string]string) {
 		c.state[k] = v
 	}
 	c.mu.Unlock()
+	if c.onMutate != nil {
+		c.onMutate()
+	}
 }

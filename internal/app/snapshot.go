@@ -26,6 +26,11 @@ type TaggedSnapshot struct {
 	Tag  string
 	At   time.Time
 	Wrap Wrap
+	// ChangeSeq is the application's mutation counter read just before
+	// the wrap was captured — a conservative lower bound on what the
+	// wrap contains, letting the state replicator keep its dirty fast
+	// path valid across explicitly recorded snapshots.
+	ChangeSeq uint64
 }
 
 // NewSnapshotManager creates a manager for app with a history cap of 8.
@@ -77,11 +82,15 @@ func (m *SnapshotManager) RemoveOnRecord(id int) {
 // timestamp is supplied by the caller so virtual-clock runs stay
 // deterministic.
 func (m *SnapshotManager) Record(tag string, at time.Time) (TaggedSnapshot, error) {
+	// Read the counter before the wrap: a mutation landing mid-capture
+	// then looks newer than the snapshot and triggers a re-capture,
+	// never a wrongly skipped one.
+	seq := m.app.ChangeSeq()
 	w, err := m.app.WrapComponents(nil)
 	if err != nil {
 		return TaggedSnapshot{}, err
 	}
-	ts := TaggedSnapshot{Tag: tag, At: at, Wrap: w}
+	ts := TaggedSnapshot{Tag: tag, At: at, Wrap: w, ChangeSeq: seq}
 	m.mu.Lock()
 	m.history = append(m.history, ts)
 	m.trimLocked()

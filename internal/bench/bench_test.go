@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"mdagent/internal/cluster"
 	"mdagent/internal/migrate"
 )
 
@@ -203,5 +204,84 @@ func TestFlapRejectsBadParams(t *testing.T) {
 	}
 	if _, err := RunFlap(3, ChurnConfig(), time.Millisecond, 0); err == nil {
 		t.Fatal("RunFlap with 0 cycles should refuse")
+	}
+}
+
+// TestChurnDeltaRestoreMatchesFullFrames is the acceptance check for the
+// delta pipeline's failover path: restoring a re-homed app from a
+// delta-chain record must be value-level identical to restoring from a
+// full-frame record, and the planted state must actually have crossed as
+// a delta (not a silent full-frame fallback).
+func TestChurnDeltaRestoreMatchesFullFrames(t *testing.T) {
+	relaxed := func() cluster.Config {
+		cfg := ChurnStateConfig()
+		cfg.ProbeInterval = 5 * time.Millisecond
+		cfg.ProbeTimeout = 100 * time.Millisecond
+		cfg.SuspicionTimeout = 300 * time.Millisecond
+		cfg.SyncInterval = 10 * time.Millisecond
+		cfg.ReplicateInterval = 5 * time.Millisecond
+		return cfg
+	}
+
+	deltaCfg := relaxed()
+	dres, err := RunChurnSized(3, deltaCfg, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dres.StateIntact {
+		t.Fatalf("delta-chain restore lost state: %+v", dres)
+	}
+	if dres.SnapshotDeltas == 0 {
+		t.Fatalf("planted state never shipped as a delta: %+v", dres)
+	}
+	if dres.DeltaBytes*5 > dres.SnapshotBytes {
+		t.Fatalf("delta frame (%d bytes) not meaningfully smaller than the record (%d bytes)",
+			dres.DeltaBytes, dres.SnapshotBytes)
+	}
+
+	fullCfg := relaxed()
+	fullCfg.FullSnapshotFrames = true
+	fres, err := RunChurnSized(3, fullCfg, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fres.StateIntact {
+		t.Fatalf("full-frame restore lost state: %+v", fres)
+	}
+	if fres.SnapshotDeltas != 0 {
+		t.Fatalf("full-frame mode produced a delta chain: %+v", fres)
+	}
+}
+
+// TestDeltaSweepSavesBytes runs one small cell of the delta sweep and
+// checks the headline claims: >= 5x fewer replicated bytes per mutated
+// tick, zero serialization on idle ticks, and a value-intact record on
+// the peer center in both modes.
+func TestDeltaSweepSavesBytes(t *testing.T) {
+	points, err := RunDeltaSweep([]int64{200_000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	full, delta := points[0], points[1]
+	if full.Mode != "full" || delta.Mode != "delta" {
+		t.Fatalf("unexpected mode order: %+v", points)
+	}
+	for _, p := range points {
+		if !p.StateIntact {
+			t.Fatalf("%s-mode record not value-intact: %+v", p.Mode, p)
+		}
+		if p.SkippedClean != 3 {
+			t.Fatalf("%s-mode idle ticks not skipped cleanly: %+v", p.Mode, p)
+		}
+	}
+	if delta.BytesPerTick*5 > full.BytesPerTick {
+		t.Fatalf("delta pipeline saved too little: %d vs %d bytes/tick",
+			delta.BytesPerTick, full.BytesPerTick)
+	}
+	if delta.DeltaFrames == 0 || full.DeltaFrames != 0 {
+		t.Fatalf("frame kinds wrong: full=%+v delta=%+v", full, delta)
 	}
 }

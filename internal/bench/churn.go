@@ -27,9 +27,11 @@ type ChurnResult struct {
 	NewHost     string        // where the app was re-homed
 
 	// State-pipeline measurements (Config.ReplicateState experiments).
-	Replication   time.Duration // state write -> snapshot on every survivor center
-	SnapshotBytes int           // replicated snapshot frame size
-	StateIntact   bool          // re-homed app resumed with the replicated value
+	Replication    time.Duration // state write -> snapshot on every survivor center
+	SnapshotBytes  int           // replicated record size (base frame + delta chain)
+	SnapshotDeltas int           // delta chain length when the planted state arrived
+	DeltaBytes     int           // size of the frame that carried the planted state
+	StateIntact    bool          // re-homed app resumed with the replicated value
 }
 
 // churnStateValue is the in-flight state the with-state churn experiment
@@ -157,6 +159,15 @@ func RunChurnSized(n int, cfg cluster.Config, songBytes int64) (ChurnResult, err
 					ready = false
 					break
 				}
+				// With state replication on, also wait for the app's base
+				// snapshot: the experiment measures how an incremental
+				// state write replicates, not first-base latency.
+				if cfg.ReplicateState {
+					if _, ok := center.LatestSnapshot("smart-media-player"); !ok {
+						ready = false
+						break
+					}
+				}
 			}
 		}
 		if ready {
@@ -208,7 +219,13 @@ func RunChurnSized(n int, cfg cluster.Config, songBytes int64) (ChurnResult, err
 					continue
 				}
 				hasValue[i] = true
-				res.SnapshotBytes = len(sr.Frame)
+				res.SnapshotBytes = sr.FrameBytes()
+				res.SnapshotDeltas = len(sr.Deltas)
+				if n := len(sr.Deltas); n > 0 {
+					res.DeltaBytes = len(sr.Deltas[n-1])
+				} else {
+					res.DeltaBytes = len(sr.Frame)
+				}
 			}
 			if replicated {
 				break

@@ -103,10 +103,10 @@ func (f *Failover) Rehome(ctx context.Context, deadHost string) ([]Rehoming, err
 }
 
 // snapshotFor fetches the freshest replicated snapshot for an app when
-// state restoration is enabled, verifying the frame's header and
-// checksum (cheap — no decode; the launcher decodes exactly once) so a
-// corrupt record degrades to a skeleton relaunch instead of failing the
-// failover.
+// state restoration is enabled, verifying every frame in the record —
+// base and delta chain — by header and checksum (cheap, no decode; the
+// launcher reassembles exactly once) so a corrupt record degrades to a
+// skeleton relaunch instead of failing the failover.
 func (f *Failover) snapshotFor(appName string) *state.SnapshotRecord {
 	if !f.RestoreState {
 		return nil
@@ -115,7 +115,7 @@ func (f *Failover) snapshotFor(appName string) *state.SnapshotRecord {
 	if !ok {
 		return nil
 	}
-	if err := state.VerifySnapshot(sr.Frame); err != nil {
+	if err := sr.Verify(); err != nil {
 		return nil
 	}
 	return &sr

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -34,9 +35,23 @@ type Center struct {
 	peers   map[string]string // peer space -> endpoint name
 	rng     *rand.Rand
 
+	// pushers carries snapshot pushes (full records and deltas) to one
+	// FIFO worker per peer, so each peer receives them in write order —
+	// a reordered delta would be dropped at the peer and cost an
+	// anti-entropy round to repair — while a dead peer only stalls its
+	// own queue, never the healthy ones. Non-snapshot records keep the
+	// unordered pushAsync path.
+	pushers map[string]chan pushItem // peer endpoint -> ordered queue
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
+}
+
+// pushItem is one pre-encoded message awaiting ordered delivery.
+type pushItem struct {
+	msgType string
+	payload []byte
 }
 
 // fedKeyPrefix prefixes the store keys the center persists its
@@ -60,6 +75,7 @@ func NewCenter(space string, reg *registry.Registry, ep *transport.Endpoint, cfg
 		records: make(map[string]Record),
 		peers:   make(map[string]string),
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(len(space)))),
+		pushers: make(map[string]chan pushItem),
 		stop:    make(chan struct{}),
 	}
 	db := reg.Store()
@@ -76,6 +92,7 @@ func NewCenter(space string, reg *registry.Registry, ep *transport.Endpoint, cfg
 	}
 	ep.Handle(MsgFedDigest, c.handleDigest)
 	ep.Handle(MsgFedPush, c.handlePush)
+	ep.Handle(MsgFedSnapDelta, c.handleSnapDelta)
 	return c
 }
 
@@ -148,19 +165,212 @@ func snapKey(appName string) string { return "snap/" + appName }
 // A Center is the state pipeline's publisher.
 var _ state.Publisher = (*Center)(nil)
 
-// PutSnapshot stores an application's latest state snapshot and
-// replicates it federation-wide. The center assigns the record's capture
-// sequence (previous + 1 under the write lock), so concurrent snapshots
-// from different spaces resolve to the longest capture history.
-func (c *Center) PutSnapshot(_ context.Context, sr state.SnapshotRecord) (state.SnapshotRecord, error) {
-	if sr.App == "" {
-		return sr, fmt.Errorf("cluster: snapshot record has no app")
+// PutSnapshot applies one replication put — a full base frame or a delta
+// against the stored record's newest state — and replicates the result
+// federation-wide. The center assigns the record's capture sequence
+// (previous + 1 under the write lock), so concurrent snapshots from
+// different spaces resolve to the longest capture history. A delta whose
+// base digest does not match the stored state fails with
+// state.ErrNeedFull (the publisher re-sends a full frame); an accepted
+// delta is appended to the record's chain, compacted into a fresh base
+// when the chain grows past Config.MaxDeltaChain or outweighs half the
+// base frame, and pushed to peers as a delta-only message so the
+// federation wire carries kilobytes, not the multi-megabyte base.
+func (c *Center) PutSnapshot(_ context.Context, put state.SnapshotPut) (state.SnapshotStamp, error) {
+	if put.App == "" {
+		return state.SnapshotStamp{}, fmt.Errorf("cluster: snapshot put has no app")
 	}
-	if sr.Space == "" {
-		sr.Space = c.space
+	if put.Space == "" {
+		put.Space = c.space
 	}
-	rec, err := c.writeStamped(Record{Key: snapKey(sr.App), Kind: RecordSnapshot, Snap: sr})
-	return rec.Snap, err
+	if put.Delta {
+		// A frame that fails its checksum, or whose embedded base digest
+		// disagrees with the put's, would poison the stored chain forever
+		// (every later delta still chains on the advertised digest, so
+		// nothing downstream would ever repair it). Refuse it up front.
+		if d, err := state.DecodeDelta(put.Frame); err != nil || d.BaseDigest != put.BaseDigest {
+			return state.SnapshotStamp{}, fmt.Errorf("cluster: delta put for %s: bad frame: %w", put.App, state.ErrNeedFull)
+		}
+	}
+	key := snapKey(put.App)
+	c.mu.Lock()
+	prev := c.records[key]
+	var rec Record
+	if put.Delta {
+		if prev.Kind != RecordSnapshot || prev.Deleted || len(prev.Snap.Frame) == 0 ||
+			prev.Snap.StateDigest != put.BaseDigest {
+			c.mu.Unlock()
+			return state.SnapshotStamp{}, fmt.Errorf("cluster: delta put for %s: %w", put.App, state.ErrNeedFull)
+		}
+		snap := prev.Snap
+		snap.Deltas = append(append([][]byte(nil), prev.Snap.Deltas...), put.Frame)
+		snap.Seq++
+		snap.Host, snap.Space, snap.At = put.Host, put.Space, put.At
+		snap.StateDigest = put.NewDigest
+		rec = Record{Key: key, Kind: RecordSnapshot, Snap: snap}
+	} else {
+		rec = Record{Key: key, Kind: RecordSnapshot, Snap: state.SnapshotRecord{
+			App: put.App, Host: put.Host, Space: put.Space, At: put.At,
+			Seq: prev.Snap.Seq + 1, BaseSeq: prev.Snap.Seq + 1,
+			Frame: put.Frame, StateDigest: put.NewDigest,
+		}}
+	}
+	rec.Version = prev.Version.Tick(c.space)
+	rec.Origin = c.space
+	c.records[key] = rec
+	c.persist(rec)
+	stamp := state.SnapshotStamp{Seq: rec.Snap.Seq, BaseSeq: rec.Snap.BaseSeq, Chain: len(rec.Snap.Deltas)}
+	// Enqueue while still holding c.mu: two racing puts must hit the
+	// ordered push queue in the same order their sequences were assigned.
+	// A delta put always pushes just the delta — even when this center
+	// compacted its own chain — because peers track the state by digest
+	// and compact independently; only a fresh base frame needs the full
+	// record on the wire.
+	if put.Delta {
+		c.enqueuePushLocked(MsgFedSnapDelta, transport.MustEncode(snapDeltaMsg{
+			From: c.space, Key: rec.Key, Version: rec.Version.Clone(),
+			Seq: rec.Snap.Seq, Host: rec.Snap.Host, Space: rec.Snap.Space, At: rec.Snap.At,
+			BaseDigest: put.BaseDigest, NewDigest: put.NewDigest, Delta: put.Frame,
+		}))
+	} else {
+		c.enqueuePushLocked(MsgFedPush, transport.MustEncode(pushMsg{From: c.space, Records: []Record{rec}}))
+	}
+	c.mu.Unlock()
+	c.compactIfHeavy(key)
+	return stamp, nil
+}
+
+// enqueuePushLocked hands one pre-encoded message to every peer's
+// ordered push worker (created lazily), dropping it when a peer's queue
+// is full — that peer is stalled and anti-entropy will repair it.
+// Callers hold c.mu.
+func (c *Center) enqueuePushLocked(msgType string, payload []byte) {
+	it := pushItem{msgType: msgType, payload: payload}
+	for _, ep := range c.peers {
+		q, ok := c.pushers[ep]
+		if !ok {
+			q = make(chan pushItem, 256)
+			c.pushers[ep] = q
+			c.wg.Add(1)
+			go c.pushWorker(ep, q)
+		}
+		select {
+		case q <- it:
+		default:
+		}
+	}
+}
+
+// pushWorker delivers one peer's queued snapshot pushes in order, each
+// under its own timeout, so a dead peer burns only its own queue's time.
+func (c *Center) pushWorker(peer string, q chan pushItem) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case it := <-q:
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+			_, _ = c.ep.Request(ctx, peer, it.msgType, it.payload)
+			cancel()
+		}
+	}
+}
+
+// chainHeavy reports whether a snapshot record's delta chain has grown
+// past Config.MaxDeltaChain deltas or outweighs half its base — past
+// that point the chain costs more to store, ship, and reassemble than
+// the base it amends.
+func (c *Center) chainHeavy(rec Record) bool {
+	if rec.Kind != RecordSnapshot || rec.Deleted || len(rec.Snap.Deltas) == 0 {
+		return false
+	}
+	var deltaBytes int
+	for _, d := range rec.Snap.Deltas {
+		deltaBytes += len(d)
+	}
+	return len(rec.Snap.Deltas) > c.cfg.MaxDeltaChain || deltaBytes > len(rec.Snap.Frame)/2
+}
+
+// compactIfHeavy folds a heavy delta chain into a fresh base frame. The
+// multi-megabyte reassembly and re-encode run OUTSIDE c.mu — a failover
+// racing a compaction must not block on the center lock for a gob
+// round-trip — and the result is swapped in only if the record has not
+// changed meanwhile (a newer write will trigger its own compaction).
+// Compaction changes only the representation: digest, sequence, and
+// version are untouched, so peers and publishers are unaffected. A
+// chain that fails to reassemble is left alone (the restore-side
+// fallback handles it).
+func (c *Center) compactIfHeavy(key string) {
+	c.mu.Lock()
+	rec, ok := c.records[key]
+	if !ok || !c.chainHeavy(rec) {
+		c.mu.Unlock()
+		return
+	}
+	snap := rec.Snap // Frame/Deltas are append-only shared slices: safe to read unlocked
+	ver := rec.Version.Clone()
+	c.mu.Unlock()
+
+	ts, err := snap.Snapshot()
+	if err != nil {
+		return
+	}
+	frame, err := state.EncodeSnapshot(ts)
+	if err != nil {
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.records[key]
+	if !ok || cur.Kind != RecordSnapshot || cur.Deleted || cur.Version.Compare(ver) != vclock.Equal {
+		return // superseded while we compacted; the next write re-tries
+	}
+	cur.Snap.Frame = frame
+	cur.Snap.BaseSeq = cur.Snap.Seq
+	cur.Snap.Deltas = nil
+	c.records[key] = cur
+	c.persist(cur)
+}
+
+// handleSnapDelta appends a peer's delta push to our copy of the record
+// when — and only when — our newest state is exactly the base the delta
+// was computed against and the incoming version strictly supersedes
+// ours. Anything else is silently ignored: anti-entropy delivers the
+// authoritative record shortly.
+func (c *Center) handleSnapDelta(msg transport.Message) ([]byte, error) {
+	var m snapDeltaMsg
+	if err := transport.Decode(msg.Payload, &m); err != nil {
+		return nil, err
+	}
+	// Same up-front frame validation as PutSnapshot: appending a torn or
+	// internally inconsistent delta would poison this replica's chain
+	// permanently (versions match the writer's, so anti-entropy would
+	// never re-offer the record).
+	if d, err := state.DecodeDelta(m.Delta); err != nil || d.BaseDigest != m.BaseDigest {
+		return nil, nil
+	}
+	c.mu.Lock()
+	ex, ok := c.records[m.Key]
+	if !ok || ex.Kind != RecordSnapshot || ex.Deleted ||
+		ex.Snap.StateDigest != m.BaseDigest ||
+		ex.Version.Compare(m.Version) != vclock.Before {
+		c.mu.Unlock()
+		return nil, nil
+	}
+	rec := ex
+	rec.Snap.Deltas = append(append([][]byte(nil), ex.Snap.Deltas...), m.Delta)
+	rec.Snap.Seq = m.Seq
+	rec.Snap.Host, rec.Snap.Space, rec.Snap.At = m.Host, m.Space, m.At
+	rec.Snap.StateDigest = m.NewDigest
+	rec.Version = m.Version.Clone()
+	rec.Origin = m.From
+	c.records[m.Key] = rec
+	c.persist(rec)
+	c.mu.Unlock()
+	c.compactIfHeavy(m.Key)
+	return nil, nil
 }
 
 // DropSnapshot tombstones an application's replicated snapshot — the
@@ -375,6 +585,40 @@ func (c *Center) Serve(ep *transport.Endpoint) *Center {
 			return nil, err
 		}
 		return nil, c.RegisterDevice(context.Background(), dev)
+	})
+	// Snapshot put/get: multi-process daemons (cmd/mdagentd) join the
+	// state pipeline over the same wire as their registry traffic. The
+	// need-full signal rides in-band — typed errors do not survive the
+	// transport, and the remote replicator must be able to tell "send me
+	// a base" from a real failure.
+	ep.Handle(MsgPutSnapshot, func(msg transport.Message) ([]byte, error) {
+		var put state.SnapshotPut
+		if err := transport.Decode(msg.Payload, &put); err != nil {
+			return nil, err
+		}
+		stamp, err := c.PutSnapshot(context.Background(), put)
+		if errors.Is(err, state.ErrNeedFull) {
+			return transport.Encode(putSnapshotReply{NeedFull: true})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(putSnapshotReply{Stamp: stamp})
+	})
+	ep.Handle(MsgGetSnapshot, func(msg transport.Message) ([]byte, error) {
+		var req getSnapshotReq
+		if err := transport.Decode(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		rec, found := c.LatestSnapshot(req.App)
+		return transport.Encode(getSnapshotReply{Rec: rec, Found: found})
+	})
+	ep.Handle(MsgDropSnapshot, func(msg transport.Message) ([]byte, error) {
+		var req dropSnapshotReq
+		if err := transport.Decode(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		return nil, c.DropSnapshot(context.Background(), req.App, req.Host)
 	})
 	return c
 }

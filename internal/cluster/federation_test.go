@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -288,12 +290,17 @@ func TestFederationVersionsSurviveRestart(t *testing.T) {
 	}
 }
 
-func mustSnapshot(t *testing.T, appName, host string, val string) state.SnapshotRecord {
+func mustSnapshot(t *testing.T, appName, host string, val string) state.SnapshotPut {
 	t.Helper()
 	inst := app.New(appName, host, appDesc(appName))
 	st := app.NewState("st")
 	st.Set("v", val)
 	if err := inst.AddComponent(st); err != nil {
+		t.Fatal(err)
+	}
+	// A payload blob keeps deltas small relative to the base, so a
+	// single-delta chain is not immediately compacted away.
+	if err := inst.AddComponent(app.NewSizedBlob("payload", app.KindData, 8<<10)); err != nil {
 		t.Fatal(err)
 	}
 	w, err := inst.WrapComponents(nil)
@@ -304,7 +311,50 @@ func mustSnapshot(t *testing.T, appName, host string, val string) state.Snapshot
 	if err != nil {
 		t.Fatal(err)
 	}
-	return state.SnapshotRecord{App: appName, Host: host, At: time.Unix(1, 0), Frame: frame}
+	return state.SnapshotPut{
+		App: appName, Host: host, At: time.Unix(1, 0),
+		Frame: frame, NewDigest: state.WrapDigest(w),
+	}
+}
+
+// mustDelta builds a delta put mutating the "st" component's value on
+// top of the given base state.
+func mustDelta(t *testing.T, appName, host, baseVal, newVal string) state.SnapshotPut {
+	t.Helper()
+	inst := app.New(appName, host, appDesc(appName))
+	st := app.NewState("st")
+	st.Set("v", baseVal)
+	if err := inst.AddComponent(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.AddComponent(app.NewSizedBlob("payload", app.KindData, 8<<10)); err != nil {
+		t.Fatal(err)
+	}
+	base, err := inst.WrapComponents(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Set("v", newVal)
+	next, err := inst.WrapComponents(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := inst.WrapComponents([]string{"st"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := state.EncodeDelta(state.WrapDelta{
+		App: appName, FromHost: host, BaseDigest: state.WrapDigest(base),
+		Components: changed.Components, Kinds: changed.Kinds,
+		CoordState: changed.CoordState, Profile: changed.Profile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return state.SnapshotPut{
+		App: appName, Host: host, At: time.Unix(2, 0), Delta: true, Frame: frame,
+		BaseDigest: state.WrapDigest(base), NewDigest: state.WrapDigest(next),
+	}
 }
 
 func snapValue(t *testing.T, sr state.SnapshotRecord) string {
@@ -337,8 +387,8 @@ func TestFederationReplicatesSnapshots(t *testing.T) {
 	if stamped.Seq != 1 {
 		t.Fatalf("first snapshot seq = %d, want 1", stamped.Seq)
 	}
-	if stamped.Space != "alpha" {
-		t.Fatalf("stamped space = %q, want alpha", stamped.Space)
+	if rec, _ := a.LatestSnapshot("player"); rec.Space != "alpha" {
+		t.Fatalf("stored space = %q, want alpha", rec.Space)
 	}
 	if err := b.SyncNow(ctx); err != nil {
 		t.Fatal(err)
@@ -447,5 +497,146 @@ func TestFederationConcurrentSnapshotsPreferLongerHistory(t *testing.T) {
 	if snapValue(t, av2) != "alpha-2" || snapValue(t, bv2) != "alpha-2" {
 		t.Fatalf("longer alpha history lost: alpha=%q beta=%q",
 			snapValue(t, av2), snapValue(t, bv2))
+	}
+}
+
+// TestFederationDeltaChainCompactionAndPush drives a real replicator
+// against one center and checks the whole delta leg: chain growth on the
+// writer, delta-only pushes converging the peer (no anti-entropy pulls
+// are ever run here), and compaction folding a long chain into a fresh
+// base.
+func TestFederationDeltaChainCompactionAndPush(t *testing.T) {
+	a, b := newCenterPair(t)
+	inst := app.New("player", "hostA", appDesc("player"))
+	st := app.NewState("st")
+	st.Set("v", "0")
+	if err := inst.AddComponent(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.AddComponent(app.NewSizedBlob("blob", app.KindData, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	// RebaseEvery far above the center's MaxDeltaChain so the center's
+	// compaction — not the replicator's re-baseline — is what bounds the
+	// chain.
+	rep := state.NewReplicator("hostA", "alpha",
+		func() []*app.Application { return []*app.Application{inst} },
+		a, nil, time.Hour, state.Tuning{BudgetBytesPerSec: -1, RebaseEvery: 100, RebaseFraction: 100})
+	ctx := context.Background()
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		st.Set("v", strconv.Itoa(i))
+		if err := rep.SyncNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, ok := a.LatestSnapshot("player")
+	if !ok || rec.Seq != 4 || rec.BaseSeq != 1 || len(rec.Deltas) != 3 {
+		t.Fatalf("writer record = seq %d base %d chain %d, want 4/1/3", rec.Seq, rec.BaseSeq, len(rec.Deltas))
+	}
+	if v := snapValue(t, rec); v != "3" {
+		t.Fatalf("writer chain value = %q, want 3", v)
+	}
+
+	// The peer converges on pushes alone: the base rode a full record
+	// push, each delta a snapDeltaMsg.
+	waitPeer := func(wantSeq uint64, wantVal string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if got, ok := b.LatestSnapshot("player"); ok && got.Seq == wantSeq {
+				if v := snapValue(t, got); v != wantVal {
+					t.Fatalf("peer value at seq %d = %q, want %q", wantSeq, v, wantVal)
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				got, _ := b.LatestSnapshot("player")
+				t.Fatalf("peer never reached seq %d (at %d)", wantSeq, got.Seq)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitPeer(4, "3")
+	if got, _ := b.LatestSnapshot("player"); len(got.Deltas) != 3 {
+		t.Fatalf("peer chain = %d deltas, want 3 (delta pushes applied)", len(got.Deltas))
+	}
+
+	// Push the chain past MaxDeltaChain (testConfig defaults to 8): the
+	// writing center must compact into a fresh base.
+	for i := 4; i <= 14; i++ {
+		st.Set("v", strconv.Itoa(i))
+		if err := rep.SyncNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec2, _ := a.LatestSnapshot("player")
+	if len(rec2.Deltas) > 8 {
+		t.Fatalf("chain grew to %d deltas — compaction never fired", len(rec2.Deltas))
+	}
+	if rec2.BaseSeq == 1 {
+		t.Fatal("base sequence still 1 — chain was never folded into a fresh base")
+	}
+	if v := snapValue(t, rec2); v != "14" {
+		t.Fatalf("post-compaction value = %q, want 14", v)
+	}
+	waitPeer(rec2.Seq, "14")
+}
+
+// TestSnapshotWireProtocol exercises the Serve-bound snapshot handlers
+// through a SnapshotClient: full put, chained delta put, in-band
+// need-full refusal, remote fetch, and tombstone.
+func TestSnapshotWireProtocol(t *testing.T) {
+	fab := transport.NewLocalFabric(nil)
+	t.Cleanup(func() { fab.Close() })
+	regDB, err := registry.New(store.OpenMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := fab.Attach(CenterEndpointName("alpha"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCenter("alpha", regDB, ep, testConfig())
+	c.Serve(ep)
+	cliEp, err := fab.Attach("client@test", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewSnapshotClient(cliEp, CenterEndpointName("alpha"))
+	ctx := context.Background()
+
+	stamp, err := cli.PutSnapshot(ctx, mustSnapshot(t, "player", "hostA", "pos-1"))
+	if err != nil || stamp.Seq != 1 {
+		t.Fatalf("remote full put: stamp=%+v err=%v", stamp, err)
+	}
+	stamp2, err := cli.PutSnapshot(ctx, mustDelta(t, "player", "hostA", "pos-1", "pos-2"))
+	if err != nil || stamp2.Seq != 2 || stamp2.Chain != 1 {
+		t.Fatalf("remote delta put: stamp=%+v err=%v", stamp2, err)
+	}
+	rec, found, err := cli.LatestSnapshot(ctx, "player")
+	if err != nil || !found {
+		t.Fatalf("remote get: found=%v err=%v", found, err)
+	}
+	if err := rec.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if v := snapValue(t, rec); v != "pos-2" {
+		t.Fatalf("remote record value = %q, want pos-2", v)
+	}
+
+	// A delta against a base the center does not hold comes back as the
+	// typed ErrNeedFull, not a transport error.
+	if _, err := cli.PutSnapshot(ctx, mustDelta(t, "player", "hostA", "bogus-base", "pos-3")); !errors.Is(err, state.ErrNeedFull) {
+		t.Fatalf("stale-base delta: err = %v, want ErrNeedFull", err)
+	}
+
+	if err := cli.DropSnapshot(ctx, "player", "hostA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := cli.LatestSnapshot(ctx, "player"); found {
+		t.Fatal("tombstoned snapshot still served over the wire")
 	}
 }

@@ -73,6 +73,20 @@ type Config struct {
 	// ReplicateInterval is the snapshot capture period (default 250 ms;
 	// meaningful only with ReplicateState).
 	ReplicateInterval time.Duration
+	// MaxDeltaChain bounds a replicated snapshot record's delta chain:
+	// the replicator re-baselines with a full frame after this many
+	// consecutive deltas, and a center compacts a stored chain this long
+	// into a fresh base (default 8).
+	MaxDeltaChain int
+	// ReplicateBudget is the size-aware capture cadence in acked bytes
+	// per second: after publishing B bytes for an app, its next periodic
+	// capture is deferred B/budget seconds, so big apps capture less
+	// often (default 64 MB/s; negative disables pacing).
+	ReplicateBudget int64
+	// FullSnapshotFrames disables the delta pipeline — every capture
+	// publishes a full frame, the pre-delta behaviour. The benchmark
+	// baseline, not something a deployment should want.
+	FullSnapshotFrames bool
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +113,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReplicateInterval <= 0 {
 		c.ReplicateInterval = 250 * time.Millisecond
+	}
+	if c.MaxDeltaChain <= 0 {
+		c.MaxDeltaChain = 8
+	}
+	if c.ReplicateBudget == 0 {
+		c.ReplicateBudget = 64 << 20
 	}
 	return c
 }

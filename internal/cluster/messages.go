@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"crypto/sha256"
+	"time"
+
 	"mdagent/internal/owl"
 	"mdagent/internal/registry"
 	"mdagent/internal/state"
@@ -10,10 +13,14 @@ import (
 
 // Transport message types served by cluster nodes and federated centers.
 const (
-	MsgPing      = "cluster.ping"       // direct SWIM probe
-	MsgPingReq   = "cluster.ping-req"   // indirect probe through a relay
-	MsgFedDigest = "cluster.fed-digest" // anti-entropy digest exchange
-	MsgFedPush   = "cluster.fed-push"   // best-effort replication push
+	MsgPing         = "cluster.ping"           // direct SWIM probe
+	MsgPingReq      = "cluster.ping-req"       // indirect probe through a relay
+	MsgFedDigest    = "cluster.fed-digest"     // anti-entropy digest exchange
+	MsgFedPush      = "cluster.fed-push"       // best-effort replication push
+	MsgFedSnapDelta = "cluster.fed-snap-delta" // delta-only snapshot push
+	MsgPutSnapshot  = "cluster.snap-put"       // remote replicator put
+	MsgGetSnapshot  = "cluster.snap-get"       // remote snapshot fetch
+	MsgDropSnapshot = "cluster.snap-drop"      // remote graceful-stop tombstone
 )
 
 // MemberEndpointName returns the conventional membership endpoint name for
@@ -92,3 +99,42 @@ type pushMsg struct {
 	From    string
 	Records []Record
 }
+
+// snapDeltaMsg carries just the newest delta of a snapshot record to a
+// peer center — kilobytes where a full record push would be megabytes. A
+// peer applies it only when its copy's newest state digest matches
+// BaseDigest and Version strictly supersedes its own; otherwise
+// anti-entropy repairs with the full record.
+type snapDeltaMsg struct {
+	From       string // writer space
+	Key        string
+	Version    vclock.Version
+	Seq        uint64
+	Host       string
+	Space      string
+	At         time.Time
+	BaseDigest [sha256.Size]byte
+	NewDigest  [sha256.Size]byte
+	Delta      []byte // EncodeDelta frame
+}
+
+// Snapshot wire protocol bodies (Center.Serve / SnapshotClient): remote
+// daemons join the state pipeline over the same endpoints that serve the
+// registry protocol.
+type (
+	putSnapshotReply struct {
+		Stamp state.SnapshotStamp
+		// NeedFull tells the remote replicator to re-send a full frame
+		// (carried in-band: typed errors do not survive the transport).
+		NeedFull bool
+	}
+
+	getSnapshotReq struct{ App string }
+
+	getSnapshotReply struct {
+		Rec   state.SnapshotRecord
+		Found bool
+	}
+
+	dropSnapshotReq struct{ App, Host string }
+)

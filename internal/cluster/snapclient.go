@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"context"
+
+	"mdagent/internal/state"
+	"mdagent/internal/transport"
+)
+
+// SnapshotClient is a remote state.Publisher: it speaks the snapshot
+// wire protocol a federated center binds in Serve, so a multi-process
+// daemon's replicator streams its application state to the center
+// exactly as an in-process deployment does — delta puts, need-full
+// fallback, tombstones, and restore-side fetches all cross the wire.
+type SnapshotClient struct {
+	ep     *transport.Endpoint
+	server string
+}
+
+var _ state.Publisher = (*SnapshotClient)(nil)
+
+// NewSnapshotClient creates a client that publishes to the center served
+// at server through ep.
+func NewSnapshotClient(ep *transport.Endpoint, server string) *SnapshotClient {
+	return &SnapshotClient{ep: ep, server: server}
+}
+
+// PutSnapshot implements state.Publisher. A center that cannot apply a
+// delta put answers in-band; the client maps that back to
+// state.ErrNeedFull so the replicator's fallback works unchanged.
+func (c *SnapshotClient) PutSnapshot(ctx context.Context, put state.SnapshotPut) (state.SnapshotStamp, error) {
+	payload, err := transport.Encode(put)
+	if err != nil {
+		return state.SnapshotStamp{}, err
+	}
+	var reply putSnapshotReply
+	if err := c.ep.RequestDecode(ctx, c.server, MsgPutSnapshot, payload, &reply); err != nil {
+		return state.SnapshotStamp{}, err
+	}
+	if reply.NeedFull {
+		return state.SnapshotStamp{}, state.ErrNeedFull
+	}
+	return reply.Stamp, nil
+}
+
+// DropSnapshot implements state.Publisher.
+func (c *SnapshotClient) DropSnapshot(ctx context.Context, appName, host string) error {
+	payload, err := transport.Encode(dropSnapshotReq{App: appName, Host: host})
+	if err != nil {
+		return err
+	}
+	_, err = c.ep.Request(ctx, c.server, MsgDropSnapshot, payload)
+	return err
+}
+
+// LatestSnapshot fetches the center's freshest replicated record for an
+// application — the restore side of the wire protocol.
+func (c *SnapshotClient) LatestSnapshot(ctx context.Context, appName string) (state.SnapshotRecord, bool, error) {
+	payload, err := transport.Encode(getSnapshotReq{App: appName})
+	if err != nil {
+		return state.SnapshotRecord{}, false, err
+	}
+	var reply getSnapshotReply
+	if err := c.ep.RequestDecode(ctx, c.server, MsgGetSnapshot, payload, &reply); err != nil {
+		return state.SnapshotRecord{}, false, err
+	}
+	return reply.Rec, reply.Found, nil
+}

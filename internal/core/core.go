@@ -252,15 +252,29 @@ func (m *Middleware) AddHost(host, spaceName string, profile netsim.HostProfile,
 
 	rt := &HostRuntime{Host: host, Space: spaceName, Engine: eng, Container: cont, Library: lib}
 	if center != nil && m.Cluster.Config().ReplicateState {
+		ccfg := m.Cluster.Config()
+		// RebaseEvery sits above the center's compaction threshold on
+		// purpose: the center folds chains into fresh bases locally (no
+		// wire cost), so the publisher's own full-frame re-baseline is a
+		// safety net, not the steady-state bound.
 		rep := state.NewReplicator(host, spaceName, eng.Apps, center, m.Clock,
-			m.Cluster.Config().ReplicateInterval)
-		rep.OnPublish(func(sr state.SnapshotRecord) {
+			ccfg.ReplicateInterval, state.Tuning{
+				RebaseEvery:       2 * ccfg.MaxDeltaChain,
+				BudgetBytesPerSec: ccfg.ReplicateBudget,
+				FullFrames:        ccfg.FullSnapshotFrames,
+			})
+		rep.OnPublish(func(put state.SnapshotPut, stamp state.SnapshotStamp) {
+			kind := "full"
+			if put.Delta {
+				kind = "delta"
+			}
 			m.Kernel.Publish(ctxkernel.Event{
-				Topic: TopicStateReplicated, At: sr.At, Source: "state",
+				Topic: TopicStateReplicated, At: put.At, Source: "state",
 				Attrs: map[string]string{
-					"app": sr.App, "host": sr.Host,
-					"seq":   strconv.FormatUint(sr.Seq, 10),
-					"bytes": strconv.Itoa(len(sr.Frame)),
+					"app": put.App, "host": put.Host, "kind": kind,
+					"seq":   strconv.FormatUint(stamp.Seq, 10),
+					"bytes": strconv.Itoa(len(put.Frame)),
+					"chain": strconv.Itoa(stamp.Chain),
 				},
 			})
 		})

@@ -2,8 +2,10 @@ package migrate
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -85,7 +87,31 @@ type Engine struct {
 	mu        sync.Mutex
 	apps      map[string]*app.Application
 	factories map[string]func(host string) *app.Application
+	bases     map[string]baseEntry // app -> last full wrap exchanged with a peer
 }
+
+// baseEntry is one application's cached migration base: the last full
+// wrap this engine sent to or received from a peer. It serves two roles
+// in the warm-handoff path — as the reassembly base when a delta
+// checkin arrives (matched by digest), and as the diff baseline when
+// this engine sends the application back to the peer that shares it
+// (matched by peer + live instance counters).
+type baseEntry struct {
+	wrap   app.Wrap
+	digest [sha256.Size]byte
+	peer   string // host on the other end of the exchange
+	// inst/changeSeq track the live local instance the base was unwrapped
+	// into (arrival entries only): components mutated past changeSeq are
+	// exactly what a send-back delta must carry. nil after a send.
+	inst      *app.Application
+	changeSeq uint64
+}
+
+// needFullWrap is the in-band signal a destination returns when it
+// cannot reassemble a delta checkin (no base, or the wrong one); the
+// source retries with a full wrap. Matched by substring: transport
+// errors cross process boundaries as strings.
+const needFullWrap = "migrate: need full wrap"
 
 // NewEngine creates an engine for host, serving on ep. dir may be nil
 // (no space topology checks); net may be nil (no CPU cost charging).
@@ -99,6 +125,7 @@ func NewEngine(host string, ep *transport.Endpoint, net *netsim.Network, dir *sp
 		costs:     costs,
 		apps:      make(map[string]*app.Application),
 		factories: make(map[string]func(host string) *app.Application),
+		bases:     make(map[string]baseEntry),
 	}
 	ep.Handle(MsgCheckin, e.handleCheckin)
 	ep.Handle(MsgClone, e.handleClone)
@@ -205,12 +232,16 @@ func (e *Engine) chargeDeserialize(bytes int64) {
 }
 
 // checkinPayload crosses the wire for follow-me and clone-dispatch.
+// Exactly one of WrapRaw (full wrap frame) and DeltaRaw (delta frame
+// against a base the destination already holds — the warm handoff) is
+// set.
 type checkinPayload struct {
 	App        string
 	CloneName  string // clone-dispatch: instance name at the destination
 	Mode       Mode
 	Binding    BindingMode
 	WrapRaw    []byte
+	DeltaRaw   []byte
 	Desc       wsdl.Description
 	FromHost   string
 	FromEngine string // source engine endpoint (sync links, remote media)
@@ -325,22 +356,78 @@ func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding
 		rollback()
 		return rep, err
 	}
-	carried, plans, err := e.planComponents(ctx, a, destHost, binding, match)
+	planned, plans, err := e.planComponents(ctx, a, destHost, binding, match)
 	if err != nil {
 		rollback()
 		return rep, err
 	}
-	wrap, err := a.WrapComponents(carried)
-	if err != nil {
-		rollback()
-		return rep, err
+	carried := planned
+
+	// Warm handoff: when the destination still holds the full wrap this
+	// instance last exchanged with it (follow-me ping-pong chasing a user
+	// between two hosts), ship only the components mutated since — the
+	// dirty counters enumerate them, so nothing else is even serialized.
+	var (
+		raw      []byte
+		wrap     app.Wrap // full wrap (cold path / fallback)
+		delta    state.WrapDelta
+		warm     bool
+		warmBase baseEntry
+	)
+	// Warm only when the plan would carry every component anyway (static
+	// binding, or an adaptive plan that found nothing at the
+	// destination): the delta reassembles the destination's FULL state,
+	// which must mean the same thing the planned transfer would have —
+	// an adaptive plan that elides components (use-local installs,
+	// remote-URL data) must take the cold path or the cache temperature
+	// would change what lands at the destination.
+	e.mu.Lock()
+	warmBase, haveBase := e.bases[appName]
+	e.mu.Unlock()
+	if haveBase && warmBase.peer == destHost && warmBase.inst == a && a.FullyTracked() &&
+		len(planned) == len(a.Components()) {
+		changed := a.ChangedSince(warmBase.changeSeq)
+		if changed == nil {
+			changed = []string{} // coordinator/profile-only drift
+		}
+		dw, werr := a.WrapComponents(changed)
+		if werr != nil {
+			rollback()
+			return rep, werr
+		}
+		delta = state.WrapDelta{
+			App: appName, FromHost: e.host, BaseDigest: warmBase.digest,
+			Components: dw.Components, Kinds: dw.Kinds,
+			CoordState: dw.CoordState, Profile: dw.Profile,
+		}
+		if raw, err = state.EncodeDelta(delta); err != nil {
+			rollback()
+			return rep, err
+		}
+		e.chargeSerialize(delta.TotalBytes())
+		carried = changed
+		warm = true
 	}
-	raw, err := state.EncodeWrap(wrap)
-	if err != nil {
-		rollback()
-		return rep, err
+	buildFull := func() error {
+		carried = planned
+		w, werr := a.WrapComponents(carried)
+		if werr != nil {
+			return werr
+		}
+		wrap = w
+		if raw, werr = state.EncodeWrap(w); werr != nil {
+			return werr
+		}
+		e.chargeSerialize(w.TotalBytes())
+		warm = false
+		return nil
 	}
-	e.chargeSerialize(wrap.TotalBytes())
+	if !warm {
+		if err := buildFull(); err != nil {
+			rollback()
+			return rep, err
+		}
+	}
 	e.charge(e.costs.CheckoutOverhead)
 	// Check out: the instance leaves this host now (paper Fig. 4); it is
 	// restored from the snapshot if check-in fails. This ordering keeps
@@ -358,19 +445,40 @@ func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding
 	// --- Migration phase. ---
 	migrateStart := clk.Now()
 	e.charge(e.costs.TransferOverhead)
-	payload := checkinPayload{
-		App: appName, Mode: FollowMe, Binding: binding, WrapRaw: raw,
-		Desc: a.Description(), FromHost: e.host, FromEngine: e.ep.Name(),
-		Rebindings: plans,
+	makePayload := func() checkinPayload {
+		p := checkinPayload{
+			App: appName, Mode: FollowMe, Binding: binding,
+			Desc: a.Description(), FromHost: e.host, FromEngine: e.ep.Name(),
+			Rebindings: plans,
+		}
+		if warm {
+			p.DeltaRaw = raw
+		} else {
+			p.WrapRaw = raw
+		}
+		return p
 	}
-	enc, err := transport.Encode(payload)
+	enc, err := transport.Encode(makePayload())
 	if err != nil {
 		checkinFailed()
 		rollback()
 		return rep, err
 	}
 	var reply checkinReply
-	if err := e.ep.RequestDecode(ctx, EndpointName(destHost), MsgCheckin, enc, &reply); err != nil {
+	err = e.ep.RequestDecode(ctx, EndpointName(destHost), MsgCheckin, enc, &reply)
+	if err != nil && warm && strings.Contains(err.Error(), needFullWrap) {
+		// The destination lost (or never had) our base: degrade to a cold
+		// full-wrap checkin in the same migration.
+		if ferr := buildFull(); ferr != nil {
+			checkinFailed()
+			rollback()
+			return rep, ferr
+		}
+		if enc, err = transport.Encode(makePayload()); err == nil {
+			err = e.ep.RequestDecode(ctx, EndpointName(destHost), MsgCheckin, enc, &reply)
+		}
+	}
+	if err != nil {
 		// Check-in failed: restore from the pre-migration snapshot and
 		// resume locally (the fault-tolerance role of snapshot management).
 		checkinFailed()
@@ -379,6 +487,25 @@ func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding
 		}
 		rollback()
 		return rep, fmt.Errorf("migrate: checkin at %s: %w", destHost, err)
+	}
+	// The handoff landed: remember what the destination now holds, so a
+	// future follow-me back can go warm. A delta advanced the shared base
+	// in place; a full wrap covering every component becomes the new
+	// base; a partial wrap leaves the destination's exact state unknown.
+	if warm {
+		if newBase, aerr := state.ApplyDelta(warmBase.wrap, delta); aerr == nil {
+			e.mu.Lock()
+			e.bases[appName] = baseEntry{wrap: newBase, digest: state.WrapDigest(newBase), peer: destHost}
+			e.mu.Unlock()
+		}
+	} else if wrapCovers(wrap, a) {
+		e.mu.Lock()
+		e.bases[appName] = baseEntry{wrap: wrap, digest: state.WrapDigest(wrap), peer: destHost}
+		e.mu.Unlock()
+	} else {
+		e.mu.Lock()
+		delete(e.bases, appName)
+		e.mu.Unlock()
 	}
 	resumeDur := time.Duration(reply.ResumeNanos)
 	migrateDur := clk.Now().Sub(migrateStart) - resumeDur
@@ -410,7 +537,20 @@ func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding
 		Suspend: suspendDur, Migrate: migrateDur, Resume: resumeDur,
 		BytesMoved: int64(len(raw)), Carried: carried, Rebindings: plans,
 		AdaptNotes: append(reply.AdaptNotes, demoteNote...), RestoredApp: reply.RestoredApp,
+		Delta: warm,
 	}, nil
+}
+
+// wrapCovers reports whether the wrap snapshots every component of the
+// instance — only then does it pin the destination's full post-unwrap
+// state and qualify as a warm-handoff base.
+func wrapCovers(w app.Wrap, a *app.Application) bool {
+	for _, n := range a.Components() {
+		if _, ok := w.Components[n]; !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // handleCheckin restores an arriving follow-me wrap: deserialize, rebind
@@ -435,10 +575,33 @@ func (e *Engine) restore(p checkinPayload, instanceName string) (checkinReply, e
 	clk := e.clock()
 	start := clk.Now()
 
-	e.chargeDeserialize(int64(len(p.WrapRaw)))
-	wrap, err := state.DecodeWrap(p.WrapRaw)
-	if err != nil {
-		return reply, err
+	var wrap app.Wrap
+	if len(p.DeltaRaw) > 0 {
+		// Warm handoff: reassemble the full wrap from our cached base.
+		// Any mismatch — no base, wrong digest, torn frame — answers
+		// needFullWrap so the source retries cold instead of failing the
+		// migration.
+		e.chargeDeserialize(int64(len(p.DeltaRaw)))
+		d, err := state.DecodeDelta(p.DeltaRaw)
+		if err != nil {
+			return reply, fmt.Errorf("%s: %v", needFullWrap, err)
+		}
+		e.mu.Lock()
+		be, ok := e.bases[p.App]
+		e.mu.Unlock()
+		if !ok || be.digest != d.BaseDigest {
+			return reply, fmt.Errorf("%s: no base for %s", needFullWrap, p.App)
+		}
+		if wrap, err = state.ApplyDelta(be.wrap, d); err != nil {
+			return reply, fmt.Errorf("%s: %v", needFullWrap, err)
+		}
+	} else {
+		e.chargeDeserialize(int64(len(p.WrapRaw)))
+		var err error
+		wrap, err = state.DecodeWrap(p.WrapRaw)
+		if err != nil {
+			return reply, err
+		}
 	}
 
 	// Locate or create the instance: an already-running instance, a
@@ -464,6 +627,18 @@ func (e *Engine) restore(p checkinPayload, instanceName string) (checkinReply, e
 		return reply, err
 	}
 	inst.SetHost(e.host)
+	// Cache the arrival as a warm-handoff base when it pins the full
+	// state of a follow-me instance: a later follow-me back to the source
+	// then ships only what changed here. (Clones evolve independently
+	// over their sync links, so their arrival wraps pin nothing.)
+	if p.Mode == FollowMe && wrapCovers(wrap, inst) {
+		e.mu.Lock()
+		e.bases[p.App] = baseEntry{
+			wrap: wrap, digest: state.WrapDigest(wrap), peer: p.FromHost,
+			inst: inst, changeSeq: inst.ChangeSeq(),
+		}
+		e.mu.Unlock()
+	}
 
 	// Resource rebinding (paper §3.3).
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)

@@ -522,3 +522,127 @@ func TestModeAndBindingStrings(t *testing.T) {
 		t.Fatal("binding strings wrong")
 	}
 }
+
+// warmRig builds a two-host rig where hostA runs the full player and the
+// first migration carries everything (static binding), priming both
+// engines' warm-handoff base caches.
+func warmRig(t *testing.T) *rig {
+	t.Helper()
+	r := newRig(t, songSize)
+	r.startPlayer(t, songSize)
+	return r
+}
+
+func mutatePlayback(t *testing.T, inst *app.Application, pos string) {
+	t.Helper()
+	st, ok := inst.Component("playback-state")
+	if !ok {
+		t.Fatal("playback-state missing")
+	}
+	st.(*app.StateComponent).Set("positionMs", pos)
+	inst.Coordinator().Set("positionMs", pos)
+}
+
+func playbackPos(t *testing.T, inst *app.Application) string {
+	t.Helper()
+	st, ok := inst.Component("playback-state")
+	if !ok {
+		t.Fatal("playback-state missing")
+	}
+	v, _ := st.(*app.StateComponent).Get("positionMs")
+	return v
+}
+
+func TestFollowMeWarmHandoffShipsDelta(t *testing.T) {
+	r := warmRig(t)
+	ctx := ctxT(t)
+
+	// Leg 1 — cold: everything moves, both sides cache the base.
+	rep1, err := r.engA.FollowMe(ctx, "player", "hostB", BindingStatic, owl.MatchSemantic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Delta {
+		t.Fatal("cold first migration reported as warm")
+	}
+
+	// The user walks back after a small state change: only that change
+	// should cross the wire.
+	instB, ok := r.engB.App("player")
+	if !ok {
+		t.Fatal("player not on hostB after leg 1")
+	}
+	mutatePlayback(t, instB, "120000")
+
+	rep2, err := r.engB.FollowMe(ctx, "player", "hostA", BindingStatic, owl.MatchSemantic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Delta {
+		t.Fatal("return migration did not go warm")
+	}
+	if rep2.BytesMoved*5 > rep1.BytesMoved {
+		t.Fatalf("warm handoff moved %d bytes, want far less than the cold %d",
+			rep2.BytesMoved, rep1.BytesMoved)
+	}
+	instA, ok := r.engA.App("player")
+	if !ok {
+		t.Fatal("player not back on hostA")
+	}
+	if got := playbackPos(t, instA); got != "120000" {
+		t.Fatalf("restored position = %q, want 120000", got)
+	}
+	if v, _ := instA.Coordinator().Get("positionMs"); v != "120000" {
+		t.Fatalf("restored coord position = %q, want 120000", v)
+	}
+	// The multi-megabyte song survived the delta reassembly.
+	song, ok := instA.Component("song1")
+	if !ok || song.SizeBytes() != songSize {
+		t.Fatalf("song lost or truncated after delta reassembly: %v", ok)
+	}
+
+	// Leg 3 — ping-pong continues warm from the reassembled side.
+	mutatePlayback(t, instA, "180000")
+	rep3, err := r.engA.FollowMe(ctx, "player", "hostB", BindingStatic, owl.MatchSemantic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.Delta {
+		t.Fatal("third leg did not go warm")
+	}
+	instB2, _ := r.engB.App("player")
+	if got := playbackPos(t, instB2); got != "180000" {
+		t.Fatalf("third-leg position = %q, want 180000", got)
+	}
+}
+
+func TestFollowMeWarmFallsBackWhenBaseLost(t *testing.T) {
+	r := warmRig(t)
+	ctx := ctxT(t)
+	if _, err := r.engA.FollowMe(ctx, "player", "hostB", BindingStatic, owl.MatchSemantic); err != nil {
+		t.Fatal(err)
+	}
+	instB, _ := r.engB.App("player")
+	mutatePlayback(t, instB, "240000")
+
+	// hostA forgets the base (restart): the delta attempt is refused
+	// in-band and the same migration retries with a full wrap.
+	r.engA.mu.Lock()
+	delete(r.engA.bases, "player")
+	r.engA.mu.Unlock()
+
+	rep, err := r.engB.FollowMe(ctx, "player", "hostA", BindingStatic, owl.MatchSemantic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delta {
+		t.Fatal("migration reported warm after the base was lost")
+	}
+	instA, ok := r.engA.App("player")
+	if !ok {
+		t.Fatal("player not on hostA after fallback")
+	}
+	if got := playbackPos(t, instA); got != "240000" {
+		t.Fatalf("fallback position = %q, want 240000", got)
+	}
+}

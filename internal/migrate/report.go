@@ -119,6 +119,10 @@ type Report struct {
 	AdaptNotes  []string
 	SyncLink    bool // clone-dispatch: link established
 	RestoredApp string
+	// Delta marks a warm handoff: the destination already held a base of
+	// this application's state, so only the components changed since
+	// then crossed the wire (BytesMoved is the delta frame).
+	Delta bool
 }
 
 // Total returns the end-to-end cost (the paper's "Total Cost" panel).

@@ -40,6 +40,14 @@ var (
 	ErrKind = errors.New("state: wrong frame kind")
 	// ErrChecksum marks a frame whose payload failed CRC verification.
 	ErrChecksum = errors.New("state: frame checksum mismatch")
+	// ErrBaseMismatch marks a delta that does not apply to the offered
+	// base state (wrong application or digest) — the receiver must fall
+	// back to requesting a full frame.
+	ErrBaseMismatch = errors.New("state: delta base mismatch")
+	// ErrNeedFull is returned by a Publisher that cannot apply a delta
+	// put (no base, or a base the delta was not computed against); the
+	// replicator reacts by re-publishing a full frame.
+	ErrNeedFull = errors.New("state: publisher needs a full frame")
 )
 
 // frameVersion is the current frame-format version. Decoders accept any
@@ -52,6 +60,7 @@ type frameKind uint8
 const (
 	frameWrap     frameKind = 1 // app.Wrap (mobile-agent bundle)
 	frameSnapshot frameKind = 2 // app.TaggedSnapshot (snapshot manager)
+	frameDelta    frameKind = 3 // state.WrapDelta (changed components only)
 )
 
 // magic identifies MDAgent state frames ("MDST").

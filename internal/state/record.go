@@ -1,0 +1,137 @@
+package state
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"mdagent/internal/app"
+)
+
+// SnapshotRecord is one application's replicated snapshot as stored and
+// federated by the registry centers: a full base frame plus a bounded
+// chain of delta frames on top of it, with the provenance failover needs
+// to pick the freshest copy. The record is always restorable alone —
+// Snapshot() reassembles base and chain — and the writing center
+// compacts long or heavy chains into fresh bases, so chains stay short.
+type SnapshotRecord struct {
+	App   string
+	Host  string // host that captured the newest state
+	Space string // smart space of that host
+	// Seq is a capture sequence assigned by the registry center the
+	// record was written to (monotone per app at each center); it breaks
+	// ties between concurrently replicated snapshots deterministically.
+	// Seq - BaseSeq == len(Deltas).
+	Seq uint64
+	At  time.Time // newest capture time on the capturing host's clock
+
+	// Frame is the EncodeSnapshot base frame (full wrap, checksummed).
+	Frame []byte
+	// BaseSeq is the capture sequence Frame corresponds to.
+	BaseSeq uint64
+	// Deltas are EncodeDelta frames applying in order on top of Frame;
+	// each is digest-chained to the state before it.
+	Deltas [][]byte
+	// StateDigest is the canonical WrapDigest of the newest state (Frame
+	// with Deltas applied) — the base the next delta put must match.
+	StateDigest [sha256.Size]byte
+}
+
+// Snapshot reassembles the record's newest state: decode the base frame,
+// then apply each delta in order (every step digest-checked). Any
+// failure — torn frame, checksum, base mismatch from a reordered chain —
+// surfaces as an error so callers degrade to a skeleton relaunch rather
+// than restoring garbage.
+func (r SnapshotRecord) Snapshot() (app.TaggedSnapshot, error) {
+	ts, err := DecodeSnapshot(r.Frame)
+	if err != nil {
+		return app.TaggedSnapshot{}, err
+	}
+	for i, raw := range r.Deltas {
+		d, err := DecodeDelta(raw)
+		if err != nil {
+			return app.TaggedSnapshot{}, fmt.Errorf("state: delta %d/%d: %w", i+1, len(r.Deltas), err)
+		}
+		ts.Wrap, err = ApplyDelta(ts.Wrap, d)
+		if err != nil {
+			return app.TaggedSnapshot{}, fmt.Errorf("state: delta %d/%d: %w", i+1, len(r.Deltas), err)
+		}
+	}
+	if len(r.Deltas) > 0 {
+		ts.At = r.At
+	}
+	return ts, nil
+}
+
+// Verify checks every frame's header and checksum without decoding —
+// the cheap pre-restore validation failover runs before committing to a
+// multi-megabyte reassembly.
+func (r SnapshotRecord) Verify() error {
+	if err := VerifySnapshot(r.Frame); err != nil {
+		return err
+	}
+	for i, raw := range r.Deltas {
+		if err := VerifyDelta(raw); err != nil {
+			return fmt.Errorf("state: delta %d/%d: %w", i+1, len(r.Deltas), err)
+		}
+	}
+	return nil
+}
+
+// FrameBytes reports the record's total serialized state size (base
+// frame plus delta chain).
+func (r SnapshotRecord) FrameBytes() int {
+	n := len(r.Frame)
+	for _, d := range r.Deltas {
+		n += len(d)
+	}
+	return n
+}
+
+// SnapshotPut is one publish from a host's replicator: either a full
+// base frame (Delta false) or a delta frame against the publisher's
+// last acked state (Delta true). Digests let the publisher and the
+// center agree on the chain without either re-serializing anything.
+type SnapshotPut struct {
+	App   string
+	Host  string
+	Space string
+	At    time.Time
+	// Delta marks Frame as an EncodeDelta frame; otherwise it is an
+	// EncodeSnapshot full frame.
+	Delta bool
+	Frame []byte
+	// BaseDigest (delta puts only) is the canonical digest of the state
+	// the delta applies to — the publisher's view of the center's newest
+	// state. A center holding anything else refuses with ErrNeedFull.
+	BaseDigest [sha256.Size]byte
+	// NewDigest is the canonical digest of the state after this put.
+	NewDigest [sha256.Size]byte
+}
+
+// SnapshotStamp is the center's acknowledgement of a put: the assigned
+// capture sequence and the stored record's chain shape. Deliberately
+// light — the reply to a remote put must not carry the multi-megabyte
+// record back over the wire.
+type SnapshotStamp struct {
+	Seq     uint64
+	BaseSeq uint64
+	Chain   int // deltas on the stored record after this put
+}
+
+// Publisher is where a Replicator writes snapshot puts —
+// *cluster.Center satisfies it in-process and cluster.SnapshotClient
+// over the wire: versioning each record with a vclock.Version,
+// persisting it through the center's store, and replicating it to every
+// peer space over the federation's push and anti-entropy channels.
+type Publisher interface {
+	// PutSnapshot applies one put to the app's stored record, returning
+	// the stamp. A delta put whose BaseDigest does not match the stored
+	// record's newest state fails with ErrNeedFull (wrapped), telling
+	// the replicator to re-publish a full frame.
+	PutSnapshot(ctx context.Context, put SnapshotPut) (SnapshotStamp, error)
+	// DropSnapshot tombstones an app's snapshot federation-wide — the
+	// graceful-stop path, so failover never resurrects a stopped app.
+	DropSnapshot(ctx context.Context, appName, host string) error
+}

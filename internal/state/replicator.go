@@ -3,10 +3,8 @@ package state
 import (
 	"context"
 	"crypto/sha256"
-	"encoding/binary"
+	"errors"
 	"fmt"
-	"io"
-	"sort"
 	"sync"
 	"time"
 
@@ -14,46 +12,93 @@ import (
 	"mdagent/internal/vclock"
 )
 
-// SnapshotRecord is one application's replicated snapshot as stored and
-// federated by the registry centers: the codec-framed TaggedSnapshot plus
-// the provenance failover needs to pick the freshest copy.
-type SnapshotRecord struct {
-	App   string
-	Host  string // host that captured the snapshot
-	Space string // smart space the capturing host belonged to
-	// Seq is a capture sequence assigned by the registry center the
-	// record was written to (monotone per app at each center); it breaks
-	// ties between concurrently replicated snapshots deterministically.
-	Seq   uint64
-	At    time.Time // capture time on the capturing host's clock
-	Frame []byte    // EncodeSnapshot frame (checksummed)
+// Tuning parameterizes the replicator's delta pipeline. The zero value
+// takes the defaults below.
+type Tuning struct {
+	// RebaseEvery forces a full base frame after this many consecutive
+	// delta publishes for one app (default 8), bounding how long a
+	// restore chain can grow even if the center never compacts.
+	RebaseEvery int
+	// RebaseFraction forces a full base frame when the delta bytes
+	// accumulated since the last base exceed this fraction of the base
+	// frame's size (default 0.5) — past that point a fresh base is
+	// cheaper than the chain it replaces.
+	RebaseFraction float64
+	// BudgetBytesPerSec is the size-aware capture cadence: after a
+	// publish of B bytes, the app's next periodic capture is deferred
+	// B/budget seconds, so a multi-megabyte app is captured less often
+	// than a chatty small one under the same acked-bytes budget. Only
+	// the periodic loop is paced — explicit SyncNow/Capture calls (and
+	// the OnRecord immediate path) always publish, so callers that need
+	// bounded replication lag still get it. 0 takes the default
+	// (64 MB/s); negative disables pacing.
+	BudgetBytesPerSec int64
+	// FullFrames disables the delta pipeline entirely (every publish is
+	// a full frame, the pre-delta behaviour) — the benchmark baseline.
+	FullFrames bool
 }
 
-// Snapshot decodes the framed snapshot carried by the record.
-func (r SnapshotRecord) Snapshot() (app.TaggedSnapshot, error) {
-	return DecodeSnapshot(r.Frame)
+func (t Tuning) withDefaults() Tuning {
+	if t.RebaseEvery <= 0 {
+		t.RebaseEvery = 8
+	}
+	if t.RebaseFraction <= 0 {
+		t.RebaseFraction = 0.5
+	}
+	if t.BudgetBytesPerSec == 0 {
+		t.BudgetBytesPerSec = 64 << 20
+	}
+	return t
 }
 
-// Publisher is where a Replicator writes snapshot records —
-// *cluster.Center satisfies it, versioning each record with a
-// vclock.Version, persisting it through the center's store, and
-// replicating it to every peer space over the federation's push and
-// anti-entropy channels.
-type Publisher interface {
-	// PutSnapshot writes (or overwrites) an app's latest snapshot,
-	// returning the record as stamped (sequence assigned).
-	PutSnapshot(ctx context.Context, rec SnapshotRecord) (SnapshotRecord, error)
-	// DropSnapshot tombstones an app's snapshot federation-wide — the
-	// graceful-stop path, so failover never resurrects a stopped app.
-	DropSnapshot(ctx context.Context, appName, host string) error
+// Stats counts what the replicator shipped and, as importantly, what it
+// avoided shipping — the delta pipeline's whole point.
+type Stats struct {
+	Publishes      int64 // successful puts (full + delta)
+	FullFrames     int64
+	DeltaFrames    int64
+	BytesPublished int64 // frame bytes actually put (full + delta)
+	FullBytes      int64
+	DeltaBytes     int64
+	SkippedClean   int64 // captures skipped with zero serialization (dirty fast path)
+	SkippedDigest  int64 // serialized but content-identical (digest dedupe)
+	SkippedBudget  int64 // periodic captures deferred by the byte budget
+	Rebaselines    int64 // full frames forced by the chain length/size policy
+}
+
+// track is one app's publisher-side view of the replication chain.
+type track struct {
+	inst     *app.Application             // instance the fast-path counter belongs to
+	haveBase bool                         // a full frame has been acked
+	digest   [sha256.Size]byte            // canonical digest of the last acked state
+	compSums map[string][sha256.Size]byte // per-component digests of that state
+	// changeSeq is inst.ChangeSeq() at the last acked capture; valid
+	// only while seqValid (same instance, fully tracked components).
+	changeSeq  uint64
+	seqValid   bool
+	ackedSeq   uint64 // center-assigned capture sequence
+	baseSeq    uint64 // the stored record's base sequence at the last ack
+	chain      int    // deltas on the center's record since its base
+	baseBytes  int    // size of the last full frame published
+	deltaBytes int64  // delta frame bytes accumulated since the last (re)base
+	nextAt     time.Time
 }
 
 // Replicator streams one host's application snapshots to its space's
 // registry center. It captures every running application on a fixed
-// interval (skipping publishes when nothing changed) and additionally
-// forwards every snapshot the SnapshotManager records explicitly
-// (pre-migrate, user-left), so the replicated copy is at most one
-// interval — often zero — behind the live state.
+// interval and additionally forwards every snapshot the SnapshotManager
+// records explicitly (pre-migrate, user-left), so the replicated copy is
+// at most one interval — often zero — behind the live state.
+//
+// Captures are delta-pipelined end to end: an application whose dirty
+// counter has not moved is skipped without serializing a byte; a changed
+// application has only its changed components serialized (enumerated by
+// the per-component counters) and shipped as a checksummed delta frame
+// against the last acked base, re-baselining to a full frame every
+// Tuning.RebaseEvery deltas or when the chain outweighs
+// Tuning.RebaseFraction of the base. A center that cannot apply a delta
+// (restart, conflicting writer) answers ErrNeedFull and the replicator
+// falls back to a full frame in the same capture.
 type Replicator struct {
 	host     string
 	space    string
@@ -61,21 +106,20 @@ type Replicator struct {
 	pub      Publisher
 	clock    vclock.Clock
 	interval time.Duration
+	tune     Tuning
 
 	mu        sync.Mutex
 	hooked    map[*app.Application]int // instance -> its OnRecord hook id
-	onPublish func(SnapshotRecord)
+	onPublish func(SnapshotPut, SnapshotStamp)
 
-	// pubMu serializes publishes: it is held across the digest check, the
+	// pubMu serializes publishes: it is held across the capture, the
 	// Publisher call, and the bookkeeping update, so concurrent captures
 	// (periodic loop vs. OnRecord hook) publish one at a time and a
-	// retirement cannot interleave with an in-flight publish. If racing
-	// captures land out of order, the stale one holds "latest" for at
-	// most one interval: the next periodic capture's digest differs from
-	// lastSum and republishes the live state.
+	// retirement cannot interleave with an in-flight publish.
 	pubMu   sync.Mutex
-	lastSum map[string][sha256.Size]byte // app -> digest of last published wrap
-	retired map[string]bool              // gracefully stopped apps: refuse publishes
+	tracks  map[string]*track
+	retired map[string]bool // gracefully stopped apps: refuse publishes
+	stats   Stats
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -84,8 +128,9 @@ type Replicator struct {
 
 // NewReplicator creates a replicator for host (in space) over the running
 // apps listed by apps, publishing to pub every interval once started.
-// clock stamps capture times (nil defaults to real time).
-func NewReplicator(host, space string, apps func() []*app.Application, pub Publisher, clock vclock.Clock, interval time.Duration) *Replicator {
+// clock stamps capture times (nil defaults to real time); tune
+// parameterizes the delta pipeline (zero value = defaults).
+func NewReplicator(host, space string, apps func() []*app.Application, pub Publisher, clock vclock.Clock, interval time.Duration, tune Tuning) *Replicator {
 	if clock == nil {
 		clock = &vclock.Real{}
 	}
@@ -99,7 +144,8 @@ func NewReplicator(host, space string, apps func() []*app.Application, pub Publi
 		pub:      pub,
 		clock:    clock,
 		interval: interval,
-		lastSum:  make(map[string][sha256.Size]byte),
+		tune:     tune.withDefaults(),
+		tracks:   make(map[string]*track),
 		retired:  make(map[string]bool),
 		hooked:   make(map[*app.Application]int),
 		stop:     make(chan struct{}),
@@ -109,10 +155,17 @@ func NewReplicator(host, space string, apps func() []*app.Application, pub Publi
 // OnPublish registers an observer called after each successful publish
 // (internal/core bridges it onto the context kernel as
 // cluster.state.replicated events).
-func (r *Replicator) OnPublish(f func(SnapshotRecord)) {
+func (r *Replicator) OnPublish(f func(SnapshotPut, SnapshotStamp)) {
 	r.mu.Lock()
 	r.onPublish = f
 	r.mu.Unlock()
+}
+
+// Stats returns a copy of the replication counters.
+func (r *Replicator) Stats() Stats {
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
+	return r.stats
 }
 
 // Start launches the periodic capture loop.
@@ -128,7 +181,7 @@ func (r *Replicator) Start() {
 				return
 			case <-t.C:
 				ctx, cancel := context.WithTimeout(context.Background(), r.interval*4+time.Second)
-				_ = r.SyncNow(ctx)
+				_ = r.sync(ctx, false)
 				cancel()
 			}
 		}
@@ -142,15 +195,23 @@ func (r *Replicator) Stop() {
 }
 
 // SyncNow captures and publishes every running application's current
-// state once, synchronously. Unchanged applications are skipped. Tests
+// state once, synchronously, ignoring the byte-budget cadence (only the
+// periodic loop is paced). Unchanged applications cost nothing. Tests
 // and benches call it to bound replication lag deterministically.
 func (r *Replicator) SyncNow(ctx context.Context) error {
+	return r.sync(ctx, true)
+}
+
+// sync is one capture sweep; force bypasses the byte-budget cadence.
+func (r *Replicator) sync(ctx context.Context, force bool) error {
 	var firstErr error
 	current := make(map[*app.Application]bool)
 	for _, inst := range r.apps() {
 		current[inst] = true
 		r.observe(inst)
-		if err := r.Capture(ctx, inst); err != nil && firstErr == nil {
+		pending, err := r.capture(ctx, inst, force)
+		r.notify(pending)
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -178,16 +239,19 @@ func (r *Replicator) observe(inst *app.Application) {
 			return
 		}
 		// Off the recording goroutine: Record fires mid-migration inside
-		// the suspend window, which must not pay for a full-state encode
-		// and a center write. pubMu serializes with the periodic loop,
-		// and any misordering self-heals within one capture interval.
-		// Untracked on purpose (like the federation's pushAsync): a
-		// publish racing Stop fails harmlessly, and tying it to r.wg
-		// would race Stop's Wait.
+		// the suspend window, which must not pay for a state encode and a
+		// center write. pubMu serializes with the periodic loop, and any
+		// misordering self-heals within one capture interval. Untracked
+		// on purpose (like the federation's pushAsync): a publish racing
+		// Stop fails harmlessly, and tying it to r.wg would race Stop's
+		// Wait.
 		go func() {
 			ctx, cancel := context.WithTimeout(context.Background(), r.interval*4+time.Second)
 			defer cancel()
-			_ = r.publish(ctx, ts)
+			r.pubMu.Lock()
+			pending, _ := r.publishWrapLocked(ctx, inst, ts.Wrap, ts.At, ts.ChangeSeq, inst.FullyTracked(), false)
+			r.pubMu.Unlock()
+			r.notify(pending)
 		}()
 	})
 	r.mu.Lock()
@@ -229,103 +293,272 @@ func (r *Replicator) owns(inst *app.Application) bool {
 	return false
 }
 
-// Capture wraps the instance's full current state and publishes it if it
-// differs from the last published snapshot. The capture is
-// crash-consistent (per-component locking, no suspension): replication
-// must not disturb a running application.
+// Capture publishes the instance's current state if it changed since the
+// last acked capture. The capture is crash-consistent (per-component
+// locking, no suspension): replication must not disturb a running
+// application. The dirty fast path makes an unchanged application cost
+// one counter read — no serialization, no hashing, no publisher call.
+// Explicit Capture calls ignore the byte-budget cadence (only the
+// periodic loop is paced).
 func (r *Replicator) Capture(ctx context.Context, inst *app.Application) error {
+	pending, err := r.capture(ctx, inst, true)
+	r.notify(pending)
+	return err
+}
+
+// capture is Capture with pacing control; it returns the notification to
+// fire once pubMu is released — publish observers run arbitrary kernel
+// subscribers, which must be free to call back into the replicator
+// (Stats, Retire via StopApp) without self-deadlocking on pubMu.
+func (r *Replicator) capture(ctx context.Context, inst *app.Application, force bool) (*pendingPublish, error) {
+	appName := inst.Name()
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
+	if r.retired[appName] {
+		return nil, nil
+	}
+	tr := r.tracks[appName]
+	if !force && tr != nil && !tr.nextAt.IsZero() && time.Now().Before(tr.nextAt) {
+		r.stats.SkippedBudget++
+		return nil, nil // size-aware cadence: this app's byte budget is spent
+	}
+	// Read the counter before any serialization: a mutation landing
+	// mid-capture then looks newer than what we ship and re-captures.
+	seqNow := inst.ChangeSeq()
+	tracked := inst.FullyTracked()
+	if tr != nil && tr.haveBase && tr.seqValid && tr.inst == inst && tracked && tr.changeSeq == seqNow {
+		r.stats.SkippedClean++
+		return nil, nil
+	}
+
+	// Cheapest viable capture: with a valid counter baseline, serialize
+	// only the components that changed since it.
+	if tr != nil && tr.haveBase && tr.seqValid && tr.inst == inst && tracked && !r.tune.FullFrames {
+		changed := inst.ChangedSince(tr.changeSeq)
+		if changed == nil {
+			changed = []string{} // coordinator/profile-only change: empty component set
+		}
+		w, err := inst.WrapComponents(changed)
+		if err != nil {
+			return nil, fmt.Errorf("state: capture %s: %w", appName, err)
+		}
+		return r.publishWrapLocked(ctx, inst, w, r.clock.Now(), seqNow, tracked, true)
+	}
+
+	// No usable baseline (first capture, untracked components, restart,
+	// or full-frame mode): serialize everything; publishWrapLocked still
+	// ships a delta when the acked base allows it.
 	w, err := inst.WrapComponents(nil)
 	if err != nil {
-		return fmt.Errorf("state: capture %s: %w", inst.Name(), err)
+		return nil, fmt.Errorf("state: capture %s: %w", appName, err)
 	}
-	return r.publish(ctx, app.TaggedSnapshot{Tag: "replica", At: r.clock.Now(), Wrap: w})
+	return r.publishWrapLocked(ctx, inst, w, r.clock.Now(), seqNow, tracked, false)
 }
 
-// wrapDigest hashes a wrap's content canonically (sorted map walks — gob
-// encodes maps in random iteration order, so hashing an encoded frame
-// would defeat deduplication).
-func wrapDigest(w app.Wrap) [sha256.Size]byte {
-	h := sha256.New()
-	writeField := func(s string) {
-		_ = binary.Write(h, binary.BigEndian, uint32(len(s)))
-		_, _ = io.WriteString(h, s)
-	}
-	writeField(w.App)
-	writeField(w.FromHost)
-	names := make([]string, 0, len(w.Components))
-	for n := range w.Components {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		writeField(n)
-		_ = binary.Write(h, binary.BigEndian, int32(w.Kinds[n]))
-		_ = binary.Write(h, binary.BigEndian, uint32(len(w.Components[n])))
-		_, _ = h.Write(w.Components[n])
-	}
-	keys := make([]string, 0, len(w.CoordState))
-	for k := range w.CoordState {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		writeField(k)
-		writeField(w.CoordState[k])
-	}
-	writeField(w.Profile.User)
-	prefs := make([]string, 0, len(w.Profile.Preferences))
-	for k := range w.Profile.Preferences {
-		prefs = append(prefs, k)
-	}
-	sort.Strings(prefs)
-	for _, k := range prefs {
-		writeField(k)
-		writeField(w.Profile.Preferences[k])
-	}
-	var sum [sha256.Size]byte
-	copy(sum[:], h.Sum(nil))
-	return sum
+// pendingPublish is a successful publish awaiting its observer
+// notification, fired only after pubMu is released.
+type pendingPublish struct {
+	put   SnapshotPut
+	stamp SnapshotStamp
 }
 
-// publish frames and ships one snapshot, deduplicating on wrap content.
-// Serialized under pubMu so the publisher sees captures in order and a
-// retirement cannot interleave with an in-flight publish.
-func (r *Replicator) publish(ctx context.Context, ts app.TaggedSnapshot) error {
-	sum := wrapDigest(ts.Wrap)
-	appName := ts.Wrap.App
-	r.pubMu.Lock()
+// publishWrapLocked ships one captured wrap (partial — changed
+// components only — or full) as a delta frame when the publisher holds
+// the matching base, else as a full frame. Callers hold pubMu and fire
+// the returned notification after releasing it.
+//
+// partial marks w as containing only the components changed since the
+// track's baseline; a full frame can then only be built by re-wrapping
+// the instance.
+func (r *Replicator) publishWrapLocked(ctx context.Context, inst *app.Application, w app.Wrap, at time.Time, seq uint64, seqValid, partial bool) (*pendingPublish, error) {
+	appName := w.App
 	if r.retired[appName] {
-		r.pubMu.Unlock()
-		return nil // gracefully stopped: nothing may overwrite the tombstone
+		return nil, nil // gracefully stopped: nothing may overwrite the tombstone
 	}
-	if r.lastSum[appName] == sum {
-		r.pubMu.Unlock()
-		return nil
+	tr := r.tracks[appName]
+	if tr == nil {
+		tr = &track{}
+		r.tracks[appName] = tr
 	}
-	frame, err := EncodeSnapshot(ts)
+
+	// Fold this capture's component digests over the acked state's.
+	sums := make(map[string][sha256.Size]byte, len(tr.compSums)+len(w.Components))
+	if partial {
+		for n, s := range tr.compSums {
+			sums[n] = s
+		}
+	}
+	for n, b := range w.Components {
+		sums[n] = ComponentDigest(w.Kinds[n], b)
+	}
+	digest := CombineDigests(appName, sums, w.CoordState, w.Profile)
+	if tr.haveBase && digest == tr.digest {
+		// Content-identical (counter moved but values did not, or an
+		// explicit snapshot of already-replicated state).
+		r.stats.SkippedDigest++
+		r.noteAcked(tr, inst, seq, seqValid, sums, digest)
+		return nil, nil
+	}
+
+	// The delta's component set: a partial wrap already holds exactly the
+	// changed components; a full wrap is trimmed to the ones whose
+	// digests moved. A component missing from a full wrap (not expressible
+	// by an overlay delta) forces a full frame.
+	dComps, dKinds := w.Components, w.Kinds
+	useDelta := tr.haveBase && !r.tune.FullFrames
+	if useDelta && !partial {
+		dComps = make(map[string][]byte)
+		dKinds = make(map[string]app.ComponentKind)
+		for n, b := range w.Components {
+			if tr.compSums[n] != sums[n] {
+				dComps[n] = b
+				dKinds[n] = w.Kinds[n]
+			}
+		}
+		for n := range tr.compSums {
+			if _, ok := w.Components[n]; !ok {
+				useDelta = false // component vanished: overlay cannot express it
+				break
+			}
+		}
+	}
+	if useDelta {
+		var deltaSize int64
+		for _, b := range dComps {
+			deltaSize += int64(len(b))
+		}
+		if tr.chain+1 > r.tune.RebaseEvery ||
+			float64(tr.deltaBytes)+float64(deltaSize) > r.tune.RebaseFraction*float64(tr.baseBytes) {
+			r.stats.Rebaselines++
+			useDelta = false
+		}
+	}
+	if useDelta {
+		frame, err := EncodeDelta(WrapDelta{
+			App: appName, FromHost: w.FromHost, BaseDigest: tr.digest,
+			Components: dComps, Kinds: dKinds,
+			CoordState: w.CoordState, Profile: w.Profile,
+		})
+		if err != nil {
+			return nil, err
+		}
+		put := SnapshotPut{
+			App: appName, Host: r.host, Space: r.space, At: at,
+			Delta: true, Frame: frame, BaseDigest: tr.digest, NewDigest: digest,
+		}
+		stamp, err := r.pub.PutSnapshot(ctx, put)
+		switch {
+		case err == nil:
+			r.stats.Publishes++
+			r.stats.DeltaFrames++
+			r.stats.BytesPublished += int64(len(frame))
+			r.stats.DeltaBytes += int64(len(frame))
+			tr.digest = digest
+			tr.compSums = sums
+			tr.ackedSeq = stamp.Seq
+			tr.chain = stamp.Chain
+			if stamp.BaseSeq != tr.baseSeq || stamp.Chain == 0 {
+				// The center re-based (compacted the chain into a fresh
+				// base) since our last ack: the size-fraction account
+				// starts over.
+				tr.baseSeq = stamp.BaseSeq
+				tr.deltaBytes = int64(len(frame))
+			} else {
+				tr.deltaBytes += int64(len(frame))
+			}
+			r.noteAcked(tr, inst, seq, seqValid, sums, digest)
+			r.paceLocked(tr, len(frame))
+			return &pendingPublish{put: put, stamp: stamp}, nil
+		case errors.Is(err, ErrNeedFull):
+			// The center lost or diverged from our base (restart, a
+			// conflicting writer won): fall through to a full frame now.
+			tr.haveBase = false
+		default:
+			return nil, fmt.Errorf("state: replicate %s: %w", appName, err)
+		}
+	}
+
+	// Full frame. A partial wrap cannot become one — re-wrap everything.
+	full := w
+	if partial {
+		var err error
+		full, err = inst.WrapComponents(nil)
+		if err != nil {
+			return nil, fmt.Errorf("state: capture %s: %w", appName, err)
+		}
+		sums = make(map[string][sha256.Size]byte, len(full.Components))
+		for n, b := range full.Components {
+			sums[n] = ComponentDigest(full.Kinds[n], b)
+		}
+		digest = CombineDigests(appName, sums, full.CoordState, full.Profile)
+	}
+	frame, err := EncodeSnapshot(app.TaggedSnapshot{Tag: "replica", At: at, Wrap: full, ChangeSeq: seq})
 	if err != nil {
-		r.pubMu.Unlock()
-		return err
+		return nil, err
 	}
-	stamped, err := r.pub.PutSnapshot(ctx, SnapshotRecord{
-		App: appName, Host: r.host, Space: r.space, At: ts.At, Frame: frame,
-	})
+	put := SnapshotPut{
+		App: appName, Host: r.host, Space: r.space, At: at,
+		Frame: frame, NewDigest: digest,
+	}
+	stamp, err := r.pub.PutSnapshot(ctx, put)
 	if err != nil {
-		r.pubMu.Unlock()
-		return fmt.Errorf("state: replicate %s: %w", appName, err)
+		return nil, fmt.Errorf("state: replicate %s: %w", appName, err)
 	}
-	r.lastSum[appName] = sum
-	r.pubMu.Unlock()
-	// Callback outside pubMu: it runs arbitrary kernel subscribers, which
-	// must be free to call back into the replicator (e.g. Retire via
-	// StopApp) without self-deadlocking.
+	r.stats.Publishes++
+	r.stats.FullFrames++
+	r.stats.BytesPublished += int64(len(frame))
+	r.stats.FullBytes += int64(len(frame))
+	tr.haveBase = true
+	tr.digest = digest
+	tr.compSums = sums
+	tr.ackedSeq = stamp.Seq
+	tr.baseSeq = stamp.BaseSeq
+	tr.chain = 0
+	tr.baseBytes = len(frame)
+	tr.deltaBytes = 0
+	r.noteAcked(tr, inst, seq, seqValid, sums, digest)
+	r.paceLocked(tr, len(frame))
+	return &pendingPublish{put: put, stamp: stamp}, nil
+}
+
+// noteAcked records the counter baseline the next dirty fast path checks
+// against. Callers hold pubMu.
+func (r *Replicator) noteAcked(tr *track, inst *app.Application, seq uint64, seqValid bool, sums map[string][sha256.Size]byte, digest [sha256.Size]byte) {
+	tr.inst = inst
+	tr.changeSeq = seq
+	tr.seqValid = seqValid && inst != nil
+	tr.compSums = sums
+	tr.digest = digest
+}
+
+// paceLocked defers the app's next periodic capture in proportion to the
+// bytes just published. Callers hold pubMu. Wall-clock on purpose, not
+// r.clock: the capture loop runs on a real ticker even under virtual
+// clocks (a virtual clock advances only by charged costs and would
+// freeze the deferral window forever), so the pacing window must be
+// measured on the same axis the loop runs on.
+func (r *Replicator) paceLocked(tr *track, frameBytes int) {
+	if r.tune.BudgetBytesPerSec <= 0 {
+		return
+	}
+	delay := time.Duration(float64(frameBytes) / float64(r.tune.BudgetBytesPerSec) * float64(time.Second))
+	tr.nextAt = time.Now().Add(delay)
+}
+
+// notify invokes the publish observer, outside every replicator lock:
+// observers run arbitrary kernel subscribers, which must be free to call
+// back into the replicator (Stats, SyncNow, Retire via StopApp) without
+// self-deadlocking.
+func (r *Replicator) notify(p *pendingPublish) {
+	if p == nil {
+		return
+	}
 	r.mu.Lock()
 	f := r.onPublish
 	r.mu.Unlock()
 	if f != nil {
-		f(stamped)
+		f(p.put, p.stamp)
 	}
-	return nil
 }
 
 // Retire tombstones an app's replicated snapshot — call it when the
@@ -336,7 +569,7 @@ func (r *Replicator) publish(ctx context.Context, ts app.TaggedSnapshot) error {
 func (r *Replicator) Retire(ctx context.Context, appName string) error {
 	r.pubMu.Lock()
 	r.retired[appName] = true
-	delete(r.lastSum, appName)
+	delete(r.tracks, appName)
 	r.pubMu.Unlock()
 	return r.pub.DropSnapshot(ctx, appName, r.host)
 }
@@ -349,12 +582,12 @@ func (r *Replicator) Reinstate(appName string) {
 	r.pubMu.Unlock()
 }
 
-// ForceRepublish forgets an app's dedupe digest so the next capture
-// publishes even if its content is unchanged — used when a superseded
-// replica's stale snapshot may have claimed the federation's latest
-// slot and must be re-superseded by the live copy.
+// ForceRepublish forgets an app's replication baseline so the next
+// capture publishes a full frame even if its content is unchanged — used
+// when a superseded replica's stale snapshot may have claimed the
+// federation's latest slot and must be re-superseded by the live copy.
 func (r *Replicator) ForceRepublish(appName string) {
 	r.pubMu.Lock()
-	delete(r.lastSum, appName)
+	delete(r.tracks, appName)
 	r.pubMu.Unlock()
 }

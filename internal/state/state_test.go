@@ -3,7 +3,9 @@ package state_test
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -27,12 +29,18 @@ func testApp(t *testing.T, name, host string) *app.Application {
 	return a
 }
 
-func TestWrapFrameRoundTrip(t *testing.T) {
-	a := testApp(t, "x", "h1")
+func mustWrap(t *testing.T, a *app.Application) app.Wrap {
+	t.Helper()
 	w, err := a.WrapComponents(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return w
+}
+
+func TestWrapFrameRoundTrip(t *testing.T) {
+	a := testApp(t, "x", "h1")
+	w := mustWrap(t, a)
 	raw, err := state.EncodeWrap(w)
 	if err != nil {
 		t.Fatal(err)
@@ -59,10 +67,7 @@ func TestWrapFrameRoundTrip(t *testing.T) {
 
 func TestSnapshotFrameRoundTrip(t *testing.T) {
 	a := testApp(t, "x", "h1")
-	w, err := a.WrapComponents(nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	w := mustWrap(t, a)
 	ts := app.TaggedSnapshot{Tag: "replica", At: time.Unix(42, 0), Wrap: w}
 	raw, err := state.EncodeSnapshot(ts)
 	if err != nil {
@@ -79,8 +84,7 @@ func TestSnapshotFrameRoundTrip(t *testing.T) {
 
 func TestDecodeRejectsGarbageTamperingAndWrongKind(t *testing.T) {
 	a := testApp(t, "x", "h1")
-	w, _ := a.WrapComponents(nil)
-	raw, err := state.EncodeWrap(w)
+	raw, err := state.EncodeWrap(mustWrap(t, a))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,32 +116,226 @@ func TestDecodeRejectsGarbageTamperingAndWrongKind(t *testing.T) {
 	}
 }
 
-// fakePublisher records snapshot traffic, assigning sequences like a
-// registry center.
+// --- Delta codec. ---
+
+// deltaFor wraps the components of a changed since seq into a delta
+// against base.
+func deltaFor(t *testing.T, a *app.Application, base app.Wrap, seq uint64) state.WrapDelta {
+	t.Helper()
+	changed := a.ChangedSince(seq)
+	if changed == nil {
+		changed = []string{}
+	}
+	w, err := a.WrapComponents(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return state.WrapDelta{
+		App: base.App, FromHost: w.FromHost, BaseDigest: state.WrapDigest(base),
+		Components: w.Components, Kinds: w.Kinds,
+		CoordState: w.CoordState, Profile: w.Profile,
+	}
+}
+
+func TestDeltaFrameRoundTripAndApply(t *testing.T) {
+	a := testApp(t, "x", "h1")
+	base := mustWrap(t, a)
+	seq := a.ChangeSeq()
+
+	// Mutate only the small state component; the blob must not appear in
+	// the delta.
+	st, _ := a.Component("st")
+	st.(*app.StateComponent).Set("cursor", "8")
+	a.Coordinator().Set("track", "t2")
+
+	d := deltaFor(t, a, base, seq)
+	if _, ok := d.Components["data"]; ok {
+		t.Fatal("unchanged blob rode in the delta")
+	}
+	if _, ok := d.Components["st"]; !ok {
+		t.Fatal("changed state component missing from the delta")
+	}
+
+	raw, err := state.EncodeDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := state.DecodeDelta(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := state.ApplyDelta(base, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.WrapDigest(full) != state.WrapDigest(mustWrap(t, a)) {
+		t.Fatal("reassembled wrap differs from the live state")
+	}
+	if full.CoordState["track"] != "t2" {
+		t.Fatalf("coord state not replaced: %q", full.CoordState["track"])
+	}
+	if string(full.Components["data"]) != "payload" {
+		t.Fatal("base blob lost in reassembly")
+	}
+}
+
+func TestApplyDeltaRejectsWrongBase(t *testing.T) {
+	a := testApp(t, "x", "h1")
+	base := mustWrap(t, a)
+	seq := a.ChangeSeq()
+	st, _ := a.Component("st")
+	st.(*app.StateComponent).Set("cursor", "8")
+	d := deltaFor(t, a, base, seq)
+
+	// Wrong app.
+	other := testApp(t, "y", "h1")
+	if _, err := state.ApplyDelta(mustWrap(t, other), d); !errors.Is(err, state.ErrBaseMismatch) {
+		t.Fatalf("wrong app: err = %v, want ErrBaseMismatch", err)
+	}
+	// Right app, wrong state (the delta's base has cursor=7; mutate it).
+	st.(*app.StateComponent).Set("cursor", "9")
+	if _, err := state.ApplyDelta(mustWrap(t, a), d); !errors.Is(err, state.ErrBaseMismatch) {
+		t.Fatalf("wrong base state: err = %v, want ErrBaseMismatch", err)
+	}
+}
+
+// chainRecord builds a SnapshotRecord with n sequential deltas over a
+// base, mutating the cursor each step, and returns the record plus the
+// final expected cursor value.
+func chainRecord(t *testing.T, n int) (state.SnapshotRecord, string) {
+	t.Helper()
+	a := testApp(t, "x", "h1")
+	base := mustWrap(t, a)
+	frame, err := state.EncodeSnapshot(app.TaggedSnapshot{Tag: "replica", At: time.Unix(1, 0), Wrap: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := state.SnapshotRecord{
+		App: "x", Host: "h1", Space: "lab", Seq: 1, BaseSeq: 1,
+		At: time.Unix(1, 0), Frame: frame, StateDigest: state.WrapDigest(base),
+	}
+	prev := base
+	val := "7"
+	st, _ := a.Component("st")
+	for i := 0; i < n; i++ {
+		seq := a.ChangeSeq()
+		val = string(rune('a' + i))
+		st.(*app.StateComponent).Set("cursor", val)
+		d := deltaFor(t, a, prev, seq)
+		raw, err := state.EncodeDelta(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Deltas = append(rec.Deltas, raw)
+		rec.Seq++
+		prev = mustWrap(t, a)
+		rec.StateDigest = state.WrapDigest(prev)
+	}
+	return rec, val
+}
+
+func TestSnapshotRecordChainReassembly(t *testing.T) {
+	rec, want := chainRecord(t, 3)
+	if err := rec.Verify(); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	ts, err := rec.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := app.New("x", "h2", wsdl.Description{Name: "x"})
+	if err := b.Unwrap(ts.Wrap); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := b.Component("st")
+	if v, _ := st.(*app.StateComponent).Get("cursor"); v != want {
+		t.Fatalf("chain restore cursor = %q, want %q", v, want)
+	}
+	if state.WrapDigest(ts.Wrap) != rec.StateDigest {
+		t.Fatal("reassembled digest differs from the record's StateDigest")
+	}
+}
+
+func TestSnapshotRecordChainEdgeCases(t *testing.T) {
+	// Out-of-order deltas: the digest chain breaks and reassembly fails
+	// loudly instead of restoring scrambled state.
+	rec, _ := chainRecord(t, 3)
+	rec.Deltas[0], rec.Deltas[1] = rec.Deltas[1], rec.Deltas[0]
+	if _, err := rec.Snapshot(); !errors.Is(err, state.ErrBaseMismatch) {
+		t.Fatalf("out-of-order chain: err = %v, want ErrBaseMismatch", err)
+	}
+
+	// Garbage base frame.
+	rec2, _ := chainRecord(t, 1)
+	rec2.Frame = []byte("not a frame")
+	if _, err := rec2.Snapshot(); !errors.Is(err, state.ErrBadFrame) {
+		t.Fatalf("garbage base: err = %v, want ErrBadFrame", err)
+	}
+	if err := rec2.Verify(); !errors.Is(err, state.ErrBadFrame) {
+		t.Fatalf("garbage base Verify: err = %v, want ErrBadFrame", err)
+	}
+
+	// A corrupted delta frame fails both the cheap Verify and the full
+	// reassembly with a checksum error.
+	rec3, _ := chainRecord(t, 2)
+	rec3.Deltas[1][len(rec3.Deltas[1])-1] ^= 0xFF
+	if err := rec3.Verify(); !errors.Is(err, state.ErrChecksum) {
+		t.Fatalf("corrupt delta Verify: err = %v, want ErrChecksum", err)
+	}
+	if _, err := rec3.Snapshot(); !errors.Is(err, state.ErrChecksum) {
+		t.Fatalf("corrupt delta Snapshot: err = %v, want ErrChecksum", err)
+	}
+
+	// A missing base (delta-only record) cannot reassemble.
+	rec4, _ := chainRecord(t, 1)
+	rec4.Frame = nil
+	if _, err := rec4.Snapshot(); !errors.Is(err, state.ErrBadFrame) {
+		t.Fatalf("missing base: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// --- Replicator. ---
+
+// fakePublisher models a center: it keeps one chained record per app,
+// refuses delta puts whose base digest does not match (ErrNeedFull), and
+// assigns capture sequences.
 type fakePublisher struct {
-	mu    sync.Mutex
-	puts  []state.SnapshotRecord
-	drops []string
-	seq   map[string]uint64
+	mu           sync.Mutex
+	puts         []state.SnapshotPut
+	recs         map[string]state.SnapshotRecord
+	drops        []string
+	needFullOnce bool // force the next delta put to fail with ErrNeedFull
 }
 
 func newFakePublisher() *fakePublisher {
-	return &fakePublisher{seq: make(map[string]uint64)}
+	return &fakePublisher{recs: make(map[string]state.SnapshotRecord)}
 }
 
-func (p *fakePublisher) PutSnapshot(_ context.Context, rec state.SnapshotRecord) (state.SnapshotRecord, error) {
+func (p *fakePublisher) PutSnapshot(_ context.Context, put state.SnapshotPut) (state.SnapshotStamp, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.seq[rec.App]++
-	rec.Seq = p.seq[rec.App]
-	p.puts = append(p.puts, rec)
-	return rec, nil
+	rec := p.recs[put.App]
+	if put.Delta {
+		if p.needFullOnce || len(rec.Frame) == 0 || rec.StateDigest != put.BaseDigest {
+			p.needFullOnce = false
+			return state.SnapshotStamp{}, state.ErrNeedFull
+		}
+		rec.Deltas = append(rec.Deltas, put.Frame)
+		rec.Seq++
+	} else {
+		rec = state.SnapshotRecord{App: put.App, Seq: rec.Seq + 1, BaseSeq: rec.Seq + 1, Frame: put.Frame}
+	}
+	rec.Host, rec.Space, rec.At, rec.StateDigest = put.Host, put.Space, put.At, put.NewDigest
+	p.recs[put.App] = rec
+	p.puts = append(p.puts, put)
+	return state.SnapshotStamp{Seq: rec.Seq, BaseSeq: rec.BaseSeq, Chain: len(rec.Deltas)}, nil
 }
 
 func (p *fakePublisher) DropSnapshot(_ context.Context, appName, _ string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.drops = append(p.drops, appName)
+	delete(p.recs, appName)
 	return nil
 }
 
@@ -147,20 +345,54 @@ func (p *fakePublisher) putCount() int {
 	return len(p.puts)
 }
 
-func (p *fakePublisher) lastPut() (state.SnapshotRecord, bool) {
+func (p *fakePublisher) put(i int) state.SnapshotPut {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.puts) == 0 {
-		return state.SnapshotRecord{}, false
-	}
-	return p.puts[len(p.puts)-1], true
+	return p.puts[i]
 }
 
-func TestReplicatorPublishesAndDeduplicates(t *testing.T) {
+func (p *fakePublisher) record(appName string) (state.SnapshotRecord, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, ok := p.recs[appName]
+	return rec, ok
+}
+
+// noPacing disables the byte-budget cadence so manual SyncNow tests are
+// deterministic.
+var noPacing = state.Tuning{BudgetBytesPerSec: -1}
+
+func newTestReplicator(a *app.Application, pub state.Publisher, tune state.Tuning) *state.Replicator {
+	return state.NewReplicator("h1", "lab", func() []*app.Application { return []*app.Application{a} },
+		pub, nil, time.Hour /* manual syncs only */, tune)
+}
+
+func recordValue(t *testing.T, pub *fakePublisher, appName, comp, key string) string {
+	t.Helper()
+	rec, ok := pub.record(appName)
+	if !ok {
+		t.Fatalf("no record for %s", appName)
+	}
+	ts, err := rec.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := app.New(appName, "check", wsdl.Description{Name: appName})
+	if err := b.Unwrap(ts.Wrap); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := b.Component(comp)
+	if !ok {
+		t.Fatalf("component %s missing from record", comp)
+	}
+	v, _ := c.(*app.StateComponent).Get(key)
+	return v
+}
+
+func TestReplicatorPublishesFullThenDelta(t *testing.T) {
 	a := testApp(t, "player", "h1")
 	pub := newFakePublisher()
-	rep := state.NewReplicator("h1", "lab", func() []*app.Application { return []*app.Application{a} },
-		pub, nil, time.Hour /* manual syncs only */)
+	rep := newTestReplicator(a, pub, noPacing)
 	ctx := context.Background()
 
 	if err := rep.SyncNow(ctx); err != nil {
@@ -169,33 +401,204 @@ func TestReplicatorPublishesAndDeduplicates(t *testing.T) {
 	if pub.putCount() != 1 {
 		t.Fatalf("puts after first sync = %d, want 1", pub.putCount())
 	}
-	rec, _ := pub.lastPut()
-	if rec.App != "player" || rec.Host != "h1" || rec.Space != "lab" || rec.Seq != 1 {
-		t.Fatalf("published record = %+v", rec)
-	}
-	ts, err := rec.Snapshot()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if v := ts.Wrap.CoordState["track"]; v != "t1" {
-		t.Fatalf("replicated coord track = %q, want t1", v)
+	if first := pub.put(0); first.Delta || first.App != "player" || first.Host != "h1" || first.Space != "lab" {
+		t.Fatalf("first put = %+v, want a full frame from h1/lab", first)
 	}
 
-	// Unchanged state: no new publish.
+	// Unchanged state: no new publish, and the fast path did the skip.
 	if err := rep.SyncNow(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if pub.putCount() != 1 {
 		t.Fatalf("puts after idle sync = %d, want 1 (dedupe)", pub.putCount())
 	}
+	if s := rep.Stats(); s.SkippedClean == 0 {
+		t.Fatalf("idle sync did not take the dirty fast path: %+v", s)
+	}
 
-	// Changed state: republished.
-	a.Coordinator().Set("track", "t2")
+	// Changed state: republished as a delta, smaller than the base.
+	st, _ := a.Component("st")
+	st.(*app.StateComponent).Set("cursor", "8")
 	if err := rep.SyncNow(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if pub.putCount() != 2 {
 		t.Fatalf("puts after state change = %d, want 2", pub.putCount())
+	}
+	second := pub.put(1)
+	if !second.Delta {
+		t.Fatal("second publish was not a delta")
+	}
+	if len(second.Frame) >= len(pub.put(0).Frame) {
+		t.Fatalf("delta frame (%d bytes) not smaller than base (%d bytes)",
+			len(second.Frame), len(pub.put(0).Frame))
+	}
+	if v := recordValue(t, pub, "player", "st", "cursor"); v != "8" {
+		t.Fatalf("record cursor after delta = %q, want 8", v)
+	}
+}
+
+// countingComp counts Snapshot calls — the proof that clean apps cost
+// zero serialization per tick.
+type countingComp struct {
+	*app.StateComponent
+	snaps int32
+}
+
+func (c *countingComp) Snapshot() ([]byte, error) {
+	atomic.AddInt32(&c.snaps, 1)
+	return c.StateComponent.Snapshot()
+}
+
+func TestReplicatorZeroSerializationWhenClean(t *testing.T) {
+	a := app.New("player", "h1", wsdl.Description{Name: "player"})
+	cc := &countingComp{StateComponent: app.NewState("st")}
+	cc.Set("cursor", "7")
+	if err := a.AddComponent(cc); err != nil {
+		t.Fatal(err)
+	}
+	big := app.NewSizedBlob("song", app.KindData, 1<<20)
+	if err := a.AddComponent(big); err != nil {
+		t.Fatal(err)
+	}
+	pub := newFakePublisher()
+	rep := newTestReplicator(a, pub, noPacing)
+	ctx := context.Background()
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	base := atomic.LoadInt32(&cc.snaps)
+
+	// Ten idle ticks: not one Snapshot call, not one publish.
+	for i := 0; i < 10; i++ {
+		if err := rep.SyncNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := atomic.LoadInt32(&cc.snaps); got != base {
+		t.Fatalf("idle ticks serialized the state component %d times", got-base)
+	}
+	if pub.putCount() != 1 {
+		t.Fatalf("idle ticks published: %d puts", pub.putCount())
+	}
+	if s := rep.Stats(); s.SkippedClean != 10 {
+		t.Fatalf("SkippedClean = %d, want 10", s.SkippedClean)
+	}
+
+	// A small mutation serializes the changed component once — and ships
+	// a delta that does not carry the megabyte blob.
+	cc.Set("cursor", "8")
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	last := pub.put(pub.putCount() - 1)
+	if !last.Delta {
+		t.Fatal("mutation did not publish a delta")
+	}
+	if len(last.Frame) > 4096 {
+		t.Fatalf("delta for a tiny mutation is %d bytes (blob leaked in)", len(last.Frame))
+	}
+}
+
+func TestReplicatorNeedFullFallback(t *testing.T) {
+	a := testApp(t, "player", "h1")
+	pub := newFakePublisher()
+	rep := newTestReplicator(a, pub, noPacing)
+	ctx := context.Background()
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The center loses our base (restart / conflicting writer): the next
+	// delta put is refused and the same capture degrades to a full frame.
+	pub.mu.Lock()
+	pub.needFullOnce = true
+	pub.mu.Unlock()
+	st, _ := a.Component("st")
+	st.(*app.StateComponent).Set("cursor", "9")
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	last := pub.put(pub.putCount() - 1)
+	if last.Delta {
+		t.Fatal("refused delta was not followed by a full frame")
+	}
+	if v := recordValue(t, pub, "player", "st", "cursor"); v != "9" {
+		t.Fatalf("record cursor after fallback = %q, want 9", v)
+	}
+	// And the pipeline recovers: the next change is a delta again.
+	st.(*app.StateComponent).Set("cursor", "10")
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if last := pub.put(pub.putCount() - 1); !last.Delta {
+		t.Fatal("pipeline did not resume deltas after the fallback")
+	}
+}
+
+func TestReplicatorRebaselinesAfterChain(t *testing.T) {
+	a := testApp(t, "player", "h1")
+	pub := newFakePublisher()
+	tune := noPacing
+	tune.RebaseEvery = 2
+	rep := newTestReplicator(a, pub, tune)
+	ctx := context.Background()
+	st, _ := a.Component("st")
+	for i := 0; i < 6; i++ {
+		st.(*app.StateComponent).Set("cursor", string(rune('a'+i)))
+		if err := rep.SyncNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := rep.Stats()
+	if s.FullFrames < 2 {
+		t.Fatalf("chain of 6 changes with RebaseEvery=2 produced %d full frames, want >= 2", s.FullFrames)
+	}
+	if s.DeltaFrames == 0 {
+		t.Fatal("no deltas at all — re-baselining ate the pipeline")
+	}
+	if s.Rebaselines == 0 {
+		t.Fatal("re-baseline policy never fired")
+	}
+	if v := recordValue(t, pub, "player", "st", "cursor"); v != "f" {
+		t.Fatalf("final record cursor = %q, want f", v)
+	}
+}
+
+func TestReplicatorBudgetDefersPeriodicCaptures(t *testing.T) {
+	a := testApp(t, "player", "h1")
+	pub := newFakePublisher()
+	// 1 byte/s: after the first publish the app's budget is spent for
+	// hours, so subsequent *periodic* captures must be deferred — while
+	// an explicit SyncNow still publishes (it promises bounded lag).
+	rep := state.NewReplicator("h1", "lab", func() []*app.Application { return []*app.Application{a} },
+		pub, nil, time.Millisecond, state.Tuning{BudgetBytesPerSec: 1})
+	rep.Start()
+	defer rep.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for pub.putCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic loop never published the base")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, _ := a.Component("st")
+	st.(*app.StateComponent).Set("cursor", "8")
+	for rep.Stats().SkippedBudget == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("budget never deferred a periodic capture: %+v", rep.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if pub.putCount() != 1 {
+		t.Fatalf("budget-deferred capture still published: %d puts", pub.putCount())
+	}
+	// SyncNow ignores the budget: the change publishes now.
+	if err := rep.SyncNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if pub.putCount() != 2 {
+		t.Fatalf("forced SyncNow did not publish: %d puts", pub.putCount())
 	}
 }
 
@@ -211,7 +614,7 @@ func TestReplicatorForwardsRecordedSnapshots(t *testing.T) {
 			return nil
 		}
 		return []*app.Application{a}
-	}, pub, nil, time.Hour)
+	}, pub, nil, time.Hour, noPacing)
 	ctx := context.Background()
 	if err := rep.SyncNow(ctx); err != nil { // attaches the OnRecord hook
 		t.Fatal(err)
@@ -220,7 +623,7 @@ func TestReplicatorForwardsRecordedSnapshots(t *testing.T) {
 
 	// An explicitly recorded snapshot (e.g. pre-migrate) replicates
 	// promptly (async, off the recording goroutine), without waiting for
-	// the next capture interval.
+	// the next capture interval — and as a delta, since the base is acked.
 	a.Coordinator().Set("track", "t3")
 	if _, err := a.Snapshots().Record("pre-migrate", time.Unix(50, 0)); err != nil {
 		t.Fatal(err)
@@ -231,6 +634,9 @@ func TestReplicatorForwardsRecordedSnapshots(t *testing.T) {
 			t.Fatalf("puts after Record = %d, want %d", pub.putCount(), base+1)
 		}
 		time.Sleep(time.Millisecond)
+	}
+	if last := pub.put(pub.putCount() - 1); !last.Delta {
+		t.Fatal("recorded snapshot against an acked base did not ship as a delta")
 	}
 
 	// Once the app leaves this host, recorded snapshots no longer publish
@@ -251,8 +657,7 @@ func TestReplicatorForwardsRecordedSnapshots(t *testing.T) {
 func TestReplicatorRetireTombstones(t *testing.T) {
 	a := testApp(t, "player", "h1")
 	pub := newFakePublisher()
-	rep := state.NewReplicator("h1", "lab", func() []*app.Application { return []*app.Application{a} },
-		pub, nil, time.Hour)
+	rep := newTestReplicator(a, pub, noPacing)
 	ctx := context.Background()
 	if err := rep.SyncNow(ctx); err != nil {
 		t.Fatal(err)
@@ -266,8 +671,9 @@ func TestReplicatorRetireTombstones(t *testing.T) {
 	if len(drops) != 1 || drops[0] != "player" {
 		t.Fatalf("drops = %v, want [player]", drops)
 	}
-	// Retire also forgets the dedupe hash: a deliberately restarted app
-	// (Reinstate) republishes even with identical content.
+	// Retire also forgets the replication baseline: a deliberately
+	// restarted app (Reinstate) republishes — as a full frame, since the
+	// tombstone wiped the center's base — even with identical content.
 	rep.Reinstate("player")
 	if err := rep.SyncNow(ctx); err != nil {
 		t.Fatal(err)
@@ -275,26 +681,29 @@ func TestReplicatorRetireTombstones(t *testing.T) {
 	if pub.putCount() != 2 {
 		t.Fatalf("puts after retire+reinstate+sync = %d, want 2", pub.putCount())
 	}
+	if last := pub.put(1); last.Delta {
+		t.Fatal("post-reinstate publish must be a full frame")
+	}
 }
 
 func TestReplicatorPeriodicLoop(t *testing.T) {
 	a := testApp(t, "player", "h1")
 	pub := newFakePublisher()
 	rep := state.NewReplicator("h1", "lab", func() []*app.Application { return []*app.Application{a} },
-		pub, nil, 2*time.Millisecond)
-	published := make(chan state.SnapshotRecord, 16)
-	rep.OnPublish(func(sr state.SnapshotRecord) {
+		pub, nil, 2*time.Millisecond, noPacing)
+	published := make(chan state.SnapshotPut, 16)
+	rep.OnPublish(func(put state.SnapshotPut, _ state.SnapshotStamp) {
 		select {
-		case published <- sr:
+		case published <- put:
 		default:
 		}
 	})
 	rep.Start()
 	defer rep.Stop()
 	select {
-	case sr := <-published:
-		if sr.App != "player" {
-			t.Fatalf("published app = %q", sr.App)
+	case put := <-published:
+		if put.App != "player" {
+			t.Fatalf("published app = %q", put.App)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("periodic loop never published")
@@ -304,8 +713,7 @@ func TestReplicatorPeriodicLoop(t *testing.T) {
 func TestRetireBlocksLatePublishesUntilReinstate(t *testing.T) {
 	a := testApp(t, "player", "h1")
 	pub := newFakePublisher()
-	rep := state.NewReplicator("h1", "lab", func() []*app.Application { return []*app.Application{a} },
-		pub, nil, time.Hour)
+	rep := newTestReplicator(a, pub, noPacing)
 	ctx := context.Background()
 	if err := rep.SyncNow(ctx); err != nil {
 		t.Fatal(err)
@@ -334,7 +742,7 @@ func TestRetireBlocksLatePublishesUntilReinstate(t *testing.T) {
 
 func TestVerifySnapshotCheapCheck(t *testing.T) {
 	a := testApp(t, "x", "h1")
-	w, _ := a.WrapComponents(nil)
+	w := mustWrap(t, a)
 	snap, err := state.EncodeSnapshot(app.TaggedSnapshot{Tag: "r", At: time.Unix(1, 0), Wrap: w})
 	if err != nil {
 		t.Fatal(err)
@@ -354,4 +762,68 @@ func TestVerifySnapshotCheapCheck(t *testing.T) {
 	if err := state.VerifySnapshot([]byte("junk")); !errors.Is(err, state.ErrBadFrame) {
 		t.Fatalf("junk: err = %v, want ErrBadFrame", err)
 	}
+}
+
+// BenchmarkCaptureTick prices one periodic capture of a media-sized app
+// (2 MB blob) in three regimes: unchanged (dirty fast path), a small
+// mutation through the delta pipeline, and the same mutation with the
+// pipeline disabled (full-frame mode, the pre-delta cost).
+func BenchmarkCaptureTick(b *testing.B) {
+	mk := func(tune state.Tuning) (*app.Application, *app.StateComponent, *state.Replicator) {
+		a := app.New("player", "h1", wsdl.Description{Name: "player"})
+		st := app.NewState("st")
+		st.Set("cursor", "0")
+		if err := a.AddComponent(st); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.AddComponent(app.NewSizedBlob("song", app.KindData, 2<<20)); err != nil {
+			b.Fatal(err)
+		}
+		rep := state.NewReplicator("h1", "lab",
+			func() []*app.Application { return []*app.Application{a} },
+			newFakePublisher(), nil, time.Hour, tune)
+		if err := rep.SyncNow(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		return a, st, rep
+	}
+	tune := state.Tuning{BudgetBytesPerSec: -1, RebaseEvery: 1 << 30, RebaseFraction: 1e9}
+
+	b.Run("unchanged", func(b *testing.B) {
+		_, _, rep := mk(tune)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rep.SyncNow(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("small-change-delta", func(b *testing.B) {
+		_, st, rep := mk(tune)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Set("cursor", strconv.Itoa(i))
+			if err := rep.SyncNow(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("small-change-fullframe", func(b *testing.B) {
+		full := tune
+		full.FullFrames = true
+		_, st, rep := mk(full)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Set("cursor", strconv.Itoa(i))
+			if err := rep.SyncNow(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -173,16 +173,36 @@ const (
 	TopicStateRestored   = core.TopicStateRestored
 )
 
-// State pipeline (snapshot codec + replication). With
+// State pipeline (snapshot codec + delta replication). With
 // ClusterConfig.ReplicateState set, every host streams its applications'
-// snapshots to its space's registry center (HostRuntime.Replicator), the
-// federation replicates them to every peer space, and failover restores
-// the freshest copy so re-homed applications resume where they left off.
+// snapshots to its space's registry center (HostRuntime.Replicator) as a
+// delta pipeline: unchanged applications are skipped without serializing
+// a byte (per-component dirty counters), changed ones ship only their
+// changed components as checksummed delta frames against the last acked
+// base, and centers compact delta chains into fresh bases so failover
+// still restores from a single record. The federation replicates records
+// to every peer space and failover restores the freshest copy, so
+// re-homed applications resume where they left off.
 type (
-	// SnapshotRecord is one application's replicated snapshot.
+	// SnapshotRecord is one application's replicated snapshot: a full
+	// base frame plus a bounded delta chain.
 	SnapshotRecord = state.SnapshotRecord
+	// SnapshotPut is one replication publish (full frame or delta).
+	SnapshotPut = state.SnapshotPut
+	// SnapshotStamp is a center's acknowledgement of a put.
+	SnapshotStamp = state.SnapshotStamp
 	// Replicator streams one host's application snapshots.
 	Replicator = state.Replicator
+	// ReplicatorTuning parameterizes the delta pipeline (re-baseline
+	// policy, byte-budget cadence, full-frame fallback).
+	ReplicatorTuning = state.Tuning
+	// ReplicationStats counts what a replicator shipped and skipped.
+	ReplicationStats = state.Stats
+	// WrapDelta is the changed-components-only form of a wrap.
+	WrapDelta = state.WrapDelta
+	// SnapshotClient is a remote state publisher speaking the snapshot
+	// wire protocol a federated center serves (multi-process daemons).
+	SnapshotClient = cluster.SnapshotClient
 	// TaggedSnapshot is one recorded snapshot with provenance.
 	TaggedSnapshot = app.TaggedSnapshot
 )
@@ -193,6 +213,20 @@ func EncodeWrap(w Wrap) ([]byte, error) { return state.EncodeWrap(w) }
 
 // DecodeWrap verifies and decodes a framed wrap.
 func DecodeWrap(raw []byte) (Wrap, error) { return state.DecodeWrap(raw) }
+
+// EncodeDelta frames a changed-components-only delta.
+func EncodeDelta(d WrapDelta) ([]byte, error) { return state.EncodeDelta(d) }
+
+// DecodeDelta verifies and decodes a delta frame.
+func DecodeDelta(raw []byte) (WrapDelta, error) { return state.DecodeDelta(raw) }
+
+// ApplyDelta reassembles the full wrap a delta describes over its base
+// (digest-checked; state.ErrBaseMismatch on any other base).
+func ApplyDelta(base Wrap, d WrapDelta) (Wrap, error) { return state.ApplyDelta(base, d) }
+
+// WrapDigest hashes a wrap's content canonically — the digest the delta
+// pipeline chains captures with.
+func WrapDigest(w Wrap) [32]byte { return state.WrapDigest(w) }
 
 // Agents (paper §4.3).
 type (
