@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mdagent/internal/bench"
+	"mdagent/internal/cluster"
 	"mdagent/internal/ctxkernel"
 	"mdagent/internal/migrate"
 	"mdagent/internal/netsim"
@@ -185,6 +186,32 @@ func BenchmarkChurnFailover(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkDurableWrite measures the per-write latency cost of each
+// federation write concern (write-us / snap-us, healthy federation) and
+// re-runs the kill-after-write audit: silent-loss must read 0 for one
+// and quorum, while async shows the records a center crash silently
+// eats. The experiment builds bare centers, so the numbers isolate the
+// ack-carrying push path from gossip and middleware overhead.
+func BenchmarkDurableWrite(b *testing.B) {
+	for _, wc := range []cluster.WriteConcern{cluster.WriteAsync, cluster.WriteOne, cluster.WriteQuorum} {
+		b.Run(string(wc), func(b *testing.B) {
+			var last bench.DurabilityResult
+			for n := 0; n < b.N; n++ {
+				res, err := bench.RunDurability(3, 8, wc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.HealthyLatency.Microseconds()), "write-us")
+			b.ReportMetric(float64(last.SnapLatency.Microseconds()), "snap-us")
+			b.ReportMetric(float64(last.DegradedLatency.Microseconds()), "degraded-us")
+			b.ReportMetric(float64(last.SilentLoss), "silent-loss")
+			b.ReportMetric(float64(last.Flagged), "flagged")
+		})
 	}
 }
 

@@ -22,7 +22,10 @@
 // Federated mode adds -space (the host's smart space, whose mdregistry
 // center must run with the same -space) and SWIM gossip membership with
 // every -peer host: the daemon prints alive/suspect/dead transitions as
-// the failure detector sees them.
+// the failure detector sees them. With -replicate, -write-concern
+// one|quorum stamps every snapshot put with a durability header: the
+// center acks only after enough peer centers hold the write, so captured
+// state survives the center dying before its next federation push.
 //
 // Durations printed by -migrate-to are wall-clock (no simulated testbed
 // in multi-process mode); use cmd/mdbench for the paper's calibrated
@@ -131,8 +134,16 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 	probe := fs.Duration("probe", 0, "gossip probe interval (federated mode; 0 = default)")
 	suspicion := fs.Duration("suspicion", 0, "gossip suspect->dead window (federated mode; 0 = default)")
 	replicate := fs.Duration("replicate", 0, "stream application snapshots to the space center on this interval (federated mode; 0 = off)")
+	concern := fs.String("write-concern", "", "write concern requested on every snapshot put: async, one, or quorum (empty = center default; needs -replicate)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	wc, err := cluster.ParseWriteConcern(*concern)
+	if err != nil {
+		return err
+	}
+	if *concern != "" && (*space == "" || *replicate <= 0) {
+		return fmt.Errorf("-write-concern %s requires -space and -replicate (it stamps snapshot puts)", wc)
 	}
 	skeletons := skeletonApps()
 	if *install != "" {
@@ -202,11 +213,23 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 	// deployment joins the state pipeline (and failover restores) exactly
 	// like an in-process one.
 	if *space != "" && *replicate > 0 {
-		repl := state.NewReplicator(*host, *space, eng.Apps,
-			cluster.NewSnapshotClient(node.Endpoint(), registryName), nil, *replicate, state.Tuning{})
+		snapCli := cluster.NewSnapshotClient(node.Endpoint(), registryName)
+		// Every put carries the requested write concern as its wire
+		// header; the center blocks the put until enough peer centers
+		// acked, and answers NotDurable in-band on shortfall so the
+		// replicator re-queues instead of advancing its acked base. An
+		// empty flag sends no header and defers to the center's default.
+		if *concern != "" {
+			snapCli.SetWriteConcern(wc)
+		}
+		repl := state.NewReplicator(*host, *space, eng.Apps, snapCli, nil, *replicate, state.Tuning{})
 		repl.Start()
 		defer repl.Stop()
-		fmt.Fprintf(out, "mdagentd[%s]: replicating application state every %v\n", *host, *replicate)
+		if wc != cluster.WriteAsync {
+			fmt.Fprintf(out, "mdagentd[%s]: replicating application state every %v (write concern %s)\n", *host, *replicate, wc)
+		} else {
+			fmt.Fprintf(out, "mdagentd[%s]: replicating application state every %v\n", *host, *replicate)
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -1,12 +1,13 @@
 // Command mdbench regenerates the paper's evaluation figures as tables
-// (and optional CSV): Fig. 7 (skew-canceling timing), Fig. 8 (adaptive
-// component binding sweep), Fig. 9 (static binding sweep), Fig. 10
-// (comparative total cost), the demo-2 clone-dispatch fan-out, the
-// cluster churn experiment (gossip convergence + failover latency, with
-// and without snapshot-state replication), the flapping-link experiment
-// (false-positive suspicion under link flap), and the delta sweep
+// (and optional CSV or JSON): Fig. 7 (skew-canceling timing), Fig. 8
+// (adaptive component binding sweep), Fig. 9 (static binding sweep),
+// Fig. 10 (comparative total cost), the demo-2 clone-dispatch fan-out,
+// the cluster churn experiment (gossip convergence + failover latency,
+// with and without snapshot-state replication), the flapping-link
+// experiment (false-positive suspicion under link flap), the delta sweep
 // (replicated bytes per capture tick, full-frame vs delta pipeline,
-// across app sizes).
+// across app sizes), and the durability experiment (kill-after-write
+// record loss and per-write latency across write concerns).
 //
 // Usage:
 //
@@ -16,9 +17,15 @@
 //	mdbench -fig churn -spaces 5
 //	mdbench -fig flap -flap-period 10ms -flap-cycles 20
 //	mdbench -fig delta -delta-ticks 16
+//	mdbench -fig churn,durability -json BENCH_pr4.json
+//
+// -fig accepts a comma-separated list; -json writes every figure that
+// ran as one machine-readable document (CI uploads it per PR so the
+// perf trajectory is diffable).
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"mdagent/internal/bench"
+	"mdagent/internal/cluster"
 	"mdagent/internal/migrate"
 )
 
@@ -42,37 +50,45 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mdbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	fig := fs.String("fig", "all", "figure to regenerate: 7, 8, 9, 10, clone, churn, flap, or all")
+	fig := fs.String("fig", "all", "figures to regenerate (comma-separated): 7, 8, 9, 10, clone, churn, flap, delta, durability, or all")
 	csvPath := fs.String("csv", "", "also write the series as CSV to this file")
+	jsonPath := fs.String("json", "", "also write every figure that ran as one JSON document to this file")
 	rooms := fs.Int("rooms", 3, "overflow rooms for the clone-dispatch experiment")
-	spaces := fs.Int("spaces", 3, "smart spaces for the churn and flap experiments (>= 3)")
+	spaces := fs.Int("spaces", 3, "smart spaces for the churn, flap and durability experiments (>= 3)")
 	flapPeriod := fs.Duration("flap-period", 10*time.Millisecond, "link toggle half-period for the flap experiment")
 	flapCycles := fs.Int("flap-cycles", 20, "down/up toggles for the flap experiment")
 	songBytes := fs.Int64("song-bytes", 2_000_000, "song size for the churn experiment (sets the snapshot frame size)")
 	deltaTicks := fs.Int("delta-ticks", 16, "mutated capture ticks per cell of the delta sweep")
+	durWrites := fs.Int("dur-writes", 16, "writes per phase and record kind for the durability experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	var csv strings.Builder
+	doc := map[string]any{}
 	figures := map[string]func() error{
-		"7":     func() error { return fig7(out, &csv) },
-		"8":     func() error { return fig8(out, &csv) },
-		"9":     func() error { return fig9(out, &csv) },
-		"10":    func() error { return fig10(out, &csv) },
-		"clone": func() error { return clone(out, &csv, *rooms) },
-		"churn": func() error { return churn(out, &csv, *spaces, *songBytes) },
-		"flap":  func() error { return flap(out, &csv, *spaces, *flapPeriod, *flapCycles) },
-		"delta": func() error { return delta(out, &csv, *deltaTicks) },
+		"7":          func() error { return fig7(out, &csv, doc) },
+		"8":          func() error { return fig8(out, &csv, doc) },
+		"9":          func() error { return fig9(out, &csv, doc) },
+		"10":         func() error { return fig10(out, &csv, doc) },
+		"clone":      func() error { return clone(out, &csv, doc, *rooms) },
+		"churn":      func() error { return churn(out, &csv, doc, *spaces, *songBytes) },
+		"flap":       func() error { return flap(out, &csv, doc, *spaces, *flapPeriod, *flapCycles) },
+		"delta":      func() error { return delta(out, &csv, doc, *deltaTicks) },
+		"durability": func() error { return durability(out, &csv, doc, *spaces, *durWrites) },
 	}
+	all := []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta", "durability"}
 	var order []string
 	if *fig == "all" {
-		order = []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta"}
+		order = all
 	} else {
-		if _, ok := figures[*fig]; !ok {
-			return fmt.Errorf("unknown figure %q (want 7, 8, 9, 10, clone, churn, flap, delta, all)", *fig)
+		for _, name := range strings.Split(*fig, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := figures[name]; !ok {
+				return fmt.Errorf("unknown figure %q (want %s, or all)", name, strings.Join(all, ", "))
+			}
+			order = append(order, name)
 		}
-		order = []string{*fig}
 	}
 	for _, name := range order {
 		if err := figures[name](); err != nil {
@@ -86,16 +102,27 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "\nCSV written to %s\n", *csvPath)
 	}
+	if *jsonPath != "" {
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode json: %w", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write json: %w", err)
+		}
+		fmt.Fprintf(out, "\nJSON written to %s\n", *jsonPath)
+	}
 	return nil
 }
 
-func fig7(out io.Writer, csv *strings.Builder) error {
+func fig7(out io.Writer, csv *strings.Builder, doc map[string]any) error {
 	fmt.Fprintln(out, "== Fig. 7 — skew-canceling round-trip measurement ==")
 	fmt.Fprintln(out, "   (hostB's clock runs 3s ahead of hostA's)")
 	res, err := bench.RunFig7()
 	if err != nil {
 		return err
 	}
+	doc["fig7"] = res
 	fmt.Fprintf(out, "  injected clock offset:           %v\n", res.Skew)
 	fmt.Fprintf(out, "  true round-trip migration time:  %v\n", res.TrueRTT)
 	fmt.Fprintf(out, "  skew-canceled formula result:    %v  (error %v)\n",
@@ -110,12 +137,13 @@ func fig7(out io.Writer, csv *strings.Builder) error {
 	return nil
 }
 
-func sweepTable(out io.Writer, csv *strings.Builder, tag, title string, binding migrate.BindingMode) error {
+func sweepTable(out io.Writer, csv *strings.Builder, doc map[string]any, tag, title string, binding migrate.BindingMode) error {
 	fmt.Fprintf(out, "== %s ==\n", title)
 	points, err := bench.Sweep(binding)
 	if err != nil {
 		return err
 	}
+	doc[tag] = points
 	fmt.Fprintf(out, "  %-6s %10s %10s %10s %10s %12s\n", "size", "suspend", "migrate", "resume", "total", "wrap-bytes")
 	fmt.Fprintf(csv, "%s,size,suspend_ms,migrate_ms,resume_ms,total_ms,wrap_bytes\n", tag)
 	for _, p := range points {
@@ -131,20 +159,21 @@ func sweepTable(out io.Writer, csv *strings.Builder, tag, title string, binding 
 	return nil
 }
 
-func fig8(out io.Writer, csv *strings.Builder) error {
-	return sweepTable(out, csv, "fig8", "Fig. 8 — adaptive component binding (this paper)", migrate.BindingAdaptive)
+func fig8(out io.Writer, csv *strings.Builder, doc map[string]any) error {
+	return sweepTable(out, csv, doc, "fig8", "Fig. 8 — adaptive component binding (this paper)", migrate.BindingAdaptive)
 }
 
-func fig9(out io.Writer, csv *strings.Builder) error {
-	return sweepTable(out, csv, "fig9", "Fig. 9 — static component binding (original design [7])", migrate.BindingStatic)
+func fig9(out io.Writer, csv *strings.Builder, doc map[string]any) error {
+	return sweepTable(out, csv, doc, "fig9", "Fig. 9 — static component binding (original design [7])", migrate.BindingStatic)
 }
 
-func fig10(out io.Writer, csv *strings.Builder) error {
+func fig10(out io.Writer, csv *strings.Builder, doc map[string]any) error {
 	fmt.Fprintln(out, "== Fig. 10 — comparative total cost ==")
 	rows, err := bench.RunFig10()
 	if err != nil {
 		return err
 	}
+	doc["fig10"] = rows
 	fmt.Fprintf(out, "  %-6s %14s %14s %10s\n", "size", "adaptive", "static", "ratio")
 	fmt.Fprintf(csv, "fig10,size,adaptive_ms,static_ms,ratio\n")
 	for _, r := range rows {
@@ -158,12 +187,13 @@ func fig10(out io.Writer, csv *strings.Builder) error {
 	return nil
 }
 
-func clone(out io.Writer, csv *strings.Builder, rooms int) error {
+func clone(out io.Writer, csv *strings.Builder, doc map[string]any, rooms int) error {
 	fmt.Fprintf(out, "== Demo 2 — clone-dispatch slideshow to %d overflow rooms ==\n", rooms)
 	results, err := bench.RunCloneFanout(rooms, 3_000_000)
 	if err != nil {
 		return err
 	}
+	doc["clone"] = results
 	fmt.Fprintf(out, "  %-10s %10s %10s %12s %6s\n", "room", "clone", "bytes", "inter-space", "sync")
 	fmt.Fprintf(csv, "clone,room,clone_ms,bytes,inter_space,sync_ms\n")
 	for _, r := range results {
@@ -179,13 +209,14 @@ func clone(out io.Writer, csv *strings.Builder, rooms int) error {
 	return nil
 }
 
-func churn(out io.Writer, csv *strings.Builder, spaces int, songBytes int64) error {
+func churn(out io.Writer, csv *strings.Builder, doc map[string]any, spaces int, songBytes int64) error {
 	fmt.Fprintf(out, "== Churn — kill the app's host in a %d-space federation ==\n", spaces)
 	fmt.Fprintln(out, "   (wall-clock protocol timings at a 2ms probe / 40ms suspicion cadence)")
 	res, err := bench.RunChurnSized(spaces, bench.ChurnConfig(), songBytes)
 	if err != nil {
 		return err
 	}
+	doc["churn"] = res
 	fmt.Fprintf(out, "  gossip convergence (kill -> all survivors convict): %v\n", res.Convergence)
 	fmt.Fprintf(out, "  failover (conviction -> app running on %s): %v\n", res.NewHost, res.Failover)
 	fmt.Fprintf(out, "  total outage: %v (skeleton relaunch: in-flight state lost)\n", res.Total)
@@ -194,6 +225,7 @@ func churn(out io.Writer, csv *strings.Builder, spaces int, songBytes int64) err
 	if err != nil {
 		return err
 	}
+	doc["churn_with_state"] = sres
 	fmt.Fprintln(out, "  -- with snapshot-state replication (ReplicateState on) --")
 	fmt.Fprintf(out, "  snapshot replication (state write -> every survivor center): %v\n", sres.Replication)
 	fmt.Fprintf(out, "  record: %d bytes total, %d-delta chain; the planted state crossed as a %d-byte frame\n",
@@ -212,7 +244,7 @@ func churn(out io.Writer, csv *strings.Builder, spaces int, songBytes int64) err
 	return nil
 }
 
-func delta(out io.Writer, csv *strings.Builder, ticks int) error {
+func delta(out io.Writer, csv *strings.Builder, doc map[string]any, ticks int) error {
 	fmt.Fprintln(out, "== Delta — replicated bytes per capture tick, full-frame vs delta pipeline ==")
 	fmt.Fprintf(out, "   (media player, one small playback write per tick, %d ticks per cell)\n", ticks)
 	sizes := []int64{500_000, 2_000_000, 8_000_000}
@@ -220,6 +252,7 @@ func delta(out io.Writer, csv *strings.Builder, ticks int) error {
 	if err != nil {
 		return err
 	}
+	doc["delta"] = points
 	fmt.Fprintf(out, "  %-10s %-6s %12s %12s %7s %7s %7s %7s\n",
 		"song", "mode", "base-bytes", "bytes/tick", "full", "delta", "idle0", "intact")
 	fmt.Fprintf(csv, "delta,song_bytes,mode,ticks,base_bytes,bytes_per_tick,full_frames,delta_frames,skipped_clean,state_intact\n")
@@ -243,7 +276,7 @@ func delta(out io.Writer, csv *strings.Builder, ticks int) error {
 	return nil
 }
 
-func flap(out io.Writer, csv *strings.Builder, spaces int, period time.Duration, cycles int) error {
+func flap(out io.Writer, csv *strings.Builder, doc map[string]any, spaces int, period time.Duration, cycles int) error {
 	fmt.Fprintf(out, "== Flap — toggle one link every %v for %d cycles in a %d-space federation ==\n",
 		period, cycles, spaces)
 	fmt.Fprintln(out, "   (indirect probes should mask a single flapping link: no false convictions)")
@@ -251,6 +284,7 @@ func flap(out io.Writer, csv *strings.Builder, spaces int, period time.Duration,
 	if err != nil {
 		return err
 	}
+	doc["flap"] = res
 	fmt.Fprintf(out, "  false suspicions on the flapped pair: %d\n", res.Suspicions)
 	fmt.Fprintf(out, "  false dead convictions: %d\n", res.Convictions)
 	fmt.Fprintf(out, "  healed after schedule: %v (in %v)\n", res.Healed, res.HealTime)
@@ -258,5 +292,34 @@ func flap(out io.Writer, csv *strings.Builder, spaces int, period time.Duration,
 	fmt.Fprintf(csv, "flap,spaces,period_ms,cycles,suspicions,convictions,healed,heal_ms\n")
 	fmt.Fprintf(csv, "flap,%d,%d,%d,%d,%d,%v,%d\n\n", spaces, period.Milliseconds(), cycles,
 		res.Suspicions, res.Convictions, res.Healed, res.HealTime.Milliseconds())
+	return nil
+}
+
+func durability(out io.Writer, csv *strings.Builder, doc map[string]any, spaces, writes int) error {
+	fmt.Fprintf(out, "== Durability — kill the writing center after %d writes per phase, per write concern ==\n", writes)
+	fmt.Fprintln(out, "   (phase 1: healthy federation; phase 2: writer cut off, then killed before any retry)")
+	fmt.Fprintln(out, "   silent loss = writes reported OK that no surviving center holds")
+	concerns := []cluster.WriteConcern{cluster.WriteAsync, cluster.WriteOne, cluster.WriteQuorum}
+	var results []bench.DurabilityResult
+	fmt.Fprintf(out, "  %-8s %12s %12s %12s %8s %12s %10s\n",
+		"concern", "write-lat", "snap-lat", "cutoff-lat", "flagged", "silent-loss", "lost-total")
+	fmt.Fprintf(csv, "durability,concern,spaces,writes,write_lat_us,snap_lat_us,cutoff_lat_us,flagged,silent_loss,lost_total,durable\n")
+	for _, wc := range concerns {
+		res, err := bench.RunDurability(spaces, writes, wc)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		fmt.Fprintf(out, "  %-8s %10dµs %10dµs %10dµs %8d %12d %10d\n",
+			res.Concern, res.HealthyLatency.Microseconds(), res.SnapLatency.Microseconds(),
+			res.DegradedLatency.Microseconds(), res.Flagged, res.SilentLoss, res.LostTotal)
+		fmt.Fprintf(csv, "durability,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			res.Concern, res.Spaces, res.Writes,
+			res.HealthyLatency.Microseconds(), res.SnapLatency.Microseconds(),
+			res.DegradedLatency.Microseconds(), res.Flagged, res.SilentLoss, res.LostTotal, res.Durable)
+	}
+	fmt.Fprintln(out)
+	csv.WriteString("\n")
+	doc["durability"] = results
 	return nil
 }

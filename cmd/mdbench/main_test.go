@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mdagent/internal/cluster"
 )
 
 // TestRunFig7PrintsTableAndCSV runs the fastest figure end to end and
@@ -63,6 +66,38 @@ func TestRunFlapFigure(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "false dead convictions") {
 		t.Fatalf("flap output missing:\n%s", out.String())
+	}
+}
+
+// TestRunDurabilityFigureWithJSON runs the kill-after-write experiment
+// through the CLI (comma-separated figure list) and checks the JSON
+// document CI uploads as BENCH_pr4.json.
+func TestRunDurabilityFigureWithJSON(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "durability", "-spaces", "3", "-dur-writes", "4", "-json", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "silent-loss") {
+		t.Fatalf("durability table missing:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("JSON document does not parse: %v", err)
+	}
+	results, ok := doc["durability"].([]any)
+	if !ok || len(results) != 3 {
+		t.Fatalf("durability JSON entry = %v, want 3 concern results", doc["durability"])
+	}
+	for _, r := range results {
+		m := r.(map[string]any)
+		if m["Concern"] == string(cluster.WriteQuorum) && m["SilentLoss"].(float64) != 0 {
+			t.Fatalf("quorum silent loss in JSON = %v, want 0", m["SilentLoss"])
+		}
 	}
 }
 

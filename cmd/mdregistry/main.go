@@ -14,6 +14,10 @@
 //	mdregistry -listen 127.0.0.1:7001 -space lab1 -fed-peer lab2=127.0.0.1:7005
 //	mdregistry -listen 127.0.0.1:7005 -space lab2 -fed-peer lab1=127.0.0.1:7001
 //
+// -write-concern one|quorum makes every federated write block until that
+// many peer centers acknowledged the pushed record, so a record survives
+// this center dying right after the write returns (durable-by-write).
+//
 // Standalone centers serve the endpoint name "registry-center"; federated
 // centers serve "registry@<space>" (point mdagentd's -registry and -space
 // flags accordingly).
@@ -82,11 +86,19 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 	space := fs.String("space", "", "smart space served by this center (empty = standalone)")
 	peers := fedPeers{}
 	fs.Var(peers, "fed-peer", "federated peer center space=addr (repeatable; requires -space)")
+	concern := fs.String("write-concern", "", "federation write durability: async (default), one, or quorum (requires -space)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *space == "" && len(peers) > 0 {
 		return fmt.Errorf("-fed-peer requires -space")
+	}
+	wc, err := cluster.ParseWriteConcern(*concern)
+	if err != nil {
+		return err
+	}
+	if *space == "" && wc != cluster.WriteAsync {
+		return fmt.Errorf("-write-concern %s requires -space (a standalone registry has no peers to ack)", wc)
 	}
 
 	db := store.OpenMemory()
@@ -117,7 +129,7 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 		reg.Serve(node.Endpoint())
 		fmt.Fprintf(out, "mdregistry: serving registry-center on %s (store: %s)\n", node.Addr(), storeDesc(*storePath))
 	} else {
-		center := cluster.NewCenter(*space, reg, node.Endpoint(), cluster.Config{})
+		center := cluster.NewCenter(*space, reg, node.Endpoint(), cluster.Config{WriteConcern: wc})
 		for peerSpace, addr := range peers {
 			peerEndpoint := cluster.CenterEndpointName(peerSpace)
 			node.AddPeer(peerEndpoint, addr)
@@ -126,8 +138,8 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 		center.Serve(node.Endpoint())
 		center.Start()
 		defer center.Stop()
-		fmt.Fprintf(out, "mdregistry: serving %s on %s, federated with %d peer(s) (store: %s)\n",
-			endpoint, node.Addr(), len(peers), storeDesc(*storePath))
+		fmt.Fprintf(out, "mdregistry: serving %s on %s, federated with %d peer(s) (store: %s, write concern: %s)\n",
+			endpoint, node.Addr(), len(peers), storeDesc(*storePath), wc)
 	}
 
 	if ready != nil {

@@ -253,6 +253,59 @@ func TestChurnDeltaRestoreMatchesFullFrames(t *testing.T) {
 	}
 }
 
+// TestDurabilityQuorumZeroSilentLoss is the acceptance check for
+// durable-by-write federation: with WriteConcern=quorum, killing the
+// writing center right after its writes return loses no record the
+// caller was not explicitly warned about — every healthy-phase write is
+// on a survivor, and every cut-off-phase write came back ErrNotDurable.
+func TestDurabilityQuorumZeroSilentLoss(t *testing.T) {
+	res, err := RunDurability(3, 4, cluster.WriteQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPhase := 2 * 4 // registry + snapshot writes
+	if res.SilentLoss != 0 {
+		t.Fatalf("quorum writes silently lost: %+v", res)
+	}
+	if res.Durable != perPhase {
+		t.Fatalf("healthy-phase writes not all on survivors: %+v", res)
+	}
+	if res.Flagged != perPhase {
+		t.Fatalf("cut-off writes not all flagged ErrNotDurable: %+v", res)
+	}
+	if res.LostTotal != perPhase {
+		t.Fatalf("lost-total should be exactly the flagged cut-off batch: %+v", res)
+	}
+	if res.EventsDurable != perPhase || res.EventsDegraded != perPhase {
+		t.Fatalf("durability events off: %+v", res)
+	}
+}
+
+// TestDurabilityAsyncLosesSilently documents the failure mode the write
+// concern exists for: async writes during the cut-off window report
+// success and are all lost when the center dies before its push.
+func TestDurabilityAsyncLosesSilently(t *testing.T) {
+	res, err := RunDurability(3, 4, cluster.WriteAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flagged != 0 {
+		t.Fatalf("async writes should never be flagged: %+v", res)
+	}
+	if res.SilentLoss != 2*4 {
+		t.Fatalf("silent loss = %d, want the whole cut-off batch (8): %+v", res.SilentLoss, res)
+	}
+}
+
+func TestDurabilityRejectsBadParams(t *testing.T) {
+	if _, err := RunDurability(2, 4, cluster.WriteQuorum); err == nil {
+		t.Fatal("RunDurability(2) should refuse: quorum needs >= 3 centers")
+	}
+	if _, err := RunDurability(3, 0, cluster.WriteQuorum); err == nil {
+		t.Fatal("RunDurability with 0 writes should refuse")
+	}
+}
+
 // TestDeltaSweepSavesBytes runs one small cell of the delta sweep and
 // checks the headline claims: >= 5x fewer replicated bytes per mutated
 // tick, zero serialization on idle ticks, and a value-intact record on

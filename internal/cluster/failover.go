@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -87,10 +88,14 @@ func (f *Failover) Rehome(ctx context.Context, deadHost string) ([]Rehoming, err
 			return done, fmt.Errorf("cluster: relaunch %s on %s: %w", rec.Name, target, err)
 		}
 		newRec.Running = true
-		if err := f.Center.RegisterApp(ctx, newRec); err != nil {
+		// A durability shortfall on the bookkeeping writes must not abort
+		// the failover: the records landed at the planning center and
+		// anti-entropy keeps retrying delivery — aborting would strand
+		// the remaining apps over an advisory error.
+		if err := f.Center.RegisterApp(ctx, newRec); err != nil && !errors.Is(err, ErrNotDurable) {
 			return done, err
 		}
-		if err := f.Center.UnregisterApp(ctx, rec.Name, deadHost); err != nil {
+		if err := f.Center.UnregisterApp(ctx, rec.Name, deadHost); err != nil && !errors.Is(err, ErrNotDurable) {
 			return done, err
 		}
 		r := Rehoming{App: rec.Name, From: deadHost, To: target, NewSpace: newRec.Space, Restored: restored}
@@ -102,11 +107,18 @@ func (f *Failover) Rehome(ctx context.Context, deadHost string) ([]Rehoming, err
 	return done, nil
 }
 
-// snapshotFor fetches the freshest replicated snapshot for an app when
-// state restoration is enabled, verifying every frame in the record —
-// base and delta chain — by header and checksum (cheap, no decode; the
-// launcher reassembles exactly once) so a corrupt record degrades to a
-// skeleton relaunch instead of failing the failover.
+// snapshotFor fetches the replicated snapshot to restore an app from
+// when state restoration is enabled, verifying every frame in the chosen
+// record — base and delta chain — by header and checksum (cheap, no
+// decode; the launcher reassembles exactly once) so a corrupt record
+// degrades to a skeleton relaunch instead of failing the failover.
+//
+// When the head record is fresher but never met its write concern, the
+// planner prefers the last quorum-acked copy: an unacked head may be a
+// minority-partition write the rest of the federation never saw, and
+// restoring it would fork state the survivors cannot reconcile. With
+// WriteAsync (the default) no record is ever stamped durable and the
+// head is restored as before.
 func (f *Failover) snapshotFor(appName string) *state.SnapshotRecord {
 	if !f.RestoreState {
 		return nil
@@ -115,7 +127,17 @@ func (f *Failover) snapshotFor(appName string) *state.SnapshotRecord {
 	if !ok {
 		return nil
 	}
+	if !sr.Durable {
+		if dur, ok := f.Center.LatestDurableSnapshot(appName); ok && dur.Verify() == nil {
+			return &dur
+		}
+	}
 	if err := sr.Verify(); err != nil {
+		// Corrupt head: the durable stash is a second chance before
+		// degrading to a skeleton relaunch.
+		if dur, ok := f.Center.LatestDurableSnapshot(appName); ok && dur.Verify() == nil {
+			return &dur
+		}
 		return nil
 	}
 	return &sr

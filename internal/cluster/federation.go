@@ -32,15 +32,30 @@ type Center struct {
 
 	mu      sync.Mutex
 	records map[string]Record
+	// durable is the last copy of each snapshot record known to have met
+	// a synchronous write concern — refreshed when a local write collects
+	// its acks or a replicated record arrives already stamped durable,
+	// and invalidated by tombstones. Failover prefers it over a fresher
+	// head record that only ever existed on one center.
+	durable map[string]Record
 	peers   map[string]string // peer space -> endpoint name
 	rng     *rand.Rand
+
+	// reachable, when set, is the membership view: whether a peer space's
+	// center is currently believed reachable. Durable writes consult it
+	// to fail fast (degraded mode) instead of waiting out ack timeouts
+	// against a partitioned majority. Nil assumes every peer reachable.
+	reachable func(space string) bool
+	// onDurability observes each synchronous-concern write outcome.
+	onDurability func(DurabilityEvent)
 
 	// pushers carries snapshot pushes (full records and deltas) to one
 	// FIFO worker per peer, so each peer receives them in write order —
 	// a reordered delta would be dropped at the peer and cost an
 	// anti-entropy round to repair — while a dead peer only stalls its
 	// own queue, never the healthy ones. Non-snapshot records keep the
-	// unordered pushAsync path.
+	// unordered pushAsync path under WriteAsync; synchronous concerns
+	// route every write through the workers so acks flow back per peer.
 	pushers map[string]chan pushItem // peer endpoint -> ordered queue
 
 	stopOnce sync.Once
@@ -52,7 +67,16 @@ type Center struct {
 type pushItem struct {
 	msgType string
 	payload []byte
+	key     string // record key, for the durable delta full-record fallback
+	// ack, when non-nil, receives exactly one delivery verdict for this
+	// item (nil = the peer now holds the write). The channel is buffered
+	// for every peer, so workers never block on a writer that timed out.
+	ack chan<- error
 }
+
+// errPushBacklog reports a peer whose ordered push queue is full — it is
+// stalled and cannot acknowledge a durable write in time.
+var errPushBacklog = errors.New("cluster: peer push queue full")
 
 // fedKeyPrefix prefixes the store keys the center persists its
 // replication state (records + version vectors) under.
@@ -73,6 +97,7 @@ func NewCenter(space string, reg *registry.Registry, ep *transport.Endpoint, cfg
 		ep:      ep,
 		cfg:     cfg,
 		records: make(map[string]Record),
+		durable: make(map[string]Record),
 		peers:   make(map[string]string),
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(len(space)))),
 		pushers: make(map[string]chan pushItem),
@@ -89,10 +114,14 @@ func NewCenter(space string, reg *registry.Registry, ep *transport.Endpoint, cfg
 			continue // corrupt frame; the peer re-offers it via anti-entropy
 		}
 		c.records[r.Key] = r
+		if r.Kind == RecordSnapshot && !r.Deleted && r.Snap.Durable {
+			c.durable[r.Key] = r // durability metadata survives a restart
+		}
 	}
 	ep.Handle(MsgFedDigest, c.handleDigest)
 	ep.Handle(MsgFedPush, c.handlePush)
 	ep.Handle(MsgFedSnapDelta, c.handleSnapDelta)
+	ep.Handle(MsgFedDurable, c.handleDurable)
 	return c
 }
 
@@ -108,6 +137,133 @@ func (c *Center) AddPeer(space, endpoint string) {
 	c.mu.Lock()
 	c.peers[space] = endpoint
 	c.mu.Unlock()
+}
+
+// SetReachable wires the membership view durable writes consult: f
+// reports whether a peer space's center is currently believed reachable.
+// When too few peers are reachable to ever meet the write concern, a
+// durable write fails fast with ErrNotDurable (degraded mode) instead of
+// waiting out ack timeouts. Nil (the default) assumes every peer
+// reachable.
+func (c *Center) SetReachable(f func(space string) bool) {
+	c.mu.Lock()
+	c.reachable = f
+	c.mu.Unlock()
+}
+
+// OnDurability registers an observer for synchronous-concern write
+// outcomes (internal/core bridges it onto the context kernel as
+// cluster.durable / cluster.degraded events).
+func (c *Center) OnDurability(f func(DurabilityEvent)) {
+	c.mu.Lock()
+	c.onDurability = f
+	c.mu.Unlock()
+}
+
+// reachablePeers counts the peers the membership view believes reachable
+// right now, or -1 when no view is wired (assume reachable, wait the
+// timeouts). Called OUTSIDE c.mu: the view calls into membership nodes
+// whose locks must never nest under the center's.
+func (c *Center) reachablePeers() int {
+	c.mu.Lock()
+	f := c.reachable
+	spaces := make([]string, 0, len(c.peers))
+	for s := range c.peers {
+		spaces = append(spaces, s)
+	}
+	c.mu.Unlock()
+	if f == nil {
+		return -1
+	}
+	n := 0
+	for _, s := range spaces {
+		if f(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// reportDurability fires the durability observer, off every center lock.
+func (c *Center) reportDurability(ev DurabilityEvent) {
+	c.mu.Lock()
+	f := c.onDurability
+	c.mu.Unlock()
+	if f != nil {
+		f(ev)
+	}
+}
+
+// awaitAcks is the synchronous leg of a durable write: it drains per-peer
+// delivery verdicts until the concern is met, every peer answered, or the
+// ack window closes. Exactly `sent` verdicts will eventually arrive on
+// acks (the channel is buffered for all of them), so returning early
+// never strands a worker.
+func (c *Center) awaitAcks(ctx context.Context, acks <-chan error, sent, required int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timer := time.NewTimer(c.cfg.AckTimeout)
+	defer timer.Stop()
+	acked, responded := 0, 0
+	for acked < required && responded < sent {
+		select {
+		case err := <-acks:
+			responded++
+			if err == nil {
+				acked++
+			}
+		case <-timer.C:
+			return acked
+		case <-ctx.Done():
+			return acked
+		}
+	}
+	return acked
+}
+
+// markDurable stamps a snapshot record as having met its write concern —
+// if it is still the version that was written — refreshes the durable
+// stash failover prefers, and broadcasts a best-effort confirmation so
+// peers that acked the data push stamp their copies too (FIFO-ordered
+// behind the push itself). Without the confirm, peer stashes would only
+// advance via anti-entropy deliveries of already-stamped records and
+// failover's durable-preference could prefer an arbitrarily old capture.
+func (c *Center) markDurable(key string, ver vclock.Version) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.records[key]
+	if !ok || rec.Kind != RecordSnapshot || rec.Deleted || rec.Version.Compare(ver) != vclock.Equal {
+		return
+	}
+	rec.Snap.Durable = true
+	c.records[key] = rec
+	c.persist(rec)
+	c.durable[key] = rec
+	c.enqueuePushLocked(MsgFedDurable, transport.MustEncode(durableMsg{
+		From: c.space, Key: key, Version: ver.Clone(),
+	}), key, nil)
+}
+
+// handleDurable adopts a writer's confirmation that a snapshot write met
+// its concern: if our stored record is exactly that version, stamp it
+// and refresh the durable stash.
+func (c *Center) handleDurable(msg transport.Message) ([]byte, error) {
+	var m durableMsg
+	if err := transport.Decode(msg.Payload, &m); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.records[m.Key]
+	if !ok || rec.Kind != RecordSnapshot || rec.Deleted || rec.Version.Compare(m.Version) != vclock.Equal {
+		return nil, nil // different (or newer) state here: nothing to stamp
+	}
+	rec.Snap.Durable = true
+	c.records[m.Key] = rec
+	c.persist(rec)
+	c.durable[m.Key] = rec
+	return nil, nil
 }
 
 // Start launches the anti-entropy loop.
@@ -139,21 +295,21 @@ func (c *Center) Stop() {
 
 // RegisterApp registers an application installation, stamping a version
 // and replicating to peers. An empty Space defaults to this center's.
-func (c *Center) RegisterApp(_ context.Context, rec registry.AppRecord) error {
+func (c *Center) RegisterApp(ctx context.Context, rec registry.AppRecord) error {
 	if rec.Space == "" {
 		rec.Space = c.space
 	}
 	if err := rec.Validate(); err != nil {
 		return err
 	}
-	return c.write(Record{Key: rec.Key(), Kind: RecordApp, App: rec})
+	return c.write(ctx, Record{Key: rec.Key(), Kind: RecordApp, App: rec})
 }
 
 // UnregisterApp tombstones an application installation across the
 // federation.
-func (c *Center) UnregisterApp(_ context.Context, name, host string) error {
+func (c *Center) UnregisterApp(ctx context.Context, name, host string) error {
 	rec := registry.AppRecord{Name: name, Host: host}
-	return c.write(Record{Key: rec.Key(), Kind: RecordApp, App: rec, Deleted: true})
+	return c.write(ctx, Record{Key: rec.Key(), Kind: RecordApp, App: rec, Deleted: true})
 }
 
 // snapKey is the replication-table key for an app's latest snapshot.
@@ -176,9 +332,23 @@ var _ state.Publisher = (*Center)(nil)
 // when the chain grows past Config.MaxDeltaChain or outweighs half the
 // base frame, and pushed to peers as a delta-only message so the
 // federation wire carries kilobytes, not the multi-megabyte base.
-func (c *Center) PutSnapshot(_ context.Context, put state.SnapshotPut) (state.SnapshotStamp, error) {
+func (c *Center) PutSnapshot(ctx context.Context, put state.SnapshotPut) (state.SnapshotStamp, error) {
 	if put.App == "" {
 		return state.SnapshotStamp{}, fmt.Errorf("cluster: snapshot put has no app")
+	}
+	// The put's write-concern header overrides the center default. An
+	// unknown value is refused before anything is stored or enqueued: a
+	// malformed header must not poison the record or the push workers.
+	wc := c.cfg.WriteConcern
+	if put.Concern != "" {
+		var err error
+		if wc, err = ParseWriteConcern(put.Concern); err != nil {
+			return state.SnapshotStamp{}, fmt.Errorf("cluster: snapshot put for %s: %w", put.App, err)
+		}
+	}
+	reach := -1
+	if wc != WriteAsync {
+		reach = c.reachablePeers()
 	}
 	if put.Space == "" {
 		put.Space = c.space
@@ -220,32 +390,68 @@ func (c *Center) PutSnapshot(_ context.Context, put state.SnapshotPut) (state.Sn
 	c.records[key] = rec
 	c.persist(rec)
 	stamp := state.SnapshotStamp{Seq: rec.Snap.Seq, BaseSeq: rec.Snap.BaseSeq, Chain: len(rec.Snap.Deltas)}
+	peerCount := len(c.peers)
+	required := requiredAcks(wc, len(c.peers))
+	// Degraded mode: the membership view says too few peer centers are
+	// reachable to ever meet the concern — fall back to async replication
+	// and fail fast instead of waiting out ack timeouts per write.
+	degraded := required > 0 && reach >= 0 && reach < required
+	var acks chan error
+	sent := 0
 	// Enqueue while still holding c.mu: two racing puts must hit the
 	// ordered push queue in the same order their sequences were assigned.
 	// A delta put always pushes just the delta — even when this center
 	// compacted its own chain — because peers track the state by digest
 	// and compact independently; only a fresh base frame needs the full
-	// record on the wire.
+	// record on the wire. (A durable delta push falls back to the full
+	// record per peer when the peer cannot chain the delta.)
+	if required > 0 && !degraded {
+		acks = make(chan error, len(c.peers))
+	}
 	if put.Delta {
-		c.enqueuePushLocked(MsgFedSnapDelta, transport.MustEncode(snapDeltaMsg{
+		sent = c.enqueuePushLocked(MsgFedSnapDelta, transport.MustEncode(snapDeltaMsg{
 			From: c.space, Key: rec.Key, Version: rec.Version.Clone(),
 			Seq: rec.Snap.Seq, Host: rec.Snap.Host, Space: rec.Snap.Space, At: rec.Snap.At,
 			BaseDigest: put.BaseDigest, NewDigest: put.NewDigest, Delta: put.Frame,
-		}))
+		}), key, acks)
 	} else {
-		c.enqueuePushLocked(MsgFedPush, transport.MustEncode(pushMsg{From: c.space, Records: []Record{rec}}))
+		sent = c.enqueuePushLocked(MsgFedPush, transport.MustEncode(pushMsg{From: c.space, Records: []Record{rec}}), key, acks)
 	}
+	ver := rec.Version.Clone()
 	c.mu.Unlock()
 	c.compactIfHeavy(key)
+	if required == 0 {
+		if wc != WriteAsync {
+			c.reportDurability(DurabilityEvent{Key: key, Concern: wc, Durable: true})
+		}
+		return stamp, nil
+	}
+	if degraded {
+		c.reportDurability(DurabilityEvent{Key: key, Concern: wc, Required: required, Degraded: true})
+		return stamp, fmt.Errorf("cluster: put %s: %d/%d peers reachable, concern %s unmeetable: %w",
+			key, reach, peerCount, wc, ErrNotDurable)
+	}
+	acked := c.awaitAcks(ctx, acks, sent, required)
+	if acked < required {
+		c.reportDurability(DurabilityEvent{Key: key, Concern: wc, Required: required, Acked: acked})
+		return stamp, fmt.Errorf("cluster: put %s acked by %d/%d peers (concern %s): %w",
+			key, acked, required, wc, ErrNotDurable)
+	}
+	c.markDurable(key, ver)
+	c.reportDurability(DurabilityEvent{Key: key, Concern: wc, Required: required, Acked: acked, Durable: true})
 	return stamp, nil
 }
 
 // enqueuePushLocked hands one pre-encoded message to every peer's
-// ordered push worker (created lazily), dropping it when a peer's queue
-// is full — that peer is stalled and anti-entropy will repair it.
-// Callers hold c.mu.
-func (c *Center) enqueuePushLocked(msgType string, payload []byte) {
-	it := pushItem{msgType: msgType, payload: payload}
+// ordered push worker (created lazily) and returns how many verdicts the
+// caller may expect. An async item (nil ack) is dropped when a peer's
+// queue is full — that peer is stalled and anti-entropy will repair it;
+// a durable item gets an immediate backlog verdict instead, so every
+// enqueued peer accounts for exactly one ack-channel send. Callers hold
+// c.mu.
+func (c *Center) enqueuePushLocked(msgType string, payload []byte, key string, ack chan<- error) int {
+	it := pushItem{msgType: msgType, payload: payload, key: key, ack: ack}
+	sent := 0
 	for _, ep := range c.peers {
 		q, ok := c.pushers[ep]
 		if !ok {
@@ -256,13 +462,20 @@ func (c *Center) enqueuePushLocked(msgType string, payload []byte) {
 		}
 		select {
 		case q <- it:
+			sent++
 		default:
+			if ack != nil {
+				ack <- errPushBacklog // buffered for every peer: never blocks
+				sent++
+			}
 		}
 	}
+	return sent
 }
 
-// pushWorker delivers one peer's queued snapshot pushes in order, each
-// under its own timeout, so a dead peer burns only its own queue's time.
+// pushWorker delivers one peer's queued pushes in order, each under its
+// own timeout, so a dead peer burns only its own queue's time. Durable
+// items get their delivery verdict sent back to the waiting writer.
 func (c *Center) pushWorker(peer string, q chan pushItem) {
 	defer c.wg.Done()
 	for {
@@ -270,11 +483,57 @@ func (c *Center) pushWorker(peer string, q chan pushItem) {
 		case <-c.stop:
 			return
 		case it := <-q:
-			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
-			_, _ = c.ep.Request(ctx, peer, it.msgType, it.payload)
-			cancel()
+			err := c.deliverPush(peer, it)
+			if it.ack != nil {
+				it.ack <- err
+			}
 		}
 	}
+}
+
+// deliverPush sends one queued item to a peer. For a durable delta push
+// the peer reports in-band whether it could chain the delta; a peer
+// whose base diverged does not hold the write, so the pusher falls back
+// to the whole current record — apply()'s version rules land it there
+// regardless of the peer's state, making the write (or a successor of
+// it) durable on that peer.
+func (c *Center) deliverPush(peer string, it pushItem) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	reply, err := c.ep.Request(ctx, peer, it.msgType, it.payload)
+	cancel()
+	if err != nil {
+		return err
+	}
+	if it.ack == nil || it.msgType != MsgFedSnapDelta {
+		// Async push, or a full-record push whose error-free reply is the
+		// ack: after handlePush returns, the peer's stored version
+		// supersedes-or-equals the pushed one — either it installed the
+		// record, already held it (or newer), or resolved a concurrent
+		// conflict to the merged vector, which dominates the pushed write.
+		// A conflict-losing payload is superseded by deterministic
+		// resolution, not lost: the writer converges to the same winner
+		// via anti-entropy whether it lives or dies, so it counts as
+		// durable.
+		return nil
+	}
+	var ack snapDeltaAck
+	if err := transport.Decode(reply.Payload, &ack); err != nil {
+		return err
+	}
+	if ack.Applied {
+		return nil
+	}
+	c.mu.Lock()
+	rec, ok := c.records[it.key]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: record %s vanished before durable fallback push", it.key)
+	}
+	fctx, fcancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer fcancel()
+	_, err = c.ep.Request(fctx, peer, MsgFedPush,
+		transport.MustEncode(pushMsg{From: c.space, Records: []Record{rec}}))
+	return err
 }
 
 // chainHeavy reports whether a snapshot record's delta chain has grown
@@ -337,11 +596,18 @@ func (c *Center) compactIfHeavy(key string) {
 // handleSnapDelta appends a peer's delta push to our copy of the record
 // when — and only when — our newest state is exactly the base the delta
 // was computed against and the incoming version strictly supersedes
-// ours. Anything else is silently ignored: anti-entropy delivers the
-// authoritative record shortly.
+// ours. Anything else is not applied — anti-entropy delivers the
+// authoritative record shortly — but the reply always reports whether
+// this center now holds the pushed write (applied it, or already held
+// that version or newer), so a durable pusher knows when to fall back to
+// a full-record push.
 func (c *Center) handleSnapDelta(msg transport.Message) ([]byte, error) {
 	var m snapDeltaMsg
 	if err := transport.Decode(msg.Payload, &m); err != nil {
+		return nil, err
+	}
+	nack, err := transport.Encode(snapDeltaAck{})
+	if err != nil {
 		return nil, err
 	}
 	// Same up-front frame validation as PutSnapshot: appending a torn or
@@ -349,35 +615,46 @@ func (c *Center) handleSnapDelta(msg transport.Message) ([]byte, error) {
 	// permanently (versions match the writer's, so anti-entropy would
 	// never re-offer the record).
 	if d, err := state.DecodeDelta(m.Delta); err != nil || d.BaseDigest != m.BaseDigest {
-		return nil, nil
+		return nack, nil
 	}
 	c.mu.Lock()
 	ex, ok := c.records[m.Key]
 	if !ok || ex.Kind != RecordSnapshot || ex.Deleted ||
 		ex.Snap.StateDigest != m.BaseDigest ||
 		ex.Version.Compare(m.Version) != vclock.Before {
+		applied := false
+		if ok {
+			// Already at (or past) the pushed version: the write is not
+			// lost if this center is the writer's only surviving peer.
+			cmp := ex.Version.Compare(m.Version)
+			applied = cmp == vclock.Equal || cmp == vclock.After
+		}
 		c.mu.Unlock()
-		return nil, nil
+		if applied {
+			return transport.Encode(snapDeltaAck{Applied: true})
+		}
+		return nack, nil
 	}
 	rec := ex
 	rec.Snap.Deltas = append(append([][]byte(nil), ex.Snap.Deltas...), m.Delta)
 	rec.Snap.Seq = m.Seq
 	rec.Snap.Host, rec.Snap.Space, rec.Snap.At = m.Host, m.Space, m.At
 	rec.Snap.StateDigest = m.NewDigest
+	rec.Snap.Durable = false // this copy's durability is the writer's call
 	rec.Version = m.Version.Clone()
 	rec.Origin = m.From
 	c.records[m.Key] = rec
 	c.persist(rec)
 	c.mu.Unlock()
 	c.compactIfHeavy(m.Key)
-	return nil, nil
+	return transport.Encode(snapDeltaAck{Applied: true})
 }
 
 // DropSnapshot tombstones an application's replicated snapshot — the
 // graceful-stop path, so failover never restores state for an app an
 // operator deliberately stopped.
-func (c *Center) DropSnapshot(_ context.Context, appName, host string) error {
-	return c.write(Record{
+func (c *Center) DropSnapshot(ctx context.Context, appName, host string) error {
+	return c.write(ctx, Record{
 		Key: snapKey(appName), Kind: RecordSnapshot,
 		Snap: state.SnapshotRecord{App: appName, Host: host}, Deleted: true,
 	})
@@ -395,25 +672,43 @@ func (c *Center) LatestSnapshot(appName string) (state.SnapshotRecord, bool) {
 	return r.Snap, true
 }
 
+// LatestDurableSnapshot returns the last snapshot record for an
+// application this center knows met its write concern — possibly older
+// than LatestSnapshot's head when the newest writes fell short of their
+// acks. Failover prefers it over a fresher-but-unacked head: an unacked
+// record may be a minority-partition write the rest of the federation
+// never saw, and restoring it would fork state the survivors cannot
+// reconcile.
+func (c *Center) LatestDurableSnapshot(appName string) (state.SnapshotRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.durable[snapKey(appName)]
+	if !ok || r.Deleted || r.Kind != RecordSnapshot {
+		return state.SnapshotRecord{}, false
+	}
+	return r.Snap, true
+}
+
 // RegisterResource registers a resource description federation-wide.
-func (c *Center) RegisterResource(_ context.Context, res owl.Resource) error {
+func (c *Center) RegisterResource(ctx context.Context, res owl.Resource) error {
 	if err := res.Validate(); err != nil {
 		return err
 	}
-	return c.write(Record{Key: "res/" + res.ID, Kind: RecordResource, Res: res})
+	return c.write(ctx, Record{Key: "res/" + res.ID, Kind: RecordResource, Res: res})
 }
 
 // RegisterDevice registers a host device profile federation-wide.
-func (c *Center) RegisterDevice(_ context.Context, dev wsdl.DeviceProfile) error {
+func (c *Center) RegisterDevice(ctx context.Context, dev wsdl.DeviceProfile) error {
 	if dev.Host == "" {
 		return fmt.Errorf("cluster: device profile has no host")
 	}
-	return c.write(Record{Key: "dev/" + dev.Host, Kind: RecordDevice, Dev: dev})
+	return c.write(ctx, Record{Key: "dev/" + dev.Host, Kind: RecordDevice, Dev: dev})
 }
 
-// write stamps a locally originated record and replicates it.
-func (c *Center) write(r Record) error {
-	_, err := c.writeStamped(r)
+// write stamps a locally originated record and replicates it under the
+// center's configured write concern.
+func (c *Center) write(ctx context.Context, r Record) error {
+	_, err := c.writeStamped(ctx, r)
 	return err
 }
 
@@ -424,22 +719,72 @@ func (c *Center) write(r Record) error {
 // never two identical vectors that peers could receive in different
 // orders and diverge on. Snapshot records additionally get the next
 // capture sequence under the same section.
-func (c *Center) writeStamped(r Record) (Record, error) {
+//
+// Under a synchronous write concern the record is pushed through the
+// per-peer FIFO workers and the call blocks until enough peers acked (or
+// the ack window closes, returning the record plus ErrNotDurable — the
+// write landed locally and anti-entropy keeps retrying delivery). Under
+// WriteAsync, and in degraded mode, the unordered best-effort pushAsync
+// path is kept.
+func (c *Center) writeStamped(ctx context.Context, r Record) (Record, error) {
+	wc := c.cfg.WriteConcern
+	reach := -1
+	if wc != WriteAsync {
+		reach = c.reachablePeers()
+	}
 	c.mu.Lock()
 	prev := c.records[r.Key]
 	r.Version = prev.Version.Tick(c.space)
 	r.Origin = c.space
 	if r.Kind == RecordSnapshot {
 		r.Snap.Seq = prev.Snap.Seq + 1
+		if r.Deleted {
+			// A graceful-stop tombstone invalidates the durable stash:
+			// failover must never restore a deliberately stopped app from
+			// its last quorum-acked snapshot.
+			delete(c.durable, r.Key)
+		}
 	}
 	c.records[r.Key] = r
 	c.persist(r)
 	err := c.applyToRegistry(r)
+	required := requiredAcks(wc, len(c.peers))
+	degraded := required > 0 && reach >= 0 && reach < required
+	var acks chan error
+	sent := 0
+	// Only an error-free write replicates synchronously — mirroring the
+	// async path, which also suppresses its push on a registry error.
+	if err == nil && required > 0 && !degraded {
+		acks = make(chan error, len(c.peers))
+		sent = c.enqueuePushLocked(MsgFedPush,
+			transport.MustEncode(pushMsg{From: c.space, Records: []Record{r}}), r.Key, acks)
+	}
+	ver := r.Version.Clone()
 	c.mu.Unlock()
 	if err != nil {
 		return r, err
 	}
-	c.pushAsync([]Record{r})
+	if required == 0 {
+		c.pushAsync([]Record{r})
+		if wc != WriteAsync {
+			c.reportDurability(DurabilityEvent{Key: r.Key, Concern: wc, Durable: true})
+		}
+		return r, nil
+	}
+	if degraded {
+		c.pushAsync([]Record{r})
+		c.reportDurability(DurabilityEvent{Key: r.Key, Concern: wc, Required: required, Degraded: true})
+		return r, fmt.Errorf("cluster: write %s: %d peers reachable, concern %s unmeetable: %w",
+			r.Key, reach, wc, ErrNotDurable)
+	}
+	acked := c.awaitAcks(ctx, acks, sent, required)
+	if acked < required {
+		c.reportDurability(DurabilityEvent{Key: r.Key, Concern: wc, Required: required, Acked: acked})
+		return r, fmt.Errorf("cluster: write %s acked by %d/%d peers (concern %s): %w",
+			r.Key, acked, required, wc, ErrNotDurable)
+	}
+	c.markDurable(r.Key, ver)
+	c.reportDurability(DurabilityEvent{Key: r.Key, Concern: wc, Required: required, Acked: acked, Durable: true})
 	return r, nil
 }
 
@@ -478,6 +823,16 @@ func (c *Center) apply(r Record) (bool, error) {
 	}
 	c.records[r.Key] = r
 	c.persist(r)
+	if r.Kind == RecordSnapshot {
+		if r.Deleted {
+			// A replicated tombstone invalidates the durable stash too.
+			delete(c.durable, r.Key)
+		} else if r.Snap.Durable {
+			// Anti-entropy can deliver a record its writer already
+			// stamped durable; adopt that knowledge.
+			c.durable[r.Key] = r
+		}
+	}
 	return true, c.applyToRegistry(r)
 }
 
@@ -557,34 +912,46 @@ func (c *Center) PlanRebinding(_ context.Context, src owl.Resource, destHost str
 // handlers (the local store holds the converged union).
 func (c *Center) Serve(ep *transport.Endpoint) *Center {
 	c.reg.Serve(ep) // read handlers + fallback writes...
+	// The registry wire protocol has no reply body for writes, so a
+	// durability shortfall cannot be reported in-band there; the write
+	// landed locally and anti-entropy retries delivery, so remote
+	// registrations succeed and the shortfall surfaces through the
+	// center's own durability events. Snapshot puts DO carry the verdict
+	// back (putSnapshotReply.NotDurable) — remote replicators re-queue.
+	stripNotDurable := func(err error) error {
+		if errors.Is(err, ErrNotDurable) {
+			return nil
+		}
+		return err
+	}
 	// ...then shadow the write handlers with replicating versions.
 	ep.Handle(registry.MsgRegisterApp, func(msg transport.Message) ([]byte, error) {
 		var rec registry.AppRecord
 		if err := transport.Decode(msg.Payload, &rec); err != nil {
 			return nil, err
 		}
-		return nil, c.RegisterApp(context.Background(), rec)
+		return nil, stripNotDurable(c.RegisterApp(context.Background(), rec))
 	})
 	ep.Handle(registry.MsgUnregisterApp, func(msg transport.Message) ([]byte, error) {
 		var req struct{ Name, Host string }
 		if err := transport.Decode(msg.Payload, &req); err != nil {
 			return nil, err
 		}
-		return nil, c.UnregisterApp(context.Background(), req.Name, req.Host)
+		return nil, stripNotDurable(c.UnregisterApp(context.Background(), req.Name, req.Host))
 	})
 	ep.Handle(registry.MsgRegisterResource, func(msg transport.Message) ([]byte, error) {
 		var res owl.Resource
 		if err := transport.Decode(msg.Payload, &res); err != nil {
 			return nil, err
 		}
-		return nil, c.RegisterResource(context.Background(), res)
+		return nil, stripNotDurable(c.RegisterResource(context.Background(), res))
 	})
 	ep.Handle(registry.MsgRegisterDevice, func(msg transport.Message) ([]byte, error) {
 		var dev wsdl.DeviceProfile
 		if err := transport.Decode(msg.Payload, &dev); err != nil {
 			return nil, err
 		}
-		return nil, c.RegisterDevice(context.Background(), dev)
+		return nil, stripNotDurable(c.RegisterDevice(context.Background(), dev))
 	})
 	// Snapshot put/get: multi-process daemons (cmd/mdagentd) join the
 	// state pipeline over the same wire as their registry traffic. The
@@ -600,7 +967,13 @@ func (c *Center) Serve(ep *transport.Endpoint) *Center {
 		if errors.Is(err, state.ErrNeedFull) {
 			return transport.Encode(putSnapshotReply{NeedFull: true})
 		}
+		if errors.Is(err, ErrNotDurable) {
+			return transport.Encode(putSnapshotReply{Stamp: stamp, NotDurable: true})
+		}
 		if err != nil {
+			// Including a malformed write-concern header: the put was
+			// refused before anything was stored or enqueued, so the
+			// error reply cannot poison the FIFO push workers.
 			return nil, err
 		}
 		return transport.Encode(putSnapshotReply{Stamp: stamp})
@@ -618,7 +991,7 @@ func (c *Center) Serve(ep *transport.Endpoint) *Center {
 		if err := transport.Decode(msg.Payload, &req); err != nil {
 			return nil, err
 		}
-		return nil, c.DropSnapshot(context.Background(), req.App, req.Host)
+		return nil, stripNotDurable(c.DropSnapshot(context.Background(), req.App, req.Host))
 	})
 	return c
 }

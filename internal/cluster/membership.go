@@ -87,6 +87,17 @@ type Config struct {
 	// publishes a full frame, the pre-delta behaviour. The benchmark
 	// baseline, not something a deployment should want.
 	FullSnapshotFrames bool
+
+	// WriteConcern is the federation write durability level: WriteAsync
+	// (default) returns as soon as a write lands locally; WriteOne and
+	// WriteQuorum block until enough peer centers acknowledged the
+	// pushed record or snapshot delta. On shortfall the write still
+	// lands locally (anti-entropy retries delivery) and the caller gets
+	// ErrNotDurable. Snapshot puts may override it per put.
+	WriteConcern WriteConcern
+	// AckTimeout bounds the synchronous wait for peer acks on a durable
+	// write (default 2 x ProbeTimeout).
+	AckTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +130,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReplicateBudget == 0 {
 		c.ReplicateBudget = 64 << 20
+	}
+	if c.WriteConcern == "" {
+		c.WriteConcern = WriteAsync
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 2 * c.ProbeTimeout
 	}
 	return c
 }

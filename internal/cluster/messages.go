@@ -18,6 +18,7 @@ const (
 	MsgFedDigest    = "cluster.fed-digest"     // anti-entropy digest exchange
 	MsgFedPush      = "cluster.fed-push"       // best-effort replication push
 	MsgFedSnapDelta = "cluster.fed-snap-delta" // delta-only snapshot push
+	MsgFedDurable   = "cluster.fed-durable"    // write-concern-met confirmation
 	MsgPutSnapshot  = "cluster.snap-put"       // remote replicator put
 	MsgGetSnapshot  = "cluster.snap-get"       // remote snapshot fetch
 	MsgDropSnapshot = "cluster.snap-drop"      // remote graceful-stop tombstone
@@ -100,6 +101,27 @@ type pushMsg struct {
 	Records []Record
 }
 
+// durableMsg tells peers a snapshot write met its concern: a peer whose
+// stored record is exactly Version stamps its copy durable and refreshes
+// its durable stash. Best-effort and FIFO-ordered behind the data push
+// it confirms; without it, a peer's stash would only ever advance via
+// anti-entropy deliveries of already-stamped records, and failover's
+// durable-preference could roll back to an arbitrarily old capture.
+type durableMsg struct {
+	From    string
+	Key     string
+	Version vclock.Version
+}
+
+// snapDeltaAck acknowledges a delta push. Applied reports that the
+// receiver now holds the pushed write: it chained the delta, or already
+// held that version or a newer one. A false ack tells a durable pusher
+// to fall back to a full-record push (the receiver's base diverged, so
+// the delta alone cannot make the write durable there).
+type snapDeltaAck struct {
+	Applied bool
+}
+
 // snapDeltaMsg carries just the newest delta of a snapshot record to a
 // peer center — kilobytes where a full record push would be megabytes. A
 // peer applies it only when its copy's newest state digest matches
@@ -127,6 +149,10 @@ type (
 		// NeedFull tells the remote replicator to re-send a full frame
 		// (carried in-band: typed errors do not survive the transport).
 		NeedFull bool
+		// NotDurable tells the remote replicator the put landed but fell
+		// short of its write concern (in-band for the same reason), so it
+		// re-queues instead of advancing its acked base.
+		NotDurable bool
 	}
 
 	getSnapshotReq struct{ App string }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 
 	"mdagent/internal/state"
 	"mdagent/internal/transport"
@@ -13,8 +14,9 @@ import (
 // exactly as an in-process deployment does — delta puts, need-full
 // fallback, tombstones, and restore-side fetches all cross the wire.
 type SnapshotClient struct {
-	ep     *transport.Endpoint
-	server string
+	ep      *transport.Endpoint
+	server  string
+	concern string // write-concern header stamped on every put ("" = center default)
 }
 
 var _ state.Publisher = (*SnapshotClient)(nil)
@@ -25,10 +27,22 @@ func NewSnapshotClient(ep *transport.Endpoint, server string) *SnapshotClient {
 	return &SnapshotClient{ep: ep, server: server}
 }
 
+// SetWriteConcern makes every put carry wc as its write-concern header,
+// overriding the center's configured default per put (mdagentd's
+// -write-concern flag). The zero value defers to the center.
+func (c *SnapshotClient) SetWriteConcern(wc WriteConcern) {
+	c.concern = string(wc)
+}
+
 // PutSnapshot implements state.Publisher. A center that cannot apply a
 // delta put answers in-band; the client maps that back to
-// state.ErrNeedFull so the replicator's fallback works unchanged.
+// state.ErrNeedFull so the replicator's fallback works unchanged, and a
+// durability shortfall maps to state.ErrNotDurable so the replicator
+// re-queues instead of advancing its acked base.
 func (c *SnapshotClient) PutSnapshot(ctx context.Context, put state.SnapshotPut) (state.SnapshotStamp, error) {
+	if put.Concern == "" {
+		put.Concern = c.concern
+	}
 	payload, err := transport.Encode(put)
 	if err != nil {
 		return state.SnapshotStamp{}, err
@@ -39,6 +53,9 @@ func (c *SnapshotClient) PutSnapshot(ctx context.Context, put state.SnapshotPut)
 	}
 	if reply.NeedFull {
 		return state.SnapshotStamp{}, state.ErrNeedFull
+	}
+	if reply.NotDurable {
+		return reply.Stamp, fmt.Errorf("cluster: remote put %s: %w", put.App, ErrNotDurable)
 	}
 	return reply.Stamp, nil
 }

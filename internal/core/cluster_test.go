@@ -394,6 +394,82 @@ func TestStopAppRetiresSnapshot(t *testing.T) {
 	})
 }
 
+// TestDurableWritesPublishKernelEvents runs a federated deployment under
+// WriteConcern=quorum and checks the observability wiring end to end:
+// healthy durable writes surface as cluster.durable events, and once the
+// center's host is partitioned from every peer — so its membership view
+// says the quorum is unreachable — writes degrade fast and surface as
+// cluster.degraded events instead of blocking the caller.
+func TestDurableWritesPublishKernelEvents(t *testing.T) {
+	cfg := clusterTestConfig()
+	cfg.WriteConcern = cluster.WriteQuorum
+	cfg.AckTimeout = 250 * time.Millisecond
+	mw2, err := New(Config{Seed: 5, Cluster: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mw2.Close() })
+	var mu sync.Mutex
+	durable, degraded := 0, 0
+	mw2.Kernel.Subscribe(TopicClusterDurable, func(ctxkernel.Event) {
+		mu.Lock()
+		durable++
+		mu.Unlock()
+	})
+	mw2.Kernel.Subscribe(TopicClusterDegraded, func(ctxkernel.Event) {
+		mu.Lock()
+		degraded++
+		mu.Unlock()
+	})
+	for i, host := range []string{"h1", "h2", "h3"} {
+		space := []string{"lab1", "lab2", "lab3"}[i]
+		if err := mw2.AddSpace(space); err != nil {
+			t.Fatal(err)
+		}
+		if err := mw2.AddGateway("gw-"+space, space, netsim.Pentium4_1700()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mw2.AddHost(host, space, netsim.Pentium4_1700(), testDevice(host), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A post-provisioning write with every center up must be durable.
+	if err := mw2.RegisterResource(demoapps.MusicResource(media.GenerateFile("s", 1000, 1), "h1")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	gotDurable := durable
+	mu.Unlock()
+	if gotDurable == 0 {
+		t.Fatal("no cluster.durable event after a healthy quorum write")
+	}
+
+	// Cut h1 (and lab1's center with it) off from every peer, wait for
+	// its own membership view to convict them, then write through lab1:
+	// degraded mode must fail fast and publish cluster.degraded.
+	mw2.Net.Partition([]string{"h1"}, []string{"h2", "h3"})
+	n1, _ := mw2.Cluster.Node("h1")
+	waitFor(t, 5*time.Second, "h1 convicting its peers", func() bool {
+		m2, _ := n1.Member("h2")
+		m3, _ := n1.Member("h3")
+		return m2.State == cluster.StateDead && m3.State == cluster.StateDead
+	})
+	start := time.Now()
+	// core swallows the advisory ErrNotDurable; the event carries it.
+	if err := mw2.RegisterResource(demoapps.MusicResource(media.GenerateFile("s2", 1000, 1), "h1")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("degraded write took %v, want a fast fail via the membership view", elapsed)
+	}
+	mu.Lock()
+	gotDegraded := degraded
+	mu.Unlock()
+	if gotDegraded == 0 {
+		t.Fatal("no cluster.degraded event after a partitioned quorum write")
+	}
+}
+
 // TestPartitionHealRearmsFailover runs the full-stack partition-healing
 // scenario: h1 is cut off and convicted (its app re-homed), the partition
 // heals, and the dead-member probe must bring h1 back to alive in every

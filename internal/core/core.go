@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -79,6 +80,15 @@ const (
 	// TopicStateRestored fires when failover restores a re-homed app from
 	// a replicated snapshot (attrs: app, to, seq).
 	TopicStateRestored = ctxkernel.TopicStateRestored
+	// TopicClusterDurable fires when a synchronous-concern federation
+	// write met its write concern (attrs: space, key, concern, acked,
+	// required).
+	TopicClusterDurable = ctxkernel.TopicClusterDurable
+	// TopicClusterDegraded fires when a synchronous-concern federation
+	// write fell short of its concern or skipped the wait because the
+	// membership view said a quorum was unreachable (attrs: space, key,
+	// concern, acked, required, degraded).
+	TopicClusterDegraded = ctxkernel.TopicClusterDegraded
 )
 
 // HostRuntime is everything MDAgent runs on one host.
@@ -124,6 +134,19 @@ type Middleware struct {
 
 // maxRehomeAttempts bounds the failover retry loop for one dead host.
 const maxRehomeAttempts = 5
+
+// ignoreNotDurable treats a durability shortfall as success for callers
+// that only need the write to land locally: the record still replicates
+// via anti-entropy, and the shortfall already surfaced as a
+// cluster.degraded kernel event. Callers that must KNOW the write is on
+// peers (the replicator, the durability bench) check the error
+// themselves.
+func ignoreNotDurable(err error) error {
+	if errors.Is(err, state.ErrNotDurable) {
+		return nil
+	}
+	return err
+}
 
 // New builds an empty deployment from cfg.
 func New(cfg Config) (*Middleware, error) {
@@ -224,14 +247,35 @@ func (m *Middleware) AddHost(host, spaceName string, profile netsim.HostProfile,
 		if err != nil {
 			return nil, err
 		}
-		if err := center.RegisterDevice(context.Background(), dev); err != nil {
+		if err := ignoreNotDurable(center.RegisterDevice(context.Background(), dev)); err != nil {
 			return nil, err
 		}
 		memberEp, err := m.Fabric.Attach(cluster.MemberEndpointName(host), host)
 		if err != nil {
 			return nil, err
 		}
-		m.Cluster.AddNode(host, spaceName, memberEp)
+		node := m.Cluster.AddNode(host, spaceName, memberEp)
+		m.rehomeMu.Lock()
+		centerHere := m.centerHosts[spaceName] == host
+		m.rehomeMu.Unlock()
+		if centerHere {
+			// The center is co-located with this host, so this host's
+			// membership view is the center's reachability oracle: a peer
+			// space's center is reachable while the host it lives on is
+			// believed alive. Durable writes fail fast (degraded mode)
+			// when the view says the concern is unmeetable, instead of
+			// waiting out ack timeouts against a partitioned majority.
+			center.SetReachable(func(peerSpace string) bool {
+				m.rehomeMu.Lock()
+				peerHost := m.centerHosts[peerSpace]
+				m.rehomeMu.Unlock()
+				if peerHost == "" {
+					return true // unknown topology: assume reachable
+				}
+				mem, ok := node.Member(peerHost)
+				return !ok || mem.State == cluster.StateAlive
+			})
+		}
 		cat = center
 	}
 	ep, err := m.Fabric.Attach(migrate.EndpointName(host), host)
@@ -307,7 +351,23 @@ func (m *Middleware) ensureCenter(spaceName, host string) (*cluster.Center, erro
 	m.rehomeMu.Lock()
 	m.centerHosts[spaceName] = host
 	m.rehomeMu.Unlock()
-	return m.Cluster.AddCenter(spaceName, reg, ep), nil
+	center := m.Cluster.AddCenter(spaceName, reg, ep)
+	center.OnDurability(func(ev cluster.DurabilityEvent) {
+		topic := TopicClusterDurable
+		if !ev.Durable {
+			topic = TopicClusterDegraded
+		}
+		m.Kernel.Publish(ctxkernel.Event{
+			Topic: topic, At: m.Clock.Now(), Source: "cluster",
+			Attrs: map[string]string{
+				"space": spaceName, "key": ev.Key, "concern": string(ev.Concern),
+				"acked":    strconv.Itoa(ev.Acked),
+				"required": strconv.Itoa(ev.Required),
+				"degraded": strconv.FormatBool(ev.Degraded),
+			},
+		})
+	})
+	return center, nil
 }
 
 // onMemberChange reacts to gossip transitions: a dead declaration from a
@@ -702,11 +762,11 @@ func (m *Middleware) StopApp(host, appName string) error {
 		if m.Cluster != nil {
 			if center, ok := m.Cluster.Center(rt.Space); ok {
 				if rt.Replicator != nil {
-					if err := rt.Replicator.Retire(ctx, appName); err != nil {
+					if err := ignoreNotDurable(rt.Replicator.Retire(ctx, appName)); err != nil {
 						return err
 					}
 				}
-				return center.UnregisterApp(ctx, appName, host)
+				return ignoreNotDurable(center.UnregisterApp(ctx, appName, host))
 			}
 		}
 		return m.Registry.UnregisterApp(appName, host)
@@ -723,7 +783,7 @@ func (m *Middleware) StopApp(host, appName string) error {
 func (m *Middleware) registerApp(rec registry.AppRecord) error {
 	if m.Cluster != nil {
 		if center, ok := m.Cluster.Center(rec.Space); ok {
-			return center.RegisterApp(context.Background(), rec)
+			return ignoreNotDurable(center.RegisterApp(context.Background(), rec))
 		}
 	}
 	return m.Registry.RegisterApp(rec)
@@ -751,7 +811,7 @@ func (m *Middleware) RegisterResource(res owl.Resource) error {
 	if m.Cluster != nil {
 		if space, ok := m.Directory.SpaceOfHost(res.Host); ok {
 			if center, ok := m.Cluster.Center(space); ok {
-				return center.RegisterResource(context.Background(), res)
+				return ignoreNotDurable(center.RegisterResource(context.Background(), res))
 			}
 		}
 	}

@@ -52,6 +52,14 @@ const (
 	// TopicStateRestored fires when failover restores a re-homed app from
 	// a replicated snapshot instead of a skeleton.
 	TopicStateRestored = "cluster.state.restored"
+	// TopicClusterDurable fires when a synchronous-concern federation
+	// write collected the peer acks its write concern requires.
+	TopicClusterDurable = "cluster.durable"
+	// TopicClusterDegraded fires when a synchronous-concern federation
+	// write fell short: too few peers reachable (degraded mode) or too
+	// few acks before the window closed. The write landed locally and
+	// anti-entropy keeps retrying delivery.
+	TopicClusterDegraded = "cluster.degraded"
 )
 
 // Well-known attribute keys.

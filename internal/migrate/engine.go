@@ -3,6 +3,7 @@ package migrate
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -526,7 +527,12 @@ func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding
 		demoteNote = append(demoteNote, "source record not demoted: "+err.Error())
 	} else if found && srcRec.Running {
 		srcRec.Running = false
-		if err := e.cat.RegisterApp(demoteCtx, srcRec); err != nil {
+		// A durability shortfall (state.ErrNotDurable from a federated
+		// center running a synchronous write concern) is not a failed
+		// demotion: the record landed at the center and anti-entropy
+		// retries replication, so the stale-record risk the note warns
+		// about does not exist.
+		if err := e.cat.RegisterApp(demoteCtx, srcRec); err != nil && !errors.Is(err, state.ErrNotDurable) {
 			demoteNote = append(demoteNote, "source record not demoted: "+err.Error())
 		}
 	}

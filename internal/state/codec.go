@@ -48,6 +48,14 @@ var (
 	// put (no base, or a base the delta was not computed against); the
 	// replicator reacts by re-publishing a full frame.
 	ErrNeedFull = errors.New("state: publisher needs a full frame")
+	// ErrNotDurable is returned by a Publisher (or federation write)
+	// running a synchronous write concern when the write landed locally
+	// but fewer peers than the concern requires acknowledged it in time.
+	// The write is NOT lost — anti-entropy keeps retrying delivery — but
+	// it would not survive the local center dying first. The replicator
+	// reacts by re-queueing the capture instead of advancing its acked
+	// base, so the state is re-published until a put meets the concern.
+	ErrNotDurable = errors.New("state: write acknowledged locally but not durable")
 )
 
 // frameVersion is the current frame-format version. Decoders accept any

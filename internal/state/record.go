@@ -36,6 +36,15 @@ type SnapshotRecord struct {
 	// StateDigest is the canonical WrapDigest of the newest state (Frame
 	// with Deltas applied) — the base the next delta put must match.
 	StateDigest [sha256.Size]byte
+
+	// Durable marks this copy as known to have met a synchronous write
+	// concern: the writing center collected the required peer acks,
+	// stamped its stored record, and broadcast a best-effort confirm so
+	// peers holding the same version stamp theirs too (a push-time copy
+	// carries false — acks had not returned yet). Failover uses it to
+	// prefer a consensus-safe record over a fresher copy that only ever
+	// existed on one center.
+	Durable bool
 }
 
 // Snapshot reassembles the record's newest state: decode the base frame,
@@ -108,6 +117,12 @@ type SnapshotPut struct {
 	BaseDigest [sha256.Size]byte
 	// NewDigest is the canonical digest of the state after this put.
 	NewDigest [sha256.Size]byte
+	// Concern requests a write durability level for this put ("async",
+	// "one", "quorum"); empty defers to the publisher's configured
+	// default. Remote publishers (cluster.SnapshotClient) carry it over
+	// the wire as the put's write-concern header; a center refuses an
+	// unknown value outright.
+	Concern string
 }
 
 // SnapshotStamp is the center's acknowledgement of a put: the assigned

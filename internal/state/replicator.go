@@ -64,6 +64,11 @@ type Stats struct {
 	SkippedDigest  int64 // serialized but content-identical (digest dedupe)
 	SkippedBudget  int64 // periodic captures deferred by the byte budget
 	Rebaselines    int64 // full frames forced by the chain length/size policy
+	// NotDurable counts puts the publisher accepted locally but could not
+	// replicate to the peers its write concern requires (ErrNotDurable).
+	// Each one leaves the acked base untouched, so the capture re-queues
+	// and the state is re-published until a put meets the concern.
+	NotDurable int64
 }
 
 // track is one app's publisher-side view of the replication chain.
@@ -469,6 +474,16 @@ func (r *Replicator) publishWrapLocked(ctx context.Context, inst *app.Applicatio
 			r.noteAcked(tr, inst, seq, seqValid, sums, digest)
 			r.paceLocked(tr, len(frame))
 			return &pendingPublish{put: put, stamp: stamp}, nil
+		case errors.Is(err, ErrNotDurable):
+			// The center stored the delta but could not replicate it to
+			// the peers the write concern requires. Do NOT advance the
+			// acked base: the next capture re-queues this state (the
+			// center's copy moved past our base, so the retry degrades to
+			// a full frame) until a put meets the concern. Pace the retry
+			// like a publish so the loop honors the byte budget.
+			r.stats.NotDurable++
+			r.paceLocked(tr, len(frame))
+			return nil, nil
 		case errors.Is(err, ErrNeedFull):
 			// The center lost or diverged from our base (restart, a
 			// conflicting writer won): fall through to a full frame now.
@@ -501,6 +516,13 @@ func (r *Replicator) publishWrapLocked(ctx context.Context, inst *app.Applicatio
 		Frame: frame, NewDigest: digest,
 	}
 	stamp, err := r.pub.PutSnapshot(ctx, put)
+	if errors.Is(err, ErrNotDurable) {
+		// Landed locally, short of its write concern: re-queue (see the
+		// delta path above) rather than advancing the acked base.
+		r.stats.NotDurable++
+		r.paceLocked(tr, len(frame))
+		return nil, nil
+	}
 	if err != nil {
 		return nil, fmt.Errorf("state: replicate %s: %w", appName, err)
 	}

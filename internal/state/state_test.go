@@ -3,6 +3,7 @@ package state_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -305,6 +306,7 @@ type fakePublisher struct {
 	recs         map[string]state.SnapshotRecord
 	drops        []string
 	needFullOnce bool // force the next delta put to fail with ErrNeedFull
+	notDurable   bool // store each put but report ErrNotDurable (peers unreachable)
 }
 
 func newFakePublisher() *fakePublisher {
@@ -328,7 +330,20 @@ func (p *fakePublisher) PutSnapshot(_ context.Context, put state.SnapshotPut) (s
 	rec.Host, rec.Space, rec.At, rec.StateDigest = put.Host, put.Space, put.At, put.NewDigest
 	p.recs[put.App] = rec
 	p.puts = append(p.puts, put)
-	return state.SnapshotStamp{Seq: rec.Seq, BaseSeq: rec.BaseSeq, Chain: len(rec.Deltas)}, nil
+	stamp := state.SnapshotStamp{Seq: rec.Seq, BaseSeq: rec.BaseSeq, Chain: len(rec.Deltas)}
+	if p.notDurable {
+		// Like a real center running a synchronous write concern with its
+		// peers down: the put is stored locally but the ack count fell
+		// short.
+		return stamp, fmt.Errorf("fake: %w", state.ErrNotDurable)
+	}
+	return stamp, nil
+}
+
+func (p *fakePublisher) setNotDurable(v bool) {
+	p.mu.Lock()
+	p.notDurable = v
+	p.mu.Unlock()
 }
 
 func (p *fakePublisher) DropSnapshot(_ context.Context, appName, _ string) error {
@@ -533,6 +548,55 @@ func TestReplicatorNeedFullFallback(t *testing.T) {
 	}
 	if last := pub.put(pub.putCount() - 1); !last.Delta {
 		t.Fatal("pipeline did not resume deltas after the fallback")
+	}
+}
+
+// TestReplicatorNotDurableRequeues: a put the publisher accepted but
+// could not replicate to its peers (ErrNotDurable) must NOT advance the
+// acked base — the replicator re-publishes the state every sync until a
+// put meets the write concern, and Stats counts the shortfalls.
+func TestReplicatorNotDurableRequeues(t *testing.T) {
+	a := testApp(t, "player", "h1")
+	pub := newFakePublisher()
+	pub.setNotDurable(true)
+	rep := newTestReplicator(a, pub, noPacing)
+	ctx := context.Background()
+
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Stats(); s.NotDurable != 1 || s.Publishes != 0 {
+		t.Fatalf("after shortfall: stats = %+v, want NotDurable=1 Publishes=0", s)
+	}
+	if pub.putCount() != 1 {
+		t.Fatalf("puts = %d, want 1 (the write lands at the center)", pub.putCount())
+	}
+
+	// No mutation, but the state was never acked durable: it re-queues.
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Stats(); s.NotDurable != 2 || s.SkippedClean != 0 {
+		t.Fatalf("re-queue did not happen: stats = %+v", s)
+	}
+
+	// Peers heal: the retry publishes for real and the baseline advances.
+	pub.setNotDurable(false)
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Stats(); s.Publishes != 1 || s.NotDurable != 2 {
+		t.Fatalf("post-heal stats = %+v, want Publishes=1", s)
+	}
+	if v := recordValue(t, pub, "player", "st", "cursor"); v != "7" {
+		t.Fatalf("record cursor = %q, want 7", v)
+	}
+	// And only now does the dirty fast path start skipping.
+	if err := rep.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Stats(); s.SkippedClean != 1 {
+		t.Fatalf("idle sync after heal did not skip: %+v", s)
 	}
 }
 

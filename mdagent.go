@@ -154,6 +154,15 @@ type (
 	MemberState = cluster.State
 	// RegistryCenter is one smart space's federated registry center.
 	RegistryCenter = cluster.Center
+	// WriteConcern selects federation write durability (async, one,
+	// quorum): how many peer centers must synchronously acknowledge a
+	// write before it returns (ClusterConfig.WriteConcern, overridable
+	// per snapshot put).
+	WriteConcern = cluster.WriteConcern
+	// DurabilityEvent is the outcome of one synchronous-concern write
+	// (RegistryCenter.OnDurability; bridged onto the kernel as
+	// cluster.durable / cluster.degraded events).
+	DurabilityEvent = cluster.DurabilityEvent
 )
 
 // Membership states.
@@ -163,6 +172,21 @@ const (
 	StateDead    = cluster.StateDead
 )
 
+// Federation write concerns.
+const (
+	WriteAsync  = cluster.WriteAsync
+	WriteOne    = cluster.WriteOne
+	WriteQuorum = cluster.WriteQuorum
+)
+
+// ErrNotDurable reports a federation write that landed locally but fell
+// short of its write concern (too few peer acks); anti-entropy keeps
+// retrying delivery. Replicators react by re-queueing the capture.
+var ErrNotDurable = cluster.ErrNotDurable
+
+// ParseWriteConcern validates a write-concern string (flag boundary).
+var ParseWriteConcern = cluster.ParseWriteConcern
+
 // Cluster-layer event topics.
 const (
 	TopicHostDead        = core.TopicHostDead
@@ -171,6 +195,8 @@ const (
 	TopicSuperseded      = core.TopicSuperseded
 	TopicStateReplicated = core.TopicStateReplicated
 	TopicStateRestored   = core.TopicStateRestored
+	TopicDurable         = core.TopicClusterDurable
+	TopicDegraded        = core.TopicClusterDegraded
 )
 
 // State pipeline (snapshot codec + delta replication). With
