@@ -47,6 +47,8 @@ import (
 
 	"mdagent/internal/app"
 	"mdagent/internal/cluster"
+	"mdagent/internal/ctl"
+	"mdagent/internal/ctxkernel"
 	"mdagent/internal/demoapps"
 	"mdagent/internal/media"
 	"mdagent/internal/migrate"
@@ -182,15 +184,25 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 	cat := registry.NewClient(node.Endpoint(), registryName)
 	eng := migrate.NewEngine(*host, node.Endpoint(), nil, nil, cat, migrate.DefaultCosts())
 
+	// The daemon's local context kernel feeds the control plane's Watch
+	// stream: membership transitions, replication publishes, and
+	// lifecycle outcomes all surface here as typed events.
+	kernel := ctxkernel.NewKernel()
+
 	// Federated mode: gossip membership with every peer host, multiplexed
 	// onto the engine endpoint.
+	var member *cluster.Node
 	if *space != "" {
-		member := cluster.NewNode(cluster.Member{ID: *host, Space: *space}, node.Endpoint(), cluster.Config{
+		member = cluster.NewNode(cluster.Member{ID: *host, Space: *space}, node.Endpoint(), cluster.Config{
 			ProbeInterval:    *probe,
 			SuspicionTimeout: *suspicion,
 		})
 		member.OnChange(func(_ *cluster.Node, m cluster.Member) {
 			fmt.Fprintf(out, "mdagentd[%s]: member %s -> %s (incarnation %d)\n", *host, m.ID, m.State, m.Incarnation)
+			kernel.PublishTyped("cluster", ctxkernel.MemberEvent{
+				Host: m.ID, Space: m.Space, State: m.State.String(),
+				Incarnation: m.Incarnation, At: time.Now(),
+			})
 		})
 		for name := range peers {
 			member.Join(cluster.Member{ID: name, Endpoint: migrate.EndpointName(name)})
@@ -212,8 +224,15 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 	// TCP endpoint its registry traffic uses, so a multi-process
 	// deployment joins the state pipeline (and failover restores) exactly
 	// like an in-process one.
+	var snapCli *cluster.SnapshotClient
+	var repl *state.Replicator
+	if *space != "" {
+		// The snapshot client doubles as the control plane's window onto
+		// the center's replicated snapshot heads, so it exists in every
+		// federated deployment, replicating or not.
+		snapCli = cluster.NewSnapshotClient(node.Endpoint(), registryName)
+	}
 	if *space != "" && *replicate > 0 {
-		snapCli := cluster.NewSnapshotClient(node.Endpoint(), registryName)
 		// Every put carries the requested write concern as its wire
 		// header; the center blocks the put until enough peer centers
 		// acked, and answers NotDurable in-band on shortfall so the
@@ -222,7 +241,17 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 		if *concern != "" {
 			snapCli.SetWriteConcern(wc)
 		}
-		repl := state.NewReplicator(*host, *space, eng.Apps, snapCli, nil, *replicate, state.Tuning{})
+		repl = state.NewReplicator(*host, *space, eng.Apps, snapCli, nil, *replicate, state.Tuning{})
+		repl.OnPublish(func(put state.SnapshotPut, stamp state.SnapshotStamp) {
+			kind := "full"
+			if put.Delta {
+				kind = "delta"
+			}
+			kernel.PublishTyped("state", ctxkernel.StateReplicatedEvent{
+				App: put.App, Host: put.Host, FrameKind: kind,
+				Seq: stamp.Seq, Bytes: len(put.Frame), Chain: stamp.Chain, At: put.At,
+			})
+		})
 		repl.Start()
 		defer repl.Stop()
 		if wc != cluster.WriteAsync {
@@ -231,6 +260,15 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 			fmt.Fprintf(out, "mdagentd[%s]: replicating application state every %v\n", *host, *replicate)
 		}
 	}
+
+	// Control plane: the daemon answers the versioned ctl protocol on its
+	// existing endpoint under the well-known "ctl" alias, so an operator
+	// (cmd/mdctl) needs only the listen address to run, stop, migrate,
+	// inspect, and watch this host.
+	node.AddAlias(ctl.Alias)
+	ctlSrv := ctl.NewServer(daemonBackend(*host, *space, eng, cat, member, snapCli, repl, skeletons, kernel))
+	ctlSrv.Serve(node.Endpoint())
+	defer ctlSrv.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -50,7 +50,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mdbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	fig := fs.String("fig", "all", "figures to regenerate (comma-separated): 7, 8, 9, 10, clone, churn, flap, delta, durability, or all")
+	fig := fs.String("fig", "all", "figures to regenerate (comma-separated): 7, 8, 9, 10, clone, churn, flap, delta, durability, ctl, or all")
 	csvPath := fs.String("csv", "", "also write the series as CSV to this file")
 	jsonPath := fs.String("json", "", "also write every figure that ran as one JSON document to this file")
 	rooms := fs.Int("rooms", 3, "overflow rooms for the clone-dispatch experiment")
@@ -60,6 +60,9 @@ func run(args []string, out io.Writer) error {
 	songBytes := fs.Int64("song-bytes", 2_000_000, "song size for the churn experiment (sets the snapshot frame size)")
 	deltaTicks := fs.Int("delta-ticks", 16, "mutated capture ticks per cell of the delta sweep")
 	durWrites := fs.Int("dur-writes", 16, "writes per phase and record kind for the durability experiment")
+	ctlRequests := fs.Int("ctl-requests", 2000, "round-trip requests for the control-plane experiment")
+	ctlWatchers := fs.Int("ctl-watchers", 16, "concurrent watchers for the control-plane fan-out experiment")
+	ctlEvents := fs.Int("ctl-events", 512, "events published to the control-plane watchers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,8 +79,9 @@ func run(args []string, out io.Writer) error {
 		"flap":       func() error { return flap(out, &csv, doc, *spaces, *flapPeriod, *flapCycles) },
 		"delta":      func() error { return delta(out, &csv, doc, *deltaTicks) },
 		"durability": func() error { return durability(out, &csv, doc, *spaces, *durWrites) },
+		"ctl":        func() error { return ctlFig(out, &csv, doc, *ctlRequests, *ctlWatchers, *ctlEvents) },
 	}
-	all := []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta", "durability"}
+	all := []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta", "durability", "ctl"}
 	var order []string
 	if *fig == "all" {
 		order = all
@@ -321,5 +325,27 @@ func durability(out io.Writer, csv *strings.Builder, doc map[string]any, spaces,
 	fmt.Fprintln(out)
 	csv.WriteString("\n")
 	doc["durability"] = results
+	return nil
+}
+
+func ctlFig(out io.Writer, csv *strings.Builder, doc map[string]any, requests, watchers, events int) error {
+	fmt.Fprintf(out, "== Control plane — request round-trip and Watch fan-out (%d reqs, %d watchers, %d events) ==\n",
+		requests, watchers, events)
+	res, err := bench.RunCtl(requests, watchers, events)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  %-12s %12s %12s %10s %10s %8s %14s\n",
+		"", "info-rtt", "apps-rtt", "delivered", "lost", "elapsed", "events/sec")
+	fmt.Fprintf(out, "  %-12s %10dµs %10dµs %10d %10d %6dms %14.0f\n",
+		"ctl", res.InfoRTT.Microseconds(), res.AppsRTT.Microseconds(),
+		res.Delivered, res.Lost, res.Elapsed.Milliseconds(), res.EventsPerSec)
+	fmt.Fprintf(csv, "ctl,requests,watchers,events,info_rtt_us,apps_rtt_us,delivered,lost,elapsed_ms,events_per_sec\n")
+	fmt.Fprintf(csv, "ctl,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n\n",
+		res.Requests, res.Watchers, res.Published,
+		res.InfoRTT.Microseconds(), res.AppsRTT.Microseconds(),
+		res.Delivered, res.Lost, res.Elapsed.Milliseconds(), res.EventsPerSec)
+	fmt.Fprintln(out)
+	doc["ctl"] = res
 	return nil
 }

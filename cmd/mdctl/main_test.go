@@ -1,0 +1,303 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildBinaries compiles mdregistry, mdagentd, and mdctl once into a
+// temp dir — the e2e below drives the real executables over real TCP,
+// exactly as an operator would.
+func buildBinaries(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bins := make(map[string]string)
+	for _, name := range []string{"mdregistry", "mdagentd", "mdctl"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "mdagent/cmd/"+name)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+	return bins
+}
+
+// lineWaiter tees a process's stdout into a transcript and signals
+// waiters when a line containing their substring appears.
+type lineWaiter struct {
+	mu    sync.Mutex
+	lines []string
+	subs  []chan string // waiters snapshot-checked on every line
+	wants []string
+}
+
+func (w *lineWaiter) consume(t *testing.T, tag string, r io.Reader) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		t.Logf("[%s] %s", tag, line)
+		w.mu.Lock()
+		w.lines = append(w.lines, line)
+		for i, want := range w.wants {
+			if want != "" && strings.Contains(line, want) {
+				w.wants[i] = ""
+				w.subs[i] <- line
+			}
+		}
+		w.mu.Unlock()
+	}
+}
+
+func (w *lineWaiter) waitFor(t *testing.T, substr string, timeout time.Duration) string {
+	t.Helper()
+	ch := make(chan string, 1)
+	w.mu.Lock()
+	for _, line := range w.lines {
+		if strings.Contains(line, substr) {
+			w.mu.Unlock()
+			return line
+		}
+	}
+	w.subs = append(w.subs, ch)
+	w.wants = append(w.wants, substr)
+	w.mu.Unlock()
+	select {
+	case line := <-ch:
+		return line
+	case <-time.After(timeout):
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		t.Fatalf("no %q line within %v; transcript:\n%s", substr, timeout, strings.Join(w.lines, "\n"))
+		return ""
+	}
+}
+
+// startProc launches a daemon binary, streams its output into the test
+// log, and kills it at cleanup.
+func startProc(t *testing.T, tag, bin string, args ...string) *lineWaiter {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", tag, err)
+	}
+	w := &lineWaiter{}
+	go w.consume(t, tag, stdout)
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return w
+}
+
+// addrFromLine extracts the "on <addr>" address a daemon prints when
+// bound.
+func addrFromLine(t *testing.T, line string) string {
+	t.Helper()
+	idx := strings.Index(line, " on ")
+	if idx < 0 {
+		t.Fatalf("no address in line %q", line)
+	}
+	rest := line[idx+4:]
+	if sp := strings.IndexAny(rest, " ,"); sp >= 0 {
+		rest = rest[:sp]
+	}
+	return rest
+}
+
+// mdctl runs the CLI binary against a server and returns its combined
+// output.
+func mdctl(t *testing.T, bin, server string, args ...string) string {
+	t.Helper()
+	full := append([]string{"-server", server, "-timeout", "30s"}, args...)
+	cmd := exec.Command(bin, full...)
+	out, err := cmd.CombinedOutput()
+	t.Logf("[mdctl %s] %s", strings.Join(args, " "), out)
+	if err != nil {
+		t.Fatalf("mdctl %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// TestCtlE2EOverTCP is the control plane's smoke test against the real
+// binaries: one federated mdregistry plus two mdagentd over localhost
+// TCP, a migration driven by mdctl, and a typed migrated event arriving
+// on `mdctl watch -json` — the CI e2e job runs exactly this.
+func TestCtlE2EOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs real binaries")
+	}
+	bins := buildBinaries(t)
+
+	reg := startProc(t, "mdregistry", bins["mdregistry"], "-listen", "127.0.0.1:0", "-space", "lab")
+	regAddr := addrFromLine(t, reg.waitFor(t, "serving registry@lab on ", 10*time.Second))
+
+	destOut := startProc(t, "mdagentd-B", bins["mdagentd"],
+		"-host", "hostB", "-listen", "127.0.0.1:0", "-registry", regAddr,
+		"-space", "lab", "-replicate", "10ms", "-install", "smart-media-player")
+	addrB := addrFromLine(t, destOut.waitFor(t, "serving on ", 10*time.Second))
+
+	srcOut := startProc(t, "mdagentd-A", bins["mdagentd"],
+		"-host", "hostA", "-listen", "127.0.0.1:0", "-registry", regAddr,
+		"-space", "lab", "-replicate", "10ms", "-peer", "hostB="+addrB,
+		"-run", "smart-media-player", "-song-bytes", "100000")
+	addrA := addrFromLine(t, srcOut.waitFor(t, "serving on ", 10*time.Second))
+
+	// Introspection against the live daemons.
+	if out := mdctl(t, bins["mdctl"], addrA, "info"); !strings.Contains(out, "role host") {
+		t.Fatalf("info output: %s", out)
+	}
+	if out := mdctl(t, bins["mdctl"], regAddr, "info"); !strings.Contains(out, "role registry") {
+		t.Fatalf("registry info output: %s", out)
+	}
+	if out := mdctl(t, bins["mdctl"], addrA, "members"); !strings.Contains(out, "hostB") {
+		t.Fatalf("members output misses hostB: %s", out)
+	}
+	out := mdctl(t, bins["mdctl"], addrA, "ps")
+	if !strings.Contains(out, "smart-media-player") || !strings.Contains(out, "hostA") {
+		t.Fatalf("ps output: %s", out)
+	}
+
+	// Stream typed events in the background, then drive the migration.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	watchCmd := exec.CommandContext(ctx, bins["mdctl"],
+		"-server", addrA, "-json", "watch", "-count", "1", "-filter", "app.migrated")
+	var watchOut bytes.Buffer
+	watchPipe, err := watchCmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := watchCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	watchReady := make(chan struct{})
+	watchDone := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(watchPipe)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("[watch] %s", line)
+			watchOut.WriteString(line + "\n")
+			if strings.Contains(line, "watching") {
+				close(watchReady)
+			}
+		}
+		watchDone <- watchCmd.Wait()
+	}()
+	select {
+	case <-watchReady:
+	case <-time.After(15 * time.Second):
+		t.Fatal("watch never reported its subscription")
+	}
+
+	out = mdctl(t, bins["mdctl"], addrA, "migrate", "smart-media-player", "hostB")
+	if !strings.Contains(out, "migrated smart-media-player -> hostB") {
+		t.Fatalf("migrate output: %s", out)
+	}
+
+	select {
+	case err := <-watchDone:
+		if err != nil {
+			t.Fatalf("watch exited: %v\n%s", err, watchOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("watch never delivered the migrated event\n%s", watchOut.String())
+	}
+	// The event line is machine-readable JSON with the typed attrs.
+	var event struct {
+		Topic string            `json:"topic"`
+		Attrs map[string]string `json:"attrs"`
+	}
+	found := false
+	for _, line := range strings.Split(watchOut.String(), "\n") {
+		if !strings.Contains(line, `"topic"`) {
+			continue
+		}
+		if err := json.Unmarshal([]byte(line), &event); err != nil {
+			t.Fatalf("unparseable watch line %q: %v", line, err)
+		}
+		found = true
+	}
+	if !found || event.Topic != "app.migrated" || event.Attrs["dest"] != "hostB" || event.Attrs["app"] != "smart-media-player" {
+		t.Fatalf("watch event = %+v (found=%v)", event, found)
+	}
+
+	// The destination now owns the running record; snapshot heads for it
+	// appear at the center once hostB's replicator publishes.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		psOut := mdctl(t, bins["mdctl"], addrB, "ps")
+		if hostBRunning(psOut) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hostB never listed the migrated app running:\n%s", psOut)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	for {
+		snapOut := mdctl(t, bins["mdctl"], regAddr, "snapshots")
+		if strings.Contains(snapOut, "smart-media-player") && strings.Contains(snapOut, "hostB") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("center never listed a hostB snapshot head")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if out := mdctl(t, bins["mdctl"], addrB, "stats"); !strings.Contains(out, "hostB") {
+		t.Fatalf("stats output: %s", out)
+	}
+
+	// Graceful stop through the control plane.
+	mdctl(t, bins["mdctl"], addrB, "stop", "smart-media-player")
+	psOut := mdctl(t, bins["mdctl"], addrB, "ps")
+	if hostBRunning(psOut) {
+		t.Fatalf("app still running on hostB after mdctl stop:\n%s", psOut)
+	}
+}
+
+// hostBRunning reports a ps table row with the app running on hostB.
+func hostBRunning(psOut string) bool {
+	for _, line := range strings.Split(psOut, "\n") {
+		if strings.Contains(line, "smart-media-player") &&
+			strings.Contains(line, "hostB") && strings.Contains(line, "true") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRunRejectsBadArgs pins the CLI's argument validation.
+func TestRunRejectsBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-server", "127.0.0.1:1"}, &buf, nil); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	if err := run([]string{"-server", "127.0.0.1:1", "bogus-command"}, &buf, nil); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"-server", "127.0.0.1:1", "migrate", "only-app"}, &buf, nil); err == nil {
+		t.Fatal("migrate without dest accepted")
+	}
+	if err := run([]string{"-server", "127.0.0.1:1", "run"}, &buf, nil); err == nil {
+		t.Fatal("run without app accepted")
+	}
+}

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,9 +34,13 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"mdagent/internal/cluster"
+	"mdagent/internal/ctl"
+	"mdagent/internal/ctxkernel"
 	"mdagent/internal/registry"
+	"mdagent/internal/state"
 	"mdagent/internal/store"
 	"mdagent/internal/transport"
 )
@@ -125,8 +130,17 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 	}
 	defer node.Close()
 
+	// The center's local kernel feeds the control plane's Watch stream
+	// (durability outcomes, for now); the ctl alias lets an operator
+	// reach the control plane knowing only the listen address.
+	kernel := ctxkernel.NewKernel()
+	node.AddAlias(ctl.Alias)
+
 	if *space == "" {
 		reg.Serve(node.Endpoint())
+		ctlSrv := ctl.NewServer(registryBackend(*space, reg, nil, kernel))
+		ctlSrv.Serve(node.Endpoint())
+		defer ctlSrv.Close()
 		fmt.Fprintf(out, "mdregistry: serving registry-center on %s (store: %s)\n", node.Addr(), storeDesc(*storePath))
 	} else {
 		center := cluster.NewCenter(*space, reg, node.Endpoint(), cluster.Config{WriteConcern: wc})
@@ -135,9 +149,19 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 			node.AddPeer(peerEndpoint, addr)
 			center.AddPeer(peerSpace, peerEndpoint)
 		}
+		center.OnDurability(func(ev cluster.DurabilityEvent) {
+			kernel.PublishTyped("cluster", ctxkernel.FederationWriteEvent{
+				Space: *space, Key: ev.Key, Concern: string(ev.Concern),
+				Acked: ev.Acked, Required: ev.Required,
+				Durable: ev.Durable, Degraded: ev.Degraded, At: time.Now(),
+			})
+		})
 		center.Serve(node.Endpoint())
 		center.Start()
 		defer center.Stop()
+		ctlSrv := ctl.NewServer(registryBackend(*space, reg, center, kernel))
+		ctlSrv.Serve(node.Endpoint())
+		defer ctlSrv.Close()
 		fmt.Fprintf(out, "mdregistry: serving %s on %s, federated with %d peer(s) (store: %s, write concern: %s)\n",
 			endpoint, node.Addr(), len(peers), storeDesc(*storePath), wc)
 	}
@@ -155,4 +179,33 @@ func storeDesc(path string) string {
 		return "in-memory"
 	}
 	return path
+}
+
+// registryBackend is the center's control-plane surface: registry views
+// and the Watch stream. Lifecycle operations stay unsupported — a
+// registry center runs no applications.
+func registryBackend(space string, reg *registry.Registry, center *cluster.Center, kernel *ctxkernel.Kernel) ctl.Backend {
+	b := ctl.Backend{
+		Info: func(context.Context) (ctl.ServerInfo, error) {
+			return ctl.ServerInfo{Role: "registry", Space: space}, nil
+		},
+		Apps: func(context.Context) ([]ctl.AppInfo, error) {
+			recs, err := reg.Apps()
+			if err != nil {
+				return nil, err
+			}
+			var heads []state.SnapshotHead
+			if center != nil {
+				heads = center.SnapshotHeads()
+			}
+			return ctl.JoinApps(recs, heads), nil
+		},
+		Kernel: kernel,
+	}
+	if center != nil {
+		b.Snapshots = func(context.Context) ([]state.SnapshotHead, error) {
+			return center.SnapshotHeads(), nil
+		}
+	}
+	return b
 }

@@ -51,7 +51,7 @@ func main() {
 		}
 		// Meeting rooms have the presentation app + projector; the
 		// slides are what's missing.
-		if err := mw.InstallApp(host, "ubiquitous-slideshow", demoapps.SlideShowDesc(),
+		if err := mw.InstallApp(context.Background(), host, "ubiquitous-slideshow", demoapps.SlideShowDesc(),
 			demoapps.SlideShowSkeletonComponents(),
 			func(h string) *app.Application { return demoapps.SlideShowSkeleton(h) }); err != nil {
 			log.Fatal(err)
@@ -65,7 +65,7 @@ func main() {
 	deck := mdagent.GenerateDeck("icdcs-talk", 24, 3_000_000, 9)
 	show := demoapps.NewSlideShow("mainHost", deck)
 	show.BindResource(demoapps.SlidesResource(deck, "mainHost"))
-	if err := mw.RunApp("mainHost", show); err != nil {
+	if err := mw.RunApp(context.Background(), "mainHost", show); err != nil {
 		log.Fatal(err)
 	}
 	if err := mw.RegisterResource(demoapps.SlidesResource(deck, "mainHost")); err != nil {

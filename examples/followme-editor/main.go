@@ -47,7 +47,7 @@ func main() {
 
 	// Editor code is installed everywhere; the document lives with bob.
 	for _, host := range []string{"deskB", "pda1"} {
-		if err := mw.InstallApp(host, "followme-editor", demoapps.EditorDesc(),
+		if err := mw.InstallApp(context.Background(), host, "followme-editor", demoapps.EditorDesc(),
 			demoapps.EditorSkeletonComponents(),
 			func(h string) *app.Application { return demoapps.EditorSkeleton(h) }); err != nil {
 			log.Fatal(err)
@@ -59,7 +59,7 @@ func main() {
 		"- the document follows the user, the code does not\n"
 	editor := demoapps.NewEditor("deskA", document)
 	editor.SetProfile(mdagent.UserProfile{User: "bob", Preferences: map[string]string{"handedness": "left"}})
-	if err := mw.RunApp("deskA", editor); err != nil {
+	if err := mw.RunApp(context.Background(), "deskA", editor); err != nil {
 		log.Fatal(err)
 	}
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -58,13 +59,13 @@ func main() {
 	hostA.Library.Add(song)
 	player := demoapps.NewMediaPlayer("hostA", song)
 	player.SetProfile(mdagent.UserProfile{User: "alice", Preferences: map[string]string{"handedness": "left"}})
-	if err := mw.RunApp("hostA", player); err != nil {
+	if err := mw.RunApp(context.Background(), "hostA", player); err != nil {
 		log.Fatal(err)
 	}
 	if err := mw.RegisterResource(demoapps.MusicResource(song, "hostA")); err != nil {
 		log.Fatal(err)
 	}
-	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+	if err := mw.InstallApp(context.Background(), "hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
 		demoapps.MediaPlayerSkeletonComponents(),
 		func(h string) *app.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
 		log.Fatal(err)
@@ -80,7 +81,7 @@ func main() {
 	})
 
 	// Deploy the AA/MA pairs and let alice walk.
-	if err := mw.StartAgents(mdagent.DefaultPolicy("alice", "smart-media-player")); err != nil {
+	if err := mw.StartAgents(context.Background(), mdagent.DefaultPolicy("alice", "smart-media-player")); err != nil {
 		log.Fatal(err)
 	}
 	script := mdagent.Script{Badge: "badge-1", Steps: []mdagent.Step{
@@ -89,10 +90,10 @@ func main() {
 		{Room: "office822", Dwell: 3 * time.Second},
 	}}
 	fmt.Println("alice starts walking (virtual time)...")
-	if err := mw.Walk(script); err != nil {
+	if err := mw.Walk(context.Background(), script); err != nil {
 		log.Fatal(err)
 	}
-	if err := mw.WaitAppOn("smart-media-player", "hostB", 10*time.Second); err != nil {
+	if err := mw.WaitAppOn(context.Background(), "smart-media-player", "hostB", 10*time.Second); err != nil {
 		log.Fatal(err)
 	}
 

@@ -39,7 +39,7 @@ func main() {
 	}
 
 	im := demoapps.NewMessenger("dorm", "carol")
-	if err := mw.RunApp("dorm", im); err != nil {
+	if err := mw.RunApp(context.Background(), "dorm", im); err != nil {
 		log.Fatal(err)
 	}
 	for _, msg := range []string{

@@ -1,8 +1,9 @@
 // Quickstart: the smallest complete MDAgent deployment. Two hosts on the
 // paper's simulated 10 Mbps testbed, a music player on hostA with its
-// UI-only skeleton installed on hostB, and one explicit follow-me
-// migration with the three-phase timing report (suspend / migrate /
-// resume, as in the paper's §5 evaluation).
+// UI-only skeleton installed on hostB, one follow-me migration driven
+// through the versioned control plane (the same typed Client cmd/mdctl
+// speaks to live TCP daemons), and the migrated event observed on a
+// typed Watch stream.
 package main
 
 import (
@@ -17,6 +18,9 @@ import (
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	mw, err := mdagent.New(mdagent.Config{Seed: 42})
 	if err != nil {
 		log.Fatal(err)
@@ -45,13 +49,13 @@ func main() {
 	hostA, _ := mw.Host("hostA")
 	hostA.Library.Add(song)
 	player := demoapps.NewMediaPlayer("hostA", song)
-	if err := mw.RunApp("hostA", player); err != nil {
+	if err := mw.RunApp(ctx, "hostA", player); err != nil {
 		log.Fatal(err)
 	}
 	if err := mw.RegisterResource(demoapps.MusicResource(song, "hostA")); err != nil {
 		log.Fatal(err)
 	}
-	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+	if err := mw.InstallApp(ctx, "hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
 		demoapps.MediaPlayerSkeletonComponents(),
 		func(h string) *app.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
 		log.Fatal(err)
@@ -62,25 +66,56 @@ func main() {
 	st.(*app.StateComponent).Set("positionMs", "93500")
 	player.Coordinator().Set("track", song.Name)
 
-	// --- Migrate (follow-me, adaptive component binding). ---
-	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-	defer cancel()
-	rep, err := hostA.Engine.FollowMe(ctx, "smart-media-player", "hostB", mdagent.BindingAdaptive, mdagent.MatchSemantic)
+	// --- Serve the control plane and connect the typed client. ---
+	// Over TCP the daemons serve this same protocol on their listen
+	// addresses (try `mdctl -server <addr> ps` / `watch`); in-process it
+	// binds to a fabric endpoint.
+	srvEp, err := mw.Fabric.Attach("ctl-server", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mw.ServeControl(srvEp).Close()
+	cliEp, err := mw.Fabric.Attach("operator", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cli := mdagent.NewControlClient(cliEp, "ctl-server")
+
+	// Stream typed app events while we operate.
+	events, err := cli.Watch(ctx, "app.*")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Migrate through the control plane (follow-me, adaptive). ---
+	res, err := cli.Migrate(ctx, mdagent.MigrateRequest{App: "smart-media-player", To: "hostB"})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("follow-me migration complete (simulated 2002-era testbed time):")
-	fmt.Printf("  suspend: %8v\n", rep.Suspend)
-	fmt.Printf("  migrate: %8v\n", rep.Migrate)
-	fmt.Printf("  resume:  %8v\n", rep.Resume)
-	fmt.Printf("  total:   %8v\n", rep.Total())
-	fmt.Printf("  carried: %v (%d bytes)\n", rep.Carried, rep.BytesMoved)
-	for _, p := range rep.Rebindings {
-		fmt.Printf("  rebinding: %-10s %s\n", p.Action, p.Reason)
+	fmt.Printf("  suspend: %8v\n", res.Suspend)
+	fmt.Printf("  migrate: %8v\n", res.Migrate)
+	fmt.Printf("  resume:  %8v\n", res.Resume)
+	fmt.Printf("  total:   %8v\n", res.Total())
+	fmt.Printf("  carried: %v (%d bytes)\n", res.Carried, res.BytesMoved)
+
+	// The typed migrated event arrives on the watch stream.
+	for ev := range events {
+		if m, ok := ev.Typed.(mdagent.MigratedEvent); ok {
+			fmt.Printf("  event:   app.migrated %s -> %s (%d bytes)\n", m.App, m.Dest, m.Bytes)
+			break
+		}
 	}
 
-	// --- Verify continuity at the destination. ---
+	// --- Inspect and verify continuity at the destination. ---
+	apps, err := cli.Apps(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range apps {
+		fmt.Printf("  record:  %s on %s running=%v\n", a.Name, a.Host, a.Running)
+	}
 	inst, host, _ := mw.FindApp("smart-media-player")
 	pos, _ := inst.Component("playback-state")
 	v, _ := pos.(*app.StateComponent).Get("positionMs")

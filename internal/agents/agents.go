@@ -30,10 +30,13 @@ import (
 // MobilityOntology is the ACL ontology tag for mobility conversations.
 const MobilityOntology = "mdagent-mobility"
 
-// Topics published by the agent layer.
+// Topics published by the agent layer (canonical strings live in
+// ctxkernel's typed-event catalog; the control plane's Migrate shares
+// them, so a Watch stream sees agent- and operator-driven moves
+// identically).
 const (
-	TopicMigrated      = "app.migrated"
-	TopicMigrateFailed = "app.migrate-failed"
+	TopicMigrated      = ctxkernel.TopicAppMigrated
+	TopicMigrateFailed = ctxkernel.TopicAppMigrateFailed
 )
 
 // MoveOrder is the AA -> MA command payload.
@@ -316,12 +319,10 @@ func (b *AutonomousBody) decideAndOrder(ev ctxkernel.Event) {
 	}
 	moves := g.Objects(rdf.IMCL(b.Policy.App), rdf.IMCL("moveTo"))
 	if len(moves) == 0 {
-		b.Kernel.Publish(ctxkernel.Event{
-			Topic: TopicMigrateFailed, At: ev.At, Source: b.agent.Name(),
-			Attrs: map[string]string{
-				"app": b.Policy.App, "dest": destHost,
-				"reason": fmt.Sprintf("rule did not fire (rtt %.0f ms, limit %.0f)", rtt, b.Policy.MaxRTTMillis),
-			},
+		b.Kernel.PublishTyped(b.agent.Name(), ctxkernel.AppMigrateFailedEvent{
+			App: b.Policy.App, Dest: destHost,
+			Reason: fmt.Sprintf("rule did not fire (rtt %.0f ms, limit %.0f)", rtt, b.Policy.MaxRTTMillis),
+			At:     ev.At,
 		})
 		return
 	}
@@ -389,29 +390,36 @@ func (b *AutonomousBody) order(ev ctxkernel.Event, order MoveOrder) {
 		Protocol:     "fipa-request",
 		Content:      content,
 	})
-	attrs := map[string]string{
-		"app": order.App, "dest": order.DestHost,
-		"mode": order.Mode.String(), "reason": order.Reason,
-	}
-	topic := TopicMigrated
-	if err != nil {
-		topic = TopicMigrateFailed
-		attrs["error"] = err.Error()
-	} else {
-		var res MoveResult
-		if derr := transport.Decode(reply.Content, &res); derr == nil {
-			if res.Err != "" {
-				topic = TopicMigrateFailed
-				attrs["error"] = res.Err
-			} else {
-				attrs["suspend_ms"] = strconv.FormatInt(res.Report.Suspend.Milliseconds(), 10)
-				attrs["migrate_ms"] = strconv.FormatInt(res.Report.Migrate.Milliseconds(), 10)
-				attrs["resume_ms"] = strconv.FormatInt(res.Report.Resume.Milliseconds(), 10)
-				attrs["bytes"] = strconv.FormatInt(res.Report.BytesMoved, 10)
-			}
+	failed := func(msg string) ctxkernel.AppMigrateFailedEvent {
+		return ctxkernel.AppMigrateFailedEvent{
+			App: order.App, Dest: order.DestHost, Reason: order.Reason,
+			Error: msg, At: ev.At,
 		}
 	}
-	b.Kernel.Publish(ctxkernel.Event{Topic: topic, Attrs: attrs, At: ev.At, Source: b.agent.Name()})
+	if err != nil {
+		b.Kernel.PublishTyped(b.agent.Name(), failed(err.Error()))
+		return
+	}
+	var res MoveResult
+	if derr := transport.Decode(reply.Content, &res); derr != nil {
+		b.Kernel.PublishTyped(b.agent.Name(), ctxkernel.AppMigratedEvent{
+			App: order.App, Dest: order.DestHost,
+			Mode: order.Mode.String(), Reason: order.Reason, At: ev.At,
+		})
+		return
+	}
+	if res.Err != "" {
+		b.Kernel.PublishTyped(b.agent.Name(), failed(res.Err))
+		return
+	}
+	b.Kernel.PublishTyped(b.agent.Name(), ctxkernel.AppMigratedEvent{
+		App: order.App, Dest: order.DestHost,
+		Mode: order.Mode.String(), Reason: order.Reason,
+		SuspendMs: res.Report.Suspend.Milliseconds(),
+		MigrateMs: res.Report.Migrate.Milliseconds(),
+		ResumeMs:  res.Report.Resume.Milliseconds(),
+		Bytes:     res.Report.BytesMoved, At: ev.At,
+	})
 }
 
 // Managers bundle creation of the two agent kinds in a container,

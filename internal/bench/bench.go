@@ -86,13 +86,13 @@ func deploymentOnLink(size int64, seed int64, link netsim.LinkProfile) (*core.Mi
 	hostA.Library.Add(song)
 
 	player := demoapps.NewMediaPlayer("hostA", song)
-	if err := mw.RunApp("hostA", player); err != nil {
+	if err := mw.RunApp(context.Background(), "hostA", player); err != nil {
 		return cleanup(err)
 	}
 	if err := mw.RegisterResource(demoapps.MusicResource(song, "hostA")); err != nil {
 		return cleanup(err)
 	}
-	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+	if err := mw.InstallApp(context.Background(), "hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
 		demoapps.MediaPlayerSkeletonComponents(),
 		func(host string) *app.Application { return demoapps.MediaPlayerSkeleton(host) }); err != nil {
 		return cleanup(err)
@@ -236,7 +236,7 @@ func RunCloneFanout(n int, deckBytes int64) ([]CloneResult, error) {
 	deck := media.GenerateDeck("lecture", 20, deckBytes, 4)
 	show := demoapps.NewSlideShow("mainHost", deck)
 	show.BindResource(demoapps.SlidesResource(deck, "mainHost"))
-	if err := mw.RunApp("mainHost", show); err != nil {
+	if err := mw.RunApp(context.Background(), "mainHost", show); err != nil {
 		return nil, err
 	}
 	if err := mw.RegisterResource(demoapps.SlidesResource(deck, "mainHost")); err != nil {
@@ -256,7 +256,7 @@ func RunCloneFanout(n int, deckBytes int64) ([]CloneResult, error) {
 		if err := mw.AddGateway("gw-"+spaceName, spaceName, netsim.Pentium4_1700()); err != nil {
 			return nil, err
 		}
-		if err := mw.InstallApp(host, "ubiquitous-slideshow", demoapps.SlideShowDesc(),
+		if err := mw.InstallApp(context.Background(), host, "ubiquitous-slideshow", demoapps.SlideShowDesc(),
 			demoapps.SlideShowSkeletonComponents(),
 			func(h string) *app.Application { return demoapps.SlideShowSkeleton(h) }); err != nil {
 			return nil, err

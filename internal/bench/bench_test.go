@@ -338,3 +338,22 @@ func TestDeltaSweepSavesBytes(t *testing.T) {
 		t.Fatalf("frame kinds wrong: full=%+v delta=%+v", full, delta)
 	}
 }
+
+// TestRunCtlMeasures smokes the control-plane micro-bench at a tiny
+// scale: every request succeeds, all events reach every watcher when
+// the burst fits the per-watch queue, and no drops are reported.
+func TestRunCtlMeasures(t *testing.T) {
+	res, err := RunCtl(8, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InfoRTT <= 0 || res.AppsRTT <= 0 {
+		t.Fatalf("non-positive RTTs: %+v", res)
+	}
+	if res.Delivered != int64(3*16) || res.Lost != 0 {
+		t.Fatalf("fan-out delivered %d lost %d, want 48/0", res.Delivered, res.Lost)
+	}
+	if res.EventsPerSec <= 0 {
+		t.Fatalf("events/sec = %f", res.EventsPerSec)
+	}
+}

@@ -124,11 +124,11 @@ func RunChurnSized(n int, cfg cluster.Config, songBytes int64) (ChurnResult, err
 	song := media.GenerateFile("song1", songBytes, 3)
 	rt0, _ := mw.Host(victim)
 	rt0.Library.Add(song)
-	if err := mw.RunApp(victim, demoapps.NewMediaPlayer(victim, song)); err != nil {
+	if err := mw.RunApp(context.Background(), victim, demoapps.NewMediaPlayer(victim, song)); err != nil {
 		return ChurnResult{}, err
 	}
 	for _, host := range hosts[1:] {
-		if err := mw.InstallApp(host, "smart-media-player", demoapps.MediaPlayerDesc(),
+		if err := mw.InstallApp(context.Background(), host, "smart-media-player", demoapps.MediaPlayerDesc(),
 			demoapps.MediaPlayerSkeletonComponents(),
 			func(h string) *app.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
 			return ChurnResult{}, err

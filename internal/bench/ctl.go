@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mdagent/internal/ctl"
+	"mdagent/internal/ctxkernel"
+)
+
+// CtlResult is the control-plane micro-benchmark: request round-trip
+// latency for a metadata call (Info) and a data call (Apps), and Watch
+// fan-out — events per second actually delivered to N concurrent
+// watchers, with the server-side drop count. Later protocol revisions
+// diff against this baseline.
+type CtlResult struct {
+	Requests int
+	InfoRTT  time.Duration // mean round-trip of one ctl.info
+	AppsRTT  time.Duration // mean round-trip of one ctl.apps (records + heads)
+
+	Watchers     int
+	Published    int
+	Delivered    int64 // events that reached a watcher
+	Lost         int64 // events dropped server-side (undrained queues)
+	Elapsed      time.Duration
+	EventsPerSec float64 // delivered / elapsed
+}
+
+// RunCtl measures the control plane over the in-process fabric: the
+// same versioned protocol and server the TCP daemons use, minus kernel
+// scheduling noise from real sockets — so the numbers isolate protocol
+// cost (seal, gob, dispatch, reply correlation) and the Watch pusher.
+func RunCtl(requests, watchers, events int) (CtlResult, error) {
+	mw, err := deployment(200_000, 7)
+	if err != nil {
+		return CtlResult{}, err
+	}
+	defer mw.Close()
+
+	srvEp, err := mw.Fabric.Attach("ctl-bench-server", "")
+	if err != nil {
+		return CtlResult{}, err
+	}
+	srv := mw.ServeControl(srvEp)
+	defer srv.Close()
+	cliEp, err := mw.Fabric.Attach("ctl-bench-client", "")
+	if err != nil {
+		return CtlResult{}, err
+	}
+	cli := ctl.NewClient(cliEp, "ctl-bench-server")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	res := CtlResult{Requests: requests, Watchers: watchers, Published: events}
+
+	// Round-trip latency (wall clock; the virtual testbed clock does not
+	// pace fabric dispatch).
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		if _, err := cli.Info(ctx); err != nil {
+			return res, fmt.Errorf("info #%d: %w", i, err)
+		}
+	}
+	res.InfoRTT = time.Since(start) / time.Duration(requests)
+	start = time.Now()
+	for i := 0; i < requests; i++ {
+		if _, err := cli.Apps(ctx); err != nil {
+			return res, fmt.Errorf("apps #%d: %w", i, err)
+		}
+	}
+	res.AppsRTT = time.Since(start) / time.Duration(requests)
+
+	// Watch fan-out: N watchers on their own endpoints, one publisher
+	// burst, count deliveries until the stream idles.
+	type tally struct {
+		delivered int64
+		lost      uint64
+	}
+	var wg sync.WaitGroup
+	tallies := make(chan tally, watchers)
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	for i := 0; i < watchers; i++ {
+		ep, err := mw.Fabric.Attach(fmt.Sprintf("ctl-bench-watch-%d", i), "")
+		if err != nil {
+			return res, err
+		}
+		wcli := ctl.NewClient(ep, "ctl-bench-server")
+		stream, err := wcli.Watch(wctx, "bench.*")
+		if err != nil {
+			return res, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var tl tally
+			idle := time.NewTimer(time.Second)
+			defer idle.Stop()
+			for {
+				select {
+				case ev, ok := <-stream:
+					if !ok {
+						tallies <- tl
+						return
+					}
+					tl.delivered++
+					tl.lost += ev.Lost
+					if !idle.Stop() {
+						<-idle.C
+					}
+					idle.Reset(300 * time.Millisecond)
+				case <-idle.C:
+					tallies <- tl
+					return
+				}
+			}
+		}()
+	}
+
+	start = time.Now()
+	for i := 0; i < events; i++ {
+		mw.Kernel.Publish(ctxkernel.Event{
+			Topic: "bench.tick", At: time.Now(), Source: "bench",
+			Attrs: map[string]string{"seq": fmt.Sprint(i)},
+		})
+	}
+	wg.Wait()
+	close(tallies)
+	// The idle window ran after the last delivery on every watcher;
+	// charge only one window against throughput, not one per watcher.
+	res.Elapsed = time.Since(start) - 300*time.Millisecond
+	if res.Elapsed <= 0 {
+		res.Elapsed = time.Millisecond
+	}
+	for tl := range tallies {
+		res.Delivered += tl.delivered
+		res.Lost += int64(tl.lost)
+	}
+	res.EventsPerSec = float64(res.Delivered) / res.Elapsed.Seconds()
+	return res, nil
+}

@@ -83,7 +83,7 @@ func runDeltaCell(songBytes int64, mode string, ticks int) (DeltaPoint, error) {
 	rt, _ := mw.Host(host)
 	song := media.GenerateFile("song1", songBytes, 3)
 	rt.Library.Add(song)
-	if err := mw.RunApp(host, demoapps.NewMediaPlayer(host, song)); err != nil {
+	if err := mw.RunApp(context.Background(), host, demoapps.NewMediaPlayer(host, song)); err != nil {
 		return p, err
 	}
 	inst, ok := rt.Engine.App("smart-media-player")

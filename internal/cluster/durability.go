@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mdagent/internal/state"
+	"mdagent/internal/transport"
 )
 
 // WriteConcern selects how durable a federation write must be before it
@@ -34,6 +35,11 @@ const (
 // package so the replication pipeline and packages that must not import
 // cluster (migrate, core helpers) check the same sentinel.
 var ErrNotDurable = state.ErrNotDurable
+
+// Durability shortfalls normally cross the snapshot wire in-band
+// (putSnapshotReply.NotDurable), but any path where the text leaks into
+// an error reply should still satisfy errors.Is on the far side.
+func init() { transport.RegisterWireSentinel(ErrNotDurable) }
 
 // ParseWriteConcern validates a write-concern string — the flag and
 // wire-header boundary. Empty means "use the configured default".

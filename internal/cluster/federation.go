@@ -672,6 +672,24 @@ func (c *Center) LatestSnapshot(appName string) (state.SnapshotRecord, bool) {
 	return r.Snap, true
 }
 
+// SnapshotHeads lists the metadata of every live replicated snapshot
+// this center holds, sorted by app — the control plane's snapshot view.
+// Durability metadata comes from the durable stash when it matches the
+// head version, so a listed head reflects what failover would prefer.
+func (c *Center) SnapshotHeads() []state.SnapshotHead {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []state.SnapshotHead
+	for _, r := range c.records {
+		if r.Kind != RecordSnapshot || r.Deleted {
+			continue
+		}
+		out = append(out, r.Snap.Head())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}
+
 // LatestDurableSnapshot returns the last snapshot record for an
 // application this center knows met its write concern — possibly older
 // than LatestSnapshot's head when the newest writes fell short of their
@@ -927,28 +945,28 @@ func (c *Center) Serve(ep *transport.Endpoint) *Center {
 	// ...then shadow the write handlers with replicating versions.
 	ep.Handle(registry.MsgRegisterApp, func(msg transport.Message) ([]byte, error) {
 		var rec registry.AppRecord
-		if err := transport.Decode(msg.Payload, &rec); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &rec); err != nil {
 			return nil, err
 		}
 		return nil, stripNotDurable(c.RegisterApp(context.Background(), rec))
 	})
 	ep.Handle(registry.MsgUnregisterApp, func(msg transport.Message) ([]byte, error) {
 		var req struct{ Name, Host string }
-		if err := transport.Decode(msg.Payload, &req); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
 		return nil, stripNotDurable(c.UnregisterApp(context.Background(), req.Name, req.Host))
 	})
 	ep.Handle(registry.MsgRegisterResource, func(msg transport.Message) ([]byte, error) {
 		var res owl.Resource
-		if err := transport.Decode(msg.Payload, &res); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &res); err != nil {
 			return nil, err
 		}
 		return nil, stripNotDurable(c.RegisterResource(context.Background(), res))
 	})
 	ep.Handle(registry.MsgRegisterDevice, func(msg transport.Message) ([]byte, error) {
 		var dev wsdl.DeviceProfile
-		if err := transport.Decode(msg.Payload, &dev); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &dev); err != nil {
 			return nil, err
 		}
 		return nil, stripNotDurable(c.RegisterDevice(context.Background(), dev))
@@ -960,7 +978,7 @@ func (c *Center) Serve(ep *transport.Endpoint) *Center {
 	// a base" from a real failure.
 	ep.Handle(MsgPutSnapshot, func(msg transport.Message) ([]byte, error) {
 		var put state.SnapshotPut
-		if err := transport.Decode(msg.Payload, &put); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &put); err != nil {
 			return nil, err
 		}
 		stamp, err := c.PutSnapshot(context.Background(), put)
@@ -980,7 +998,7 @@ func (c *Center) Serve(ep *transport.Endpoint) *Center {
 	})
 	ep.Handle(MsgGetSnapshot, func(msg transport.Message) ([]byte, error) {
 		var req getSnapshotReq
-		if err := transport.Decode(msg.Payload, &req); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
 		rec, found := c.LatestSnapshot(req.App)
@@ -988,10 +1006,16 @@ func (c *Center) Serve(ep *transport.Endpoint) *Center {
 	})
 	ep.Handle(MsgDropSnapshot, func(msg transport.Message) ([]byte, error) {
 		var req dropSnapshotReq
-		if err := transport.Decode(msg.Payload, &req); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
 		return nil, stripNotDurable(c.DropSnapshot(context.Background(), req.App, req.Host))
+	})
+	ep.Handle(MsgListSnaps, func(msg transport.Message) ([]byte, error) {
+		if _, err := transport.Open(msg.Payload); err != nil {
+			return nil, err
+		}
+		return transport.Encode(listSnapsReply{Heads: c.SnapshotHeads()})
 	})
 	return c
 }

@@ -22,6 +22,7 @@ const (
 	MsgPutSnapshot  = "cluster.snap-put"       // remote replicator put
 	MsgGetSnapshot  = "cluster.snap-get"       // remote snapshot fetch
 	MsgDropSnapshot = "cluster.snap-drop"      // remote graceful-stop tombstone
+	MsgListSnaps    = "cluster.snap-list"      // remote snapshot-head listing
 )
 
 // MemberEndpointName returns the conventional membership endpoint name for
@@ -163,4 +164,8 @@ type (
 	}
 
 	dropSnapshotReq struct{ App, Host string }
+
+	listSnapsReply struct {
+		Heads []state.SnapshotHead
+	}
 )

@@ -43,7 +43,7 @@ func (c *SnapshotClient) PutSnapshot(ctx context.Context, put state.SnapshotPut)
 	if put.Concern == "" {
 		put.Concern = c.concern
 	}
-	payload, err := transport.Encode(put)
+	payload, err := transport.EncodeSealed(put)
 	if err != nil {
 		return state.SnapshotStamp{}, err
 	}
@@ -62,7 +62,7 @@ func (c *SnapshotClient) PutSnapshot(ctx context.Context, put state.SnapshotPut)
 
 // DropSnapshot implements state.Publisher.
 func (c *SnapshotClient) DropSnapshot(ctx context.Context, appName, host string) error {
-	payload, err := transport.Encode(dropSnapshotReq{App: appName, Host: host})
+	payload, err := transport.EncodeSealed(dropSnapshotReq{App: appName, Host: host})
 	if err != nil {
 		return err
 	}
@@ -73,7 +73,7 @@ func (c *SnapshotClient) DropSnapshot(ctx context.Context, appName, host string)
 // LatestSnapshot fetches the center's freshest replicated record for an
 // application — the restore side of the wire protocol.
 func (c *SnapshotClient) LatestSnapshot(ctx context.Context, appName string) (state.SnapshotRecord, bool, error) {
-	payload, err := transport.Encode(getSnapshotReq{App: appName})
+	payload, err := transport.EncodeSealed(getSnapshotReq{App: appName})
 	if err != nil {
 		return state.SnapshotRecord{}, false, err
 	}
@@ -82,4 +82,18 @@ func (c *SnapshotClient) LatestSnapshot(ctx context.Context, appName string) (st
 		return state.SnapshotRecord{}, false, err
 	}
 	return reply.Rec, reply.Found, nil
+}
+
+// SnapshotHeads lists the metadata of every live replicated snapshot the
+// center holds — the control plane's remote snapshot view.
+func (c *SnapshotClient) SnapshotHeads(ctx context.Context) ([]state.SnapshotHead, error) {
+	payload, err := transport.EncodeSealed(struct{}{})
+	if err != nil {
+		return nil, err
+	}
+	var reply listSnapsReply
+	if err := c.ep.RequestDecode(ctx, c.server, MsgListSnaps, payload, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Heads, nil
 }

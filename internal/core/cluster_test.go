@@ -73,14 +73,14 @@ func newFederatedDeploymentSong(t *testing.T, cfg *cluster.Config, songBytes int
 	song := media.GenerateFile("song1", songBytes, 3)
 	rt1, _ := mw.Host("h1")
 	rt1.Library.Add(song)
-	if err := mw.RunApp("h1", demoapps.NewMediaPlayer("h1", song)); err != nil {
+	if err := mw.RunApp(context.Background(), "h1", demoapps.NewMediaPlayer("h1", song)); err != nil {
 		t.Fatal(err)
 	}
 	if err := mw.RegisterResource(demoapps.MusicResource(song, "h1")); err != nil {
 		t.Fatal(err)
 	}
 	for _, host := range []string{"h2", "h3"} {
-		if err := mw.InstallApp(host, "smart-media-player", demoapps.MediaPlayerDesc(),
+		if err := mw.InstallApp(context.Background(), host, "smart-media-player", demoapps.MediaPlayerDesc(),
 			demoapps.MediaPlayerSkeletonComponents(),
 			func(h string) *app.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
 			t.Fatal(err)
@@ -161,7 +161,7 @@ func TestFederatedFailoverRehomesAcrossSpaces(t *testing.T) {
 
 	// The app lands on a survivor. Both carry the same skeleton, so the
 	// deterministic tiebreak picks h2.
-	if err := mw.WaitAppOn("smart-media-player", "h2", 5*time.Second); err != nil {
+	if err := mw.WaitAppOn(context.Background(), "smart-media-player", "h2", 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 
@@ -208,7 +208,7 @@ func TestIsolatedHostDoesNotStealApps(t *testing.T) {
 	song := media.GenerateFile("song2", 1_000_000, 4)
 	rt2, _ := mw.Host("h2")
 	rt2.Library.Add(song)
-	if err := mw.RunApp("h2", demoapps.NewHandheldPlayer("h2", song)); err != nil {
+	if err := mw.RunApp(context.Background(), "h2", demoapps.NewHandheldPlayer("h2", song)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -307,7 +307,7 @@ func TestFailoverRestoresReplicatedState(t *testing.T) {
 	}
 	// Generous window: under -race with the whole suite in parallel on a
 	// loaded runner, conviction + restore can overshoot 5s.
-	if err := mw.WaitAppOn("smart-media-player", "h2", 15*time.Second); err != nil {
+	if err := mw.WaitAppOn(context.Background(), "smart-media-player", "h2", 15*time.Second); err != nil {
 		t.Fatal(err)
 	}
 
@@ -374,7 +374,7 @@ func TestStopAppRetiresSnapshot(t *testing.T) {
 		return ok
 	})
 
-	if err := mw.StopApp("h1", "smart-media-player"); err != nil {
+	if err := mw.StopApp(context.Background(), "h1", "smart-media-player"); err != nil {
 		t.Fatal(err)
 	}
 	rt1, _ := mw.Host("h1")
@@ -503,7 +503,7 @@ func TestPartitionHealRearmsFailover(t *testing.T) {
 		return m2.State == cluster.StateDead && m3.State == cluster.StateDead
 	})
 	// The app re-homes off h1 while it is cut off.
-	if err := mw.WaitAppOn("smart-media-player", "h2", 5*time.Second); err != nil {
+	if err := mw.WaitAppOn(context.Background(), "smart-media-player", "h2", 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 

@@ -12,13 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
 	"mdagent/internal/agents"
 	"mdagent/internal/app"
 	"mdagent/internal/cluster"
+	"mdagent/internal/ctl"
 	"mdagent/internal/ctxkernel"
 	"mdagent/internal/media"
 	"mdagent/internal/migrate"
@@ -312,14 +312,10 @@ func (m *Middleware) AddHost(host, spaceName string, profile netsim.HostProfile,
 			if put.Delta {
 				kind = "delta"
 			}
-			m.Kernel.Publish(ctxkernel.Event{
-				Topic: TopicStateReplicated, At: put.At, Source: "state",
-				Attrs: map[string]string{
-					"app": put.App, "host": put.Host, "kind": kind,
-					"seq":   strconv.FormatUint(stamp.Seq, 10),
-					"bytes": strconv.Itoa(len(put.Frame)),
-					"chain": strconv.Itoa(stamp.Chain),
-				},
+			m.Kernel.PublishTyped("state", ctxkernel.StateReplicatedEvent{
+				App: put.App, Host: put.Host, FrameKind: kind,
+				Seq: stamp.Seq, Bytes: len(put.Frame), Chain: stamp.Chain,
+				At: put.At,
 			})
 		})
 		rep.Start()
@@ -353,18 +349,10 @@ func (m *Middleware) ensureCenter(spaceName, host string) (*cluster.Center, erro
 	m.rehomeMu.Unlock()
 	center := m.Cluster.AddCenter(spaceName, reg, ep)
 	center.OnDurability(func(ev cluster.DurabilityEvent) {
-		topic := TopicClusterDurable
-		if !ev.Durable {
-			topic = TopicClusterDegraded
-		}
-		m.Kernel.Publish(ctxkernel.Event{
-			Topic: topic, At: m.Clock.Now(), Source: "cluster",
-			Attrs: map[string]string{
-				"space": spaceName, "key": ev.Key, "concern": string(ev.Concern),
-				"acked":    strconv.Itoa(ev.Acked),
-				"required": strconv.Itoa(ev.Required),
-				"degraded": strconv.FormatBool(ev.Degraded),
-			},
+		m.Kernel.PublishTyped("cluster", ctxkernel.FederationWriteEvent{
+			Space: spaceName, Key: ev.Key, Concern: string(ev.Concern),
+			Acked: ev.Acked, Required: ev.Required,
+			Durable: ev.Durable, Degraded: ev.Degraded, At: m.Clock.Now(),
 		})
 	})
 	return center, nil
@@ -377,6 +365,12 @@ func (m *Middleware) ensureCenter(spaceName, host string) (*cluster.Center, erro
 // unreachable center or a mid-conviction race must not strand the dead
 // host's applications forever.
 func (m *Middleware) onMemberChange(reporter *cluster.Node, mem cluster.Member) {
+	// Every transition is mirrored onto the kernel as a typed event (one
+	// per reporting node — a Watch stream sees convictions converge).
+	m.Kernel.PublishTyped("cluster", ctxkernel.MemberEvent{
+		Host: mem.ID, Space: mem.Space, State: mem.State.String(),
+		Incarnation: mem.Incarnation, At: m.Clock.Now(),
+	})
 	if mem.State == cluster.StateAlive {
 		// A host coming back (healed partition, refuted rumor, restart)
 		// re-arms failover for it: a later, real death must re-home again.
@@ -455,15 +449,13 @@ func (m *Middleware) rehomeDead(reporter *cluster.Node, deadHost string) bool {
 		return true
 	}
 	now := m.Clock.Now()
-	m.Kernel.Publish(ctxkernel.Event{
-		Topic: TopicHostDead, At: now, Source: "cluster",
-		Attrs: map[string]string{"host": deadHost, "reporter": reporter.Self().ID},
+	m.Kernel.PublishTyped("cluster", ctxkernel.HostDeadEvent{
+		Host: deadHost, Reporter: reporter.Self().ID, At: now,
 	})
 	center, ok := m.survivingCenter(reporter, deadHost)
 	if !ok {
-		m.Kernel.Publish(ctxkernel.Event{
-			Topic: TopicRehomeFailed, At: now, Source: "cluster",
-			Attrs: map[string]string{"host": deadHost, "error": "no surviving registry center"},
+		m.Kernel.PublishTyped("cluster", ctxkernel.RehomeFailedEvent{
+			Host: deadHost, Error: "no surviving registry center", At: now,
 		})
 		return false
 	}
@@ -475,27 +467,19 @@ func (m *Middleware) rehomeDead(reporter *cluster.Node, deadHost string) bool {
 	defer cancel()
 	done, err := f.Rehome(ctx, deadHost)
 	for _, r := range done {
-		m.Kernel.Publish(ctxkernel.Event{
-			Topic: TopicRehomed, At: m.Clock.Now(), Source: "cluster",
-			Attrs: map[string]string{
-				"app": r.App, "from": r.From, "to": r.To, "space": r.NewSpace,
-				"restored": strconv.FormatBool(r.Restored),
-			},
+		m.Kernel.PublishTyped("cluster", ctxkernel.RehomedEvent{
+			App: r.App, From: r.From, To: r.To, Space: r.NewSpace,
+			Restored: r.Restored, At: m.Clock.Now(),
 		})
 		if r.Restored {
-			m.Kernel.Publish(ctxkernel.Event{
-				Topic: TopicStateRestored, At: m.Clock.Now(), Source: "cluster",
-				Attrs: map[string]string{
-					"app": r.App, "to": r.To,
-					"seq": strconv.FormatUint(r.SnapshotSeq, 10),
-				},
+			m.Kernel.PublishTyped("cluster", ctxkernel.StateRestoredEvent{
+				App: r.App, To: r.To, Seq: r.SnapshotSeq, At: m.Clock.Now(),
 			})
 		}
 	}
 	if err != nil {
-		m.Kernel.Publish(ctxkernel.Event{
-			Topic: TopicRehomeFailed, At: m.Clock.Now(), Source: "cluster",
-			Attrs: map[string]string{"host": deadHost, "error": err.Error()},
+		m.Kernel.PublishTyped("cluster", ctxkernel.RehomeFailedEvent{
+			Host: deadHost, Error: err.Error(), At: m.Clock.Now(),
 		})
 		return false
 	}
@@ -565,9 +549,8 @@ func (m *Middleware) reconcileRevived(host string) {
 			if ort, ok := m.Host(elsewhere); ok && ort.Replicator != nil {
 				ort.Replicator.ForceRepublish(name)
 			}
-			m.Kernel.Publish(ctxkernel.Event{
-				Topic: TopicSuperseded, At: m.Clock.Now(), Source: "cluster",
-				Attrs: map[string]string{"app": name, "host": host, "running-on": elsewhere},
+			m.Kernel.PublishTyped("cluster", ctxkernel.SupersededEvent{
+				App: name, Host: host, RunningOn: elsewhere, At: m.Clock.Now(),
 			})
 		}
 		select {
@@ -715,10 +698,10 @@ func (m *Middleware) AddUser(user, badge, room string) error {
 }
 
 // RunApp starts a constructed application on a host and registers it.
-func (m *Middleware) RunApp(host string, inst *app.Application) error {
+func (m *Middleware) RunApp(ctx context.Context, host string, inst *app.Application) error {
 	rt, ok := m.Host(host)
 	if !ok {
-		return fmt.Errorf("core: unknown host %q", host)
+		return fmt.Errorf("core: %w: %q", ctl.ErrUnknownHost, host)
 	}
 	if err := rt.Engine.Run(inst); err != nil {
 		return err
@@ -727,11 +710,17 @@ func (m *Middleware) RunApp(host string, inst *app.Application) error {
 		// A restart after a graceful stop lifts the snapshot retirement.
 		rt.Replicator.Reinstate(inst.Name())
 	}
-	return m.registerApp(registry.AppRecord{
+	if err := m.registerApp(ctx, registry.AppRecord{
 		Name: inst.Name(), Host: host, Space: rt.Space,
 		Description: inst.Description(), Components: inst.Components(),
 		Running: true,
+	}); err != nil {
+		return err
+	}
+	m.Kernel.PublishTyped("core", ctxkernel.AppStartedEvent{
+		App: inst.Name(), Host: host, At: m.Clock.Now(),
 	})
+	return nil
 }
 
 // StopApp gracefully stops a running application on a host: the instance
@@ -739,24 +728,24 @@ func (m *Middleware) RunApp(host string, inst *app.Application) error {
 // tombstoned (so failover never resurrects a deliberately stopped app),
 // and its registry record is unregistered — federation-wide when
 // clustered.
-func (m *Middleware) StopApp(host, appName string) error {
+func (m *Middleware) StopApp(ctx context.Context, host, appName string) error {
 	rt, ok := m.Host(host)
 	if !ok {
-		return fmt.Errorf("core: unknown host %q", host)
+		return fmt.Errorf("core: %w: %q", ctl.ErrUnknownHost, host)
 	}
 	// Remove from the engine LAST: if retiring or unregistering fails
 	// mid-way, the app must stay addressable so a retried StopApp can
 	// complete the tombstone path instead of erroring on a ghost.
 	inst, ok := rt.Engine.App(appName)
 	if !ok {
-		return fmt.Errorf("core: no running app %q on %s", appName, host)
+		return fmt.Errorf("core: %w: no running app %q on %s", ctl.ErrAppNotFound, appName, host)
 	}
 	if inst.State() == app.Running {
 		if err := inst.Suspend(); err != nil {
 			return err
 		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 15*time.Second)
 	defer cancel()
 	stopRecords := func() error {
 		if m.Cluster != nil {
@@ -775,15 +764,18 @@ func (m *Middleware) StopApp(host, appName string) error {
 		return err
 	}
 	rt.Engine.Remove(appName)
+	m.Kernel.PublishTyped("core", ctxkernel.AppStoppedEvent{
+		App: appName, Host: host, At: m.Clock.Now(),
+	})
 	return nil
 }
 
 // registerApp records an installation at the host's space center when
 // clustered, else at the single registry center.
-func (m *Middleware) registerApp(rec registry.AppRecord) error {
+func (m *Middleware) registerApp(ctx context.Context, rec registry.AppRecord) error {
 	if m.Cluster != nil {
 		if center, ok := m.Cluster.Center(rec.Space); ok {
-			return ignoreNotDurable(center.RegisterApp(context.Background(), rec))
+			return ignoreNotDurable(center.RegisterApp(ctx, rec))
 		}
 	}
 	return m.Registry.RegisterApp(rec)
@@ -792,13 +784,13 @@ func (m *Middleware) registerApp(rec registry.AppRecord) error {
 // InstallApp provisions an application skeleton factory on a host (the
 // "application exists at destination" case) and records the installed
 // components at the registry.
-func (m *Middleware) InstallApp(host, appName string, desc wsdl.Description, components []string, factory func(host string) *app.Application) error {
+func (m *Middleware) InstallApp(ctx context.Context, host, appName string, desc wsdl.Description, components []string, factory func(host string) *app.Application) error {
 	rt, ok := m.Host(host)
 	if !ok {
-		return fmt.Errorf("core: unknown host %q", host)
+		return fmt.Errorf("core: %w: %q", ctl.ErrUnknownHost, host)
 	}
 	rt.Engine.InstallFactory(appName, factory)
-	return m.registerApp(registry.AppRecord{
+	return m.registerApp(ctx, registry.AppRecord{
 		Name: appName, Host: host, Space: rt.Space,
 		Description: desc, Components: components,
 	})
@@ -834,8 +826,9 @@ func (m *Middleware) FindApp(appName string) (*app.Application, string, bool) {
 // StartAgents deploys an MA manager on every host (once) and an AA for
 // the (user, app) policy on every host — whichever host currently runs
 // the app reacts, so follow-me works across any number of hops (the
-// paper's per-host AA/MA managers, Fig. 2).
-func (m *Middleware) StartAgents(policy agents.Policy) error {
+// paper's per-host AA/MA managers, Fig. 2). Cancellation is checked
+// between hosts.
+func (m *Middleware) StartAgents(ctx context.Context, policy agents.Policy) error {
 	m.mu.Lock()
 	hosts := make([]*HostRuntime, 0, len(m.hosts))
 	for _, rt := range m.hosts {
@@ -844,6 +837,9 @@ func (m *Middleware) StartAgents(policy agents.Policy) error {
 	m.mu.Unlock()
 	sort.Slice(hosts, func(i, j int) bool { return hosts[i].Host < hosts[j].Host })
 	for _, rt := range hosts {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: start agents interrupted: %w", err)
+		}
 		maName := "ma@" + rt.Host
 		if _, ok := rt.Container.Agent(maName); !ok {
 			if _, err := agents.StartMobileAgent(rt.Container, maName, rt.Engine); err != nil {
@@ -864,28 +860,100 @@ func (m *Middleware) StartAgents(policy agents.Policy) error {
 
 // Walk replays a movement script through the sensor field and fusion,
 // driving the whole context -> agent -> migration pipeline.
-func (m *Middleware) Walk(script sensor.Script) error {
+func (m *Middleware) Walk(ctx context.Context, script sensor.Script) error {
 	w := sensor.NewWalker(m.Field, m.cfg.SensorTick)
-	return w.Run(script, m.Fusion.Consume)
+	return w.Run(ctx, script, m.Fusion.Consume)
 }
 
-// WaitAppOn blocks (in real time) until the app runs on host or the
-// timeout expires — migrations triggered by agents complete
-// asynchronously to Walk.
-func (m *Middleware) WaitAppOn(appName, host string, timeout time.Duration) error {
+// Migrate follow-mes a running application to destHost with the given
+// binding mode, planning against the deployment's catalog, and reports
+// the outcome on the kernel as a typed app.migrated / app.migrate-failed
+// event — the control plane's migration entry point, sharing the agents'
+// event contract so a Watch stream sees operator- and agent-driven moves
+// identically.
+func (m *Middleware) Migrate(ctx context.Context, appName, destHost string, binding migrate.BindingMode) (migrate.Report, error) {
+	_, srcHost, ok := m.FindApp(appName)
+	if !ok {
+		return migrate.Report{}, fmt.Errorf("core: %w: %q is not running anywhere", ctl.ErrAppNotFound, appName)
+	}
+	if _, ok := m.Host(destHost); !ok {
+		return migrate.Report{}, fmt.Errorf("core: %w: %q", ctl.ErrUnknownHost, destHost)
+	}
+	rt, _ := m.Host(srcHost)
+	rep, err := rt.Engine.FollowMe(ctx, appName, destHost, binding, owl.MatchSemantic)
+	now := m.Clock.Now()
+	if err != nil {
+		m.Kernel.PublishTyped("core", ctxkernel.AppMigrateFailedEvent{
+			App: appName, Dest: destHost, Reason: "control plane", Error: err.Error(), At: now,
+		})
+		return migrate.Report{}, err
+	}
+	m.Kernel.PublishTyped("core", ctxkernel.AppMigratedEvent{
+		App: appName, Dest: destHost, Mode: migrate.FollowMe.String(), Reason: "control plane",
+		SuspendMs: rep.Suspend.Milliseconds(), MigrateMs: rep.Migrate.Milliseconds(),
+		ResumeMs: rep.Resume.Milliseconds(), Bytes: rep.BytesMoved, At: now,
+	})
+	return rep, nil
+}
+
+// WaitAppOn blocks until the app runs on host, the timeout expires, or
+// ctx is canceled — migrations triggered by agents complete
+// asynchronously to Walk. It waits on kernel events that signal an
+// arrival (app.started, app.migrated, cluster.rehomed) and re-checks the
+// engine on each; a coarse poll remains only as a fallback for arrival
+// paths that bypass the kernel. A zero timeout waits on ctx alone.
+func (m *Middleware) WaitAppOn(ctx context.Context, appName, host string, timeout time.Duration) error {
 	rt, ok := m.Host(host)
 	if !ok {
-		return fmt.Errorf("core: unknown host %q", host)
+		return fmt.Errorf("core: %w: %q", ctl.ErrUnknownHost, host)
 	}
-	deadline := time.Now().Add(timeout)
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	running := func() bool {
+		inst, ok := rt.Engine.App(appName)
+		return ok && inst.State() == app.Running
+	}
+	// Subscribe before the first check so an arrival between check and
+	// wait cannot be missed.
+	kick := make(chan struct{}, 1)
+	arrivalTopics := []string{
+		ctxkernel.TopicAppStarted, ctxkernel.TopicAppMigrated, ctxkernel.TopicClusterRehomed,
+	}
+	subs := make([]int, 0, len(arrivalTopics))
+	for _, topic := range arrivalTopics {
+		subs = append(subs, m.Kernel.Subscribe(topic, func(ev ctxkernel.Event) {
+			if ev.Attr("app") != appName {
+				return
+			}
+			select {
+			case kick <- struct{}{}:
+			default:
+			}
+		}))
+	}
+	defer func() {
+		for _, id := range subs {
+			m.Kernel.Unsubscribe(id)
+		}
+	}()
+	// Fallback poll: resume-after-suspend and direct engine runs do not
+	// cross the kernel; a coarse tick covers them without the old 1 ms
+	// busy-wait.
+	fallback := time.NewTicker(25 * time.Millisecond)
+	defer fallback.Stop()
 	for {
-		if inst, ok := rt.Engine.App(appName); ok && inst.State() == app.Running {
+		if running() {
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("core: %s not running on %s after %v", appName, host, timeout)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: %s not running on %s: %w", appName, host, ctx.Err())
+		case <-kick:
+		case <-fallback.C:
 		}
-		time.Sleep(time.Millisecond)
 	}
 }
 

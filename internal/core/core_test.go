@@ -62,13 +62,13 @@ func labDeployment(t *testing.T) (*Middleware, media.File) {
 
 	player := demoapps.NewMediaPlayer("hostA", song)
 	player.SetProfile(app.UserProfile{User: "alice", Preferences: map[string]string{"handedness": "left"}})
-	if err := mw.RunApp("hostA", player); err != nil {
+	if err := mw.RunApp(context.Background(), "hostA", player); err != nil {
 		t.Fatal(err)
 	}
 	if err := mw.RegisterResource(demoapps.MusicResource(song, "hostA")); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+	if err := mw.InstallApp(context.Background(), "hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
 		demoapps.MediaPlayerSkeletonComponents(),
 		func(host string) *app.Application { return demoapps.MediaPlayerSkeleton(host) }); err != nil {
 		t.Fatal(err)
@@ -78,7 +78,7 @@ func labDeployment(t *testing.T) (*Middleware, media.File) {
 
 func TestEndToEndFollowMeViaSensors(t *testing.T) {
 	mw, _ := labDeployment(t)
-	if err := mw.StartAgents(agents.DefaultPolicy("alice", "smart-media-player")); err != nil {
+	if err := mw.StartAgents(context.Background(), agents.DefaultPolicy("alice", "smart-media-player")); err != nil {
 		t.Fatal(err)
 	}
 	// Alice walks: office821 -> corridor (same host) -> office822 (hostB).
@@ -87,10 +87,10 @@ func TestEndToEndFollowMeViaSensors(t *testing.T) {
 		{Room: "corridor", Dwell: 2 * time.Second},
 		{Room: "office822", Dwell: 3 * time.Second},
 	}}
-	if err := mw.Walk(script); err != nil {
+	if err := mw.Walk(context.Background(), script); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.WaitAppOn("smart-media-player", "hostB", 10*time.Second); err != nil {
+	if err := mw.WaitAppOn(context.Background(), "smart-media-player", "hostB", 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	inst, host, ok := mw.FindApp("smart-media-player")
@@ -130,12 +130,12 @@ func TestEndToEndMultiHopFollowMe(t *testing.T) {
 	if err := mw.AddRoom("office823", "hostC", sensor.Point{X: 24, Y: 0}); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.InstallApp("hostC", "smart-media-player", demoapps.MediaPlayerDesc(),
+	if err := mw.InstallApp(context.Background(), "hostC", "smart-media-player", demoapps.MediaPlayerDesc(),
 		demoapps.MediaPlayerSkeletonComponents(),
 		func(host string) *app.Application { return demoapps.MediaPlayerSkeleton(host) }); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.StartAgents(agents.DefaultPolicy("alice", "smart-media-player")); err != nil {
+	if err := mw.StartAgents(context.Background(), agents.DefaultPolicy("alice", "smart-media-player")); err != nil {
 		t.Fatal(err)
 	}
 	script := sensor.Script{Badge: "badge-1", Steps: []sensor.Step{
@@ -143,10 +143,10 @@ func TestEndToEndMultiHopFollowMe(t *testing.T) {
 		{Room: "office822", Dwell: 3 * time.Second},
 		{Room: "office823", Dwell: 3 * time.Second},
 	}}
-	if err := mw.Walk(script); err != nil {
+	if err := mw.Walk(context.Background(), script); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.WaitAppOn("smart-media-player", "hostC", 10*time.Second); err != nil {
+	if err := mw.WaitAppOn(context.Background(), "smart-media-player", "hostC", 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	// Two hops: the app must exist only on hostC.
@@ -187,7 +187,7 @@ func TestEndToEndCloneDispatchAcrossSpaces(t *testing.T) {
 	deck := media.GenerateDeck("icdcs-talk", 20, 3<<20, 4)
 	show := demoapps.NewSlideShow("mainHost", deck)
 	show.BindResource(demoapps.SlidesResource(deck, "mainHost"))
-	if err := mw.RunApp("mainHost", show); err != nil {
+	if err := mw.RunApp(context.Background(), "mainHost", show); err != nil {
 		t.Fatal(err)
 	}
 	if err := mw.RegisterResource(demoapps.SlidesResource(deck, "mainHost")); err != nil {
@@ -196,7 +196,7 @@ func TestEndToEndCloneDispatchAcrossSpaces(t *testing.T) {
 	if err := mw.RegisterResource(demoapps.ProjectorResource("proj-1", "roomHost", "meetingRoom1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.InstallApp("roomHost", "ubiquitous-slideshow", demoapps.SlideShowDesc(),
+	if err := mw.InstallApp(context.Background(), "roomHost", "ubiquitous-slideshow", demoapps.SlideShowDesc(),
 		demoapps.SlideShowSkeletonComponents(),
 		func(host string) *app.Application { return demoapps.SlideShowSkeleton(host) }); err != nil {
 		t.Fatal(err)
@@ -239,7 +239,7 @@ func TestEndToEndCloneDispatchAcrossSpaces(t *testing.T) {
 func TestMessengerFollowMeKeepsSession(t *testing.T) {
 	mw, _ := labDeployment(t)
 	im := demoapps.NewMessenger("hostA", "alice")
-	if err := mw.RunApp("hostA", im); err != nil {
+	if err := mw.RunApp(context.Background(), "hostA", im); err != nil {
 		t.Fatal(err)
 	}
 	if err := demoapps.MessengerSend(im, "hello from office821"); err != nil {
@@ -291,16 +291,16 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestValidationErrors(t *testing.T) {
 	mw, _ := labDeployment(t)
-	if err := mw.RunApp("ghostHost", demoapps.NewMessenger("x", "u")); err == nil {
+	if err := mw.RunApp(context.Background(), "ghostHost", demoapps.NewMessenger("x", "u")); err == nil {
 		t.Fatal("RunApp on unknown host accepted")
 	}
-	if err := mw.InstallApp("ghostHost", "x", demoapps.MessengerDesc(), nil, nil); err == nil {
+	if err := mw.InstallApp(context.Background(), "ghostHost", "x", demoapps.MessengerDesc(), nil, nil); err == nil {
 		t.Fatal("InstallApp on unknown host accepted")
 	}
-	if err := mw.WaitAppOn("x", "ghostHost", time.Millisecond); err == nil {
+	if err := mw.WaitAppOn(context.Background(), "x", "ghostHost", time.Millisecond); err == nil {
 		t.Fatal("WaitAppOn unknown host accepted")
 	}
-	if err := mw.WaitAppOn("no-such-app", "hostA", 10*time.Millisecond); err == nil {
+	if err := mw.WaitAppOn(context.Background(), "no-such-app", "hostA", 10*time.Millisecond); err == nil {
 		t.Fatal("WaitAppOn missing app accepted")
 	}
 	if _, _, ok := mw.FindApp("no-such-app"); ok {

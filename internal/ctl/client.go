@@ -1,0 +1,259 @@
+package ctl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mdagent/internal/ctxkernel"
+	"mdagent/internal/state"
+	"mdagent/internal/transport"
+)
+
+// Client is a typed handle to a control-plane server. It works over any
+// transport fabric — the in-process LocalFabric and real TCP — and its
+// errors satisfy the same errors.Is contracts as in-process calls
+// (ErrUnknownHost, ErrAppNotFound, ErrUnsupported, ErrVersion).
+type Client struct {
+	ep     *transport.Endpoint
+	server string
+	// SubscribeTimeout bounds Watch's subscribe request (the stream
+	// itself is unbounded and lives until its context is canceled).
+	// Zero takes 30 seconds.
+	SubscribeTimeout time.Duration
+}
+
+// NewClient creates a client that calls the control plane served at
+// server through ep. Over TCP, server is usually the well-known Alias
+// registered against the daemon's address.
+func NewClient(ep *transport.Endpoint, server string) *Client {
+	return &Client{ep: ep, server: server}
+}
+
+func (c *Client) subscribeTimeout() time.Duration {
+	if c.SubscribeTimeout > 0 {
+		return c.SubscribeTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c *Client) call(ctx context.Context, msgType string, req, out any) error {
+	payload, err := transport.EncodeSealed(req)
+	if err != nil {
+		return err
+	}
+	return c.ep.RequestDecode(ctx, c.server, msgType, payload, out)
+}
+
+// Info describes the server (role, host, space, protocol version).
+func (c *Client) Info(ctx context.Context) (ServerInfo, error) {
+	var info ServerInfo
+	if err := c.call(ctx, MsgInfo, struct{}{}, &info); err != nil {
+		return ServerInfo{}, err
+	}
+	return info, nil
+}
+
+// Members lists the server's gossip membership view with incarnations.
+func (c *Client) Members(ctx context.Context) ([]MemberInfo, error) {
+	var out []MemberInfo
+	if err := c.call(ctx, MsgMembers, struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Apps lists application installation records with replicated-snapshot
+// metadata joined on.
+func (c *Client) Apps(ctx context.Context) ([]AppInfo, error) {
+	var out []AppInfo
+	if err := c.call(ctx, MsgApps, struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Snapshots lists the heads of every replicated snapshot record the
+// server knows (durable/delta-chain metadata, no frames).
+func (c *Client) Snapshots(ctx context.Context) ([]state.SnapshotHead, error) {
+	var out []state.SnapshotHead
+	if err := c.call(ctx, MsgSnapshots, struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats returns the replication counters per host.
+func (c *Client) Stats(ctx context.Context) ([]HostStats, error) {
+	var out []HostStats
+	if err := c.call(ctx, MsgStats, struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunApp runs an installed application by name on host ("" = the
+// serving host).
+func (c *Client) RunApp(ctx context.Context, app, host string) error {
+	return c.call(ctx, MsgRun, runReq{App: app, Host: host}, nil)
+}
+
+// StopApp gracefully stops a running application on host ("" = the
+// serving host): suspend, tombstone its replicated snapshot, unregister.
+func (c *Client) StopApp(ctx context.Context, app, host string) error {
+	return c.call(ctx, MsgStop, runReq{App: app, Host: host}, nil)
+}
+
+// Migrate follow-mes an application to req.To and returns the
+// three-phase timing report.
+func (c *Client) Migrate(ctx context.Context, req MigrateRequest) (MigrateResult, error) {
+	var res MigrateResult
+	if err := c.call(ctx, MsgMigrate, req, &res); err != nil {
+		return MigrateResult{}, err
+	}
+	return res, nil
+}
+
+// InstallApp installs a named application skeleton on host ("" = the
+// serving host).
+func (c *Client) InstallApp(ctx context.Context, app, host string) error {
+	return c.call(ctx, MsgInstall, runReq{App: app, Host: host}, nil)
+}
+
+// --- Watch: server-streamed typed events. ---
+
+// clientSink buffers one watch's pushed events on the client side.
+// lost accumulates events this sink could not buffer (plus their
+// piggybacked server-side drop counts), reported on the next delivered
+// event so the in-band drop accounting survives client-side pressure
+// exactly as it survives server-side pressure.
+type clientSink struct {
+	ch   chan eventMsg
+	mu   sync.Mutex
+	lost uint64
+}
+
+// dispatcher fans incoming ctl.event pushes out to this endpoint's live
+// watches. One dispatcher per endpoint (the endpoint has a single
+// handler slot per message type), shared by every Client on it; the
+// registry entry is dropped again when its last watch ends, so
+// short-lived endpoints are not pinned for process lifetime.
+type dispatcher struct {
+	mu     sync.Mutex
+	nextID uint64
+	sinks  map[uint64]*clientSink
+}
+
+var (
+	dispMu      sync.Mutex
+	dispatchers = make(map[*transport.Endpoint]*dispatcher)
+)
+
+// watchSlot allocates a watch id + sink on ep's dispatcher, creating
+// and registering the dispatcher (and its MsgEvent handler) on first
+// use. Creation and allocation happen under one lock so a concurrent
+// teardown of the endpoint's last watch cannot orphan the new slot.
+func watchSlot(ep *transport.Endpoint) (*dispatcher, uint64, *clientSink) {
+	dispMu.Lock()
+	defer dispMu.Unlock()
+	d, ok := dispatchers[ep]
+	if !ok {
+		d = &dispatcher{sinks: make(map[uint64]*clientSink)}
+		dispatchers[ep] = d
+		ep.Handle(MsgEvent, func(msg transport.Message) ([]byte, error) {
+			var em eventMsg
+			if err := transport.Decode(msg.Payload, &em); err != nil {
+				return nil, nil // torn push: drop (one-way, nothing to answer)
+			}
+			d.mu.Lock()
+			sink, ok := d.sinks[em.ID]
+			d.mu.Unlock()
+			if !ok {
+				return nil, nil
+			}
+			sink.mu.Lock()
+			em.Lost += sink.lost
+			sink.lost = 0
+			sink.mu.Unlock()
+			select {
+			case sink.ch <- em:
+			default:
+				// Client not draining: count this event (and the drops it
+				// was reporting) for the next one that gets through.
+				sink.mu.Lock()
+				sink.lost += 1 + em.Lost
+				sink.mu.Unlock()
+			}
+			return nil, nil
+		})
+	}
+	d.mu.Lock()
+	d.nextID++
+	id := d.nextID
+	sink := &clientSink{ch: make(chan eventMsg, watchQueueLen)}
+	d.sinks[id] = sink
+	d.mu.Unlock()
+	return d, id, sink
+}
+
+// freeWatchSlot releases a watch id, unregistering the endpoint's
+// dispatcher entirely when it was the last one.
+func freeWatchSlot(ep *transport.Endpoint, d *dispatcher, id uint64) {
+	dispMu.Lock()
+	defer dispMu.Unlock()
+	d.mu.Lock()
+	delete(d.sinks, id)
+	empty := len(d.sinks) == 0
+	d.mu.Unlock()
+	if empty && dispatchers[ep] == d {
+		delete(dispatchers, ep)
+	}
+}
+
+// Watch subscribes to the server's kernel with a topic pattern (exact
+// topic, "prefix.*", or "*"; "" means "*") and streams matching events,
+// decoded to their typed forms, until ctx is canceled. The returned
+// channel closes promptly on cancellation (the unsubscribe is sent
+// best-effort), and the whole stream costs one request: pushed events
+// ride one-way messages on the connection's learned route.
+func (c *Client) Watch(ctx context.Context, pattern string) (<-chan WatchEvent, error) {
+	d, id, sink := watchSlot(c.ep)
+	// The subscribe request gets its own deadline under ctx: the stream
+	// context deliberately has none (it lives until canceled), but a
+	// server that accepts the connection and never answers must fail
+	// the call, not wedge it.
+	sctx, scancel := context.WithTimeout(ctx, c.subscribeTimeout())
+	err := c.call(sctx, MsgWatch, watchReq{ID: id, Pattern: pattern}, nil)
+	scancel()
+	if err != nil {
+		freeWatchSlot(c.ep, d, id)
+		return nil, fmt.Errorf("ctl: watch subscribe: %w", err)
+	}
+	out := make(chan WatchEvent, 16)
+	go func() {
+		defer close(out)
+		defer func() {
+			freeWatchSlot(c.ep, d, id)
+			// Best-effort server-side unsubscribe; a dead link retires
+			// the watch on its own via the server's push error path.
+			uctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = c.call(uctx, MsgUnwatch, unwatchReq{ID: id}, nil)
+		}()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case em := <-sink.ch:
+				we := WatchEvent{Event: em.Event, Typed: ctxkernel.FromBus(em.Event), Lost: em.Lost}
+				select {
+				case out <- we:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out, nil
+}

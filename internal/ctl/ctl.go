@@ -1,0 +1,218 @@
+// Package ctl is MDAgent's versioned control plane: a typed
+// request/response + streaming protocol over transport endpoints, and
+// the client that speaks it (re-exported as mdagent.Client).
+//
+// The paper operates its middleware from inside the process; the TCP
+// daemons that grew around the reproduction (cmd/mdagentd,
+// cmd/mdregistry) had no way for an external operator to run, stop,
+// migrate, or observe anything. The control plane closes that gap the
+// way FIPA's interoperable-mobility proposal argues it must be closed:
+// lifecycle and migration operations become a specified, versioned wire
+// protocol instead of platform-internal calls.
+//
+// Every request payload is sealed with a protocol version byte
+// (transport.Seal); a server refuses versions it does not speak with a
+// typed transport.ErrVersion reply instead of misparsing the body.
+// Errors cross the wire as strings and map back to the typed sentinels
+// below through transport.RemoteError.Is, so in-process and remote
+// callers share one errors.Is contract.
+//
+// Watch is server-streamed: the client subscribes with a kernel topic
+// pattern, the server pushes each matching bus event as a one-way
+// ctl.event message (riding the transport's learned reply route, so it
+// works over plain TCP without a listener on the client), and the
+// client surfaces them as typed events (ctxkernel.TypedEvent).
+package ctl
+
+import (
+	"errors"
+	"time"
+
+	"mdagent/internal/ctxkernel"
+	"mdagent/internal/registry"
+	"mdagent/internal/state"
+	"mdagent/internal/transport"
+)
+
+// Control-plane message types. Request payloads are version-sealed; the
+// reply body is plain gob (the request's version byte committed both
+// sides to this protocol revision).
+const (
+	MsgInfo      = "ctl.info"
+	MsgMembers   = "ctl.members"
+	MsgApps      = "ctl.apps"
+	MsgSnapshots = "ctl.snapshots"
+	MsgStats     = "ctl.stats"
+	MsgRun       = "ctl.run"
+	MsgStop      = "ctl.stop"
+	MsgMigrate   = "ctl.migrate"
+	MsgInstall   = "ctl.install"
+	MsgWatch     = "ctl.watch"
+	MsgUnwatch   = "ctl.unwatch"
+	// MsgEvent is the server->client stream push (one-way, unsealed
+	// reply-direction frame carrying an eventMsg).
+	MsgEvent = "ctl.event"
+)
+
+// Alias is the well-known extra endpoint name every control-plane TCP
+// server answers to, so a client needs only an address — not the
+// server's primary endpoint name — to reach the control plane.
+const Alias = "ctl"
+
+// Typed sentinel errors of the control plane. They are wrapped (never
+// replaced) by operation errors, and their texts are distinctive enough
+// to survive the wire: transport.RemoteError.Is matches them back so
+// errors.Is works identically for in-process and remote callers.
+var (
+	// ErrUnknownHost reports an operation addressed to a host the
+	// deployment has not provisioned.
+	ErrUnknownHost = errors.New("mdagent: unknown host")
+	// ErrAppNotFound reports an operation on an application the target
+	// host is not running (and has no installed skeleton for).
+	ErrAppNotFound = errors.New("mdagent: application not found")
+	// ErrUnsupported reports an operation this control-plane endpoint
+	// does not serve (e.g. lifecycle ops on a registry center).
+	ErrUnsupported = errors.New("mdagent: operation not supported by this endpoint")
+	// ErrVersion aliases transport.ErrVersion: the request's protocol
+	// version byte was refused by the server.
+	ErrVersion = transport.ErrVersion
+)
+
+// The sentinels must survive the wire: register them so
+// transport.RemoteError.Is maps their carried texts back to the typed
+// errors (and nothing else — unregistered errors never match).
+func init() {
+	transport.RegisterWireSentinel(ErrUnknownHost)
+	transport.RegisterWireSentinel(ErrAppNotFound)
+	transport.RegisterWireSentinel(ErrUnsupported)
+}
+
+// ServerInfo describes a control-plane endpoint.
+type ServerInfo struct {
+	// Proto is the protocol version the server speaks.
+	Proto byte
+	// Role is "middleware" (in-process deployment), "host" (mdagentd),
+	// or "registry" (mdregistry).
+	Role string
+	// Host is the serving host id ("" for a registry center).
+	Host string
+	// Space is the serving smart space ("" when standalone).
+	Space string
+}
+
+// MemberInfo is one host's entry in a gossip membership view.
+type MemberInfo struct {
+	ID          string
+	Space       string
+	State       string // alive | suspect | dead
+	Incarnation uint64
+}
+
+// AppInfo is one application installation with its replicated-state
+// metadata joined on.
+type AppInfo struct {
+	Name       string
+	Host       string
+	Space      string
+	Components []string
+	Running    bool
+	// Snapshot, when non-nil, is the head of the app's replicated
+	// snapshot record (durable/delta-chain metadata included).
+	Snapshot *state.SnapshotHead
+}
+
+// HostStats is one host replicator's counters.
+type HostStats struct {
+	Host  string
+	Stats state.Stats
+}
+
+// MigrateRequest asks the serving host to follow-me an application.
+type MigrateRequest struct {
+	App string
+	// Host selects the source host on a multi-host (in-process) server;
+	// "" means the host currently running the app.
+	Host string
+	To   string
+	// Static selects whole-application binding (the evaluation
+	// baseline); default is adaptive component binding.
+	Static bool
+}
+
+// MigrateResult is the migration outcome with the paper's three-phase
+// timing split.
+type MigrateResult struct {
+	App        string
+	From       string
+	To         string
+	Suspend    time.Duration
+	Migrate    time.Duration
+	Resume     time.Duration
+	BytesMoved int64
+	Carried    []string
+	// Delta reports a warm follow-me handoff (delta frame shipped
+	// instead of the full wrap).
+	Delta bool
+}
+
+// Total is the end-to-end migration time.
+func (r MigrateResult) Total() time.Duration { return r.Suspend + r.Migrate + r.Resume }
+
+// WatchEvent is one streamed event: the bus form it crossed the wire
+// as, its decoded typed form, and the server-side drop count.
+type WatchEvent struct {
+	// Event is the bus (wire) encoding.
+	Event ctxkernel.Event
+	// Typed is the decoded form — one of the ctxkernel event structs,
+	// or ctxkernel.GenericEvent for topics outside the catalog.
+	Typed ctxkernel.TypedEvent
+	// Lost counts events the server dropped on this watch before this
+	// one because the client was not draining fast enough.
+	Lost uint64
+}
+
+// JoinApps builds the control plane's app listing: one AppInfo per
+// installation record, with the freshest snapshot head (highest Seq)
+// for the app joined on. Every backend — in-process middleware, host
+// daemon, registry center — uses this one join so the `ps` surface
+// cannot drift between them.
+func JoinApps(recs []registry.AppRecord, heads []state.SnapshotHead) []AppInfo {
+	freshest := make(map[string]state.SnapshotHead, len(heads))
+	for _, h := range heads {
+		if ex, ok := freshest[h.App]; !ok || h.Seq > ex.Seq {
+			freshest[h.App] = h
+		}
+	}
+	out := make([]AppInfo, 0, len(recs))
+	for _, r := range recs {
+		info := AppInfo{
+			Name: r.Name, Host: r.Host, Space: r.Space,
+			Components: r.Components, Running: r.Running,
+		}
+		if h, ok := freshest[r.Name]; ok {
+			head := h
+			info.Snapshot = &head
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Wire bodies (gob-encoded inside the sealed payload).
+type (
+	runReq struct{ App, Host string }
+
+	watchReq struct {
+		ID uint64
+		// Pattern is a kernel topic pattern: exact, "prefix.*", or "*".
+		Pattern string
+	}
+
+	unwatchReq struct{ ID uint64 }
+
+	eventMsg struct {
+		ID    uint64
+		Lost  uint64
+		Event ctxkernel.Event
+	}
+)

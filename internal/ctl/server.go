@@ -1,0 +1,309 @@
+package ctl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mdagent/internal/ctxkernel"
+	"mdagent/internal/state"
+	"mdagent/internal/transport"
+)
+
+// Backend is what a control-plane server exposes. Any nil operation
+// answers ErrUnsupported, so each daemon serves exactly the surface it
+// has: mdagentd serves lifecycle + membership, mdregistry serves the
+// registry views, the in-process Middleware serves everything.
+type Backend struct {
+	Info      func(ctx context.Context) (ServerInfo, error)
+	Members   func(ctx context.Context) ([]MemberInfo, error)
+	Apps      func(ctx context.Context) ([]AppInfo, error)
+	Snapshots func(ctx context.Context) ([]state.SnapshotHead, error)
+	Stats     func(ctx context.Context) ([]HostStats, error)
+	RunApp    func(ctx context.Context, app, host string) error
+	StopApp   func(ctx context.Context, app, host string) error
+	Migrate   func(ctx context.Context, req MigrateRequest) (MigrateResult, error)
+	Install   func(ctx context.Context, app, host string) error
+	// Kernel is the event source Watch streams from; nil makes Watch
+	// unsupported.
+	Kernel *ctxkernel.Kernel
+}
+
+// watchQueueLen bounds each watcher's server-side buffer. Kernel
+// handlers must never block the publisher, so an undrained watcher
+// drops events (counted, reported in-band as WatchEvent.Lost) instead
+// of stalling the bus.
+const watchQueueLen = 256
+
+// watcher is one live watch subscription.
+type watcher struct {
+	client string // subscriber endpoint name (the push destination)
+	id     uint64 // client-chosen watch id
+	subID  int    // kernel subscription to tear down
+	queue  chan ctxkernel.Event
+	done   chan struct{}
+	once   sync.Once
+
+	mu   sync.Mutex
+	lost uint64
+}
+
+func (w *watcher) close() { w.once.Do(func() { close(w.done) }) }
+
+// Server binds a Backend onto transport endpoints. One Server may serve
+// several endpoints (the in-process deployment serves one per space).
+type Server struct {
+	b Backend
+	// OpTimeout bounds each operation handler (transport handlers carry
+	// no caller deadline). Zero takes a minute — migrations move real
+	// megabytes.
+	OpTimeout time.Duration
+
+	mu       sync.Mutex
+	watchers map[string]map[uint64]*watcher // client endpoint -> id -> watcher
+	closed   bool
+}
+
+// NewServer creates a control-plane server over b.
+func NewServer(b Backend) *Server {
+	return &Server{b: b, watchers: make(map[string]map[uint64]*watcher)}
+}
+
+func (s *Server) timeout() time.Duration {
+	if s.OpTimeout > 0 {
+		return s.OpTimeout
+	}
+	return time.Minute
+}
+
+// handle wraps an operation handler with version negotiation and the
+// server's operation deadline.
+func handle[Req any](s *Server, fn func(ctx context.Context, req Req) (any, error)) transport.Handler {
+	return func(msg transport.Message) ([]byte, error) {
+		var req Req
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.timeout())
+		defer cancel()
+		out, err := fn(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			return nil, nil
+		}
+		return transport.Encode(out)
+	}
+}
+
+// Serve binds the control-plane operations onto ep. It returns the
+// server for chaining.
+func (s *Server) Serve(ep *transport.Endpoint) *Server {
+	ep.Handle(MsgInfo, handle(s, func(ctx context.Context, _ struct{}) (any, error) {
+		if s.b.Info == nil {
+			return ServerInfo{Proto: transport.ProtoVersion}, nil
+		}
+		info, err := s.b.Info(ctx)
+		if err != nil {
+			return nil, err
+		}
+		info.Proto = transport.ProtoVersion
+		return info, nil
+	}))
+	ep.Handle(MsgMembers, handle(s, func(ctx context.Context, _ struct{}) (any, error) {
+		if s.b.Members == nil {
+			return nil, fmt.Errorf("%w: members", ErrUnsupported)
+		}
+		out, err := s.b.Members(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}))
+	ep.Handle(MsgApps, handle(s, func(ctx context.Context, _ struct{}) (any, error) {
+		if s.b.Apps == nil {
+			return nil, fmt.Errorf("%w: apps", ErrUnsupported)
+		}
+		out, err := s.b.Apps(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}))
+	ep.Handle(MsgSnapshots, handle(s, func(ctx context.Context, _ struct{}) (any, error) {
+		if s.b.Snapshots == nil {
+			return nil, fmt.Errorf("%w: snapshots", ErrUnsupported)
+		}
+		out, err := s.b.Snapshots(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}))
+	ep.Handle(MsgStats, handle(s, func(ctx context.Context, _ struct{}) (any, error) {
+		if s.b.Stats == nil {
+			return nil, fmt.Errorf("%w: stats", ErrUnsupported)
+		}
+		out, err := s.b.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}))
+	ep.Handle(MsgRun, handle(s, func(ctx context.Context, req runReq) (any, error) {
+		if s.b.RunApp == nil {
+			return nil, fmt.Errorf("%w: run", ErrUnsupported)
+		}
+		return nil, s.b.RunApp(ctx, req.App, req.Host)
+	}))
+	ep.Handle(MsgStop, handle(s, func(ctx context.Context, req runReq) (any, error) {
+		if s.b.StopApp == nil {
+			return nil, fmt.Errorf("%w: stop", ErrUnsupported)
+		}
+		return nil, s.b.StopApp(ctx, req.App, req.Host)
+	}))
+	ep.Handle(MsgMigrate, handle(s, func(ctx context.Context, req MigrateRequest) (any, error) {
+		if s.b.Migrate == nil {
+			return nil, fmt.Errorf("%w: migrate", ErrUnsupported)
+		}
+		res, err := s.b.Migrate(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}))
+	ep.Handle(MsgInstall, handle(s, func(ctx context.Context, req runReq) (any, error) {
+		if s.b.Install == nil {
+			return nil, fmt.Errorf("%w: install", ErrUnsupported)
+		}
+		return nil, s.b.Install(ctx, req.App, req.Host)
+	}))
+	ep.Handle(MsgWatch, func(msg transport.Message) ([]byte, error) {
+		var req watchReq
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.addWatch(ep, msg.From, req)
+	})
+	ep.Handle(MsgUnwatch, func(msg transport.Message) ([]byte, error) {
+		var req unwatchReq
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		s.dropWatch(msg.From, req.ID)
+		return nil, nil
+	})
+	return s
+}
+
+// addWatch subscribes a client to the kernel and starts its pusher.
+func (s *Server) addWatch(ep *transport.Endpoint, client string, req watchReq) error {
+	if s.b.Kernel == nil {
+		return fmt.Errorf("%w: watch", ErrUnsupported)
+	}
+	if client == "" {
+		return fmt.Errorf("ctl: watch request carries no reply endpoint")
+	}
+	pattern := req.Pattern
+	if pattern == "" {
+		pattern = "*"
+	}
+	w := &watcher{
+		client: client, id: req.ID,
+		queue: make(chan ctxkernel.Event, watchQueueLen),
+		done:  make(chan struct{}),
+	}
+	// Subscribe before registering, so a racing unwatch always sees a
+	// fully formed watcher. The kernel handler runs on publisher
+	// goroutines and must be quick: enqueue or drop, never block.
+	w.subID = s.b.Kernel.Subscribe(pattern, func(ev ctxkernel.Event) {
+		select {
+		case w.queue <- ev:
+		default:
+			w.mu.Lock()
+			w.lost++
+			w.mu.Unlock()
+		}
+	})
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.b.Kernel.Unsubscribe(w.subID)
+		return fmt.Errorf("ctl: server closed")
+	}
+	byID := s.watchers[client]
+	if byID == nil {
+		byID = make(map[uint64]*watcher)
+		s.watchers[client] = byID
+	}
+	if old, ok := byID[req.ID]; ok {
+		// Same client re-subscribing an id: replace (idempotent retry).
+		s.removeLocked(old)
+	}
+	byID[req.ID] = w
+	s.mu.Unlock()
+	go s.push(ep, w)
+	return nil
+}
+
+// push drains one watcher's queue into one-way ctl.event messages. A
+// send failure (client gone, link dead) retires the watch — transport
+// learned-routes make sends to a departed client fail rather than hang.
+func (s *Server) push(ep *transport.Endpoint, w *watcher) {
+	for {
+		select {
+		case <-w.done:
+			return
+		case ev := <-w.queue:
+			w.mu.Lock()
+			lost := w.lost
+			w.lost = 0
+			w.mu.Unlock()
+			payload, err := transport.Encode(eventMsg{ID: w.id, Lost: lost, Event: ev})
+			if err != nil {
+				continue // unencodable event: drop it, keep the watch
+			}
+			if err := ep.Send(w.client, MsgEvent, payload); err != nil {
+				s.dropWatch(w.client, w.id)
+				return
+			}
+		}
+	}
+}
+
+// dropWatch retires one watch (client unsubscribe or dead push path).
+func (s *Server) dropWatch(client string, id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w, ok := s.watchers[client][id]; ok {
+		s.removeLocked(w)
+		delete(s.watchers[client], id)
+		if len(s.watchers[client]) == 0 {
+			delete(s.watchers, client)
+		}
+	}
+}
+
+func (s *Server) removeLocked(w *watcher) {
+	if s.b.Kernel != nil {
+		s.b.Kernel.Unsubscribe(w.subID)
+	}
+	w.close()
+}
+
+// Close retires every live watch. The endpoint handlers stay registered
+// (the endpoint owns its own lifecycle); new watches are refused.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for client, byID := range s.watchers {
+		for id, w := range byID {
+			s.removeLocked(w)
+			delete(byID, id)
+		}
+		delete(s.watchers, client)
+	}
+}

@@ -1,6 +1,7 @@
 package ctxkernel
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -147,7 +148,7 @@ func TestFusionEndToEndWalk(t *testing.T) {
 		{Room: "office821", Dwell: time.Second},
 		{Room: "office822", Dwell: time.Second},
 	}}
-	if err := w.Run(script, fu.Consume); err != nil {
+	if err := w.Run(context.Background(), script, fu.Consume); err != nil {
 		t.Fatal(err)
 	}
 	latest, ok := c.Latest(TopicUserLocation, "alice")

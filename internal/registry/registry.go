@@ -167,6 +167,30 @@ func (r *Registry) FindApp(name string) ([]AppRecord, error) {
 	return out, nil
 }
 
+// Apps lists every application installation record, sorted by host then
+// name — the control plane's `ps` view.
+func (r *Registry) Apps() ([]AppRecord, error) {
+	var out []AppRecord
+	for _, key := range r.db.Keys("app/") {
+		raw, err := r.db.Get(key)
+		if err != nil {
+			continue // raced with delete
+		}
+		var rec AppRecord
+		if err := transport.Decode(raw, &rec); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host != out[j].Host {
+			return out[i].Host < out[j].Host
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
 // AppsOnHost lists every application installed on a host, sorted by name.
 func (r *Registry) AppsOnHost(host string) ([]AppRecord, error) {
 	var out []AppRecord

@@ -21,7 +21,12 @@ const (
 	MsgDevice           = "registry.device"
 	MsgQuery            = "registry.query"
 	MsgPlanRebinding    = "registry.plan-rebinding"
+	MsgListApps         = "registry.list-apps"
 )
+
+// Every request payload is sealed with a protocol version byte
+// (transport.Seal); handlers refuse versions they do not speak with a
+// typed transport.ErrVersion reply instead of misparsing the gob body.
 
 // Request/reply bodies (gob-encoded).
 type (
@@ -53,21 +58,21 @@ type (
 func (r *Registry) Serve(ep *transport.Endpoint) *Registry {
 	ep.Handle(MsgRegisterApp, func(msg transport.Message) ([]byte, error) {
 		var rec AppRecord
-		if err := transport.Decode(msg.Payload, &rec); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &rec); err != nil {
 			return nil, err
 		}
 		return nil, r.RegisterApp(rec)
 	})
 	ep.Handle(MsgUnregisterApp, func(msg transport.Message) ([]byte, error) {
 		var req appKeyReq
-		if err := transport.Decode(msg.Payload, &req); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
 		return nil, r.UnregisterApp(req.Name, req.Host)
 	})
 	ep.Handle(MsgLookupApp, func(msg transport.Message) ([]byte, error) {
 		var req appKeyReq
-		if err := transport.Decode(msg.Payload, &req); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
 		rec, found, err := r.LookupApp(req.Name, req.Host)
@@ -78,7 +83,7 @@ func (r *Registry) Serve(ep *transport.Endpoint) *Registry {
 	})
 	ep.Handle(MsgFindApp, func(msg transport.Message) ([]byte, error) {
 		var req appKeyReq
-		if err := transport.Decode(msg.Payload, &req); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
 		recs, err := r.FindApp(req.Name)
@@ -89,7 +94,7 @@ func (r *Registry) Serve(ep *transport.Endpoint) *Registry {
 	})
 	ep.Handle(MsgAppsOnHost, func(msg transport.Message) ([]byte, error) {
 		var req hostReq
-		if err := transport.Decode(msg.Payload, &req); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
 		recs, err := r.AppsOnHost(req.Host)
@@ -100,14 +105,14 @@ func (r *Registry) Serve(ep *transport.Endpoint) *Registry {
 	})
 	ep.Handle(MsgRegisterResource, func(msg transport.Message) ([]byte, error) {
 		var res owl.Resource
-		if err := transport.Decode(msg.Payload, &res); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &res); err != nil {
 			return nil, err
 		}
 		return nil, r.RegisterResource(res)
 	})
 	ep.Handle(MsgResourcesOnHost, func(msg transport.Message) ([]byte, error) {
 		var req hostReq
-		if err := transport.Decode(msg.Payload, &req); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
 		res, err := r.ResourcesOnHost(req.Host)
@@ -118,22 +123,32 @@ func (r *Registry) Serve(ep *transport.Endpoint) *Registry {
 	})
 	ep.Handle(MsgRegisterDevice, func(msg transport.Message) ([]byte, error) {
 		var dev wsdl.DeviceProfile
-		if err := transport.Decode(msg.Payload, &dev); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &dev); err != nil {
 			return nil, err
 		}
 		return nil, r.RegisterDevice(dev)
 	})
 	ep.Handle(MsgDevice, func(msg transport.Message) ([]byte, error) {
 		var req hostReq
-		if err := transport.Decode(msg.Payload, &req); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
 		dev, found := r.Device(req.Host)
 		return transport.Encode(deviceReply{Dev: dev, Found: found})
 	})
+	ep.Handle(MsgListApps, func(msg transport.Message) ([]byte, error) {
+		if _, err := transport.Open(msg.Payload); err != nil {
+			return nil, err
+		}
+		recs, err := r.Apps()
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(recs)
+	})
 	ep.Handle(MsgQuery, func(msg transport.Message) ([]byte, error) {
 		var req queryReq
-		if err := transport.Decode(msg.Payload, &req); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
 		rows, err := r.Query(req.Query)
@@ -144,7 +159,7 @@ func (r *Registry) Serve(ep *transport.Endpoint) *Registry {
 	})
 	ep.Handle(MsgPlanRebinding, func(msg transport.Message) ([]byte, error) {
 		var req rebindingReq
-		if err := transport.Decode(msg.Payload, &req); err != nil {
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
 		plan, err := r.PlanRebinding(req.Src, req.DestHost, req.Mode)
@@ -169,7 +184,7 @@ func NewClient(ep *transport.Endpoint, server string) *Client {
 }
 
 func (c *Client) call(ctx context.Context, msgType string, req, out any) error {
-	payload, err := transport.Encode(req)
+	payload, err := transport.EncodeSealed(req)
 	if err != nil {
 		return err
 	}
@@ -199,6 +214,15 @@ func (c *Client) LookupApp(ctx context.Context, name, host string) (AppRecord, b
 func (c *Client) FindApp(ctx context.Context, name string) ([]AppRecord, error) {
 	var recs []AppRecord
 	if err := c.call(ctx, MsgFindApp, appKeyReq{Name: name}, &recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Apps lists every application installation record at the center.
+func (c *Client) Apps(ctx context.Context) ([]AppRecord, error) {
+	var recs []AppRecord
+	if err := c.call(ctx, MsgListApps, struct{}{}, &recs); err != nil {
 		return nil, err
 	}
 	return recs, nil

@@ -11,6 +11,7 @@
 package sensor
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -295,14 +296,19 @@ func NewWalker(field *Field, tick time.Duration) *Walker {
 
 // Run replays the script, invoking emit for every reading batch. It
 // charges the field clock one tick per sample, so virtual-clock runs are
-// instantaneous and real-clock runs play out in real time.
-func (w *Walker) Run(script Script, emit func([]Reading)) error {
+// instantaneous and real-clock runs play out in real time. Cancellation
+// is checked between samples, so a canceled real-clock replay stops
+// mid-dwell with ctx.Err().
+func (w *Walker) Run(ctx context.Context, script Script, emit func([]Reading)) error {
 	for _, step := range script.Steps {
 		if err := w.field.MoveBadge(script.Badge, step.Room); err != nil {
 			return err
 		}
 		remaining := step.Dwell
 		for remaining > 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sensor: walk interrupted: %w", err)
+			}
 			w.field.clock.Charge(w.tick)
 			emit(w.field.Sample())
 			remaining -= w.tick

@@ -1,6 +1,7 @@
 package sensor
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -164,7 +165,7 @@ func TestWalkerChargesClockAndEmits(t *testing.T) {
 	}}
 	var batches int
 	start := clk.Now()
-	if err := w.Run(script, func(rs []Reading) { batches++ }); err != nil {
+	if err := w.Run(context.Background(), script, func(rs []Reading) { batches++ }); err != nil {
 		t.Fatal(err)
 	}
 	if batches != 10 { // 4 + 2 + 4 ticks of 500ms
@@ -181,7 +182,7 @@ func TestWalkerUnknownRoomFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := NewWalker(f, time.Second)
-	err := w.Run(Script{Badge: "b1", Steps: []Step{{Room: "void", Dwell: time.Second}}}, func([]Reading) {})
+	err := w.Run(context.Background(), Script{Badge: "b1", Steps: []Step{{Room: "void", Dwell: time.Second}}}, func([]Reading) {})
 	if err == nil {
 		t.Fatal("script through unknown room accepted")
 	}

@@ -98,6 +98,36 @@ func (r SnapshotRecord) FrameBytes() int {
 	return n
 }
 
+// SnapshotHead is a snapshot record's metadata without its frames — what
+// the control plane lists when an operator asks for snapshot heads, and
+// what crosses the wire where a full record would be megabytes.
+type SnapshotHead struct {
+	App   string
+	Host  string
+	Space string
+	Seq   uint64
+	// BaseSeq is the capture sequence of the record's full base frame;
+	// Seq - BaseSeq deltas are chained on top.
+	BaseSeq uint64
+	// Chain is the number of delta frames on the record.
+	Chain int
+	// Bytes is the record's total serialized state size (base + chain).
+	Bytes int
+	// Durable marks the record as known to have met a synchronous write
+	// concern (see SnapshotRecord.Durable).
+	Durable bool
+	At      time.Time
+}
+
+// Head strips a record to its listable metadata.
+func (r SnapshotRecord) Head() SnapshotHead {
+	return SnapshotHead{
+		App: r.App, Host: r.Host, Space: r.Space,
+		Seq: r.Seq, BaseSeq: r.BaseSeq, Chain: len(r.Deltas),
+		Bytes: r.FrameBytes(), Durable: r.Durable, At: r.At,
+	}
+}
+
 // SnapshotPut is one publish from a host's replicator: either a full
 // base frame (Delta false) or a delta frame against the publisher's
 // last acked state (Delta true). Digests let the publisher and the

@@ -12,6 +12,8 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 )
 
 // Message is the unit of communication between endpoints.
@@ -43,6 +45,42 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote %s: %s", e.Endpoint, e.Msg)
+}
+
+// wireSentinels holds the errors RemoteError.Is is allowed to match by
+// text. Restricting the match to registered sentinels keeps the
+// cross-wire errors.Is contract without false positives: a remote
+// message that merely contains "context deadline exceeded" or "EOF"
+// must NOT satisfy errors.Is against those stdlib errors — the failure
+// happened on the other side.
+var (
+	sentinelMu    sync.Mutex
+	wireSentinels = make(map[error]string)
+)
+
+// RegisterWireSentinel marks err as a cross-wire sentinel: a
+// *RemoteError whose carried message contains err's text will satisfy
+// errors.Is(remoteErr, err). Packages register their typed sentinels
+// at init; texts must be distinctive.
+func RegisterWireSentinel(err error) {
+	sentinelMu.Lock()
+	wireSentinels[err] = err.Error()
+	sentinelMu.Unlock()
+}
+
+func init() { RegisterWireSentinel(ErrVersion) }
+
+// Is makes registered typed sentinels survive the wire: a handler's
+// error crosses as its string, so a remote error matches a registered
+// sentinel when that sentinel's text appears in the carried message.
+// This keeps errors.Is(err, transport.ErrVersion) — and the control
+// plane's ErrUnknownHost / ErrAppNotFound contracts — identical for
+// in-process and remote callers. Unregistered targets never match.
+func (e *RemoteError) Is(target error) bool {
+	sentinelMu.Lock()
+	t, ok := wireSentinels[target]
+	sentinelMu.Unlock()
+	return ok && t != "" && strings.Contains(e.Msg, t)
 }
 
 // Encode gob-encodes a value into a payload.

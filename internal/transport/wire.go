@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ProtoVersion is the wire protocol version this build speaks. Every
+// versioned request payload (registry operations, snapshot puts, the
+// control plane) is framed as [version byte][gob body]; a server that
+// receives a version it does not speak refuses the request with a typed
+// ErrVersion reply instead of misparsing the body as gob. Bump this when
+// a request or reply body changes incompatibly.
+const ProtoVersion byte = 1
+
+// ErrVersion reports a versioned frame whose protocol version this build
+// does not speak. It crosses the wire as an error-reply string and maps
+// back to this sentinel on the client through RemoteError.Is, so
+// errors.Is(err, transport.ErrVersion) works on both ends.
+var ErrVersion = errors.New("transport: unsupported protocol version")
+
+// Seal frames a request body with the current protocol version.
+func Seal(body []byte) []byte { return SealV(ProtoVersion, body) }
+
+// SealV frames a body with an explicit version byte — tests use it to
+// craft future-version frames a server must refuse cleanly.
+func SealV(ver byte, body []byte) []byte {
+	out := make([]byte, 1+len(body))
+	out[0] = ver
+	copy(out[1:], body)
+	return out
+}
+
+// Open validates a sealed payload's version byte and returns the body.
+// An empty payload or an unknown version fails with ErrVersion (wrapped
+// with the got/want detail), so a future client talking to this server
+// gets an actionable refusal instead of a gob parse error.
+func Open(payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("%w: empty frame (want version %d)", ErrVersion, ProtoVersion)
+	}
+	if payload[0] != ProtoVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, payload[0], ProtoVersion)
+	}
+	return payload[1:], nil
+}
+
+// EncodeSealed gob-encodes a value and seals it with the current
+// protocol version — the request-side counterpart of DecodeSealed.
+func EncodeSealed(v any) ([]byte, error) {
+	body, err := Encode(v)
+	if err != nil {
+		return nil, err
+	}
+	return Seal(body), nil
+}
+
+// DecodeSealed validates a sealed payload's version and gob-decodes its
+// body into v — the handler-side counterpart of EncodeSealed.
+func DecodeSealed(payload []byte, v any) error {
+	body, err := Open(payload)
+	if err != nil {
+		return err
+	}
+	return Decode(body, v)
+}

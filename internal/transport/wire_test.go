@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	body, err := Encode(struct{ X int }{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(Seal(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct{ X int }
+	if err := Decode(got, &v); err != nil || v.X != 42 {
+		t.Fatalf("decoded %v, err %v", v, err)
+	}
+	payload, err := EncodeSealed(struct{ X int }{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeSealed(payload, &v); err != nil || v.X != 7 {
+		t.Fatalf("DecodeSealed = %v, err %v", v, err)
+	}
+}
+
+func TestOpenRefusesFutureVersion(t *testing.T) {
+	body, _ := Encode(struct{ X int }{1})
+	for name, payload := range map[string][]byte{
+		"future version": SealV(ProtoVersion+41, body),
+		"empty frame":    nil,
+	} {
+		if _, err := Open(payload); !errors.Is(err, ErrVersion) {
+			t.Errorf("%s: Open error = %v, want ErrVersion", name, err)
+		}
+		var v struct{ X int }
+		if err := DecodeSealed(payload, &v); !errors.Is(err, ErrVersion) {
+			t.Errorf("%s: DecodeSealed error = %v, want ErrVersion", name, err)
+		}
+	}
+}
+
+// TestRemoteErrorCarriesSentinels pins the cross-wire error contract:
+// a handler error whose text embeds a REGISTERED sentinel matches that
+// sentinel via errors.Is on the requester side — and nothing else
+// does, so a remote "context deadline exceeded" cannot masquerade as
+// the caller's own deadline.
+func TestRemoteErrorCarriesSentinels(t *testing.T) {
+	sentinel := errors.New("mdagent: test sentinel for the wire")
+	RegisterWireSentinel(sentinel)
+	remote := &RemoteError{Endpoint: "srv", Msg: "ctl: " + sentinel.Error() + `: "player"`}
+	if !errors.Is(remote, sentinel) {
+		t.Fatal("remote error does not match registered sentinel")
+	}
+	if !errors.Is(&RemoteError{Msg: ErrVersion.Error() + ": got 9, want 1"}, ErrVersion) {
+		t.Fatal("remote error does not match ErrVersion")
+	}
+	// Unregistered targets never match, even when their text appears in
+	// the carried message.
+	stray := errors.New("context deadline exceeded")
+	if errors.Is(&RemoteError{Msg: "handler: context deadline exceeded"}, stray) {
+		t.Fatal("remote error matched an unregistered error by text")
+	}
+	if errors.Is(remote, errors.New(sentinel.Error())) {
+		t.Fatal("remote error matched an unregistered twin of the sentinel")
+	}
+}

@@ -14,7 +14,10 @@
 // static whole-application binding (the authors' earlier system, used as
 // the evaluation baseline).
 //
-// A minimal deployment:
+// A minimal deployment. Operation methods take a context.Context and
+// honor cancellation; typed sentinel errors (ErrUnknownHost,
+// ErrAppNotFound) satisfy errors.Is both in-process and across the
+// control-plane wire:
 //
 //	mw, err := mdagent.New(mdagent.Config{})
 //	// provision spaces, hosts, rooms, users ...
@@ -23,11 +26,25 @@
 //	mw.AddRoom("office821", "hostA", mdagent.Point{X: 0, Y: 0})
 //	mw.AddUser("alice", "badge-1", "office821")
 //	// run an application and let the agents follow the user
-//	mw.RunApp("hostA", player)
-//	mw.StartAgents(mdagent.DefaultPolicy("alice", "smart-media-player"))
-//	mw.Walk(script)
+//	ctx := context.Background()
+//	mw.RunApp(ctx, "hostA", player)
+//	mw.StartAgents(ctx, mdagent.DefaultPolicy("alice", "smart-media-player"))
+//	mw.Walk(ctx, script)
+//	mw.WaitAppOn(ctx, "smart-media-player", "hostB", 10*time.Second)
 //
-// See examples/ for complete programs and DESIGN.md for the architecture.
+// The same deployment is operable from outside through the versioned
+// control plane: ServeControl binds it onto a transport endpoint, and a
+// Client (or cmd/mdctl against the TCP daemons) can run, stop, migrate,
+// inspect, and Watch typed events:
+//
+//	ep, _ := mw.Fabric.Attach("operator", "")
+//	mw.ServeControl(ep)
+//	cli := mdagent.NewControlClient(ep, "operator")
+//	events, _ := cli.Watch(ctx, "cluster.*")
+//	cli.Migrate(ctx, mdagent.MigrateRequest{App: "smart-media-player", To: "hostB"})
+//
+// See examples/ for complete programs and DESIGN.md for the architecture
+// (§7 documents the control plane).
 package mdagent
 
 import (
@@ -35,6 +52,7 @@ import (
 	"mdagent/internal/app"
 	"mdagent/internal/cluster"
 	"mdagent/internal/core"
+	"mdagent/internal/ctl"
 	"mdagent/internal/ctxkernel"
 	"mdagent/internal/media"
 	"mdagent/internal/migrate"
@@ -42,6 +60,7 @@ import (
 	"mdagent/internal/owl"
 	"mdagent/internal/sensor"
 	"mdagent/internal/state"
+	"mdagent/internal/transport"
 	"mdagent/internal/vclock"
 	"mdagent/internal/wsdl"
 )
@@ -253,6 +272,110 @@ func ApplyDelta(base Wrap, d WrapDelta) (Wrap, error) { return state.ApplyDelta(
 // WrapDigest hashes a wrap's content canonically — the digest the delta
 // pipeline chains captures with.
 func WrapDigest(w Wrap) [32]byte { return state.WrapDigest(w) }
+
+// Control plane (versioned remote API; cmd/mdctl is the CLI).
+type (
+	// Client is the typed control-plane client: lifecycle
+	// (RunApp/StopApp/Migrate/InstallApp), introspection (Members, Apps
+	// with snapshot metadata, Snapshots, Stats), and a server-streamed
+	// Watch of typed events. It speaks the same versioned protocol to an
+	// in-process deployment (ServeControl) and to the TCP daemons.
+	Client = ctl.Client
+	// ControlServer serves the control plane over transport endpoints.
+	ControlServer = ctl.Server
+	// ControlBackend is the pluggable surface a ControlServer exposes.
+	ControlBackend = ctl.Backend
+	// ServerInfo describes a control-plane endpoint (role, protocol).
+	ServerInfo = ctl.ServerInfo
+	// MemberInfo is one gossip membership entry with its incarnation.
+	MemberInfo = ctl.MemberInfo
+	// AppInfo is one installation record with snapshot-head metadata.
+	AppInfo = ctl.AppInfo
+	// SnapshotHead is a replicated snapshot's listable metadata
+	// (sequence, delta chain, durability) without its frames.
+	SnapshotHead = state.SnapshotHead
+	// HostStats is one host replicator's counters.
+	HostStats = ctl.HostStats
+	// MigrateRequest asks the control plane to follow-me an app.
+	MigrateRequest = ctl.MigrateRequest
+	// MigrateResult is the migration outcome with phase timings.
+	MigrateResult = ctl.MigrateResult
+	// WatchEvent is one streamed event (bus form + typed form).
+	WatchEvent = ctl.WatchEvent
+)
+
+// NewControlClient creates a control-plane client calling the server
+// endpoint through ep.
+var NewControlClient = ctl.NewClient
+
+// ControlAlias is the well-known endpoint alias every control-plane TCP
+// daemon answers to — mdctl needs only an address.
+const ControlAlias = ctl.Alias
+
+// ProtoVersion is the control-plane (and registry/snapshot) wire
+// protocol version this build speaks.
+const ProtoVersion = transport.ProtoVersion
+
+// Typed sentinel errors shared by in-process and remote callers.
+var (
+	// ErrUnknownHost reports an operation addressed to an unprovisioned
+	// host.
+	ErrUnknownHost = ctl.ErrUnknownHost
+	// ErrAppNotFound reports an operation on an app the target is not
+	// running (and has no skeleton for).
+	ErrAppNotFound = ctl.ErrAppNotFound
+	// ErrUnsupported reports an operation this control-plane endpoint
+	// does not serve.
+	ErrUnsupported = ctl.ErrUnsupported
+	// ErrVersion reports a wire frame whose protocol version the peer
+	// does not speak.
+	ErrVersion = transport.ErrVersion
+)
+
+// Typed events (the control plane's Watch payloads and the kernel's
+// exported catalog; string topics remain the bus encoding).
+type (
+	// TypedEvent is one exported event in struct form.
+	TypedEvent = ctxkernel.TypedEvent
+	// EventTopic enumerates the exported event kinds.
+	EventTopic = ctxkernel.Topic
+	// MigratedEvent reports a completed migration (agent- or
+	// operator-driven) with its three-phase timing split.
+	MigratedEvent = ctxkernel.AppMigratedEvent
+	// MigrateFailedEvent reports a migration attempt that did not land.
+	MigrateFailedEvent = ctxkernel.AppMigrateFailedEvent
+	// AppStartedEvent reports an application run on a host.
+	AppStartedEvent = ctxkernel.AppStartedEvent
+	// AppStoppedEvent reports a graceful stop.
+	AppStoppedEvent = ctxkernel.AppStoppedEvent
+	// MemberEvent is one gossip membership transition.
+	MemberEvent = ctxkernel.MemberEvent
+	// HostDeadEvent reports a quorum death conviction.
+	HostDeadEvent = ctxkernel.HostDeadEvent
+	// RehomedEvent reports one application relaunched by failover.
+	RehomedEvent = ctxkernel.RehomedEvent
+	// RehomeFailedEvent reports failover that could not re-home.
+	RehomeFailedEvent = ctxkernel.RehomeFailedEvent
+	// SupersededEvent reports a revived host stopping its stale copy.
+	SupersededEvent = ctxkernel.SupersededEvent
+	// StateReplicatedEvent reports one snapshot publish.
+	StateReplicatedEvent = ctxkernel.StateReplicatedEvent
+	// StateRestoredEvent reports a snapshot-backed failover restore.
+	StateRestoredEvent = ctxkernel.StateRestoredEvent
+	// FederationWriteEvent is a durable/degraded write outcome.
+	FederationWriteEvent = ctxkernel.FederationWriteEvent
+	// UserEnteredEvent reports a user appearing in a room.
+	UserEnteredEvent = ctxkernel.UserEnteredEvent
+	// UserLeftEvent reports a user leaving a room.
+	UserLeftEvent = ctxkernel.UserLeftEvent
+)
+
+// EventFromBus decodes a bus event into its typed form (GenericEvent
+// for topics outside the catalog).
+var EventFromBus = ctxkernel.FromBus
+
+// ParseEventTopic maps a bus topic string to its exported kind.
+var ParseEventTopic = ctxkernel.ParseTopic
 
 // Agents (paper §4.3).
 type (

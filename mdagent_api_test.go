@@ -40,13 +40,13 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	hostA.Library.Add(song)
 	player := demoapps.NewMediaPlayer("hostA", song)
-	if err := mw.RunApp("hostA", player); err != nil {
+	if err := mw.RunApp(context.Background(), "hostA", player); err != nil {
 		t.Fatal(err)
 	}
 	if err := mw.RegisterResource(demoapps.MusicResource(song, "hostA")); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+	if err := mw.InstallApp(context.Background(), "hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
 		demoapps.MediaPlayerSkeletonComponents(),
 		func(h string) *mdagent.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
 		t.Fatal(err)
@@ -114,28 +114,28 @@ func TestPublicAPIAgentsFollowUser(t *testing.T) {
 	song := mdagent.GenerateFile("s", 1_000_000, 5)
 	hostA, _ := mw.Host("hostA")
 	hostA.Library.Add(song)
-	if err := mw.RunApp("hostA", demoapps.NewMediaPlayer("hostA", song)); err != nil {
+	if err := mw.RunApp(context.Background(), "hostA", demoapps.NewMediaPlayer("hostA", song)); err != nil {
 		t.Fatal(err)
 	}
 	if err := mw.RegisterResource(demoapps.MusicResource(song, "hostA")); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+	if err := mw.InstallApp(context.Background(), "hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
 		demoapps.MediaPlayerSkeletonComponents(),
 		func(h string) *mdagent.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.StartAgents(mdagent.DefaultPolicy("alice", "smart-media-player")); err != nil {
+	if err := mw.StartAgents(context.Background(), mdagent.DefaultPolicy("alice", "smart-media-player")); err != nil {
 		t.Fatal(err)
 	}
 	script := mdagent.Script{Badge: "b1", Steps: []mdagent.Step{
 		{Room: "r1", Dwell: time.Second},
 		{Room: "r2", Dwell: 2 * time.Second},
 	}}
-	if err := mw.Walk(script); err != nil {
+	if err := mw.Walk(context.Background(), script); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.WaitAppOn("smart-media-player", "hostB", 10*time.Second); err != nil {
+	if err := mw.WaitAppOn(context.Background(), "smart-media-player", "hostB", 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -177,10 +177,10 @@ func TestPublicAPIClusterFailover(t *testing.T) {
 	song := mdagent.GenerateFile("track", 1_000_000, 5)
 	hostA, _ := mw.Host("hostA")
 	hostA.Library.Add(song)
-	if err := mw.RunApp("hostA", demoapps.NewMediaPlayer("hostA", song)); err != nil {
+	if err := mw.RunApp(context.Background(), "hostA", demoapps.NewMediaPlayer("hostA", song)); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.InstallApp("hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
+	if err := mw.InstallApp(context.Background(), "hostB", "smart-media-player", demoapps.MediaPlayerDesc(),
 		demoapps.MediaPlayerSkeletonComponents(),
 		func(h string) *mdagent.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
 		t.Fatal(err)
@@ -211,7 +211,7 @@ func TestPublicAPIClusterFailover(t *testing.T) {
 	if err := mw.Net.SetHostDown("hostA", true); err != nil {
 		t.Fatal(err)
 	}
-	if err := mw.WaitAppOn("smart-media-player", "hostB", 5*time.Second); err != nil {
+	if err := mw.WaitAppOn(context.Background(), "smart-media-player", "hostB", 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	// Failover may have been triggered by hostC's conviction while hostB
