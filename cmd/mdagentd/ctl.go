@@ -7,6 +7,7 @@ import (
 
 	"mdagent/internal/app"
 	"mdagent/internal/cluster"
+	"mdagent/internal/core"
 	"mdagent/internal/ctl"
 	"mdagent/internal/ctxkernel"
 	"mdagent/internal/migrate"
@@ -151,7 +152,9 @@ func daemonBackend(host, space string, eng *migrate.Engine, cat *registry.Client
 			}
 			return ctl.JoinApps(recs, heads), nil
 		},
-		Kernel: kernel,
+		Metrics: core.ObsMetrics,
+		Trace:   core.ObsTrace,
+		Kernel:  kernel,
 	}
 	if member != nil {
 		b.Members = func(context.Context) ([]ctl.MemberInfo, error) {

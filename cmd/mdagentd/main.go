@@ -52,6 +52,7 @@ import (
 	"mdagent/internal/demoapps"
 	"mdagent/internal/media"
 	"mdagent/internal/migrate"
+	"mdagent/internal/obs"
 	"mdagent/internal/owl"
 	"mdagent/internal/registry"
 	"mdagent/internal/state"
@@ -137,6 +138,7 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 	suspicion := fs.Duration("suspicion", 0, "gossip suspect->dead window (federated mode; 0 = default)")
 	replicate := fs.Duration("replicate", 0, "stream application snapshots to the space center on this interval (federated mode; 0 = off)")
 	concern := fs.String("write-concern", "", "write concern requested on every snapshot put: async, one, or quorum (empty = center default; needs -replicate)")
+	debugAddr := fs.String("debug-addr", "", "HTTP debug listen address: /metrics, /healthz, /debug/pprof (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -328,11 +330,35 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 		return nil
 	}
 
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(out, "mdagentd[%s]: debug on %s\n", *host, dbg.Addr())
+	}
+
 	fmt.Fprintf(out, "mdagentd[%s]: serving on %s (registry %s)\n", *host, node.Addr(), *regAddr)
 	if ready != nil {
 		ready(node.Addr())
 	}
 	<-stop
+
+	// Graceful leave: flush any captured-but-unpublished state to the
+	// center, then broadcast an intentional-leave death certificate so
+	// peers convict this host immediately instead of burning a suspicion
+	// window on it. Both steps are best-effort — a SIGTERM race with a
+	// dead center must not hang the shutdown.
+	if repl != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = repl.SyncNow(sctx)
+		scancel()
+	}
+	if member != nil {
+		member.Leave()
+		fmt.Fprintf(out, "mdagentd[%s]: announced leave (incarnation %d)\n", *host, member.Self().Incarnation)
+	}
 	fmt.Fprintf(out, "mdagentd[%s]: shutting down\n", *host)
 	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -38,6 +39,20 @@ import (
 	"mdagent/internal/cluster"
 	"mdagent/internal/migrate"
 )
+
+// record stores one figure's result in the JSON document wrapped in a
+// self-describing envelope: the figure name, the config knobs it ran
+// with, and the runtime that produced it. A BENCH_prN.json record must
+// be interpretable years later without the CI log that produced it.
+func record(doc map[string]any, fig string, knobs map[string]any, result any) {
+	doc[fig] = map[string]any{
+		"figure":     fig,
+		"config":     knobs,
+		"go":         runtime.Version(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"result":     result,
+	}
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
@@ -50,7 +65,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mdbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	fig := fs.String("fig", "all", "figures to regenerate (comma-separated): 7, 8, 9, 10, clone, churn, flap, delta, durability, ctl, or all")
+	fig := fs.String("fig", "all", "figures to regenerate (comma-separated): 7, 8, 9, 10, clone, churn, flap, delta, durability, ctl, obs, or all")
 	csvPath := fs.String("csv", "", "also write the series as CSV to this file")
 	jsonPath := fs.String("json", "", "also write every figure that ran as one JSON document to this file")
 	rooms := fs.Int("rooms", 3, "overflow rooms for the clone-dispatch experiment")
@@ -63,6 +78,7 @@ func run(args []string, out io.Writer) error {
 	ctlRequests := fs.Int("ctl-requests", 2000, "round-trip requests for the control-plane experiment")
 	ctlWatchers := fs.Int("ctl-watchers", 16, "concurrent watchers for the control-plane fan-out experiment")
 	ctlEvents := fs.Int("ctl-events", 512, "events published to the control-plane watchers")
+	obsIters := fs.Int("obs-iters", 1_000_000, "raw metric-op iterations for the observability overhead experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,8 +96,9 @@ func run(args []string, out io.Writer) error {
 		"delta":      func() error { return delta(out, &csv, doc, *deltaTicks) },
 		"durability": func() error { return durability(out, &csv, doc, *spaces, *durWrites) },
 		"ctl":        func() error { return ctlFig(out, &csv, doc, *ctlRequests, *ctlWatchers, *ctlEvents) },
+		"obs":        func() error { return obsFig(out, &csv, doc, *obsIters) },
 	}
-	all := []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta", "durability", "ctl"}
+	all := []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta", "durability", "ctl", "obs"}
 	var order []string
 	if *fig == "all" {
 		order = all
@@ -126,7 +143,7 @@ func fig7(out io.Writer, csv *strings.Builder, doc map[string]any) error {
 	if err != nil {
 		return err
 	}
-	doc["fig7"] = res
+	record(doc, "fig7", nil, res)
 	fmt.Fprintf(out, "  injected clock offset:           %v\n", res.Skew)
 	fmt.Fprintf(out, "  true round-trip migration time:  %v\n", res.TrueRTT)
 	fmt.Fprintf(out, "  skew-canceled formula result:    %v  (error %v)\n",
@@ -147,7 +164,7 @@ func sweepTable(out io.Writer, csv *strings.Builder, doc map[string]any, tag, ti
 	if err != nil {
 		return err
 	}
-	doc[tag] = points
+	record(doc, tag, map[string]any{"binding": fmt.Sprint(binding)}, points)
 	fmt.Fprintf(out, "  %-6s %10s %10s %10s %10s %12s\n", "size", "suspend", "migrate", "resume", "total", "wrap-bytes")
 	fmt.Fprintf(csv, "%s,size,suspend_ms,migrate_ms,resume_ms,total_ms,wrap_bytes\n", tag)
 	for _, p := range points {
@@ -177,7 +194,7 @@ func fig10(out io.Writer, csv *strings.Builder, doc map[string]any) error {
 	if err != nil {
 		return err
 	}
-	doc["fig10"] = rows
+	record(doc, "fig10", nil, rows)
 	fmt.Fprintf(out, "  %-6s %14s %14s %10s\n", "size", "adaptive", "static", "ratio")
 	fmt.Fprintf(csv, "fig10,size,adaptive_ms,static_ms,ratio\n")
 	for _, r := range rows {
@@ -197,7 +214,7 @@ func clone(out io.Writer, csv *strings.Builder, doc map[string]any, rooms int) e
 	if err != nil {
 		return err
 	}
-	doc["clone"] = results
+	record(doc, "clone", map[string]any{"rooms": rooms, "slide_bytes": 3_000_000}, results)
 	fmt.Fprintf(out, "  %-10s %10s %10s %12s %6s\n", "room", "clone", "bytes", "inter-space", "sync")
 	fmt.Fprintf(csv, "clone,room,clone_ms,bytes,inter_space,sync_ms\n")
 	for _, r := range results {
@@ -220,7 +237,7 @@ func churn(out io.Writer, csv *strings.Builder, doc map[string]any, spaces int, 
 	if err != nil {
 		return err
 	}
-	doc["churn"] = res
+	record(doc, "churn", map[string]any{"spaces": spaces, "song_bytes": songBytes, "state": "off"}, res)
 	fmt.Fprintf(out, "  gossip convergence (kill -> all survivors convict): %v\n", res.Convergence)
 	fmt.Fprintf(out, "  failover (conviction -> app running on %s): %v\n", res.NewHost, res.Failover)
 	fmt.Fprintf(out, "  total outage: %v (skeleton relaunch: in-flight state lost)\n", res.Total)
@@ -229,22 +246,36 @@ func churn(out io.Writer, csv *strings.Builder, doc map[string]any, spaces int, 
 	if err != nil {
 		return err
 	}
-	doc["churn_with_state"] = sres
+	record(doc, "churn_with_state", map[string]any{"spaces": spaces, "song_bytes": songBytes, "state": "on"}, sres)
 	fmt.Fprintln(out, "  -- with snapshot-state replication (ReplicateState on) --")
 	fmt.Fprintf(out, "  snapshot replication (state write -> every survivor center): %v\n", sres.Replication)
 	fmt.Fprintf(out, "  record: %d bytes total, %d-delta chain; the planted state crossed as a %d-byte frame\n",
 		sres.SnapshotBytes, sres.SnapshotDeltas, sres.DeltaBytes)
 	fmt.Fprintf(out, "  failover with state (conviction -> app resumed on %s): %v\n", sres.NewHost, sres.Failover)
 	fmt.Fprintf(out, "  total outage: %v, state intact: %v\n", sres.Total, sres.StateIntact)
+
+	cres, err := bench.RunCleanStop(spaces, bench.ChurnStateConfig(), songBytes)
+	if err != nil {
+		return err
+	}
+	record(doc, "churn_clean_stop", map[string]any{"spaces": spaces, "song_bytes": songBytes}, cres)
+	fmt.Fprintln(out, "  -- clean stop (final flush + intentional-leave broadcast) --")
+	fmt.Fprintf(out, "  shutdown flush (SyncNow -> state on every survivor center): %v\n", cres.Flush)
+	fmt.Fprintf(out, "  conviction (leave broadcast, no suspicion window): %v\n", cres.Conviction)
+	fmt.Fprintf(out, "  failover (conviction -> app resumed on %s): %v\n", cres.NewHost, cres.Failover)
+	fmt.Fprintf(out, "  total outage: %v, state intact: %v\n", cres.Total, cres.StateIntact)
 	fmt.Fprintln(out)
 	fmt.Fprintf(csv, "churn,spaces,state,convergence_ms,failover_ms,total_ms,replication_ms,snapshot_bytes,delta_bytes,chain,state_intact,new_host\n")
 	fmt.Fprintf(csv, "churn,%d,off,%d,%d,%d,,,,,,%s\n", spaces,
 		res.Convergence.Milliseconds(), res.Failover.Milliseconds(),
 		res.Total.Milliseconds(), res.NewHost)
-	fmt.Fprintf(csv, "churn,%d,on,%d,%d,%d,%d,%d,%d,%d,%v,%s\n\n", spaces,
+	fmt.Fprintf(csv, "churn,%d,on,%d,%d,%d,%d,%d,%d,%d,%v,%s\n", spaces,
 		sres.Convergence.Milliseconds(), sres.Failover.Milliseconds(),
 		sres.Total.Milliseconds(), sres.Replication.Milliseconds(),
 		sres.SnapshotBytes, sres.DeltaBytes, sres.SnapshotDeltas, sres.StateIntact, sres.NewHost)
+	fmt.Fprintf(csv, "churn,%d,clean-stop,%d,%d,%d,%d,,,,%v,%s\n\n", spaces,
+		cres.Conviction.Milliseconds(), cres.Failover.Milliseconds(),
+		cres.Total.Milliseconds(), cres.Flush.Milliseconds(), cres.StateIntact, cres.NewHost)
 	return nil
 }
 
@@ -256,7 +287,7 @@ func delta(out io.Writer, csv *strings.Builder, doc map[string]any, ticks int) e
 	if err != nil {
 		return err
 	}
-	doc["delta"] = points
+	record(doc, "delta", map[string]any{"ticks": ticks, "song_bytes": sizes}, points)
 	fmt.Fprintf(out, "  %-10s %-6s %12s %12s %7s %7s %7s %7s\n",
 		"song", "mode", "base-bytes", "bytes/tick", "full", "delta", "idle0", "intact")
 	fmt.Fprintf(csv, "delta,song_bytes,mode,ticks,base_bytes,bytes_per_tick,full_frames,delta_frames,skipped_clean,state_intact\n")
@@ -288,7 +319,7 @@ func flap(out io.Writer, csv *strings.Builder, doc map[string]any, spaces int, p
 	if err != nil {
 		return err
 	}
-	doc["flap"] = res
+	record(doc, "flap", map[string]any{"spaces": spaces, "period_ms": period.Milliseconds(), "cycles": cycles}, res)
 	fmt.Fprintf(out, "  false suspicions on the flapped pair: %d\n", res.Suspicions)
 	fmt.Fprintf(out, "  false dead convictions: %d\n", res.Convictions)
 	fmt.Fprintf(out, "  healed after schedule: %v (in %v)\n", res.Healed, res.HealTime)
@@ -324,7 +355,7 @@ func durability(out io.Writer, csv *strings.Builder, doc map[string]any, spaces,
 	}
 	fmt.Fprintln(out)
 	csv.WriteString("\n")
-	doc["durability"] = results
+	record(doc, "durability", map[string]any{"spaces": spaces, "writes": writes}, results)
 	return nil
 }
 
@@ -346,6 +377,28 @@ func ctlFig(out io.Writer, csv *strings.Builder, doc map[string]any, requests, w
 		res.InfoRTT.Microseconds(), res.AppsRTT.Microseconds(),
 		res.Delivered, res.Lost, res.Elapsed.Milliseconds(), res.EventsPerSec)
 	fmt.Fprintln(out)
-	doc["ctl"] = res
+	record(doc, "ctl", map[string]any{"requests": requests, "watchers": watchers, "events": events}, res)
+	return nil
+}
+
+func obsFig(out io.Writer, csv *strings.Builder, doc map[string]any, iters int) error {
+	fmt.Fprintf(out, "== Observability — instrumentation overhead on the capture fast path (%d iters) ==\n", iters)
+	fmt.Fprintln(out, "   (idle tick = dirty-tracked clean skip; PR 3 baseline ~249 ns uninstrumented)")
+	res, err := bench.RunObs(iters)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  counter inc:        %v/op\n", res.CounterInc)
+	fmt.Fprintf(out, "  histogram observe:  %v/op\n", res.HistObserve)
+	fmt.Fprintf(out, "  instrumented idle capture tick: %v (%d metric op on the path)\n", res.IdleTick, res.IdleOps)
+	fmt.Fprintf(out, "  estimated overhead: %v -> ratio %.3fx (acceptance bar: 2x)\n", res.Overhead, res.OverheadRatio)
+	fmt.Fprintf(out, "  /metrics exposition: %v over %d series\n", res.Exposition, res.Series)
+	fmt.Fprintln(out)
+	fmt.Fprintf(csv, "obs,iters,counter_inc_ns,hist_observe_ns,idle_tick_ns,idle_ops,overhead_ns,overhead_ratio,exposition_ns,series\n")
+	fmt.Fprintf(csv, "obs,%d,%d,%d,%d,%d,%d,%.3f,%d,%d\n\n", res.Iters,
+		res.CounterInc.Nanoseconds(), res.HistObserve.Nanoseconds(),
+		res.IdleTick.Nanoseconds(), res.IdleOps, res.Overhead.Nanoseconds(),
+		res.OverheadRatio, res.Exposition.Nanoseconds(), res.Series)
+	record(doc, "obs", map[string]any{"iters": iters}, res)
 	return nil
 }

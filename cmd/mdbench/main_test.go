@@ -89,9 +89,28 @@ func TestRunDurabilityFigureWithJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatalf("JSON document does not parse: %v", err)
 	}
-	results, ok := doc["durability"].([]any)
+	entry, ok := doc["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("durability JSON entry = %v, want self-describing envelope", doc["durability"])
+	}
+	// Self-describing envelope: the record carries enough context to be
+	// interpreted without the CLI invocation that produced it.
+	if entry["figure"] != "durability" {
+		t.Fatalf("envelope figure = %v, want durability", entry["figure"])
+	}
+	if g, _ := entry["go"].(string); !strings.HasPrefix(g, "go") {
+		t.Fatalf("envelope go version = %v", entry["go"])
+	}
+	if gp, _ := entry["gomaxprocs"].(float64); gp < 1 {
+		t.Fatalf("envelope gomaxprocs = %v", entry["gomaxprocs"])
+	}
+	knobs, _ := entry["config"].(map[string]any)
+	if knobs["spaces"].(float64) != 3 || knobs["writes"].(float64) != 4 {
+		t.Fatalf("envelope config = %v, want spaces=3 writes=4", entry["config"])
+	}
+	results, ok := entry["result"].([]any)
 	if !ok || len(results) != 3 {
-		t.Fatalf("durability JSON entry = %v, want 3 concern results", doc["durability"])
+		t.Fatalf("durability JSON result = %v, want 3 concern results", entry["result"])
 	}
 	for _, r := range results {
 		m := r.(map[string]any)

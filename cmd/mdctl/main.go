@@ -64,6 +64,8 @@ commands:
   ps                        list application records with snapshot metadata
   snapshots                 list replicated snapshot heads (chain, durability)
   stats                     replication counters per host
+  metrics                   dump the server's obs metrics registry
+  trace <app>               print the app's latest migration timeline
   run <app>                 run an installed application skeleton
   stop <app>                gracefully stop a running application
   install <app>             install an application skeleton
@@ -202,6 +204,48 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			fmt.Fprintf(out, "%-14s %-9d %-6d %-7d %-10d %-13d %-11d %d\n",
 				s.Host, s.Stats.Publishes, s.Stats.FullFrames, s.Stats.DeltaFrames,
 				s.Stats.BytesPublished, s.Stats.SkippedClean, s.Stats.Rebaselines, s.Stats.NotDurable)
+		}
+		return nil
+
+	case "metrics":
+		samples, err := cli.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emit(samples)
+		}
+		fmt.Fprintf(out, "%-58s %-10s %s\n", "METRIC", "TYPE", "VALUE")
+		for _, s := range samples {
+			val := fmt.Sprintf("%d", s.Value)
+			if s.Type == "histogram" {
+				val = fmt.Sprintf("count %d mean %v", s.Count, s.Mean())
+			}
+			fmt.Fprintf(out, "%-58s %-10s %s\n", s.ID(), s.Type, val)
+		}
+		return nil
+
+	case "trace":
+		appName := fs.Arg(0)
+		if appName == "" {
+			return fmt.Errorf("usage: mdctl trace <app>")
+		}
+		tr, err := cli.Trace(ctx, appName)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emit(tr)
+		}
+		route := ""
+		if tr.From != "" || tr.To != "" {
+			route = fmt.Sprintf(" %s -> %s", tr.From, tr.To)
+		}
+		fmt.Fprintf(out, "trace %s app %s%s (complete: %v)\n", tr.ID, tr.App, route, tr.Complete())
+		fmt.Fprintf(out, "%-10s %-14s %-12s %-14s %s\n", "PHASE", "HOST", "OFFSET", "DURATION", "NOTE")
+		for _, sp := range tr.Spans {
+			fmt.Fprintf(out, "%-10s %-14s %-12v %-14v %s\n",
+				sp.Phase, sp.Host, sp.Start.Sub(tr.Start).Round(time.Microsecond), sp.Dur.Round(time.Microsecond), sp.Note)
 		}
 		return nil
 

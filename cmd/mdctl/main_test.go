@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -145,19 +146,38 @@ func TestCtlE2EOverTCP(t *testing.T) {
 	}
 	bins := buildBinaries(t)
 
-	reg := startProc(t, "mdregistry", bins["mdregistry"], "-listen", "127.0.0.1:0", "-space", "lab")
+	reg := startProc(t, "mdregistry", bins["mdregistry"], "-listen", "127.0.0.1:0", "-space", "lab",
+		"-debug-addr", "127.0.0.1:0")
 	regAddr := addrFromLine(t, reg.waitFor(t, "serving registry@lab on ", 10*time.Second))
+	regDebug := addrFromLine(t, reg.waitFor(t, "debug on ", 10*time.Second))
 
 	destOut := startProc(t, "mdagentd-B", bins["mdagentd"],
 		"-host", "hostB", "-listen", "127.0.0.1:0", "-registry", regAddr,
-		"-space", "lab", "-replicate", "10ms", "-install", "smart-media-player")
+		"-space", "lab", "-replicate", "10ms", "-install", "smart-media-player",
+		"-debug-addr", "127.0.0.1:0")
+	debugB := addrFromLine(t, destOut.waitFor(t, "debug on ", 10*time.Second))
 	addrB := addrFromLine(t, destOut.waitFor(t, "serving on ", 10*time.Second))
 
 	srcOut := startProc(t, "mdagentd-A", bins["mdagentd"],
 		"-host", "hostA", "-listen", "127.0.0.1:0", "-registry", regAddr,
 		"-space", "lab", "-replicate", "10ms", "-peer", "hostB="+addrB,
-		"-run", "smart-media-player", "-song-bytes", "100000")
+		"-run", "smart-media-player", "-song-bytes", "100000",
+		"-debug-addr", "127.0.0.1:0")
+	debugA := addrFromLine(t, srcOut.waitFor(t, "debug on ", 10*time.Second))
 	addrA := addrFromLine(t, srcOut.waitFor(t, "serving on ", 10*time.Second))
+
+	// Debug endpoints on every daemon: /healthz answers 200 and /metrics
+	// serves a non-empty Prometheus exposition of mdagent_* series.
+	for _, dbg := range []struct{ tag, addr string }{
+		{"mdregistry", regDebug}, {"mdagentd-B", debugB}, {"mdagentd-A", debugA},
+	} {
+		if body := debugGet(t, dbg.addr, "/healthz"); !strings.Contains(body, "ok") {
+			t.Fatalf("%s /healthz body: %q", dbg.tag, body)
+		}
+		if body := debugGet(t, dbg.addr, "/metrics"); !strings.Contains(body, "mdagent_") {
+			t.Fatalf("%s /metrics exposition empty or missing mdagent series:\n%s", dbg.tag, body)
+		}
+	}
 
 	// Introspection against the live daemons.
 	if out := mdctl(t, bins["mdctl"], addrA, "info"); !strings.Contains(out, "role host") {
@@ -239,6 +259,43 @@ func TestCtlE2EOverTCP(t *testing.T) {
 		t.Fatalf("watch event = %+v (found=%v)", event, found)
 	}
 
+	// The migration trace: the source host holds the complete five-phase
+	// timeline (its own suspend/capture/transfer spans plus the
+	// destination's restore/rebind spans merged from the checkin reply),
+	// and the destination's log holds the same trace id.
+	traceA := traceJSON(t, bins["mdctl"], addrA)
+	if traceA.ID == "" || traceA.From != "hostA" || traceA.To != "hostB" {
+		t.Fatalf("source trace header: %+v", traceA)
+	}
+	wantPhases := []struct{ phase, host string }{
+		{"suspend", "hostA"}, {"capture", "hostA"}, {"transfer", "hostA"},
+		{"restore", "hostB"}, {"rebind", "hostB"},
+	}
+	if len(traceA.Spans) != len(wantPhases) {
+		t.Fatalf("source trace has %d spans, want %d: %+v", len(traceA.Spans), len(wantPhases), traceA.Spans)
+	}
+	for i, want := range wantPhases {
+		sp := traceA.Spans[i]
+		if sp.Phase != want.phase || sp.Host != want.host {
+			t.Fatalf("span %d = %s@%s, want %s@%s", i, sp.Phase, sp.Host, want.phase, want.host)
+		}
+		if sp.Trace != traceA.ID {
+			t.Fatalf("span %d carries trace %q, want %q", i, sp.Trace, traceA.ID)
+		}
+		if i > 0 && sp.Start.Before(traceA.Spans[i-1].Start) {
+			t.Fatalf("timeline not monotonic: %s starts %v before %s",
+				sp.Phase, traceA.Spans[i-1].Start.Sub(sp.Start), traceA.Spans[i-1].Phase)
+		}
+	}
+	traceB := traceJSON(t, bins["mdctl"], addrB)
+	if traceB.ID != traceA.ID {
+		t.Fatalf("destination trace id %q != source trace id %q", traceB.ID, traceA.ID)
+	}
+	// The human-readable form prints the full timeline too.
+	if out := mdctl(t, bins["mdctl"], addrA, "trace", "smart-media-player"); !strings.Contains(out, "complete: true") {
+		t.Fatalf("text trace not complete:\n%s", out)
+	}
+
 	// The destination now owns the running record; snapshot heads for it
 	// appear at the center once hostB's replicator publishes.
 	deadline := time.Now().Add(20 * time.Second)
@@ -272,6 +329,52 @@ func TestCtlE2EOverTCP(t *testing.T) {
 	if hostBRunning(psOut) {
 		t.Fatalf("app still running on hostB after mdctl stop:\n%s", psOut)
 	}
+}
+
+// debugGet fetches a path from a daemon's -debug-addr server, failing
+// the test on any non-200 answer.
+func debugGet(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s%s: %v", addr, path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s%s read: %v", addr, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s%s: status %d\n%s", addr, path, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// migrationTrace mirrors obs.MigrationTrace's JSON shape for the e2e
+// assertions.
+type migrationTrace struct {
+	ID    string
+	App   string
+	From  string
+	To    string
+	Spans []struct {
+		Trace string
+		Phase string
+		Host  string
+		Start time.Time
+		Dur   time.Duration
+	}
+}
+
+// traceJSON runs `mdctl -json trace smart-media-player` and parses it.
+func traceJSON(t *testing.T, bin, server string) migrationTrace {
+	t.Helper()
+	out := mdctl(t, bin, server, "-json", "trace", "smart-media-player")
+	var tr migrationTrace
+	if err := json.Unmarshal([]byte(out), &tr); err != nil {
+		t.Fatalf("unparseable trace JSON: %v\n%s", err, out)
+	}
+	return tr
 }
 
 // hostBRunning reports a ps table row with the app running on hostB.

@@ -37,8 +37,10 @@ import (
 	"time"
 
 	"mdagent/internal/cluster"
+	"mdagent/internal/core"
 	"mdagent/internal/ctl"
 	"mdagent/internal/ctxkernel"
+	"mdagent/internal/obs"
 	"mdagent/internal/registry"
 	"mdagent/internal/state"
 	"mdagent/internal/store"
@@ -92,6 +94,7 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 	peers := fedPeers{}
 	fs.Var(peers, "fed-peer", "federated peer center space=addr (repeatable; requires -space)")
 	concern := fs.String("write-concern", "", "federation write durability: async (default), one, or quorum (requires -space)")
+	debugAddr := fs.String("debug-addr", "", "HTTP debug listen address: /metrics, /healthz, /debug/pprof (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,6 +169,15 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 			endpoint, node.Addr(), len(peers), storeDesc(*storePath), wc)
 	}
 
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(out, "mdregistry: debug on %s\n", dbg.Addr())
+	}
+
 	if ready != nil {
 		ready(node.Addr())
 	}
@@ -200,7 +212,8 @@ func registryBackend(space string, reg *registry.Registry, center *cluster.Cente
 			}
 			return ctl.JoinApps(recs, heads), nil
 		},
-		Kernel: kernel,
+		Metrics: core.ObsMetrics,
+		Kernel:  kernel,
 	}
 	if center != nil {
 		b.Snapshots = func(context.Context) ([]state.SnapshotHead, error) {

@@ -38,6 +38,22 @@ type ChurnResult struct {
 // plants before the kill and expects back after re-homing.
 const churnStateValue = "31337"
 
+// CleanStopResult is one graceful-shutdown experiment: the victim host
+// flushes its replicator and broadcasts an intentional-leave death
+// certificate (Node.Leave) before its network goes away, so survivors
+// convict it immediately instead of waiting out a probe round plus the
+// suspicion window.
+type CleanStopResult struct {
+	Spaces      int
+	Config      cluster.Config
+	Flush       time.Duration // final SyncNow + planted state on every survivor center
+	Conviction  time.Duration // Leave() return -> every survivor sees the host dead
+	Failover    time.Duration // conviction -> app running on a survivor
+	Total       time.Duration // Leave() return -> app running on a survivor
+	NewHost     string
+	StateIntact bool // re-homed app resumed with the state from the final flush
+}
+
 // ChurnConfig is the gossip cadence the churn bench runs at: tight
 // enough that one experiment takes tens of milliseconds, with the
 // suspect->dead window (40 ms) still a clear multiple of the probe
@@ -106,37 +122,37 @@ func RunChurn(n int, cfg cluster.Config) (ChurnResult, error) {
 	return RunChurnSized(n, cfg, 2_000_000)
 }
 
-// RunChurnSized additionally sizes the player's song: tests under the
-// race detector use a small one (full-wrap captures of a multi-megabyte
-// song at a 2 ms cadence starve the probe loops under instrumentation),
-// and mdbench exposes it as -song-bytes for sweeping snapshot size.
-func RunChurnSized(n int, cfg cluster.Config, songBytes int64) (ChurnResult, error) {
+// churnDeployment builds an n-space federation, runs the media player
+// (song sized songBytes) on the first host, installs its skeleton on
+// every other host, and waits until every node sees n alive and the
+// player's running record (and, with ReplicateState, its base snapshot)
+// has replicated to every surviving space's center. The caller owns
+// closing the middleware.
+func churnDeployment(n int, cfg cluster.Config, songBytes int64) (*core.Middleware, []string, error) {
 	if n < 3 {
-		return ChurnResult{}, fmt.Errorf("bench: churn needs >= 3 spaces for quorum, got %d", n)
+		return nil, nil, fmt.Errorf("bench: churn needs >= 3 spaces for quorum, got %d", n)
 	}
 	mw, hosts, err := newFederation(n, cfg)
 	if err != nil {
-		return ChurnResult{}, err
+		return nil, nil, err
 	}
-	defer mw.Close()
-
 	victim := hosts[0]
 	song := media.GenerateFile("song1", songBytes, 3)
 	rt0, _ := mw.Host(victim)
 	rt0.Library.Add(song)
 	if err := mw.RunApp(context.Background(), victim, demoapps.NewMediaPlayer(victim, song)); err != nil {
-		return ChurnResult{}, err
+		mw.Close()
+		return nil, nil, err
 	}
 	for _, host := range hosts[1:] {
 		if err := mw.InstallApp(context.Background(), host, "smart-media-player", demoapps.MediaPlayerDesc(),
 			demoapps.MediaPlayerSkeletonComponents(),
 			func(h string) *app.Application { return demoapps.MediaPlayerSkeleton(h) }); err != nil {
-			return ChurnResult{}, err
+			mw.Close()
+			return nil, nil, err
 		}
 	}
 
-	// Converge: every node sees n alive, and the victim's running record
-	// has replicated to every surviving space's center.
 	ctx := context.Background()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
@@ -160,7 +176,7 @@ func RunChurnSized(n int, cfg cluster.Config, songBytes int64) (ChurnResult, err
 					break
 				}
 				// With state replication on, also wait for the app's base
-				// snapshot: the experiment measures how an incremental
+				// snapshot: the experiments measure how an incremental
 				// state write replicates, not first-base latency.
 				if cfg.ReplicateState {
 					if _, ok := center.LatestSnapshot("smart-media-player"); !ok {
@@ -171,13 +187,28 @@ func RunChurnSized(n int, cfg cluster.Config, songBytes int64) (ChurnResult, err
 			}
 		}
 		if ready {
-			break
+			return mw, hosts, nil
 		}
 		if time.Now().After(deadline) {
-			return ChurnResult{}, fmt.Errorf("bench: churn deployment never converged")
+			mw.Close()
+			return nil, nil, fmt.Errorf("bench: churn deployment never converged")
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// RunChurnSized additionally sizes the player's song: tests under the
+// race detector use a small one (full-wrap captures of a multi-megabyte
+// song at a 2 ms cadence starve the probe loops under instrumentation),
+// and mdbench exposes it as -song-bytes for sweeping snapshot size.
+func RunChurnSized(n int, cfg cluster.Config, songBytes int64) (ChurnResult, error) {
+	mw, hosts, err := churnDeployment(n, cfg, songBytes)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	defer mw.Close()
+	victim := hosts[0]
+	rt0, _ := mw.Host(victim)
 
 	var res ChurnResult
 	res.Spaces = n
@@ -296,5 +327,131 @@ func RunChurnSized(n int, cfg cluster.Config, songBytes int64) (ChurnResult, err
 		}
 		res.StateIntact = coordVal == churnStateValue && compVal == churnStateValue
 	}
+	return res, nil
+}
+
+// RunCleanStop measures a graceful shutdown: the same deployment as the
+// with-state churn experiment, but instead of killing the player's host
+// it performs the daemon's clean-stop sequence — plant state, final
+// Replicator.SyncNow flush, wait for the flush to reach every survivor
+// center, Node.Leave(), then network-down (the process exiting). The
+// leave certificate must convict the host on every survivor without
+// burning a probe round or the suspicion window, and failover must
+// resume the app with the flushed state — no outage window beyond the
+// re-home itself. cfg must have ReplicateState on.
+func RunCleanStop(n int, cfg cluster.Config, songBytes int64) (CleanStopResult, error) {
+	if !cfg.ReplicateState {
+		return CleanStopResult{}, fmt.Errorf("bench: clean stop needs cfg.ReplicateState (the flush is the point)")
+	}
+	mw, hosts, err := churnDeployment(n, cfg, songBytes)
+	if err != nil {
+		return CleanStopResult{}, err
+	}
+	defer mw.Close()
+	victim := hosts[0]
+	rt0, _ := mw.Host(victim)
+	res := CleanStopResult{Spaces: n, Config: cfg}
+
+	// Plant in-flight state and run the shutdown flush: after SyncNow
+	// returns, wait for the planted value to land on every survivor
+	// center — the durable half of a graceful stop.
+	inst, ok := rt0.Engine.App("smart-media-player")
+	if !ok {
+		return res, fmt.Errorf("bench: player not running on %s", victim)
+	}
+	if st, ok := inst.Component("playback-state"); ok {
+		st.(*app.StateComponent).Set("positionMs", churnStateValue)
+	}
+	inst.Coordinator().Set("positionMs", churnStateValue)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	flushAt := time.Now()
+	if err := rt0.Replicator.SyncNow(ctx); err != nil {
+		return res, err
+	}
+	flushDeadline := flushAt.Add(10 * time.Second)
+	for {
+		replicated := true
+		for i := 1; i < n; i++ {
+			center, _ := mw.Cluster.Center(fmt.Sprintf("space-%d", i+1))
+			sr, ok := center.LatestSnapshot("smart-media-player")
+			if !ok {
+				replicated = false
+				break
+			}
+			ts, err := sr.Snapshot()
+			if err != nil || ts.Wrap.CoordState["positionMs"] != churnStateValue {
+				replicated = false
+				break
+			}
+		}
+		if replicated {
+			break
+		}
+		if time.Now().After(flushDeadline) {
+			return res, fmt.Errorf("bench: final flush never replicated to every survivor")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res.Flush = time.Since(flushAt)
+
+	// The leave: broadcast the death certificate, then drop the network
+	// (the process exiting right after Leave returns).
+	node, ok := mw.Cluster.Node(victim)
+	if !ok {
+		return res, fmt.Errorf("bench: no membership node for %s", victim)
+	}
+	leaveAt := time.Now()
+	node.Leave()
+	if err := mw.Net.SetHostDown(victim, true); err != nil {
+		return res, err
+	}
+	for {
+		converged := true
+		for _, host := range hosts[1:] {
+			peer, _ := mw.Cluster.Node(host)
+			if m, ok := peer.Member(victim); !ok || m.State != cluster.StateDead {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(leaveAt.Add(30 * time.Second)) {
+			return res, fmt.Errorf("bench: survivors never convicted the leaver %s", victim)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	convictedAt := time.Now()
+
+	var restored *app.Application
+	for restored == nil {
+		for _, host := range hosts[1:] {
+			rt, _ := mw.Host(host)
+			if inst, ok := rt.Engine.App("smart-media-player"); ok && inst.State() == app.Running {
+				res.NewHost = host
+				restored = inst
+				break
+			}
+		}
+		if restored == nil {
+			if time.Now().After(convictedAt.Add(30 * time.Second)) {
+				return res, fmt.Errorf("bench: app never re-homed off the leaver %s", victim)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	doneAt := time.Now()
+
+	res.Conviction = convictedAt.Sub(leaveAt)
+	res.Failover = doneAt.Sub(convictedAt)
+	res.Total = doneAt.Sub(leaveAt)
+	coordVal, _ := restored.Coordinator().Get("positionMs")
+	compVal := ""
+	if st, ok := restored.Component("playback-state"); ok {
+		compVal, _ = st.(*app.StateComponent).Get("positionMs")
+	}
+	res.StateIntact = coordVal == churnStateValue && compVal == churnStateValue
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"mdagent/internal/obs"
 	"mdagent/internal/owl"
 	"mdagent/internal/registry"
 	"mdagent/internal/state"
@@ -58,6 +59,13 @@ type Center struct {
 	// route every write through the workers so acks flow back per peer.
 	pushers map[string]chan pushItem // peer endpoint -> ordered queue
 
+	// Process-wide metrics, pinned at construction.
+	mPush    *obs.Counter   // items handed to the ordered push workers
+	mAck     *obs.Counter   // deliveries the peer acknowledged
+	mNack    *obs.Counter   // failed deliveries + backlog refusals
+	mRejects *obs.Counter   // inbound deltas this center could not chain
+	mAckWait *obs.Histogram // synchronous write-concern ack wait
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -102,6 +110,12 @@ func NewCenter(space string, reg *registry.Registry, ep *transport.Endpoint, cfg
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(len(space)))),
 		pushers: make(map[string]chan pushItem),
 		stop:    make(chan struct{}),
+
+		mPush:    obs.Default.Counter("mdagent_fed_push_total", "space", space),
+		mAck:     obs.Default.Counter("mdagent_fed_ack_total", "space", space),
+		mNack:    obs.Default.Counter("mdagent_fed_nack_total", "space", space),
+		mRejects: obs.Default.Counter("mdagent_fed_delta_rejects_total", "space", space),
+		mAckWait: obs.Default.Histogram("mdagent_fed_ack_wait_ns", "space", space),
 	}
 	db := reg.Store()
 	for _, key := range db.Keys(fedKeyPrefix) {
@@ -203,6 +217,8 @@ func (c *Center) awaitAcks(ctx context.Context, acks <-chan error, sent, require
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
+	defer func() { c.mAckWait.Observe(time.Since(start)) }()
 	timer := time.NewTimer(c.cfg.AckTimeout)
 	defer timer.Stop()
 	acked, responded := 0, 0
@@ -462,8 +478,10 @@ func (c *Center) enqueuePushLocked(msgType string, payload []byte, key string, a
 		}
 		select {
 		case q <- it:
+			c.mPush.Inc()
 			sent++
 		default:
+			c.mNack.Inc()
 			if ack != nil {
 				ack <- errPushBacklog // buffered for every peer: never blocks
 				sent++
@@ -484,6 +502,11 @@ func (c *Center) pushWorker(peer string, q chan pushItem) {
 			return
 		case it := <-q:
 			err := c.deliverPush(peer, it)
+			if err == nil {
+				c.mAck.Inc()
+			} else {
+				c.mNack.Inc()
+			}
 			if it.ack != nil {
 				it.ack <- err
 			}
@@ -615,6 +638,7 @@ func (c *Center) handleSnapDelta(msg transport.Message) ([]byte, error) {
 	// permanently (versions match the writer's, so anti-entropy would
 	// never re-offer the record).
 	if d, err := state.DecodeDelta(m.Delta); err != nil || d.BaseDigest != m.BaseDigest {
+		c.mRejects.Inc()
 		return nack, nil
 	}
 	c.mu.Lock()
@@ -633,6 +657,7 @@ func (c *Center) handleSnapDelta(msg transport.Message) ([]byte, error) {
 		if applied {
 			return transport.Encode(snapDeltaAck{Applied: true})
 		}
+		c.mRejects.Inc()
 		return nack, nil
 	}
 	rec := ex

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"mdagent/internal/obs"
 	"mdagent/internal/transport"
 )
 
@@ -158,6 +159,10 @@ type Node struct {
 	ticks     uint64 // protocol rounds run (dead-probe cadence)
 	rng       *rand.Rand
 	listeners []func(*Node, Member)
+	leaving   bool // set by Leave: stop refuting rumors of our death
+
+	mRounds *obs.Counter // gossip protocol rounds run
+	mBytes  *obs.Counter // gossip payload bytes sent (probes + relays)
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -188,6 +193,8 @@ func NewNode(self Member, ep *transport.Endpoint, cfg Config) *Node {
 		members: map[string]*memberEntry{self.ID: {Member: self}},
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(len(self.ID)))),
 		stop:    make(chan struct{}),
+		mRounds: obs.Default.Counter("mdagent_gossip_rounds_total", "host", self.ID),
+		mBytes:  obs.Default.Counter("mdagent_gossip_bytes_total", "host", self.ID),
 	}
 	ep.Handle(MsgPing, n.handlePing)
 	ep.Handle(MsgPingReq, n.handlePingReq)
@@ -299,6 +306,7 @@ func (n *Node) Stop() {
 // rediscovery), then probe the next live member in the shuffled rotation.
 // Tests drive it directly for determinism; Start calls it on a ticker.
 func (n *Node) Tick() {
+	n.mRounds.Inc()
 	n.sweep(time.Now())
 	n.mu.Lock()
 	n.ticks++
@@ -347,12 +355,15 @@ func (n *Node) deadTarget() (Member, bool) {
 // ConfirmDead re-probes a member this node believes dead, directly and
 // then through indirect relays (a severed reporter->member link must not
 // "confirm" a live member), as a last check before acting on the
-// conviction (e.g. re-homing its applications). It returns false — the
-// member is NOT confirmed dead — when any probe is answered; the ack's
-// table then carries the member's refutation, so the false conviction
-// also starts clearing. A genuinely crashed host fails fast (connection
-// refused / netsim host-down), so the common failover path pays almost
-// nothing.
+// conviction (e.g. re-homing its applications). An answered probe
+// applies the ack's table and then re-reads the entry: a falsely
+// convicted live member refutes in the ack (alive at a higher
+// incarnation), clearing the conviction — not confirmed. A gracefully
+// leaving member also answers for a moment, but its ack carries its own
+// death certificate, so the entry stays dead — confirmed, and failover
+// may proceed without waiting for its process to exit. A genuinely
+// crashed host fails fast (connection refused / netsim host-down), so
+// the common failover path pays almost nothing.
 func (n *Node) ConfirmDead(id string) bool {
 	n.mu.Lock()
 	e, ok := n.members[id]
@@ -368,14 +379,23 @@ func (n *Node) ConfirmDead(id string) bool {
 	n.mu.Unlock()
 	table := n.tableSnapshot()
 	if n.ping(target.Endpoint, table) {
-		return false
+		return n.stillDead(id)
 	}
 	for _, relay := range n.relays(id) {
 		if n.pingVia(relay, target, table) {
-			return false
+			return n.stillDead(id)
 		}
 	}
 	return true
+}
+
+// stillDead reports whether id remains convicted after an answered
+// confirm-probe applied the ack's table.
+func (n *Node) stillDead(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.members[id]
+	return ok && e.State == StateDead
 }
 
 // Rejoin announces this node after a restart or a healed partition: it
@@ -401,6 +421,38 @@ func (n *Node) Rejoin() {
 		if n.Self().Incarnation == before {
 			return // no peer held a certificate we had not already beaten
 		}
+	}
+}
+
+// Leave announces an intentional departure: it publishes our own death
+// certificate at the current incarnation and synchronously pings every
+// alive peer with it, so the cluster convicts this host immediately
+// instead of burning a probe round plus the full suspicion window. The
+// certificate uses the normal dead-overrides-alive precedence (no new
+// message type), and the leaving flag stops applyTable from refuting the
+// echo of our own certificate in the acks. Call before Stop on a clean
+// shutdown; a crashed host simply never calls it.
+func (n *Node) Leave() {
+	n.mu.Lock()
+	if n.leaving {
+		n.mu.Unlock()
+		return
+	}
+	n.leaving = true
+	n.self.State = StateDead
+	n.members[n.self.ID].Member = n.self
+	var peers []Member
+	for id, e := range n.members {
+		if id == n.self.ID || e.State != StateAlive {
+			continue
+		}
+		peers = append(peers, e.Member)
+	}
+	n.mu.Unlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+	table := n.tableSnapshot()
+	for _, p := range peers {
+		n.ping(p.Endpoint, table)
 	}
 }
 
@@ -452,9 +504,10 @@ func (n *Node) probe(target Member) {
 func (n *Node) ping(endpoint string, table []Member) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
 	defer cancel()
+	payload := transport.MustEncode(pingMsg{From: n.self.ID, Table: table})
+	n.mBytes.Add(int64(len(payload)))
 	var ack ackMsg
-	err := n.ep.RequestDecode(ctx, endpoint, MsgPing,
-		transport.MustEncode(pingMsg{From: n.self.ID, Table: table}), &ack)
+	err := n.ep.RequestDecode(ctx, endpoint, MsgPing, payload, &ack)
 	if err != nil {
 		return false
 	}
@@ -466,9 +519,10 @@ func (n *Node) ping(endpoint string, table []Member) bool {
 func (n *Node) pingVia(relay, target Member, table []Member) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
 	defer cancel()
+	payload := transport.MustEncode(pingReqMsg{From: n.self.ID, Target: target, Table: table})
+	n.mBytes.Add(int64(len(payload)))
 	var ack ackMsg
-	err := n.ep.RequestDecode(ctx, relay.Endpoint, MsgPingReq,
-		transport.MustEncode(pingReqMsg{From: n.self.ID, Target: target, Table: table}), &ack)
+	err := n.ep.RequestDecode(ctx, relay.Endpoint, MsgPingReq, payload, &ack)
 	if err != nil || !ack.OK {
 		return false
 	}
@@ -549,7 +603,9 @@ func (n *Node) applyTable(table []Member) {
 	var changed []Member
 	for _, m := range table {
 		if m.ID == n.self.ID {
-			if m.State != StateAlive && m.Incarnation >= n.self.Incarnation {
+			// A leaving node published its own death certificate on
+			// purpose; refuting the echo would resurrect it.
+			if !n.leaving && m.State != StateAlive && m.Incarnation >= n.self.Incarnation {
 				n.self.Incarnation = m.Incarnation + 1
 				n.members[n.self.ID].Member = n.self
 			}

@@ -7,6 +7,7 @@ import (
 
 	"mdagent/internal/ctl"
 	"mdagent/internal/migrate"
+	"mdagent/internal/obs"
 	"mdagent/internal/registry"
 	"mdagent/internal/state"
 	"mdagent/internal/transport"
@@ -29,8 +30,26 @@ func (m *Middleware) ControlBackend() ctl.Backend {
 		RunApp:    m.ctlRunApp,
 		StopApp:   m.ctlStopApp,
 		Migrate:   m.ctlMigrate,
+		Metrics:   ObsMetrics,
+		Trace:     ObsTrace,
 		Kernel:    m.Kernel,
 	}
+}
+
+// ObsMetrics is the shared ctl.Backend.Metrics implementation: a
+// snapshot of the process-wide obs registry. The cmd daemons reuse it.
+func ObsMetrics(context.Context) ([]obs.Sample, error) {
+	return obs.Default.Snapshot(), nil
+}
+
+// ObsTrace is the shared ctl.Backend.Trace implementation: the latest
+// migration trace recorded for app in this process.
+func ObsTrace(_ context.Context, app string) (obs.MigrationTrace, error) {
+	tr, ok := obs.Traces.Latest(app)
+	if !ok {
+		return obs.MigrationTrace{}, fmt.Errorf("core: %w: no migration trace for %q", ctl.ErrAppNotFound, app)
+	}
+	return tr, nil
 }
 
 // ServeControl binds the control plane onto ep — tests and multi-space

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mdagent/internal/ctxkernel"
+	"mdagent/internal/obs"
 	"mdagent/internal/state"
 	"mdagent/internal/transport"
 )
@@ -89,6 +90,26 @@ func (c *Client) Stats(ctx context.Context) ([]HostStats, error) {
 	var out []HostStats
 	if err := c.call(ctx, MsgStats, struct{}{}, &out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// Metrics snapshots the server process's obs metrics registry.
+func (c *Client) Metrics(ctx context.Context) ([]obs.Sample, error) {
+	var out []obs.Sample
+	if err := c.call(ctx, MsgMetrics, struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Trace returns app's latest migration trace: the five-phase timeline
+// assembled across both hosts (the source merges the destination's
+// restore/rebind spans from the checkin reply).
+func (c *Client) Trace(ctx context.Context, app string) (obs.MigrationTrace, error) {
+	var out obs.MigrationTrace
+	if err := c.call(ctx, MsgTrace, traceReq{App: app}, &out); err != nil {
+		return obs.MigrationTrace{}, err
 	}
 	return out, nil
 }

@@ -49,6 +49,10 @@ const (
 	MsgInstall   = "ctl.install"
 	MsgWatch     = "ctl.watch"
 	MsgUnwatch   = "ctl.unwatch"
+	// MsgMetrics snapshots the server process's obs metrics registry.
+	MsgMetrics = "ctl.metrics"
+	// MsgTrace returns an app's latest migration trace (obs.MigrationTrace).
+	MsgTrace = "ctl.trace"
 	// MsgEvent is the server->client stream push (one-way, unsealed
 	// reply-direction frame carrying an eventMsg).
 	MsgEvent = "ctl.event"
@@ -209,6 +213,8 @@ type (
 	}
 
 	unwatchReq struct{ ID uint64 }
+
+	traceReq struct{ App string }
 
 	eventMsg struct {
 		ID    uint64

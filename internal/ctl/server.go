@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mdagent/internal/ctxkernel"
+	"mdagent/internal/obs"
 	"mdagent/internal/state"
 	"mdagent/internal/transport"
 )
@@ -25,6 +26,10 @@ type Backend struct {
 	StopApp   func(ctx context.Context, app, host string) error
 	Migrate   func(ctx context.Context, req MigrateRequest) (MigrateResult, error)
 	Install   func(ctx context.Context, app, host string) error
+	// Metrics snapshots the server process's obs registry.
+	Metrics func(ctx context.Context) ([]obs.Sample, error)
+	// Trace returns the latest migration trace for an app.
+	Trace func(ctx context.Context, app string) (obs.MigrationTrace, error)
 	// Kernel is the event source Watch streams from; nil makes Watch
 	// unsupported.
 	Kernel *ctxkernel.Kernel
@@ -180,6 +185,26 @@ func (s *Server) Serve(ep *transport.Endpoint) *Server {
 		}
 		return nil, s.b.Install(ctx, req.App, req.Host)
 	}))
+	ep.Handle(MsgMetrics, handle(s, func(ctx context.Context, _ struct{}) (any, error) {
+		if s.b.Metrics == nil {
+			return nil, fmt.Errorf("%w: metrics", ErrUnsupported)
+		}
+		out, err := s.b.Metrics(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}))
+	ep.Handle(MsgTrace, handle(s, func(ctx context.Context, req traceReq) (any, error) {
+		if s.b.Trace == nil {
+			return nil, fmt.Errorf("%w: trace", ErrUnsupported)
+		}
+		out, err := s.b.Trace(ctx, req.App)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}))
 	ep.Handle(MsgWatch, func(msg transport.Message) ([]byte, error) {
 		var req watchReq
 		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
@@ -197,6 +222,14 @@ func (s *Server) Serve(ep *transport.Endpoint) *Server {
 	})
 	return s
 }
+
+// Watch delivery accounting, process-wide: enqueued events and events
+// dropped because a watcher's queue was full (also reported in-band as
+// WatchEvent.Lost).
+var (
+	mWatchEvents = obs.Default.Counter("mdagent_ctl_watch_events_total")
+	mWatchDrops  = obs.Default.Counter("mdagent_ctl_watch_dropped_total")
+)
 
 // addWatch subscribes a client to the kernel and starts its pusher.
 func (s *Server) addWatch(ep *transport.Endpoint, client string, req watchReq) error {
@@ -221,7 +254,9 @@ func (s *Server) addWatch(ep *transport.Endpoint, client string, req watchReq) e
 	w.subID = s.b.Kernel.Subscribe(pattern, func(ev ctxkernel.Event) {
 		select {
 		case w.queue <- ev:
+			mWatchEvents.Inc()
 		default:
+			mWatchDrops.Inc()
 			w.mu.Lock()
 			w.lost++
 			w.mu.Unlock()

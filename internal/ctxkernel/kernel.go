@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"mdagent/internal/obs"
 )
 
 // Well-known topics published by the fusion stage and consumed by
@@ -156,9 +158,14 @@ func matches(pattern, topic string) bool {
 	return false
 }
 
+// mPublishes counts kernel publishes process-wide (kernels have no
+// individual identity; in-process deployments share the series).
+var mPublishes = obs.Default.Counter("mdagent_kernel_publish_total")
+
 // Publish multicasts the event to every matching subscriber, in
 // subscription order.
 func (k *Kernel) Publish(ev Event) {
+	mPublishes.Inc()
 	k.mu.RLock()
 	handlers := make([]Handler, 0, len(k.subs))
 	for _, s := range k.subs {

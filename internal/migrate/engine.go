@@ -13,6 +13,7 @@ import (
 	"mdagent/internal/app"
 	"mdagent/internal/media"
 	"mdagent/internal/netsim"
+	"mdagent/internal/obs"
 	"mdagent/internal/owl"
 	"mdagent/internal/registry"
 	"mdagent/internal/space"
@@ -89,6 +90,10 @@ type Engine struct {
 	apps      map[string]*app.Application
 	factories map[string]func(host string) *app.Application
 	bases     map[string]baseEntry // app -> last full wrap exchanged with a peer
+
+	// mPhase holds one wall-clock duration histogram per migration phase
+	// (obs.PhaseSuspend..obs.PhaseRebind), pinned at construction.
+	mPhase map[string]*obs.Histogram
 }
 
 // baseEntry is one application's cached migration base: the last full
@@ -127,6 +132,10 @@ func NewEngine(host string, ep *transport.Endpoint, net *netsim.Network, dir *sp
 		apps:      make(map[string]*app.Application),
 		factories: make(map[string]func(host string) *app.Application),
 		bases:     make(map[string]baseEntry),
+		mPhase:    make(map[string]*obs.Histogram, 5),
+	}
+	for _, ph := range []string{obs.PhaseSuspend, obs.PhaseCapture, obs.PhaseTransfer, obs.PhaseRestore, obs.PhaseRebind} {
+		e.mPhase[ph] = obs.Default.Histogram("mdagent_migrate_phase_ns", "host", host, "phase", ph)
 	}
 	ep.Handle(MsgCheckin, e.handleCheckin)
 	ep.Handle(MsgClone, e.handleClone)
@@ -247,12 +256,23 @@ type checkinPayload struct {
 	FromHost   string
 	FromEngine string // source engine endpoint (sync links, remote media)
 	Rebindings []owl.Rebinding
+	// TraceID is the migration trace minted at the source; the
+	// destination records its restore/rebind spans under it. New in wire
+	// revision PR 6: gob leaves it zero when an older sender omits it
+	// (tracing is then skipped) and older receivers ignore the field, so
+	// the frame stays compatible in both directions.
+	TraceID string
 }
 
 type checkinReply struct {
 	ResumeNanos int64
 	AdaptNotes  []string
 	RestoredApp string
+	// Spans carries the destination-side trace spans (restore, rebind)
+	// back to the source, which merges them into its trace log so one
+	// `mdctl trace` against the source shows the full cross-host
+	// timeline. Same compatibility rule as checkinPayload.TraceID.
+	Spans []obs.Span
 }
 
 // planComponents decides which components the MA wraps and how each data
@@ -341,9 +361,21 @@ func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding
 	}
 	clk := e.clock()
 
+	// Cross-host migration trace. Spans use wall-clock time, not the
+	// engine's (possibly virtual, possibly skewed) host clock: the five
+	// phases land on two hosts and must order on one axis.
+	traceID := obs.Traces.Begin(appName, e.host, destHost)
+	span := func(phase string, start time.Time, note string) {
+		d := time.Since(start)
+		obs.Traces.Record(obs.Span{Trace: traceID, App: appName, Phase: phase,
+			Host: e.host, Start: start, Dur: d, Note: note})
+		e.mPhase[phase].Observe(d)
+	}
+
 	// --- Suspension phase (timed on the source host clock). ---
 	// The autonomous agent may already have suspended the app when the
 	// user left the room (paper §4.3); suspension is then a no-op here.
+	suspendWall := time.Now()
 	suspendStart := clk.Now()
 	if a.State() == app.Running {
 		if err := a.Suspend(); err != nil {
@@ -357,6 +389,8 @@ func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding
 		rollback()
 		return rep, err
 	}
+	span(obs.PhaseSuspend, suspendWall, "")
+	captureWall := time.Now()
 	planned, plans, err := e.planComponents(ctx, a, destHost, binding, match)
 	if err != nil {
 		rollback()
@@ -442,15 +476,17 @@ func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding
 		e.mu.Unlock()
 	}
 	suspendDur := clk.Now().Sub(suspendStart)
+	span(obs.PhaseCapture, captureWall, fmt.Sprintf("bytes=%d warm=%v", len(raw), warm))
 
 	// --- Migration phase. ---
+	transferWall := time.Now()
 	migrateStart := clk.Now()
 	e.charge(e.costs.TransferOverhead)
 	makePayload := func() checkinPayload {
 		p := checkinPayload{
 			App: appName, Mode: FollowMe, Binding: binding,
 			Desc: a.Description(), FromHost: e.host, FromEngine: e.ep.Name(),
-			Rebindings: plans,
+			Rebindings: plans, TraceID: traceID,
 		}
 		if warm {
 			p.DeltaRaw = raw
@@ -488,6 +524,12 @@ func (e *Engine) FollowMe(ctx context.Context, appName, destHost string, binding
 		}
 		rollback()
 		return rep, fmt.Errorf("migrate: checkin at %s: %w", destHost, err)
+	}
+	span(obs.PhaseTransfer, transferWall, fmt.Sprintf("bytes=%d", len(raw)))
+	// Merge the destination's restore/rebind spans so this host's trace
+	// log holds the complete five-phase, two-host timeline.
+	for _, sp := range reply.Spans {
+		obs.Traces.Record(sp)
 	}
 	// The handoff landed: remember what the destination now holds, so a
 	// future follow-me back can go warm. A delta advanced the shared base
@@ -581,6 +623,24 @@ func (e *Engine) restore(p checkinPayload, instanceName string) (checkinReply, e
 	clk := e.clock()
 	start := clk.Now()
 
+	// Destination-side trace spans: recorded locally and returned in the
+	// reply so the source assembles the full timeline. Clone dispatches
+	// and pre-tracing senders carry no trace id; the histograms still
+	// observe.
+	var spans []obs.Span
+	addSpan := func(phase string, begin time.Time, note string) {
+		d := time.Since(begin)
+		e.mPhase[phase].Observe(d)
+		if p.TraceID == "" {
+			return
+		}
+		sp := obs.Span{Trace: p.TraceID, App: p.App, Phase: phase,
+			Host: e.host, Start: begin, Dur: d, Note: note}
+		obs.Traces.Record(sp)
+		spans = append(spans, sp)
+	}
+	restoreWall := time.Now()
+
 	var wrap app.Wrap
 	if len(p.DeltaRaw) > 0 {
 		// Warm handoff: reassemble the full wrap from our cached base.
@@ -646,6 +706,9 @@ func (e *Engine) restore(p checkinPayload, instanceName string) (checkinReply, e
 		e.mu.Unlock()
 	}
 
+	addSpan(obs.PhaseRestore, restoreWall, fmt.Sprintf("delta=%v", len(p.DeltaRaw) > 0))
+	rebindWall := time.Now()
+
 	// Resource rebinding (paper §3.3).
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -689,10 +752,12 @@ func (e *Engine) restore(p checkinPayload, instanceName string) (checkinReply, e
 		Components: inst.Components(), Running: true,
 	})
 
+	addSpan(obs.PhaseRebind, rebindWall, fmt.Sprintf("rebindings=%d", len(p.Rebindings)))
 	return checkinReply{
 		ResumeNanos: int64(clk.Now().Sub(start)),
 		AdaptNotes:  notes,
 		RestoredApp: instanceName,
+		Spans:       spans,
 	}, nil
 }
 

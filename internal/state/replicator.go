@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mdagent/internal/app"
+	"mdagent/internal/obs"
 	"mdagent/internal/vclock"
 )
 
@@ -126,6 +127,14 @@ type Replicator struct {
 	retired map[string]bool // gracefully stopped apps: refuse publishes
 	stats   Stats
 
+	// Process-wide metrics, pinned at construction so the hot paths pay
+	// one atomic add. mSkipClean is the only one on the idle fast path.
+	mPublishes  *obs.Counter
+	mDeltaBytes *obs.Counter
+	mFullBytes  *obs.Counter
+	mNotDurable *obs.Counter
+	mSkipClean  *obs.Counter
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -154,6 +163,12 @@ func NewReplicator(host, space string, apps func() []*app.Application, pub Publi
 		retired:  make(map[string]bool),
 		hooked:   make(map[*app.Application]int),
 		stop:     make(chan struct{}),
+
+		mPublishes:  obs.Default.Counter("mdagent_repl_publishes_total", "host", host),
+		mDeltaBytes: obs.Default.Counter("mdagent_repl_delta_bytes_total", "host", host),
+		mFullBytes:  obs.Default.Counter("mdagent_repl_full_bytes_total", "host", host),
+		mNotDurable: obs.Default.Counter("mdagent_repl_notdurable_total", "host", host),
+		mSkipClean:  obs.Default.Counter("mdagent_repl_skipped_clean_total", "host", host),
 	}
 }
 
@@ -333,6 +348,7 @@ func (r *Replicator) capture(ctx context.Context, inst *app.Application, force b
 	tracked := inst.FullyTracked()
 	if tr != nil && tr.haveBase && tr.seqValid && tr.inst == inst && tracked && tr.changeSeq == seqNow {
 		r.stats.SkippedClean++
+		r.mSkipClean.Inc()
 		return nil, nil
 	}
 
@@ -458,6 +474,8 @@ func (r *Replicator) publishWrapLocked(ctx context.Context, inst *app.Applicatio
 			r.stats.DeltaFrames++
 			r.stats.BytesPublished += int64(len(frame))
 			r.stats.DeltaBytes += int64(len(frame))
+			r.mPublishes.Inc()
+			r.mDeltaBytes.Add(int64(len(frame)))
 			tr.digest = digest
 			tr.compSums = sums
 			tr.ackedSeq = stamp.Seq
@@ -482,6 +500,7 @@ func (r *Replicator) publishWrapLocked(ctx context.Context, inst *app.Applicatio
 			// a full frame) until a put meets the concern. Pace the retry
 			// like a publish so the loop honors the byte budget.
 			r.stats.NotDurable++
+			r.mNotDurable.Inc()
 			r.paceLocked(tr, len(frame))
 			return nil, nil
 		case errors.Is(err, ErrNeedFull):
@@ -520,6 +539,7 @@ func (r *Replicator) publishWrapLocked(ctx context.Context, inst *app.Applicatio
 		// Landed locally, short of its write concern: re-queue (see the
 		// delta path above) rather than advancing the acked base.
 		r.stats.NotDurable++
+		r.mNotDurable.Inc()
 		r.paceLocked(tr, len(frame))
 		return nil, nil
 	}
@@ -530,6 +550,8 @@ func (r *Replicator) publishWrapLocked(ctx context.Context, inst *app.Applicatio
 	r.stats.FullFrames++
 	r.stats.BytesPublished += int64(len(frame))
 	r.stats.FullBytes += int64(len(frame))
+	r.mPublishes.Inc()
+	r.mFullBytes.Add(int64(len(frame)))
 	tr.haveBase = true
 	tr.digest = digest
 	tr.compSums = sums
