@@ -388,3 +388,25 @@ func BenchmarkAblationContextFanout(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMembersGossip runs the membership scale sweep at bench-smoke
+// sizes: per-message gossip payload must stay flat as the cluster grows
+// (bounded dissemination), join convergence ~O(log N) rounds.
+func BenchmarkMembersGossip(b *testing.B) {
+	for _, hosts := range []int{60, 120} {
+		b.Run(fmt.Sprintf("hosts-%d", hosts), func(b *testing.B) {
+			var last bench.MembersResult
+			for n := 0; n < b.N; n++ {
+				res, err := bench.RunMembers(hosts, bench.MembersConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.BytesPerMsg, "bytes/msg")
+			b.ReportMetric(last.BytesPerHostSec, "bytes/host/s")
+			b.ReportMetric(float64(last.JoinRounds), "join-rounds")
+			b.ReportMetric(float64(last.FalseSuspects+last.FalseConvictions), "false-positives")
+		})
+	}
+}

@@ -6,8 +6,10 @@
 // with and without snapshot-state replication), the flapping-link
 // experiment (false-positive suspicion under link flap), the delta sweep
 // (replicated bytes per capture tick, full-frame vs delta pipeline,
-// across app sizes), and the durability experiment (kill-after-write
-// record loss and per-write latency across write concerns).
+// across app sizes), the durability experiment (kill-after-write record
+// loss and per-write latency across write concerns), and the membership
+// scale sweep (bounded gossip dissemination at 200-1,000 simulated
+// hosts vs the full-table baseline).
 //
 // Usage:
 //
@@ -17,6 +19,7 @@
 //	mdbench -fig churn -spaces 5
 //	mdbench -fig flap -flap-period 10ms -flap-cycles 20
 //	mdbench -fig delta -delta-ticks 16
+//	mdbench -fig members -members-hosts 200,500,1000
 //	mdbench -fig churn,durability -json BENCH_pr4.json
 //
 // -fig accepts a comma-separated list; -json writes every figure that
@@ -32,6 +35,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -65,7 +69,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mdbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	fig := fs.String("fig", "all", "figures to regenerate (comma-separated): 7, 8, 9, 10, clone, churn, flap, delta, durability, ctl, obs, or all")
+	fig := fs.String("fig", "all", "figures to regenerate (comma-separated): 7, 8, 9, 10, clone, churn, flap, delta, durability, ctl, obs, members, or all")
 	csvPath := fs.String("csv", "", "also write the series as CSV to this file")
 	jsonPath := fs.String("json", "", "also write every figure that ran as one JSON document to this file")
 	rooms := fs.Int("rooms", 3, "overflow rooms for the clone-dispatch experiment")
@@ -79,6 +83,8 @@ func run(args []string, out io.Writer) error {
 	ctlWatchers := fs.Int("ctl-watchers", 16, "concurrent watchers for the control-plane fan-out experiment")
 	ctlEvents := fs.Int("ctl-events", 512, "events published to the control-plane watchers")
 	obsIters := fs.Int("obs-iters", 1_000_000, "raw metric-op iterations for the observability overhead experiment")
+	membersHosts := fs.String("members-hosts", "200,500,1000", "host counts for the membership scale sweep (comma-separated)")
+	membersBaseline := fs.String("members-baseline-hosts", "200,500", "host counts re-run with full-table gossip as the baseline (comma-separated; empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,8 +103,9 @@ func run(args []string, out io.Writer) error {
 		"durability": func() error { return durability(out, &csv, doc, *spaces, *durWrites) },
 		"ctl":        func() error { return ctlFig(out, &csv, doc, *ctlRequests, *ctlWatchers, *ctlEvents) },
 		"obs":        func() error { return obsFig(out, &csv, doc, *obsIters) },
+		"members":    func() error { return members(out, &csv, doc, *membersHosts, *membersBaseline) },
 	}
-	all := []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta", "durability", "ctl", "obs"}
+	all := []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta", "durability", "ctl", "obs", "members"}
 	var order []string
 	if *fig == "all" {
 		order = all
@@ -400,5 +407,82 @@ func obsFig(out io.Writer, csv *strings.Builder, doc map[string]any, iters int) 
 		res.IdleTick.Nanoseconds(), res.IdleOps, res.Overhead.Nanoseconds(),
 		res.OverheadRatio, res.Exposition.Nanoseconds(), res.Series)
 	record(doc, "obs", map[string]any{"iters": iters}, res)
+	return nil
+}
+
+// parseHostCounts parses a comma-separated list of sweep sizes.
+func parseHostCounts(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad host count %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func members(out io.Writer, csv *strings.Builder, doc map[string]any, hostsSpec, baselineSpec string) error {
+	hosts, err := parseHostCounts(hostsSpec)
+	if err != nil {
+		return err
+	}
+	baseline, err := parseHostCounts(baselineSpec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "== Members — gossip dissemination at scale: bounded piggyback vs full-table ==")
+	fmt.Fprintln(out, "   (synchronous protocol rounds over netsim; kill-wall includes the suspicion window)")
+	fmt.Fprintf(out, "  %-6s %-6s %10s %9s %8s %12s %6s %6s %10s %6s\n",
+		"hosts", "mode", "bytes/msg", "upd/msg", "B/host/s", "bootstrap", "join", "kill", "kill-wall", "false")
+	fmt.Fprintf(csv, "members,hosts,mode,bytes_per_msg,updates_per_msg,bytes_per_host_sec,bootstrap_rounds,join_rounds,kill_rounds,kill_wall_ms,false_suspects,false_convictions\n")
+	row := func(r bench.MembersResult) {
+		mode := "bounded"
+		if r.FullTable {
+			mode = "full"
+		}
+		fmt.Fprintf(out, "  %-6d %-6s %10.0f %9.1f %8.0f %12d %6d %6d %8dms %6d\n",
+			r.Hosts, mode, r.BytesPerMsg, r.UpdatesPerMsg, r.BytesPerHostSec,
+			r.BootstrapRounds, r.JoinRounds, r.KillRounds, r.KillWall.Milliseconds(),
+			r.FalseSuspects+r.FalseConvictions)
+		fmt.Fprintf(csv, "members,%d,%s,%.1f,%.2f,%.1f,%d,%d,%d,%d,%d,%d\n",
+			r.Hosts, mode, r.BytesPerMsg, r.UpdatesPerMsg, r.BytesPerHostSec,
+			r.BootstrapRounds, r.JoinRounds, r.KillRounds, r.KillWall.Milliseconds(),
+			r.FalseSuspects, r.FalseConvictions)
+	}
+	var bounded, full []bench.MembersResult
+	boundedRate := map[int]float64{}
+	for _, n := range hosts {
+		r, err := bench.RunMembers(n, bench.MembersConfig())
+		if err != nil {
+			return err
+		}
+		bounded = append(bounded, r)
+		boundedRate[n] = r.BytesPerHostSec
+		row(r)
+	}
+	for _, n := range baseline {
+		cfg := bench.MembersConfig()
+		cfg.FullTableGossip = true
+		r, err := bench.RunMembers(n, cfg)
+		if err != nil {
+			return err
+		}
+		full = append(full, r)
+		row(r)
+		if b := boundedRate[n]; b > 0 {
+			fmt.Fprintf(out, "         -> bounded dissemination sends %.1fx fewer bytes/host/sec at %d hosts\n",
+				r.BytesPerHostSec/b, n)
+		}
+	}
+	fmt.Fprintln(out)
+	csv.WriteString("\n")
+	record(doc, "members", map[string]any{"hosts": hosts, "baseline_hosts": baseline},
+		map[string]any{"bounded": bounded, "full_table": full})
 	return nil
 }

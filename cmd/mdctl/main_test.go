@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -329,6 +330,65 @@ func TestCtlE2EOverTCP(t *testing.T) {
 	if hostBRunning(psOut) {
 		t.Fatalf("app still running on hostB after mdctl stop:\n%s", psOut)
 	}
+
+	// Bounded dissemination end to end: gossip payload stays O(1) per
+	// message as the membership grows. Meter hostA's gossip counters,
+	// attach a third daemon, wait for the join to land, let the probe
+	// cadence run, and re-meter: the per-message payload of the new
+	// traffic must stay under the bounded ceiling, nowhere near a
+	// full-table exchange.
+	bytes0, msgs0 := gossipMeters(t, debugA)
+	hostC := startProc(t, "mdagentd-C", bins["mdagentd"],
+		"-host", "hostC", "-listen", "127.0.0.1:0", "-registry", regAddr,
+		"-space", "lab", "-peer", "hostA="+addrA,
+		"-debug-addr", "127.0.0.1:0")
+	hostC.waitFor(t, "serving on ", 10*time.Second)
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		if out := mdctl(t, bins["mdctl"], addrA, "members"); strings.Contains(out, "hostC") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hostA never learned hostC through gossip")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	time.Sleep(1500 * time.Millisecond) // ~15 probe rounds of post-join gossip
+	bytes1, msgs1 := gossipMeters(t, debugA)
+	if msgs1 <= msgs0 {
+		t.Fatalf("no gossip messages after hostC joined (msgs %d -> %d)", msgs0, msgs1)
+	}
+	perMsg := float64(bytes1-bytes0) / float64(msgs1-msgs0)
+	if perMsg <= 0 || perMsg > 2048 {
+		t.Fatalf("gossip payload %0.f bytes/msg after join (Δbytes=%d Δmsgs=%d), want bounded (0, 2048]",
+			perMsg, bytes1-bytes0, msgs1-msgs0)
+	}
+	t.Logf("gossip after hostC joined: %.0f bytes/msg over %d messages", perMsg, msgs1-msgs0)
+}
+
+// gossipMeters scrapes a daemon's /metrics exposition for its gossip
+// byte and message counters.
+func gossipMeters(t *testing.T, debugAddr string) (bytes, msgs int64) {
+	t.Helper()
+	body := debugGet(t, debugAddr, "/metrics")
+	for _, line := range strings.Split(body, "\n") {
+		var into *int64
+		switch {
+		case strings.HasPrefix(line, "mdagent_gossip_bytes_total"):
+			into = &bytes
+		case strings.HasPrefix(line, "mdagent_gossip_msgs_total"):
+			into = &msgs
+		default:
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q: %v", line, err)
+		}
+		*into += v
+	}
+	return bytes, msgs
 }
 
 // debugGet fetches a path from a daemon's -debug-addr server, failing

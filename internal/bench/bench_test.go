@@ -413,3 +413,56 @@ func TestRunCtlMeasures(t *testing.T) {
 		t.Fatalf("events/sec = %f", res.EventsPerSec)
 	}
 }
+
+// TestMembersBoundedPayload smokes the membership scale sweep at a small
+// size: bounded dissemination must keep per-message payloads flat (far
+// under one full table), converge the join in a handful of rounds, and
+// report zero false positives.
+func TestMembersBoundedPayload(t *testing.T) {
+	res, err := RunMembers(40, MembersConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesPerMsg <= 0 || res.BytesPerMsg > 2048 {
+		t.Fatalf("bytes/msg = %.0f, want bounded well under a full table", res.BytesPerMsg)
+	}
+	if res.JoinRounds <= 0 || res.JoinRounds > 30 {
+		t.Fatalf("join took %d rounds, want O(log N)", res.JoinRounds)
+	}
+	if res.FalseSuspects != 0 || res.FalseConvictions != 0 {
+		t.Fatalf("false positives: %d suspects, %d convictions", res.FalseSuspects, res.FalseConvictions)
+	}
+	if res.KillWall < res.Config.SuspicionTimeout {
+		t.Fatalf("kill converged in %v, inside the %v suspicion window", res.KillWall, res.Config.SuspicionTimeout)
+	}
+}
+
+// TestMembersBaselineCostsMore pins the tentpole claim at smoke scale:
+// full-table piggybacking pays more bytes per host per second than
+// bounded dissemination, and its payload grows with the table while the
+// bounded payload does not.
+func TestMembersBaselineCostsMore(t *testing.T) {
+	bounded, err := RunMembers(40, MembersConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MembersConfig()
+	cfg.FullTableGossip = true
+	full, err := RunMembers(40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.BytesPerHostSec <= bounded.BytesPerHostSec {
+		t.Fatalf("full-table %0.f B/host/s <= bounded %.0f — baseline should cost more",
+			full.BytesPerHostSec, bounded.BytesPerHostSec)
+	}
+	if full.BytesPerMsg <= bounded.BytesPerMsg {
+		t.Fatalf("full-table %.0f bytes/msg <= bounded %.0f", full.BytesPerMsg, bounded.BytesPerMsg)
+	}
+}
+
+func TestMembersRejectsBadParams(t *testing.T) {
+	if _, err := RunMembers(2, MembersConfig()); err == nil {
+		t.Fatal("RunMembers(2) should refuse: no relay for indirect probes")
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -697,6 +698,55 @@ func (c *Center) LatestSnapshot(appName string) (state.SnapshotRecord, bool) {
 	return r.Snap, true
 }
 
+// SnapshotSince returns the freshest replicated snapshot for an
+// application, trimmed against what the requester already holds. When
+// the stored record extends the same base frame (haveBaseSeq) and the
+// requester's digest pins the chain state at haveSeq, the returned
+// record is tail-only (deltaOnly true): head metadata plus the deltas
+// past haveSeq, no base frame — kilobytes where the full record is
+// megabytes. Any divergence (compacted base, unknown digest, requester
+// ahead) falls back to the full record, so the caller always ends up
+// restorable.
+func (c *Center) SnapshotSince(appName string, haveBaseSeq, haveSeq uint64, haveDigest [sha256.Size]byte) (rec state.SnapshotRecord, found, deltaOnly bool) {
+	rec, found = c.LatestSnapshot(appName)
+	if !found {
+		return state.SnapshotRecord{}, false, false
+	}
+	tail, ok := deltaTail(rec, haveBaseSeq, haveSeq, haveDigest)
+	if !ok {
+		return rec, true, false
+	}
+	rec.Frame = nil
+	rec.Deltas = tail
+	return rec, true, true
+}
+
+// deltaTail returns the deltas of rec past the (haveBaseSeq, haveSeq,
+// haveDigest) prefix, or false when rec does not verifiably extend that
+// prefix. The digest check pins the exact state: when the requester is
+// behind, the first missing delta must chain onto haveDigest; when it is
+// current, the record's head digest must equal it.
+func deltaTail(rec state.SnapshotRecord, haveBaseSeq, haveSeq uint64, haveDigest [sha256.Size]byte) ([][]byte, bool) {
+	if rec.BaseSeq != haveBaseSeq || haveSeq < rec.BaseSeq || haveSeq > rec.Seq {
+		return nil, false
+	}
+	idx := int(haveSeq - rec.BaseSeq)
+	if idx > len(rec.Deltas) {
+		return nil, false
+	}
+	if idx == len(rec.Deltas) {
+		if rec.StateDigest != haveDigest {
+			return nil, false
+		}
+		return nil, true // requester is current: empty tail
+	}
+	d, err := state.DecodeDelta(rec.Deltas[idx])
+	if err != nil || d.BaseDigest != haveDigest {
+		return nil, false
+	}
+	return rec.Deltas[idx:], true
+}
+
 // SnapshotHeads lists the metadata of every live replicated snapshot
 // this center holds, sorted by app — the control plane's snapshot view.
 // Durability metadata comes from the durable stash when it matches the
@@ -1025,6 +1075,10 @@ func (c *Center) Serve(ep *transport.Endpoint) *Center {
 		var req getSnapshotReq
 		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
+		}
+		if req.Have {
+			rec, found, deltaOnly := c.SnapshotSince(req.App, req.HaveBaseSeq, req.HaveSeq, req.HaveDigest)
+			return transport.Encode(getSnapshotReply{Rec: rec, Found: found, DeltaOnly: deltaOnly})
 		}
 		rec, found := c.LatestSnapshot(req.App)
 		return transport.Encode(getSnapshotReply{Rec: rec, Found: found})

@@ -640,3 +640,108 @@ func TestSnapshotWireProtocol(t *testing.T) {
 		t.Fatal("tombstoned snapshot still served over the wire")
 	}
 }
+
+// TestSnapshotDeltaAwareFetch: a restore fetch from a client that
+// already holds an older record of the app moves only the missing delta
+// tail; a base move (fresh full frame) or a cache that does not line up
+// degrades to a full fetch, never a corrupt graft.
+func TestSnapshotDeltaAwareFetch(t *testing.T) {
+	fab := transport.NewLocalFabric(nil)
+	t.Cleanup(func() { fab.Close() })
+	regDB, err := registry.New(store.OpenMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := fab.Attach(CenterEndpointName("alpha"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCenter("alpha", regDB, ep, testConfig())
+	c.Serve(ep)
+	cliEp, err := fab.Attach("client@test", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewSnapshotClient(cliEp, CenterEndpointName("alpha"))
+	ctx := context.Background()
+
+	mustPut := func(p state.SnapshotPut) {
+		t.Helper()
+		if _, err := cli.PutSnapshot(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet := func(wantVal string) state.SnapshotRecord {
+		t.Helper()
+		rec, found, err := cli.LatestSnapshot(ctx, "player")
+		if err != nil || !found {
+			t.Fatalf("fetch: found=%v err=%v", found, err)
+		}
+		if v := snapValue(t, rec); v != wantVal {
+			t.Fatalf("restored value = %q, want %q", v, wantVal)
+		}
+		return rec
+	}
+
+	// Cold fetch: no cache, the full record crosses the wire.
+	mustPut(mustSnapshot(t, "player", "hostA", "pos-1"))
+	mustPut(mustDelta(t, "player", "hostA", "pos-1", "pos-2"))
+	mustGet("pos-2")
+	if s := cli.FetchStats(); s.Full != 1 || s.DeltaOnly != 0 {
+		t.Fatalf("cold fetch stats = %+v, want one full", s)
+	}
+
+	// The center advances by one delta; the next fetch grafts just the
+	// tail onto the cached record.
+	mustPut(mustDelta(t, "player", "hostA", "pos-2", "pos-3"))
+	rec := mustGet("pos-3")
+	if s := cli.FetchStats(); s.DeltaOnly != 1 || s.Full != 1 {
+		t.Fatalf("tail fetch stats = %+v, want one delta-only", s)
+	}
+	if len(rec.Deltas) != 2 || rec.Seq != 3 || rec.BaseSeq != 1 {
+		t.Fatalf("grafted record shape: seq=%d base=%d chain=%d", rec.Seq, rec.BaseSeq, len(rec.Deltas))
+	}
+
+	// Client already current: still tail-only, with an empty tail.
+	rec = mustGet("pos-3")
+	if s := cli.FetchStats(); s.DeltaOnly != 2 {
+		t.Fatalf("up-to-date fetch stats = %+v, want a second delta-only", s)
+	}
+	if len(rec.Deltas) != 2 {
+		t.Fatalf("up-to-date fetch changed the chain: %d deltas", len(rec.Deltas))
+	}
+
+	// A cache the center's digest check cannot see through (right head
+	// digest, wrong chain shape) must fail the graft and fall back to one
+	// full refetch instead of returning a torn record.
+	cli.mu.Lock()
+	bad := cli.cache["player"]
+	bad.Deltas = bad.Deltas[:1] // shape lie: Seq still claims two deltas
+	cli.cache["player"] = bad
+	cli.mu.Unlock()
+	mustGet("pos-3")
+	if s := cli.FetchStats(); s.Refetches != 1 || s.Full != 2 {
+		t.Fatalf("poisoned-cache stats = %+v, want one refetch + second full", s)
+	}
+
+	// A fresh full frame moves the base sequence: the cached prefix no
+	// longer applies and the center answers with the full record.
+	mustPut(mustSnapshot(t, "player", "hostA", "pos-9"))
+	mustGet("pos-9")
+	if s := cli.FetchStats(); s.Full != 3 || s.DeltaOnly != 2 || s.Refetches != 1 {
+		t.Fatalf("base-move stats = %+v, want a third full fetch", s)
+	}
+
+	// Tombstone clears the cache, so a later re-put is fetched full.
+	if err := cli.DropSnapshot(ctx, "player", "hostA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := cli.LatestSnapshot(ctx, "player"); found {
+		t.Fatal("tombstoned snapshot still served")
+	}
+	mustPut(mustSnapshot(t, "player", "hostA", "pos-10"))
+	mustGet("pos-10")
+	if s := cli.FetchStats(); s.Full != 4 {
+		t.Fatalf("post-tombstone stats = %+v, want a fourth full fetch", s)
+	}
+}

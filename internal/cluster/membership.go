@@ -65,6 +65,23 @@ type Config struct {
 	DeadProbeEvery int
 	// Seed feeds probe-target shuffling (default 1).
 	Seed int64
+	// MaxPiggyback caps how many membership updates ride on one gossip
+	// message (default 8). Bounded dissemination: payload size stays
+	// O(1) as the cluster grows, where full-table piggybacking was O(N).
+	MaxPiggyback int
+	// RetransmitMult is λ in the SWIM retransmit budget: a queued update
+	// rides along on λ·log₂N messages before the buffer evicts it
+	// (default 4).
+	RetransmitMult int
+	// FullSyncEvery makes every Nth protocol tick a full-table
+	// anti-entropy exchange with the probed member, repairing whatever
+	// the bounded buffer evicted before it reached everyone (default 64;
+	// negative disables).
+	FullSyncEvery int
+	// FullTableGossip restores the pre-bounded behaviour: the full
+	// membership table on every probe and ack. The benchmark baseline,
+	// not something a deployment should want.
+	FullTableGossip bool
 
 	// ReplicateState opts hosts into the state pipeline: each host's
 	// replicator streams its applications' snapshots to its space's
@@ -123,6 +140,15 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.MaxPiggyback <= 0 {
+		c.MaxPiggyback = 8
+	}
+	if c.RetransmitMult <= 0 {
+		c.RetransmitMult = 4
+	}
+	if c.FullSyncEvery == 0 {
+		c.FullSyncEvery = 64
+	}
 	if c.ReplicateInterval <= 0 {
 		c.ReplicateInterval = 250 * time.Millisecond
 	}
@@ -141,12 +167,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Node runs SWIM-style membership for one host: it probes a random peer
-// every ProbeInterval, escalates unresponsive peers alive -> suspect ->
-// dead, piggybacks its table on every probe and ack, and refutes rumors
-// about itself by bumping its incarnation. It runs over any transport
-// endpoint — the in-process fabric (where netsim fault injection severs
-// probes) or a TCP node.
+// Node runs SWIM-style membership for one host: it probes the next peer
+// in a shuffled round-robin rotation every ProbeInterval, escalates
+// unresponsive peers alive -> suspect -> dead, piggybacks a bounded
+// batch of queued membership updates on every probe and ack (see
+// dissemination.go), and refutes rumors about itself by bumping its
+// incarnation. It runs over any transport endpoint — the in-process
+// fabric (where netsim fault injection severs probes) or a TCP node.
 type Node struct {
 	cfg Config
 	ep  *transport.Endpoint
@@ -154,15 +181,20 @@ type Node struct {
 	mu        sync.Mutex
 	self      Member
 	members   map[string]*memberEntry
-	rotation  []string // shuffled probe order
+	queue     map[string]*qUpdate // bounded dissemination buffer
+	rotation  []string            // shuffled probe order
 	rotIdx    int
-	ticks     uint64 // protocol rounds run (dead-probe cadence)
+	ticks     uint64 // protocol rounds run (dead-probe + full-sync cadence)
 	rng       *rand.Rand
 	listeners []func(*Node, Member)
 	leaving   bool // set by Leave: stop refuting rumors of our death
 
-	mRounds *obs.Counter // gossip protocol rounds run
-	mBytes  *obs.Counter // gossip payload bytes sent (probes + relays)
+	mRounds     *obs.Counter // gossip protocol rounds run
+	mBytes      *obs.Counter // gossip payload bytes sent (probes, relays, acks)
+	mMsgs       *obs.Counter // gossip messages sent (probes, relays, acks)
+	mUpdates    *obs.Counter // membership updates piggybacked on sent messages
+	mFullSync   *obs.Counter // full-table exchanges (bootstrap, cadence, rejoin)
+	mQueueDepth *obs.Gauge   // rumors currently buffered for dissemination
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -187,15 +219,22 @@ func NewNode(self Member, ep *transport.Endpoint, cfg Config) *Node {
 		self.Endpoint = ep.Name()
 	}
 	n := &Node{
-		cfg:     cfg,
-		ep:      ep,
-		self:    self,
-		members: map[string]*memberEntry{self.ID: {Member: self}},
-		rng:     rand.New(rand.NewSource(cfg.Seed + int64(len(self.ID)))),
-		stop:    make(chan struct{}),
-		mRounds: obs.Default.Counter("mdagent_gossip_rounds_total", "host", self.ID),
-		mBytes:  obs.Default.Counter("mdagent_gossip_bytes_total", "host", self.ID),
+		cfg:         cfg,
+		ep:          ep,
+		self:        self,
+		members:     map[string]*memberEntry{self.ID: {Member: self}},
+		queue:       make(map[string]*qUpdate),
+		rng:         rand.New(rand.NewSource(cfg.Seed + int64(len(self.ID)))),
+		stop:        make(chan struct{}),
+		mRounds:     obs.Default.Counter("mdagent_gossip_rounds_total", "host", self.ID),
+		mBytes:      obs.Default.Counter("mdagent_gossip_bytes_total", "host", self.ID),
+		mMsgs:       obs.Default.Counter("mdagent_gossip_msgs_total", "host", self.ID),
+		mUpdates:    obs.Default.Counter("mdagent_gossip_updates_total", "host", self.ID),
+		mFullSync:   obs.Default.Counter("mdagent_gossip_fullsync_total", "host", self.ID),
+		mQueueDepth: obs.Default.Gauge("mdagent_gossip_queue_depth", "host", self.ID),
 	}
+	// Announce ourselves: the first probes we send carry our own entry.
+	n.enqueueLocked(n.self)
 	ep.Handle(MsgPing, n.handlePing)
 	ep.Handle(MsgPingReq, n.handlePingReq)
 	return n
@@ -304,18 +343,21 @@ func (n *Node) Stop() {
 // Tick runs one protocol round synchronously: sweep overdue suspects,
 // every DeadProbeEvery rounds ping one dead member (partition-heal
 // rediscovery), then probe the next live member in the shuffled rotation.
-// Tests drive it directly for determinism; Start calls it on a ticker.
+// Every FullSyncEvery rounds the probe is a full-table anti-entropy
+// exchange instead of a bounded one. Tests drive it directly for
+// determinism; Start calls it on a ticker.
 func (n *Node) Tick() {
 	n.mRounds.Inc()
 	n.sweep(time.Now())
 	n.mu.Lock()
 	n.ticks++
 	probeDead := n.cfg.DeadProbeEvery > 0 && n.ticks%uint64(n.cfg.DeadProbeEvery) == 0
+	fullSync := n.cfg.FullSyncEvery > 0 && n.ticks%uint64(n.cfg.FullSyncEvery) == 0
 	n.mu.Unlock()
 	if probeDead {
 		if dead, ok := n.deadTarget(); ok {
-			// Best-effort: the ping carries our table (including the
-			// peer's death certificate); a peer that is actually back
+			// Best-effort: the ping explicitly carries our entry for the
+			// peer (its death certificate); a peer that is actually back
 			// refutes it by bumping its incarnation, and the refutation in
 			// its ack clears the certificate here, whence gossip spreads
 			// it. Without this, two sides of a healed partition would
@@ -324,15 +366,15 @@ func (n *Node) Tick() {
 			// full ProbeTimeout, which must not stall live probing.
 			// Untracked on purpose, like the federation's pushAsync: a
 			// probe racing shutdown just reports a closed endpoint.
-			table := n.tableSnapshot()
-			go n.ping(dead.Endpoint, table)
+			load := n.load(dead)
+			go n.ping(dead.Endpoint, load)
 		}
 	}
 	target, ok := n.nextTarget()
 	if !ok {
 		return
 	}
-	n.probe(target)
+	n.probe(target, fullSync)
 }
 
 // deadTarget picks one dead member at random.
@@ -377,12 +419,14 @@ func (n *Node) ConfirmDead(id string) bool {
 	}
 	target := e.Member
 	n.mu.Unlock()
-	table := n.tableSnapshot()
-	if n.ping(target.Endpoint, table) {
+	// The probe must carry the conviction itself: the certificate is what
+	// a falsely convicted member refutes in its ack.
+	load := n.load(target)
+	if n.ping(target.Endpoint, load) {
 		return n.stillDead(id)
 	}
 	for _, relay := range n.relays(id) {
-		if n.pingVia(relay, target, table) {
+		if n.pingVia(relay, target, load) {
 			return n.stillDead(id)
 		}
 	}
@@ -409,6 +453,7 @@ func (n *Node) Rejoin() {
 	n.mu.Lock()
 	n.self.Incarnation++
 	n.members[n.self.ID].Member = n.self
+	n.enqueueLocked(n.self)
 	n.mu.Unlock()
 	for round := 0; round < 2; round++ {
 		before := n.Self().Incarnation
@@ -416,7 +461,9 @@ func (n *Node) Rejoin() {
 			if m.ID == n.Self().ID {
 				continue
 			}
-			n.ping(m.Endpoint, n.tableSnapshot())
+			// Full-table on purpose: a rejoin is anti-entropy — both
+			// sides reconcile everything, certificates included.
+			n.ping(m.Endpoint, n.fullLoad())
 		}
 		if n.Self().Incarnation == before {
 			return // no peer held a certificate we had not already beaten
@@ -441,6 +488,8 @@ func (n *Node) Leave() {
 	n.leaving = true
 	n.self.State = StateDead
 	n.members[n.self.ID].Member = n.self
+	n.enqueueLocked(n.self)
+	cert := n.self
 	var peers []Member
 	for id, e := range n.members {
 		if id == n.self.ID || e.State != StateAlive {
@@ -450,9 +499,10 @@ func (n *Node) Leave() {
 	}
 	n.mu.Unlock()
 	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
-	table := n.tableSnapshot()
 	for _, p := range peers {
-		n.ping(p.Endpoint, table)
+		// Each ping must carry the certificate itself; the queued copy
+		// alone could be crowded out of a bounded batch by other rumors.
+		n.ping(p.Endpoint, n.load(cert))
 	}
 }
 
@@ -487,46 +537,64 @@ func (n *Node) nextTarget() (Member, bool) {
 
 // probe pings target directly, falling back to indirect probes through
 // IndirectProbes relays; on total failure the target becomes a suspect.
-func (n *Node) probe(target Member) {
-	table := n.tableSnapshot()
-	if n.ping(target.Endpoint, table) {
+// A full probe exchanges whole tables (the anti-entropy cadence).
+func (n *Node) probe(target Member, full bool) {
+	load := n.load()
+	if full {
+		load = n.fullLoad()
+	}
+	if n.ping(target.Endpoint, load) {
 		return
 	}
 	for _, relay := range n.relays(target.ID) {
-		if n.pingVia(relay, target, table) {
+		if n.pingVia(relay, target, load) {
 			return
 		}
 	}
 	n.markSuspect(target.ID)
 }
 
-// ping sends one direct probe and merges the ack table.
-func (n *Node) ping(endpoint string, table []Member) bool {
+// countSend charges one outgoing gossip message to the node's meters.
+func (n *Node) countSend(payloadLen, updates int, full bool) {
+	n.mBytes.Add(int64(payloadLen))
+	n.mMsgs.Inc()
+	n.mUpdates.Add(int64(updates))
+	if full {
+		n.mFullSync.Inc()
+	}
+}
+
+// ping sends one direct probe and merges the ack's payload.
+func (n *Node) ping(endpoint string, load gossipLoad) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
 	defer cancel()
-	payload := transport.MustEncode(pingMsg{From: n.self.ID, Table: table})
-	n.mBytes.Add(int64(len(payload)))
+	payload := transport.Seal(transport.MustEncode(pingMsg{
+		From: n.self.ID, Updates: load.updates, Full: load.full, Table: load.table,
+	}))
+	n.countSend(len(payload), len(load.updates), load.full)
 	var ack ackMsg
 	err := n.ep.RequestDecode(ctx, endpoint, MsgPing, payload, &ack)
 	if err != nil {
 		return false
 	}
-	n.applyTable(ack.Table)
+	n.absorb(ack.Updates, ack.Table, ack.Full)
 	return true
 }
 
 // pingVia asks relay to probe target on our behalf.
-func (n *Node) pingVia(relay, target Member, table []Member) bool {
+func (n *Node) pingVia(relay, target Member, load gossipLoad) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
 	defer cancel()
-	payload := transport.MustEncode(pingReqMsg{From: n.self.ID, Target: target, Table: table})
-	n.mBytes.Add(int64(len(payload)))
+	payload := transport.Seal(transport.MustEncode(pingReqMsg{
+		From: n.self.ID, Target: target, Updates: load.updates, Full: load.full, Table: load.table,
+	}))
+	n.countSend(len(payload), len(load.updates), load.full)
 	var ack ackMsg
 	err := n.ep.RequestDecode(ctx, relay.Endpoint, MsgPingReq, payload, &ack)
 	if err != nil || !ack.OK {
 		return false
 	}
-	n.applyTable(ack.Table)
+	n.absorb(ack.Updates, ack.Table, ack.Full)
 	return true
 }
 
@@ -561,6 +629,7 @@ func (n *Node) markSuspect(id string) {
 	}
 	e.State = StateSuspect
 	e.suspectSince = time.Now()
+	n.enqueueLocked(e.Member)
 	changed := e.Member
 	n.mu.Unlock()
 	n.notify(changed)
@@ -573,6 +642,7 @@ func (n *Node) sweep(now time.Time) {
 	for _, e := range n.members {
 		if e.State == StateSuspect && now.Sub(e.suspectSince) >= n.cfg.SuspicionTimeout {
 			e.State = StateDead
+			n.enqueueLocked(e.Member)
 			dead = append(dead, e.Member)
 		}
 	}
@@ -582,10 +652,14 @@ func (n *Node) sweep(now time.Time) {
 	}
 }
 
-// tableSnapshot copies the membership table for piggybacking.
+// tableSnapshot copies the membership table for a full-table exchange.
 func (n *Node) tableSnapshot() []Member {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.tableSnapshotLocked()
+}
+
+func (n *Node) tableSnapshotLocked() []Member {
 	out := make([]Member, 0, len(n.members))
 	for _, e := range n.members {
 		out = append(out, e.Member)
@@ -593,12 +667,22 @@ func (n *Node) tableSnapshot() []Member {
 	return out
 }
 
-// applyTable merges a received table under SWIM's precedence rules:
-// higher incarnation wins; at equal incarnation dead > suspect > alive;
-// dead additionally overrides any lower incarnation (a death certificate
-// does not expire). Rumors about self that are not alive are refuted by
-// bumping our incarnation past them.
-func (n *Node) applyTable(table []Member) {
+// applyTable merges received rumor updates under SWIM's precedence
+// rules: higher incarnation wins; at equal incarnation dead > suspect >
+// alive; dead additionally overrides any lower incarnation (a death
+// certificate does not expire). Rumors about self that are not alive
+// are refuted by bumping our incarnation past them. Every accepted
+// change — and every refutation — re-enters the dissemination buffer,
+// which is how a rumor crosses the cluster in O(log N) rounds without
+// anyone sending a full table.
+func (n *Node) applyTable(table []Member) { n.merge(table, true) }
+
+// applyFull merges a full-table anti-entropy exchange. Unlike rumor
+// updates, what it teaches is not re-queued for broadcast (see absorb);
+// refutations of rumors about self still are — they originate here.
+func (n *Node) applyFull(table []Member) { n.merge(table, false) }
+
+func (n *Node) merge(table []Member, requeue bool) {
 	n.mu.Lock()
 	var changed []Member
 	for _, m := range table {
@@ -608,6 +692,9 @@ func (n *Node) applyTable(table []Member) {
 			if !n.leaving && m.State != StateAlive && m.Incarnation >= n.self.Incarnation {
 				n.self.Incarnation = m.Incarnation + 1
 				n.members[n.self.ID].Member = n.self
+				// The refutation preempts the queued rumor about us with
+				// a fresh budget — it must outrun the suspicion.
+				n.enqueueLocked(n.self)
 			}
 			continue
 		}
@@ -618,6 +705,10 @@ func (n *Node) applyTable(table []Member) {
 				e.suspectSince = time.Now()
 			}
 			n.members[m.ID] = e
+			if requeue {
+				n.enqueueLocked(e.Member)
+			}
+			n.insertRotationLocked(m.ID)
 			changed = append(changed, e.Member)
 			continue
 		}
@@ -625,9 +716,13 @@ func (n *Node) applyTable(table []Member) {
 			continue
 		}
 		prev := e.State
+		prevInc := e.Incarnation
 		e.Member = m
 		if m.State == StateSuspect && prev != StateSuspect {
 			e.suspectSince = time.Now()
+		}
+		if requeue && (m.State != prev || m.Incarnation != prevInc) {
+			n.enqueueLocked(e.Member)
 		}
 		if m.State != prev {
 			changed = append(changed, e.Member)
@@ -637,6 +732,20 @@ func (n *Node) applyTable(table []Member) {
 	for _, m := range changed {
 		n.notify(m)
 	}
+}
+
+// insertRotationLocked splices a newly learned member into the not-yet-
+// probed remainder of the current rotation at a random position, so it
+// is probed within one traversal of the ring instead of waiting out the
+// current one. Callers hold n.mu.
+func (n *Node) insertRotationLocked(id string) {
+	if n.rotIdx >= len(n.rotation) {
+		return // rotation exhausted; the rebuild picks the member up
+	}
+	pos := n.rotIdx + n.rng.Intn(len(n.rotation)-n.rotIdx+1)
+	n.rotation = append(n.rotation, "")
+	copy(n.rotation[pos+1:], n.rotation[pos:])
+	n.rotation[pos] = id
 }
 
 // supersedes reports whether update m should replace current.
@@ -686,24 +795,63 @@ func (n *Node) notify(m Member) {
 	}
 }
 
-// handlePing answers a direct probe: merge the sender's table, ack with
-// ours.
-func (n *Node) handlePing(msg transport.Message) ([]byte, error) {
-	var p pingMsg
-	if err := transport.Decode(msg.Payload, &p); err != nil {
-		return nil, err
+// ack builds a probe reply. A full exchange (or a probe from a sender
+// we do not know — join bootstrap) is answered with the whole table;
+// otherwise the ack leads with our own entry (the O(1) piece
+// refutation and leave certificates depend on) plus any must-carry
+// entries, followed by the bounded update selection.
+func (n *Node) ack(ok, full bool, must ...Member) ([]byte, error) {
+	n.mu.Lock()
+	var a ackMsg
+	if full {
+		a = ackMsg{OK: ok, Full: true, Table: n.tableSnapshotLocked()}
+	} else {
+		load := n.loadLocked(append([]Member{n.self}, must...)...)
+		a = ackMsg{OK: ok, Updates: load.updates, Full: load.full, Table: load.table}
 	}
-	n.applyTable(p.Table)
-	return transport.Encode(ackMsg{OK: true, Table: n.tableSnapshot()})
+	n.mu.Unlock()
+	out, err := transport.Encode(a)
+	if err == nil {
+		n.countSend(len(out), len(a.Updates), a.Full)
+	}
+	return out, err
 }
 
-// handlePingReq probes the requested target on the asker's behalf.
-func (n *Node) handlePingReq(msg transport.Message) ([]byte, error) {
-	var p pingReqMsg
-	if err := transport.Decode(msg.Payload, &p); err != nil {
+// knows reports whether id is in the table.
+func (n *Node) knows(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.members[id]
+	return ok
+}
+
+// handlePing answers a direct probe: merge the sender's payload, ack
+// with ours.
+func (n *Node) handlePing(msg transport.Message) ([]byte, error) {
+	var p pingMsg
+	if err := transport.DecodeSealed(msg.Payload, &p); err != nil {
 		return nil, err
 	}
-	n.applyTable(p.Table)
-	ok := n.ping(p.Target.Endpoint, n.tableSnapshot())
-	return transport.Encode(ackMsg{OK: ok, Table: n.tableSnapshot()})
+	full := p.Full || !n.knows(p.From)
+	n.absorb(p.Updates, p.Table, p.Full)
+	return n.ack(true, full)
+}
+
+// handlePingReq probes the requested target on the asker's behalf. The
+// ack carries our entry for the target so the asker learns what the
+// probe taught us (most importantly a refutation the target pushed into
+// our table), not just a bare OK.
+func (n *Node) handlePingReq(msg transport.Message) ([]byte, error) {
+	var p pingReqMsg
+	if err := transport.DecodeSealed(msg.Payload, &p); err != nil {
+		return nil, err
+	}
+	full := p.Full || !n.knows(p.From)
+	n.absorb(p.Updates, p.Table, p.Full)
+	ok := n.ping(p.Target.Endpoint, n.load())
+	var must []Member
+	if e, found := n.Member(p.Target.ID); found {
+		must = append(must, e)
+	}
+	return n.ack(ok, full, must...)
 }

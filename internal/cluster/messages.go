@@ -34,26 +34,41 @@ func MemberEndpointName(host string) string { return "cluster@" + host }
 // space's federated registry center.
 func CenterEndpointName(space string) string { return "registry@" + space }
 
-// pingMsg is a direct probe: the sender's full membership table rides
-// along (SWIM's piggybacked dissemination, degenerate full-table form —
-// tables are tens of entries, not thousands).
+// pingMsg is a direct probe. Probe payloads are sealed behind the
+// transport version byte, and dissemination is bounded: Updates carries
+// at most Config.MaxPiggyback queued member updates selected
+// fewest-transmissions-first, so the payload is O(1) in cluster size.
+// Full marks a full-table anti-entropy exchange (join bootstrap, Rejoin,
+// the FullSyncEvery cadence, and the FullTableGossip baseline): Table
+// carries the sender's whole table and the ack answers in kind.
 type pingMsg struct {
-	From  string
-	Table []Member
+	From    string
+	Updates []Member
+	Full    bool
+	Table   []Member
 }
 
-// ackMsg acknowledges a probe, carrying the responder's table back.
+// ackMsg acknowledges a probe. The responder's own entry always leads
+// Updates (O(1), and it is what lets a falsely convicted member refute
+// a confirm-probe and a leaver co-sign its own certificate); the rest
+// is the responder's bounded update selection, or its full table when
+// the exchange is Full.
 type ackMsg struct {
-	OK    bool
-	Table []Member
+	OK      bool
+	Updates []Member
+	Full    bool
+	Table   []Member
 }
 
 // pingReqMsg asks a relay to probe Target on the sender's behalf (SWIM's
 // indirect probe, which distinguishes a dead target from a lossy path).
+// Piggybacking follows pingMsg.
 type pingReqMsg struct {
-	From   string
-	Target Member
-	Table  []Member
+	From    string
+	Target  Member
+	Updates []Member
+	Full    bool
+	Table   []Member
 }
 
 // RecordKind classifies a replicated registry record.
@@ -156,11 +171,26 @@ type (
 		NotDurable bool
 	}
 
-	getSnapshotReq struct{ App string }
+	// getSnapshotReq fetches an app's freshest snapshot. When the
+	// requester already holds a record of the app (Have set), the Have*
+	// fields describe it, and a center whose copy extends the same base
+	// replies with just the missing delta tail instead of the full
+	// record. Zero Have preserves the PR 5 behaviour for old clients.
+	getSnapshotReq struct {
+		App         string
+		Have        bool
+		HaveBaseSeq uint64
+		HaveSeq     uint64
+		HaveDigest  [sha256.Size]byte
+	}
 
 	getSnapshotReply struct {
 		Rec   state.SnapshotRecord
 		Found bool
+		// DeltaOnly marks Rec as a tail: it carries the head's metadata
+		// and only the deltas past the requester's HaveSeq, no base
+		// frame. The requester grafts the tail onto its cached record.
+		DeltaOnly bool
 	}
 
 	dropSnapshotReq struct{ App, Host string }
