@@ -7,9 +7,13 @@
 // experiment (false-positive suspicion under link flap), the delta sweep
 // (replicated bytes per capture tick, full-frame vs delta pipeline,
 // across app sizes), the durability experiment (kill-after-write record
-// loss and per-write latency across write concerns), and the membership
+// loss and per-write latency across write concerns), the membership
 // scale sweep (bounded gossip dissemination at 200-1,000 simulated
-// hosts vs the full-table baseline).
+// hosts vs the full-table baseline), the storage-engine experiment
+// (sustained writes/sec and p99 put latency at 1M+ resident records,
+// seed single-lock store vs the PR 8 engine, plus a kill-mid-commit
+// crash audit), and the suspicion-timeout sweep (detection latency vs
+// false-positive rate à la Lifeguard).
 //
 // Usage:
 //
@@ -42,6 +46,7 @@ import (
 	"mdagent/internal/bench"
 	"mdagent/internal/cluster"
 	"mdagent/internal/migrate"
+	"mdagent/internal/store"
 )
 
 // record stores one figure's result in the JSON document wrapped in a
@@ -59,6 +64,11 @@ func record(doc map[string]any, fig string, knobs map[string]any, result any) {
 }
 
 func main() {
+	// Kill-mid-commit audit hook: when the crash env var is set this
+	// process is a re-exec'd SyncAlways writer child, not the CLI.
+	if bench.StoreCrashChildMain() {
+		return
+	}
 	if err := run(os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
 		os.Exit(1)
@@ -69,7 +79,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mdbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	fig := fs.String("fig", "all", "figures to regenerate (comma-separated): 7, 8, 9, 10, clone, churn, flap, delta, durability, ctl, obs, members, or all")
+	fig := fs.String("fig", "all", "figures to regenerate (comma-separated): 7, 8, 9, 10, clone, churn, flap, delta, durability, ctl, obs, members, store, suspicion, or all")
 	csvPath := fs.String("csv", "", "also write the series as CSV to this file")
 	jsonPath := fs.String("json", "", "also write every figure that ran as one JSON document to this file")
 	rooms := fs.Int("rooms", 3, "overflow rooms for the clone-dispatch experiment")
@@ -85,6 +95,18 @@ func run(args []string, out io.Writer) error {
 	obsIters := fs.Int("obs-iters", 1_000_000, "raw metric-op iterations for the observability overhead experiment")
 	membersHosts := fs.String("members-hosts", "200,500,1000", "host counts for the membership scale sweep (comma-separated)")
 	membersBaseline := fs.String("members-baseline-hosts", "200,500", "host counts re-run with full-table gossip as the baseline (comma-separated; empty disables)")
+	storeRecords := fs.Int("store-records", 1_000_000, "resident records preloaded for the storage-engine experiment")
+	storeOps := fs.Int("store-ops", 200_000, "measured mixed writes for the storage-engine experiment")
+	storeWriters := fs.Int("store-writers", 8, "concurrent writers for the storage-engine experiment")
+	storeValueBytes := fs.Int("store-value-bytes", 128, "registry record size for the storage-engine experiment")
+	storeBlobEvery := fs.Int("store-blob-every", 64, "every Nth write is a snapshot frame (0 disables)")
+	storeBlobBytes := fs.Int("store-blob-bytes", 256<<10, "snapshot frame size for the storage-engine experiment")
+	storeCrashTrials := fs.Int("store-crash-trials", 3, "kill-mid-commit audit trials (0 disables)")
+	storeCrashAfter := fs.Duration("store-crash-after", 250*time.Millisecond, "base writer lifetime before the mid-commit SIGKILL")
+	suspHosts := fs.Int("suspicion-hosts", 12, "hosts for the suspicion-timeout sweep")
+	suspCycles := fs.Int("suspicion-cycles", 6, "freeze/recover cycles per timeout for the suspicion sweep")
+	suspBlip := fs.Duration("suspicion-blip", 50*time.Millisecond, "freeze duration per cycle for the suspicion sweep")
+	suspTimeouts := fs.String("suspicion-timeouts", "10ms,25ms,50ms,100ms,250ms,500ms", "SuspicionTimeout values to sweep (comma-separated durations)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,8 +126,16 @@ func run(args []string, out io.Writer) error {
 		"ctl":        func() error { return ctlFig(out, &csv, doc, *ctlRequests, *ctlWatchers, *ctlEvents) },
 		"obs":        func() error { return obsFig(out, &csv, doc, *obsIters) },
 		"members":    func() error { return members(out, &csv, doc, *membersHosts, *membersBaseline) },
+		"store": func() error {
+			cfg := bench.StoreConfig{Records: *storeRecords, Writers: *storeWriters, Ops: *storeOps,
+				ValueBytes: *storeValueBytes, BlobEvery: *storeBlobEvery, BlobBytes: *storeBlobBytes}
+			return storeFig(out, &csv, doc, cfg, *storeCrashTrials, *storeCrashAfter)
+		},
+		"suspicion": func() error {
+			return suspicion(out, &csv, doc, *suspHosts, *suspCycles, *suspBlip, *suspTimeouts)
+		},
 	}
-	all := []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta", "durability", "ctl", "obs", "members"}
+	all := []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta", "durability", "ctl", "obs", "members", "store", "suspicion"}
 	var order []string
 	if *fig == "all" {
 		order = all
@@ -484,5 +514,128 @@ func members(out io.Writer, csv *strings.Builder, doc map[string]any, hostsSpec,
 	csv.WriteString("\n")
 	record(doc, "members", map[string]any{"hosts": hosts, "baseline_hosts": baseline},
 		map[string]any{"bounded": bounded, "full_table": full})
+	return nil
+}
+
+func storeFig(out io.Writer, csv *strings.Builder, doc map[string]any, cfg bench.StoreConfig, crashTrials int, crashAfter time.Duration) error {
+	fmt.Fprintf(out, "== Store — mixed registry/snapshot writes at %d resident records (%d writers, %d ops) ==\n",
+		cfg.Records, cfg.Writers, cfg.Ops)
+	mix := "record-only"
+	if cfg.BlobEvery > 0 {
+		mix = fmt.Sprintf("every %dth write a %dKB snapshot frame", cfg.BlobEvery, cfg.BlobBytes/1024)
+	}
+	fmt.Fprintf(out, "   (%dB records, %s; seed interval = Sync ticker every %v, held under the seed's global write lock)\n",
+		cfg.ValueBytes, mix, store.DefaultSyncEvery)
+	rows := []struct {
+		engine string
+		pol    store.SyncPolicy
+	}{
+		{"seed", store.SyncNever},
+		{"seed", store.SyncInterval},
+		{"engine", store.SyncNever},
+		{"engine", store.SyncInterval},
+		{"engine", store.SyncAlways},
+	}
+	fmt.Fprintf(out, "  %-8s %-9s %14s %14s %10s %10s %12s\n",
+		"engine", "sync", "load-w/s", "writes/sec", "p50", "p99", "disk-bytes")
+	fmt.Fprintf(csv, "store,engine,sync,records,writers,ops,load_writes_per_sec,writes_per_sec,p50_us,p99_us,blob_writes,disk_bytes\n")
+	var results []bench.StoreResult
+	var seedRate, engineRate float64
+	for _, r := range rows {
+		res, err := bench.RunStore(cfg, r.engine, r.pol)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		// The headline ratio compares matched durability: both sides
+		// fsync on the same cadence, so it isolates the architecture
+		// (off-lock group commit vs fsync under the global write lock).
+		if res.Sync == store.SyncInterval.String() {
+			if res.Engine == "seed" {
+				seedRate = res.WritesPerSec
+			} else {
+				engineRate = res.WritesPerSec
+			}
+		}
+		fmt.Fprintf(out, "  %-8s %-9s %14.0f %14.0f %9dµs %9dµs %12d\n",
+			res.Engine, res.Sync, res.LoadWritesPerSec, res.WritesPerSec,
+			res.P50.Microseconds(), res.P99.Microseconds(), res.DiskBytes)
+		fmt.Fprintf(csv, "store,%s,%s,%d,%d,%d,%.0f,%.0f,%d,%d,%d,%d\n",
+			res.Engine, res.Sync, res.Records, res.Writers, res.Ops,
+			res.LoadWritesPerSec, res.WritesPerSec,
+			res.P50.Microseconds(), res.P99.Microseconds(), res.BlobWrites, res.DiskBytes)
+	}
+	if seedRate > 0 && engineRate > 0 {
+		fmt.Fprintf(out, "  -> engine sustains %.1fx the seed store's writes/sec at matched durability (%v fsync cadence)\n", engineRate/seedRate, store.DefaultSyncEvery)
+	}
+
+	var crash bench.StoreCrashResult
+	if crashTrials > 0 {
+		var err error
+		crash, err = bench.RunStoreCrash(crashTrials, crashAfter)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  kill-mid-commit audit (SyncPolicy=always, %d trials): %d acked, %d recovered, %d lost\n",
+			crash.Trials, crash.Acked, crash.Recovered, crash.Lost)
+		if crash.Lost > 0 {
+			return fmt.Errorf("store crash audit: %d acknowledged writes lost", crash.Lost)
+		}
+		fmt.Fprintf(csv, "store_crash,trials,acked,recovered,lost\nstore_crash,%d,%d,%d,%d\n",
+			crash.Trials, crash.Acked, crash.Recovered, crash.Lost)
+	}
+	fmt.Fprintln(out)
+	csv.WriteString("\n")
+	record(doc, "store", map[string]any{
+		"records": cfg.Records, "writers": cfg.Writers, "ops": cfg.Ops,
+		"value_bytes": cfg.ValueBytes, "blob_every": cfg.BlobEvery, "blob_bytes": cfg.BlobBytes,
+		"crash_trials": crashTrials,
+	}, map[string]any{"rows": results, "crash": crash})
+	return nil
+}
+
+func suspicion(out io.Writer, csv *strings.Builder, doc map[string]any, hosts, cycles int, blip time.Duration, timeoutsSpec string) error {
+	var timeouts []time.Duration
+	for _, tok := range strings.Split(timeoutsSpec, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("bad -suspicion-timeouts entry %q: %w", tok, err)
+		}
+		timeouts = append(timeouts, d)
+	}
+	fmt.Fprintf(out, "== Suspicion — detection latency vs false positives across SuspicionTimeout (%d hosts) ==\n", hosts)
+	fmt.Fprintf(out, "   (per timeout: %d freeze/recover cycles of %v — any conviction is premature — then a real kill)\n",
+		cycles, blip)
+	points, err := bench.RunSuspicionSweep(hosts, cycles, blip, timeouts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  %-9s %10s %10s %12s %9s %12s\n",
+		"timeout", "suspects", "convicts", "conv-cycles", "fp-rate", "detect-wall")
+	fmt.Fprintf(csv, "suspicion,timeout_ms,hosts,cycles,blip_ms,false_suspects,false_convictions,convicted_cycles,fp_rate,detect_wall_ms\n")
+	var recommended time.Duration
+	for _, p := range points {
+		fmt.Fprintf(out, "  %-9s %10d %10d %12d %9.2f %10dms\n",
+			p.Timeout, p.FalseSuspects, p.FalseConvictions, p.ConvictedCycles,
+			p.FalsePositiveRate, p.DetectWall.Milliseconds())
+		fmt.Fprintf(csv, "suspicion,%d,%d,%d,%d,%d,%d,%d,%.3f,%d\n",
+			p.Timeout.Milliseconds(), p.Hosts, p.Cycles, p.Blip.Milliseconds(),
+			p.FalseSuspects, p.FalseConvictions, p.ConvictedCycles,
+			p.FalsePositiveRate, p.DetectWall.Milliseconds())
+		if recommended == 0 && p.ConvictedCycles == 0 {
+			recommended = p.Timeout
+		}
+	}
+	if recommended > 0 {
+		fmt.Fprintf(out, "  -> smallest timeout with zero premature convictions at a %v freeze: %v (~%.0fx the freeze)\n",
+			blip, recommended, float64(recommended)/float64(blip))
+	} else {
+		fmt.Fprintf(out, "  -> no swept timeout avoided premature convictions at a %v freeze; sweep longer timeouts\n", blip)
+	}
+	fmt.Fprintln(out)
+	csv.WriteString("\n")
+	record(doc, "suspicion", map[string]any{
+		"hosts": hosts, "cycles": cycles, "blip_ms": blip.Milliseconds(), "timeouts": timeoutsSpec,
+	}, points)
 	return nil
 }

@@ -8,8 +8,18 @@ import (
 	"strings"
 	"testing"
 
+	"mdagent/internal/bench"
 	"mdagent/internal/cluster"
 )
+
+// TestMain lets the test binary serve as the kill-mid-commit audit
+// child when RunStoreCrash re-execs it with the crash env var set.
+func TestMain(m *testing.M) {
+	if bench.StoreCrashChildMain() {
+		return
+	}
+	os.Exit(m.Run())
+}
 
 // TestRunFig7PrintsTableAndCSV runs the fastest figure end to end and
 // checks both the table and the CSV sidecar.
@@ -117,6 +127,48 @@ func TestRunDurabilityFigureWithJSON(t *testing.T) {
 		if m["Concern"] == string(cluster.WriteQuorum) && m["SilentLoss"].(float64) != 0 {
 			t.Fatalf("quorum silent loss in JSON = %v, want 0", m["SilentLoss"])
 		}
+	}
+}
+
+// TestRunStoreFigure runs a smoke-sized storage-engine experiment —
+// all four engine rows plus one kill-mid-commit audit trial — and
+// checks the zero-acknowledged-loss line.
+func TestRunStoreFigure(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "store",
+		"-store-records", "2000", "-store-ops", "2000", "-store-writers", "4",
+		"-store-blob-every", "16", "-store-blob-bytes", "8192",
+		"-store-crash-trials", "1", "-store-crash-after", "100ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "writes/sec") || !strings.Contains(s, "p99") {
+		t.Fatalf("store table missing:\n%s", s)
+	}
+	if !strings.Contains(s, "0 lost") {
+		t.Fatalf("kill-mid-commit audit reported losses:\n%s", s)
+	}
+}
+
+// TestRunSuspicionFigure runs a small timeout sweep and checks the
+// recommended-default line appears for the long-timeout end.
+func TestRunSuspicionFigure(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "suspicion",
+		"-suspicion-hosts", "6", "-suspicion-cycles", "2",
+		// The long end must stay clean even when -race slows the tick
+		// loop (suspicion runs on wall clocks), so it is generously wide.
+		"-suspicion-blip", "30ms", "-suspicion-timeouts", "15ms,2s"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "detect-wall") {
+		t.Fatalf("suspicion table missing:\n%s", s)
+	}
+	if !strings.Contains(s, "zero premature convictions") {
+		t.Fatalf("no recommended timeout found:\n%s", s)
 	}
 }
 

@@ -148,6 +148,7 @@ func TestCtlE2EOverTCP(t *testing.T) {
 	bins := buildBinaries(t)
 
 	reg := startProc(t, "mdregistry", bins["mdregistry"], "-listen", "127.0.0.1:0", "-space", "lab",
+		"-store", filepath.Join(t.TempDir(), "registry"),
 		"-debug-addr", "127.0.0.1:0")
 	regAddr := addrFromLine(t, reg.waitFor(t, "serving registry@lab on ", 10*time.Second))
 	regDebug := addrFromLine(t, reg.waitFor(t, "debug on ", 10*time.Second))
@@ -178,6 +179,11 @@ func TestCtlE2EOverTCP(t *testing.T) {
 		if body := debugGet(t, dbg.addr, "/metrics"); !strings.Contains(body, "mdagent_") {
 			t.Fatalf("%s /metrics exposition empty or missing mdagent series:\n%s", dbg.tag, body)
 		}
+	}
+	// The durable registry runs the PR 8 storage engine; its /metrics
+	// exposition must carry the mdagent_store_* series.
+	if body := debugGet(t, regDebug, "/metrics"); !strings.Contains(body, "mdagent_store_") {
+		t.Fatalf("mdregistry /metrics missing mdagent_store_* series:\n%s", body)
 	}
 
 	// Introspection against the live daemons.

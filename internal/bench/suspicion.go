@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mdagent/internal/cluster"
+	"mdagent/internal/netsim"
+	"mdagent/internal/transport"
+	"mdagent/internal/vclock"
+)
+
+// SuspicionPoint is one row of the Lifeguard-style timeout sweep: at a
+// given SuspicionTimeout, how fast is a real death detected, and how
+// often does a transient freeze (a host that stops probing for Blip,
+// then resumes — a GC pause, an overloaded scheduler) get prematurely
+// convicted.
+type SuspicionPoint struct {
+	Timeout time.Duration
+	Hosts   int
+	Cycles  int           // freeze/recover cycles driven
+	Blip    time.Duration // freeze duration per cycle
+
+	FalseSuspects     int     // suspect reports about the frozen-but-live host
+	FalseConvictions  int     // dead convictions of it (events, across survivors)
+	ConvictedCycles   int     // cycles in which >=1 survivor convicted it
+	FalsePositiveRate float64 // ConvictedCycles / Cycles
+
+	DetectWall time.Duration // real kill -> unanimous conviction
+}
+
+// RunSuspicionSweep runs the detection-latency vs false-positive
+// tradeoff at each timeout. Per timeout: a fresh bare-node federation
+// converges, one host is frozen (stops ticking, unreachable) for Blip
+// and revived for cycles rounds — any conviction is premature since the
+// host always comes back — then the same host is killed for real and
+// the wall time to unanimous conviction is the detection latency.
+func RunSuspicionSweep(hosts, cycles int, blip time.Duration, timeouts []time.Duration) ([]SuspicionPoint, error) {
+	if hosts < 3 {
+		return nil, fmt.Errorf("bench: suspicion sweep needs >= 3 hosts, got %d", hosts)
+	}
+	var points []SuspicionPoint
+	for _, to := range timeouts {
+		p, err := runSuspicionPoint(hosts, cycles, blip, to)
+		if err != nil {
+			return points, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+func runSuspicionPoint(hosts, cycles int, blip, timeout time.Duration) (SuspicionPoint, error) {
+	res := SuspicionPoint{Timeout: timeout, Hosts: hosts, Cycles: cycles, Blip: blip}
+	cfg := cluster.Config{
+		ProbeInterval:    100 * time.Millisecond, // rounds are driven manually
+		ProbeTimeout:     5 * time.Second,        // probes fail only via netsim's fail-fast down error
+		SuspicionTimeout: timeout,
+		Seed:             23,
+	}
+
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	net := netsim.New(clk, netsim.WithSeed(23))
+	fab := transport.NewLocalFabric(net)
+	defer fab.Close()
+
+	victim := fmt.Sprintf("susp-n%04d", hosts/2)
+	var (
+		mu        sync.Mutex
+		frozen    bool
+		inFlap    bool
+		convicted bool // within the current freeze cycle
+		nodes     []*cluster.Node
+	)
+	for i := 0; i < hosts; i++ {
+		host := fmt.Sprintf("susp-n%04d", i)
+		if _, err := net.AddHost(host, "lab", netsim.Pentium4_1700(), 0); err != nil {
+			return res, err
+		}
+		ep, err := fab.Attach(cluster.MemberEndpointName(host), host)
+		if err != nil {
+			return res, err
+		}
+		node := cluster.NewNode(cluster.Member{ID: host, Space: "lab"}, ep, cfg)
+		if len(nodes) > 0 {
+			node.Join(nodes[0].Self())
+			node.Join(nodes[len(nodes)-1].Self())
+		}
+		if host != victim {
+			node.OnChange(func(_ *cluster.Node, m cluster.Member) {
+				if m.ID != victim {
+					return
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if !inFlap {
+					return
+				}
+				switch m.State {
+				case cluster.StateSuspect:
+					res.FalseSuspects++
+				case cluster.StateDead:
+					res.FalseConvictions++
+					convicted = true
+				}
+			})
+		}
+		nodes = append(nodes, node)
+	}
+
+	tick := func() {
+		for _, node := range nodes {
+			mu.Lock()
+			skip := frozen && node.Self().ID == victim
+			mu.Unlock()
+			if !skip {
+				node.Tick()
+			}
+		}
+	}
+	allSeeAlive := func() bool {
+		for _, node := range nodes {
+			if len(node.AliveHosts()) != hosts {
+				return false
+			}
+		}
+		return true
+	}
+	tickUntil := func(cond func() bool, what string) error {
+		deadline := time.Now().Add(60 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench: suspicion %s never converged (timeout %v)", what, timeout)
+			}
+			tick()
+		}
+		return nil
+	}
+	if err := tickUntil(allSeeAlive, "bootstrap"); err != nil {
+		return res, err
+	}
+
+	// Flap phase: freeze the victim for Blip per cycle. A frozen host
+	// neither probes nor answers — the Lifeguard slow-processor case.
+	for c := 0; c < cycles; c++ {
+		mu.Lock()
+		inFlap, frozen, convicted = true, true, false
+		mu.Unlock()
+		if err := net.SetHostDown(victim, true); err != nil {
+			return res, err
+		}
+		end := time.Now().Add(blip)
+		for time.Now().Before(end) {
+			tick()
+		}
+		if err := net.SetHostDown(victim, false); err != nil {
+			return res, err
+		}
+		mu.Lock()
+		frozen = false
+		mu.Unlock()
+		// Recover: the revived victim refutes any suspicion about it.
+		if err := tickUntil(allSeeAlive, "flap recovery"); err != nil {
+			return res, err
+		}
+		mu.Lock()
+		if convicted {
+			res.ConvictedCycles++
+		}
+		inFlap = false
+		mu.Unlock()
+	}
+	if cycles > 0 {
+		res.FalsePositiveRate = float64(res.ConvictedCycles) / float64(cycles)
+	}
+
+	// Kill phase: the same host dies for real; detection latency is the
+	// wall time to unanimous conviction (dominated by the timeout).
+	mu.Lock()
+	frozen = true
+	mu.Unlock()
+	if err := net.SetHostDown(victim, true); err != nil {
+		return res, err
+	}
+	killAt := time.Now()
+	allConvict := func() bool {
+		for _, node := range nodes {
+			if node.Self().ID == victim {
+				continue
+			}
+			if m, ok := node.Member(victim); !ok || m.State != cluster.StateDead {
+				return false
+			}
+		}
+		return true
+	}
+	if err := tickUntil(allConvict, "kill detection"); err != nil {
+		return res, err
+	}
+	res.DetectWall = time.Since(killAt)
+	return res, nil
+}

@@ -119,20 +119,17 @@ func NewCenter(space string, reg *registry.Registry, ep *transport.Endpoint, cfg
 		mAckWait: obs.Default.Histogram("mdagent_fed_ack_wait_ns", "space", space),
 	}
 	db := reg.Store()
-	for _, key := range db.Keys(fedKeyPrefix) {
-		raw, err := db.Get(key)
-		if err != nil {
-			continue // raced with delete
-		}
+	_ = db.Scan(fedKeyPrefix, func(_ string, raw []byte) error {
 		var r Record
 		if err := transport.Decode(raw, &r); err != nil {
-			continue // corrupt frame; the peer re-offers it via anti-entropy
+			return nil // corrupt frame; the peer re-offers it via anti-entropy
 		}
 		c.records[r.Key] = r
 		if r.Kind == RecordSnapshot && !r.Deleted && r.Snap.Durable {
 			c.durable[r.Key] = r // durability metadata survives a restart
 		}
-	}
+		return nil
+	})
 	ep.Handle(MsgFedDigest, c.handleDigest)
 	ep.Handle(MsgFedPush, c.handlePush)
 	ep.Handle(MsgFedSnapDelta, c.handleSnapDelta)

@@ -51,8 +51,11 @@ type Config struct {
 	// SensorTick is the sampling period of the sensor walker
 	// (default 500 ms).
 	SensorTick time.Duration
-	// StorePath persists the registry to a file when non-empty.
+	// StorePath persists the registry to a directory when non-empty.
 	StorePath string
+	// StoreOptions tunes the storage engine (sync policy, segment size,
+	// blob threshold, shard count). Ignored when StorePath is empty.
+	StoreOptions []store.Option
 	// Cluster opts the deployment into the distribution layer: gossip
 	// membership per host, one federated registry center per smart space
 	// (replacing the single registry center as the engines' catalog), and
@@ -169,7 +172,7 @@ func New(cfg Config) (*Middleware, error) {
 	db := store.OpenMemory()
 	if cfg.StorePath != "" {
 		var err error
-		db, err = store.Open(cfg.StorePath)
+		db, err = store.Open(cfg.StorePath, cfg.StoreOptions...)
 		if err != nil {
 			return nil, err
 		}

@@ -77,31 +77,30 @@ func New(db *store.Store) (*Registry, error) {
 		devices: make(map[string]wsdl.DeviceProfile),
 	}
 	r.onto.StandardResourceClasses()
-	// Recover resource descriptions into the ontology.
-	for _, key := range db.Keys("res/") {
-		raw, err := db.Get(key)
-		if err != nil {
-			return nil, err
-		}
+	// Recover resource descriptions into the ontology. Scan hands each
+	// value in a single pass (no per-key Get) — Decode only reads the
+	// buffer, which the zero-copy contract permits.
+	err := db.Scan("res/", func(key string, raw []byte) error {
 		var res owl.Resource
 		if err := transport.Decode(raw, &res); err != nil {
-			return nil, fmt.Errorf("registry: corrupt resource %s: %w", key, err)
+			return fmt.Errorf("registry: corrupt resource %s: %w", key, err)
 		}
-		if err := r.onto.AddResource(res); err != nil {
-			return nil, err
-		}
+		return r.onto.AddResource(res)
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Recover device profiles.
-	for _, key := range db.Keys("dev/") {
-		raw, err := db.Get(key)
-		if err != nil {
-			return nil, err
-		}
+	err = db.Scan("dev/", func(key string, raw []byte) error {
 		var dev wsdl.DeviceProfile
 		if err := transport.Decode(raw, &dev); err != nil {
-			return nil, fmt.Errorf("registry: corrupt device %s: %w", key, err)
+			return fmt.Errorf("registry: corrupt device %s: %w", key, err)
 		}
 		r.devices[dev.Host] = dev
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -150,18 +149,18 @@ func (r *Registry) LookupApp(name, host string) (AppRecord, bool, error) {
 // FindApp returns every installation of an app across hosts, sorted by host.
 func (r *Registry) FindApp(name string) ([]AppRecord, error) {
 	var out []AppRecord
-	for _, key := range r.db.Keys("app/") {
-		raw, err := r.db.Get(key)
-		if err != nil {
-			continue // raced with delete
-		}
+	err := r.db.Scan("app/", func(key string, raw []byte) error {
 		var rec AppRecord
 		if err := transport.Decode(raw, &rec); err != nil {
-			return nil, err
+			return err
 		}
 		if rec.Name == name {
 			out = append(out, rec)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
 	return out, nil
@@ -171,16 +170,16 @@ func (r *Registry) FindApp(name string) ([]AppRecord, error) {
 // name — the control plane's `ps` view.
 func (r *Registry) Apps() ([]AppRecord, error) {
 	var out []AppRecord
-	for _, key := range r.db.Keys("app/") {
-		raw, err := r.db.Get(key)
-		if err != nil {
-			continue // raced with delete
-		}
+	err := r.db.Scan("app/", func(key string, raw []byte) error {
 		var rec AppRecord
 		if err := transport.Decode(raw, &rec); err != nil {
-			return nil, err
+			return err
 		}
 		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Host != out[j].Host {
@@ -194,16 +193,16 @@ func (r *Registry) Apps() ([]AppRecord, error) {
 // AppsOnHost lists every application installed on a host, sorted by name.
 func (r *Registry) AppsOnHost(host string) ([]AppRecord, error) {
 	var out []AppRecord
-	for _, key := range r.db.Keys("app/" + host + "/") {
-		raw, err := r.db.Get(key)
-		if err != nil {
-			continue
-		}
+	err := r.db.Scan("app/"+host+"/", func(key string, raw []byte) error {
 		var rec AppRecord
 		if err := transport.Decode(raw, &rec); err != nil {
-			return nil, err
+			return err
 		}
 		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil

@@ -1,0 +1,263 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Legacy is the seed single-lock store: one map and one replayed gob
+// log behind a single RWMutex. It is kept (1) to migrate pre-PR-8 log
+// files into the engine layout and (2) as the before/after baseline for
+// bench.RunStore.
+type Legacy struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+	path string   // "" for memory-only
+	log  *os.File // nil for memory-only
+}
+
+// legacy log op codes.
+const (
+	legacyOpPut    = "put"
+	legacyOpDelete = "del"
+)
+
+// record is the seed store's gob frame (field-name compatible with
+// every log written before PR 8).
+type record struct {
+	Op    string
+	Key   string
+	Value []byte
+}
+
+// OpenLegacy opens (or creates) a seed-format store backed by the
+// single append-only gob log at path.
+func OpenLegacy(path string) (*Legacy, error) {
+	s := &Legacy{data: make(map[string][]byte), path: path}
+	if err := replayLegacy(path, s.data); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open legacy log: %w", err)
+	}
+	s.log = f
+	return s, nil
+}
+
+func replayLegacy(path string, into map[string][]byte) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: legacy replay: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil // EOF or torn length
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil // torn frame from a crash mid-write
+		}
+		var r record
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&r); err != nil {
+			return nil // corrupt frame; stop at last good record
+		}
+		switch r.Op {
+		case legacyOpPut:
+			into[r.Key] = r.Value
+		case legacyOpDelete:
+			delete(into, r.Key)
+		}
+	}
+}
+
+func encodeLegacyFrame(r record) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(r); err != nil {
+		return nil, fmt.Errorf("store: legacy encode: %w", err)
+	}
+	frame := make([]byte, 0, body.Len()+binary.MaxVarintLen64)
+	frame = binary.AppendUvarint(frame, uint64(body.Len()))
+	return append(frame, body.Bytes()...), nil
+}
+
+func (s *Legacy) append(r record) error {
+	if s.log == nil {
+		return nil
+	}
+	frame, err := encodeLegacyFrame(r)
+	if err != nil {
+		return err
+	}
+	if _, err := s.log.Write(frame); err != nil {
+		return fmt.Errorf("store: legacy append: %w", err)
+	}
+	return nil
+}
+
+// Put stores value under key, seed-style: gob-encode and write under
+// the global lock.
+func (s *Legacy) Put(key string, value []byte) error {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(record{Op: legacyOpPut, Key: key, Value: cp}); err != nil {
+		return err
+	}
+	s.data[key] = cp
+	return nil
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Legacy) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, nil
+}
+
+// Delete removes key.
+func (s *Legacy) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data[key]; !ok {
+		return nil
+	}
+	if err := s.append(record{Op: legacyOpDelete, Key: key}); err != nil {
+		return err
+	}
+	delete(s.data, key)
+	return nil
+}
+
+// Keys returns all keys with the given prefix, sorted.
+func (s *Legacy) Keys(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys.
+func (s *Legacy) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Sync flushes the log, holding the global lock across the fsync —
+// the seed behaviour the engine's committer replaces.
+func (s *Legacy) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Sync()
+}
+
+// Close flushes and closes the log.
+func (s *Legacy) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Sync()
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	s.log = nil
+	return err
+}
+
+// migrateLegacyIfNeeded converts a seed-format log file at path into
+// the engine's directory layout. Crash-safe: the legacy file is first
+// parked at path+".legacy" (atomic rename), the converted segment is
+// written and fsynced, and only then is the parked file removed — a
+// crash at any point either retries the conversion or finds the
+// directory already valid.
+func migrateLegacyIfNeeded(path string) error {
+	parked := path + ".legacy"
+	if fi, err := os.Stat(path); err == nil && !fi.IsDir() {
+		if err := os.Rename(path, parked); err != nil {
+			return fmt.Errorf("store: park legacy log: %w", err)
+		}
+	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: open: %w", err)
+	}
+	if _, err := os.Stat(parked); errors.Is(err, os.ErrNotExist) {
+		return nil
+	} else if err != nil {
+		return err
+	}
+
+	data := make(map[string][]byte)
+	if err := replayLegacy(parked, data); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	// All records are written inline (blob routing applies to future
+	// writes); replay seals an oversized first segment automatically.
+	seg, err := os.OpenFile(path+"/"+segmentName(1), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	keys := make([]string, 0, len(data))
+	for k := range data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bw := bufio.NewWriter(seg)
+	for _, k := range keys {
+		frame, _ := encodeInlineFrame(k, data[k])
+		if _, err := bw.Write(frame); err != nil {
+			seg.Close()
+			return fmt.Errorf("store: migrate: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		seg.Close()
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	if err := seg.Sync(); err != nil {
+		seg.Close()
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	if err := seg.Close(); err != nil {
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	if err := os.Remove(parked); err != nil {
+		return fmt.Errorf("store: unpark legacy log: %w", err)
+	}
+	return nil
+}
