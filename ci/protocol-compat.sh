@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Cross-version protocol smoke: build mdctl/mdagentd/mdregistry from the
+# merge-base of the change under test, then run both mixed pairs —
+# old client vs new daemon, and new client vs old daemon — over real
+# localhost TCP. Each pair smokes info, ps, and one watch event, so a
+# wire-format break (sealed-frame layout, watch negotiation, reply
+# shapes) fails here even though every same-version test passes.
+#
+# In CI the base is merge-base with the PR's target branch; locally (or
+# on push builds) it falls back to HEAD^.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ -n "${GITHUB_BASE_REF:-}" ]; then
+  git fetch -q origin "$GITHUB_BASE_REF"
+  BASE=$(git merge-base HEAD "origin/$GITHUB_BASE_REF")
+else
+  BASE=$(git rev-parse HEAD^)
+fi
+echo "== protocol-compat: $(git rev-parse --short HEAD) (new) vs $(git rev-parse --short "$BASE") (old)"
+
+WORK=$(mktemp -d)
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  git worktree remove --force "$WORK/base" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+mkdir -p "$WORK/new" "$WORK/old"
+go build -o "$WORK/new/" ./cmd/mdctl ./cmd/mdagentd ./cmd/mdregistry
+git worktree add -q --detach "$WORK/base" "$BASE"
+(cd "$WORK/base" && go build -o "$WORK/old/" ./cmd/mdctl ./cmd/mdagentd ./cmd/mdregistry)
+
+# wait_line FILE PATTERN [TIMEOUT_SEC]: block until the pattern shows up
+# in a daemon's log, dumping the log on timeout.
+wait_line() {
+  local file=$1 pattern=$2 deadline=$((SECONDS + ${3:-30}))
+  until grep -q "$pattern" "$file" 2>/dev/null; do
+    if [ "$SECONDS" -ge "$deadline" ]; then
+      echo "timed out waiting for '$pattern' in $file" >&2
+      cat "$file" >&2 || true
+      return 1
+    fi
+    sleep 0.2
+  done
+}
+
+# addr_from FILE PATTERN: extract the bound address a daemon prints as
+# "... on <addr>".
+addr_from() {
+  grep "$2" "$1" | head -1 | sed -e 's/.* on //' -e 's/[ ,].*//'
+}
+
+run_pair() {
+  local daemons=$1 client=$2 label=$3
+  echo "-- pair: $label"
+  local dir="$WORK/run-$label"
+  mkdir -p "$dir"
+
+  "$daemons/mdregistry" -listen 127.0.0.1:0 -space lab \
+    -store "$dir/registry" >"$dir/registry.log" 2>&1 &
+  local reg_pid=$!
+  wait_line "$dir/registry.log" "serving registry@lab on "
+  local reg_addr
+  reg_addr=$(addr_from "$dir/registry.log" "serving registry@lab on ")
+
+  "$daemons/mdagentd" -host hostA -listen 127.0.0.1:0 -registry "$reg_addr" \
+    -space lab -install smart-media-player >"$dir/agentd.log" 2>&1 &
+  local agent_pid=$!
+  wait_line "$dir/agentd.log" "serving on "
+  local agent_addr
+  agent_addr=$(addr_from "$dir/agentd.log" "serving on ")
+
+  "$client/mdctl" -server "$agent_addr" info >/dev/null
+  "$client/mdctl" -server "$agent_addr" ps >/dev/null
+
+  # One watch event across the generations: subscribe first (the
+  # "watching" line means the server acked), then trigger app.started.
+  "$client/mdctl" -server "$agent_addr" -json watch \
+    -count 1 -for 30s -filter app.started >"$dir/watch.log" 2>&1 &
+  local watch_pid=$!
+  wait_line "$dir/watch.log" "watching"
+  "$client/mdctl" -server "$agent_addr" run smart-media-player >/dev/null
+  if ! wait "$watch_pid"; then
+    echo "watch exited non-zero" >&2
+    cat "$dir/watch.log" >&2
+    return 1
+  fi
+  if ! grep -q '"topic":"app.started"' "$dir/watch.log"; then
+    echo "watch never delivered app.started" >&2
+    cat "$dir/watch.log" >&2
+    return 1
+  fi
+  echo "   info/ps ok; watch delivered: $(grep '"topic"' "$dir/watch.log" | head -1)"
+
+  kill "$agent_pid" "$reg_pid" 2>/dev/null || true
+  wait "$agent_pid" "$reg_pid" 2>/dev/null || true
+}
+
+run_pair "$WORK/new" "$WORK/old" old-client-vs-new-daemon
+run_pair "$WORK/old" "$WORK/new" new-client-vs-old-daemon
+echo "== protocol-compat: both mixed pairs passed"

@@ -1,0 +1,205 @@
+// Command benchdiff is the CI perf-regression gate: it compares an
+// mdbench -json document against a checked-in baseline and fails when
+// a headline metric regressed past the allowed fraction.
+//
+//	benchdiff -baseline bench/baseline.json -current BENCH.json
+//	benchdiff -baseline a.json -current b.json -max-regress 0.10
+//
+// The gated metrics are the ones each PR's acceptance bars are written
+// against: control-plane watch throughput (v2 fan-out), storage-engine
+// sustained write throughput, and the bounded-gossip payload size.
+// Improvements never fail the gate; a metric missing from the current
+// document while the baseline has it fails loudly — a silently dropped
+// figure must not read as "no regression".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// metric is one gated comparison. extract returns false when the
+// document does not carry the metric.
+type metric struct {
+	name         string
+	higherBetter bool
+	extract      func(doc map[string]any) (float64, bool)
+}
+
+// gated is the metric set the CI gate enforces.
+var gated = []metric{
+	{
+		name:         "ctl watch v2 events/sec",
+		higherBetter: true,
+		extract: func(doc map[string]any) (float64, bool) {
+			return dig(doc, "ctl", "result", "V2", "EventsPerSec")
+		},
+	},
+	{
+		name:         "store engine(interval) writes/sec",
+		higherBetter: true,
+		extract:      storeIntervalWrites,
+	},
+	{
+		name:         "members bounded bytes/msg",
+		higherBetter: false,
+		extract: func(doc map[string]any) (float64, bool) {
+			rows, ok := digSlice(doc, "members", "result", "bounded")
+			if !ok || len(rows) == 0 {
+				return 0, false
+			}
+			last, ok := rows[len(rows)-1].(map[string]any)
+			if !ok {
+				return 0, false
+			}
+			return num(last["BytesPerMsg"])
+		},
+	},
+}
+
+// storeIntervalWrites finds the engine row measured under the interval
+// sync policy — the configuration the daemons run with.
+func storeIntervalWrites(doc map[string]any) (float64, bool) {
+	rows, ok := digSlice(doc, "store", "result", "rows")
+	if !ok {
+		return 0, false
+	}
+	for _, raw := range rows {
+		row, ok := raw.(map[string]any)
+		if !ok {
+			continue
+		}
+		if row["Engine"] == "engine" && row["Sync"] == "interval" {
+			return num(row["WritesPerSec"])
+		}
+	}
+	return 0, false
+}
+
+// dig walks nested maps to a leaf number.
+func dig(doc map[string]any, path ...string) (float64, bool) {
+	cur := any(doc)
+	for _, key := range path {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return 0, false
+		}
+		if cur, ok = m[key]; !ok {
+			return 0, false
+		}
+	}
+	return num(cur)
+}
+
+// digSlice walks nested maps to a leaf array.
+func digSlice(doc map[string]any, path ...string) ([]any, bool) {
+	last := len(path) - 1
+	parent, ok := any(doc), true
+	for _, key := range path[:last] {
+		m, isMap := parent.(map[string]any)
+		if !isMap {
+			return nil, false
+		}
+		if parent, ok = m[key]; !ok {
+			return nil, false
+		}
+	}
+	m, isMap := parent.(map[string]any)
+	if !isMap {
+		return nil, false
+	}
+	s, isSlice := m[path[last]].([]any)
+	return s, isSlice
+}
+
+func num(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}
+
+// diffLine is one metric's verdict.
+type diffLine struct {
+	Text   string
+	Failed bool
+}
+
+// diff compares every gated metric. maxRegress is the allowed
+// fractional regression (0.25 = fail past 25% worse).
+func diff(baseline, current map[string]any, maxRegress float64) []diffLine {
+	var out []diffLine
+	for _, m := range gated {
+		base, haveBase := m.extract(baseline)
+		cur, haveCur := m.extract(current)
+		switch {
+		case !haveBase && !haveCur:
+			continue
+		case !haveBase:
+			out = append(out, diffLine{Text: fmt.Sprintf("SKIP %-36s no baseline (current %.1f)", m.name, cur)})
+		case !haveCur:
+			out = append(out, diffLine{
+				Text:   fmt.Sprintf("FAIL %-36s missing from current run (baseline %.1f)", m.name, base),
+				Failed: true,
+			})
+		case base <= 0:
+			out = append(out, diffLine{Text: fmt.Sprintf("SKIP %-36s non-positive baseline %.1f", m.name, base)})
+		default:
+			// Normalize so "change" is negative exactly when worse.
+			change := (cur - base) / base
+			if !m.higherBetter {
+				change = -change
+			}
+			verdict, failed := "ok  ", false
+			if change < -maxRegress {
+				verdict, failed = "FAIL", true
+			}
+			out = append(out, diffLine{
+				Text: fmt.Sprintf("%s %-36s baseline %12.1f  current %12.1f  (%+.1f%%)",
+					verdict, m.name, base, cur, 100*change),
+				Failed: failed,
+			})
+		}
+	}
+	return out
+}
+
+func load(path string) (map[string]any, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench/baseline.json", "baseline mdbench -json document")
+	currentPath := flag.String("current", "BENCH.json", "current mdbench -json document")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression before failing (0.25 = 25%)")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, line := range diff(baseline, current, *maxRegress) {
+		fmt.Println(line.Text)
+		failed = failed || line.Failed
+	}
+	if failed {
+		fmt.Printf("benchdiff: regression past %.0f%% — failing the gate\n", 100**maxRegress)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// doc builds an mdbench-shaped document (the JSON round trip matters:
+// extraction sees json.Unmarshal's map[string]any/float64 types, not
+// Go structs).
+func doc(t *testing.T, ctlV2, storeWrites, membersBytes float64) map[string]any {
+	t.Helper()
+	raw, err := json.Marshal(map[string]any{
+		"ctl": map[string]any{
+			"figure": "ctl",
+			"result": map[string]any{
+				"V1": map[string]any{"EventsPerSec": ctlV2 / 5},
+				"V2": map[string]any{"EventsPerSec": ctlV2},
+			},
+		},
+		"store": map[string]any{
+			"figure": "store",
+			"result": map[string]any{"rows": []map[string]any{
+				{"Engine": "seed", "Sync": "", "WritesPerSec": 1.0},
+				{"Engine": "engine", "Sync": "interval", "WritesPerSec": storeWrites},
+				{"Engine": "engine", "Sync": "always", "WritesPerSec": storeWrites / 10},
+			}},
+		},
+		"members": map[string]any{
+			"figure": "members",
+			"result": map[string]any{"bounded": []map[string]any{
+				{"Hosts": 40.0, "BytesPerMsg": membersBytes + 100},
+				{"Hosts": 80.0, "BytesPerMsg": membersBytes},
+			}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func failures(lines []diffLine) int {
+	n := 0
+	for _, l := range lines {
+		if l.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	base := doc(t, 100_000, 50_000, 700)
+	// 20% worse everywhere (bytes/msg is lower-better, so worse = up).
+	cur := doc(t, 80_000, 40_000, 840)
+	lines := diff(base, cur, 0.25)
+	if len(lines) != 3 || failures(lines) != 0 {
+		t.Fatalf("20%% regression under a 25%% gate should pass: %+v", lines)
+	}
+}
+
+func TestDiffFailsPastTolerance(t *testing.T) {
+	base := doc(t, 100_000, 50_000, 700)
+	for name, cur := range map[string]map[string]any{
+		"ctl":     doc(t, 70_000, 50_000, 700),
+		"store":   doc(t, 100_000, 37_000, 700),
+		"members": doc(t, 100_000, 50_000, 940), // lower-better: +34% is a regression
+	} {
+		lines := diff(base, cur, 0.25)
+		if failures(lines) != 1 {
+			t.Fatalf("%s regression should fail exactly one metric: %+v", name, lines)
+		}
+	}
+}
+
+func TestDiffImprovementNeverFails(t *testing.T) {
+	base := doc(t, 100_000, 50_000, 700)
+	cur := doc(t, 500_000, 250_000, 140) // 5x better across the board
+	if lines := diff(base, cur, 0.25); failures(lines) != 0 {
+		t.Fatalf("improvements failed the gate: %+v", lines)
+	}
+}
+
+func TestDiffMissingMetricInCurrentFails(t *testing.T) {
+	base := doc(t, 100_000, 50_000, 700)
+	cur := doc(t, 100_000, 50_000, 700)
+	delete(cur, "ctl") // the figure silently vanished from the run
+	lines := diff(base, cur, 0.25)
+	if failures(lines) != 1 {
+		t.Fatalf("dropped figure should fail the gate: %+v", lines)
+	}
+	found := false
+	for _, l := range lines {
+		found = found || (l.Failed && strings.Contains(l.Text, "missing from current"))
+	}
+	if !found {
+		t.Fatalf("failure line should say the metric is missing: %+v", lines)
+	}
+}
+
+func TestDiffMissingBaselineSkips(t *testing.T) {
+	base := doc(t, 100_000, 50_000, 700)
+	delete(base, "members") // metric added after the baseline was cut
+	cur := doc(t, 100_000, 50_000, 700)
+	lines := diff(base, cur, 0.25)
+	if failures(lines) != 0 {
+		t.Fatalf("missing baseline must skip, not fail: %+v", lines)
+	}
+	found := false
+	for _, l := range lines {
+		found = found || strings.Contains(l.Text, "no baseline")
+	}
+	if !found {
+		t.Fatalf("skip line should say there is no baseline: %+v", lines)
+	}
+}

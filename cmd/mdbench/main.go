@@ -373,21 +373,23 @@ func durability(out io.Writer, csv *strings.Builder, doc map[string]any, spaces,
 	fmt.Fprintln(out, "   silent loss = writes reported OK that no surviving center holds")
 	concerns := []cluster.WriteConcern{cluster.WriteAsync, cluster.WriteOne, cluster.WriteQuorum}
 	var results []bench.DurabilityResult
-	fmt.Fprintf(out, "  %-8s %12s %12s %12s %8s %12s %10s\n",
-		"concern", "write-lat", "snap-lat", "cutoff-lat", "flagged", "silent-loss", "lost-total")
-	fmt.Fprintf(csv, "durability,concern,spaces,writes,write_lat_us,snap_lat_us,cutoff_lat_us,flagged,silent_loss,lost_total,durable\n")
+	fmt.Fprintf(out, "  %-8s %12s %12s %12s %12s %12s %8s %12s %10s\n",
+		"concern", "write-lat", "snap-lat", "wiresnap-gob", "wiresnap-v2", "cutoff-lat", "flagged", "silent-loss", "lost-total")
+	fmt.Fprintf(csv, "durability,concern,spaces,writes,write_lat_us,snap_lat_us,wire_snap_gob_us,wire_snap_fast_us,cutoff_lat_us,flagged,silent_loss,lost_total,durable\n")
 	for _, wc := range concerns {
 		res, err := bench.RunDurability(spaces, writes, wc)
 		if err != nil {
 			return err
 		}
 		results = append(results, res)
-		fmt.Fprintf(out, "  %-8s %10dµs %10dµs %10dµs %8d %12d %10d\n",
+		fmt.Fprintf(out, "  %-8s %10dµs %10dµs %10dµs %10dµs %10dµs %8d %12d %10d\n",
 			res.Concern, res.HealthyLatency.Microseconds(), res.SnapLatency.Microseconds(),
+			res.WireSnapGob.Microseconds(), res.WireSnapFast.Microseconds(),
 			res.DegradedLatency.Microseconds(), res.Flagged, res.SilentLoss, res.LostTotal)
-		fmt.Fprintf(csv, "durability,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(csv, "durability,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			res.Concern, res.Spaces, res.Writes,
 			res.HealthyLatency.Microseconds(), res.SnapLatency.Microseconds(),
+			res.WireSnapGob.Microseconds(), res.WireSnapFast.Microseconds(),
 			res.DegradedLatency.Microseconds(), res.Flagged, res.SilentLoss, res.LostTotal, res.Durable)
 	}
 	fmt.Fprintln(out)
@@ -403,16 +405,30 @@ func ctlFig(out io.Writer, csv *strings.Builder, doc map[string]any, requests, w
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "  %-12s %12s %12s %10s %10s %8s %14s\n",
-		"", "info-rtt", "apps-rtt", "delivered", "lost", "elapsed", "events/sec")
-	fmt.Fprintf(out, "  %-12s %10dµs %10dµs %10d %10d %6dms %14.0f\n",
-		"ctl", res.InfoRTT.Microseconds(), res.AppsRTT.Microseconds(),
-		res.Delivered, res.Lost, res.Elapsed.Milliseconds(), res.EventsPerSec)
-	fmt.Fprintf(csv, "ctl,requests,watchers,events,info_rtt_us,apps_rtt_us,delivered,lost,elapsed_ms,events_per_sec\n")
-	fmt.Fprintf(csv, "ctl,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n\n",
-		res.Requests, res.Watchers, res.Published,
+	fmt.Fprintf(out, "  request rtt: info %dµs, apps %dµs\n",
+		res.InfoRTT.Microseconds(), res.AppsRTT.Microseconds())
+	fmt.Fprintf(out, "  %-12s %10s %10s %8s %14s\n",
+		"", "delivered", "lost", "elapsed", "events/sec")
+	for _, f := range []bench.CtlFanout{res.V1, res.V2} {
+		fmt.Fprintf(out, "  watch-%-6s %10d %10d %6dms %14.0f\n",
+			f.Proto, f.Delivered, f.Lost, f.Elapsed.Milliseconds(), f.EventsPerSec)
+	}
+	fmt.Fprintf(out, "  %-12s %10d %10d %6dms %14.0f   (%d live + %d replayed)\n",
+		"replay", int64(res.Replay.Replayed), res.Replay.Lost,
+		res.Replay.Elapsed.Milliseconds(), res.Replay.EventsPerSec,
+		res.Replay.Live, res.Replay.Replayed)
+	fmt.Fprintf(csv, "ctl,row,requests,watchers,events,info_rtt_us,apps_rtt_us,delivered,lost,elapsed_ms,events_per_sec\n")
+	for _, f := range []bench.CtlFanout{res.V1, res.V2} {
+		fmt.Fprintf(csv, "ctl,watch-%s,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n",
+			f.Proto, res.Requests, f.Watchers, f.Published,
+			res.InfoRTT.Microseconds(), res.AppsRTT.Microseconds(),
+			f.Delivered, f.Lost, f.Elapsed.Milliseconds(), f.EventsPerSec)
+	}
+	fmt.Fprintf(csv, "ctl,replay,%d,1,%d,%d,%d,%d,%d,%d,%.0f\n\n",
+		res.Requests, res.Replay.Burst,
 		res.InfoRTT.Microseconds(), res.AppsRTT.Microseconds(),
-		res.Delivered, res.Lost, res.Elapsed.Milliseconds(), res.EventsPerSec)
+		int64(res.Replay.Replayed), res.Replay.Lost,
+		res.Replay.Elapsed.Milliseconds(), res.Replay.EventsPerSec)
 	fmt.Fprintln(out)
 	record(doc, "ctl", map[string]any{"requests": requests, "watchers": watchers, "events": events}, res)
 	return nil

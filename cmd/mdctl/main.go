@@ -70,7 +70,7 @@ commands:
   stop <app>                gracefully stop a running application
   install <app>             install an application skeleton
   migrate <app> <dest>      follow-me a running application to dest host
-  watch                     stream typed events (see -filter, -count, -for)
+  watch                     stream typed events (see -filter, -count, -for, -from-seq)
 `
 
 // run is the testable body of mdctl.
@@ -84,6 +84,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	filter := fs.String("filter", "*", "watch: topic pattern — exact topic, \"prefix.*\", or \"*\"")
 	count := fs.Int("count", 0, "watch: exit after this many events (0 = until interrupted)")
 	forDur := fs.Duration("for", 0, "watch: exit after this duration (0 = until interrupted)")
+	fromSeq := fs.Uint64("from-seq", 0, "watch: replay the stream from this sequence number (0 = live from now; needs a v2 server)")
 	static := fs.Bool("static", false, "migrate: static (whole-app) binding instead of adaptive")
 	host := fs.String("host", "", "run/stop/install: target host (default: the serving host)")
 	if err := fs.Parse(args); err != nil {
@@ -289,7 +290,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		return nil
 
 	case "watch":
-		return watch(cli, out, stop, *jsonOut, *filter, *count, *forDur)
+		return watch(cli, out, stop, *jsonOut, *filter, *count, *forDur, *fromSeq)
 	}
 	fs.Usage()
 	return fmt.Errorf("unknown command %q", cmd)
@@ -301,12 +302,16 @@ type watchLine struct {
 	Source string            `json:"source,omitempty"`
 	At     time.Time         `json:"at"`
 	Attrs  map[string]string `json:"attrs,omitempty"`
+	Seq    uint64            `json:"seq,omitempty"`
 	Lost   uint64            `json:"lost,omitempty"`
 }
 
 // watch streams events until stop closes, n events arrived (n > 0), or
-// d elapsed (d > 0).
-func watch(cli *ctl.Client, out io.Writer, stop <-chan struct{}, jsonOut bool, pattern string, n int, d time.Duration) error {
+// d elapsed (d > 0). fromSeq > 0 asks the server to replay from that
+// sequence number; a server that cannot honor it (pre-v2, or the ring
+// aged the seq out) degrades to a live watch with a warning rather than
+// failing — the operator asked to see events, not to see an exit code.
+func watch(cli *ctl.Client, out io.Writer, stop <-chan struct{}, jsonOut bool, pattern string, n int, d time.Duration, fromSeq uint64) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	if d > 0 {
@@ -320,7 +325,11 @@ func watch(cli *ctl.Client, out io.Writer, stop <-chan struct{}, jsonOut bool, p
 		case <-ctx.Done():
 		}
 	}()
-	events, err := cli.Watch(ctx, pattern)
+	events, err := cli.WatchFrom(ctx, pattern, fromSeq)
+	if fromSeq > 0 && (errors.Is(err, ctl.ErrReplayGap) || errors.Is(err, ctl.ErrUnsupported)) {
+		fmt.Fprintf(os.Stderr, "mdctl: replay from seq %d unavailable (%v); watching live from now\n", fromSeq, err)
+		events, err = cli.Watch(ctx, pattern)
+	}
 	if err != nil {
 		return err
 	}
@@ -339,7 +348,7 @@ func watch(cli *ctl.Client, out io.Writer, stop <-chan struct{}, jsonOut bool, p
 		if jsonOut {
 			if err := enc.Encode(watchLine{
 				Topic: ev.Event.Topic, Source: ev.Event.Source,
-				At: ev.Event.At, Attrs: ev.Event.Attrs, Lost: ev.Lost,
+				At: ev.Event.At, Attrs: ev.Event.Attrs, Seq: ev.Seq, Lost: ev.Lost,
 			}); err != nil {
 				return err
 			}

@@ -396,8 +396,9 @@ func TestDeltaSweepSavesBytes(t *testing.T) {
 }
 
 // TestRunCtlMeasures smokes the control-plane micro-bench at a tiny
-// scale: every request succeeds, all events reach every watcher when
-// the burst fits the per-watch queue, and no drops are reported.
+// scale: every request succeeds, all events reach every watcher on both
+// protocol generations when the burst fits the queues, no drops are
+// reported, and the replay scenario resumes the unread half loss-free.
 func TestRunCtlMeasures(t *testing.T) {
 	res, err := RunCtl(8, 3, 16)
 	if err != nil {
@@ -406,11 +407,16 @@ func TestRunCtlMeasures(t *testing.T) {
 	if res.InfoRTT <= 0 || res.AppsRTT <= 0 {
 		t.Fatalf("non-positive RTTs: %+v", res)
 	}
-	if res.Delivered != int64(3*16) || res.Lost != 0 {
-		t.Fatalf("fan-out delivered %d lost %d, want 48/0", res.Delivered, res.Lost)
+	for _, f := range []CtlFanout{res.V1, res.V2} {
+		if f.Delivered != int64(3*16) || f.Lost != 0 {
+			t.Fatalf("%s fan-out delivered %d lost %d, want 48/0", f.Proto, f.Delivered, f.Lost)
+		}
+		if f.EventsPerSec <= 0 {
+			t.Fatalf("%s events/sec = %f", f.Proto, f.EventsPerSec)
+		}
 	}
-	if res.EventsPerSec <= 0 {
-		t.Fatalf("events/sec = %f", res.EventsPerSec)
+	if res.Replay.Live != 8 || res.Replay.Replayed != 8 || res.Replay.Lost != 0 {
+		t.Fatalf("replay = %+v, want 8 live + 8 replayed, 0 lost", res.Replay)
 	}
 }
 

@@ -1049,6 +1049,13 @@ func (c *Center) Serve(ep *transport.Endpoint) *Center {
 	// transport, and the remote replicator must be able to tell "send me
 	// a base" from a real failure.
 	ep.Handle(MsgPutSnapshot, func(msg transport.Message) ([]byte, error) {
+		// v2 fast frames (single and batched) answer in kind; v1 gob
+		// seals keep the reply shape pre-v2 clients decode. Any other
+		// version falls through to DecodeSealed's typed ErrVersion
+		// refusal.
+		if transport.IsFast(msg.Payload) {
+			return c.putSnapshotFast(msg.Payload)
+		}
 		var put state.SnapshotPut
 		if err := transport.DecodeSealed(msg.Payload, &put); err != nil {
 			return nil, err

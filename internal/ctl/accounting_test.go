@@ -10,17 +10,27 @@ import (
 
 	"mdagent/internal/ctl"
 	"mdagent/internal/ctxkernel"
+	"mdagent/internal/obs"
 	"mdagent/internal/transport"
 )
 
-// TestWatchDropAccountingConservation is the conservation law of the
-// Watch stream's in-band drop accounting: under bursty publishers and a
-// deliberately slow watcher, every published event is either delivered
-// or counted in some delivered event's Lost — exactly, with no
-// double-counting across the server-side queue drop path and the
-// client-side sink drop path. Run under -race, the test also exercises
-// the publisher/pusher/sink interleavings the accounting must survive.
-func TestWatchDropAccountingConservation(t *testing.T) {
+// acctRun drives one bursty-publisher/slow-watcher run and returns the
+// books: events published, delivered, and reported lost in-band.
+type acctRun struct {
+	published *atomic.Int64
+	delivered int64
+	lost      int64
+	lastSeq   uint64
+}
+
+// runBurstWatch publishes a multi-goroutine burst at a deliberately
+// slow watcher and drains until the stream idles, then (when balance
+// demands it) publishes flush events one at a time — drops are reported
+// in-band on the NEXT delivered event, so trailing losses need a
+// delivery to ride on — until delivered+lost == published or the
+// deadline passes.
+func runBurstWatch(t *testing.T, forceProto byte) acctRun {
+	t.Helper()
 	fabric := transport.NewLocalFabric(nil)
 	srvEp, err := fabric.Attach("acct-srv", "")
 	if err != nil {
@@ -35,6 +45,7 @@ func TestWatchDropAccountingConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 	cli := ctl.NewClient(cliEp, "acct-srv")
+	cli.ForceProto = forceProto
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -43,11 +54,11 @@ func TestWatchDropAccountingConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Bursty publishers: enough concurrent volume to overflow both the
-	// server's per-watch queue and the client sink many times over.
+	// Bursty publishers: enough concurrent volume to overflow the
+	// v1 per-watch queue (and the client sink) many times over.
 	const publishers = 8
 	const perPublisher = 500
-	var published atomic.Int64
+	run := acctRun{published: &atomic.Int64{}}
 	var wg sync.WaitGroup
 	for p := 0; p < publishers; p++ {
 		wg.Add(1)
@@ -58,7 +69,7 @@ func TestWatchDropAccountingConservation(t *testing.T) {
 					Topic: "burst.tick", At: time.Now(), Source: "acct",
 					Attrs: map[string]string{"pub": fmt.Sprint(p), "seq": fmt.Sprint(i)},
 				})
-				published.Add(1)
+				run.published.Add(1)
 			}
 		}(p)
 	}
@@ -66,15 +77,20 @@ func TestWatchDropAccountingConservation(t *testing.T) {
 	go func() { wg.Wait(); close(burstDone) }()
 
 	// Slow watcher during the burst: sleep per delivery so drops pile up.
-	var delivered, lost int64
 	drainOne := func(timeout time.Duration) bool {
 		select {
 		case ev, ok := <-stream:
 			if !ok {
 				t.Fatal("stream closed unexpectedly")
 			}
-			delivered++
-			lost += int64(ev.Lost)
+			run.delivered++
+			run.lost += int64(ev.Lost)
+			if ev.Seq != 0 {
+				if ev.Seq <= run.lastSeq {
+					t.Fatalf("seq went backwards: %d after %d", ev.Seq, run.lastSeq)
+				}
+				run.lastSeq = ev.Seq
+			}
 			return true
 		case <-time.After(timeout):
 			return false
@@ -92,34 +108,81 @@ func TestWatchDropAccountingConservation(t *testing.T) {
 		break
 	}
 
-	// Flush phase: drops are reported in-band on the NEXT delivered
-	// event, so losses trailing the last burst delivery are still
-	// unaccounted. Publish flush events one at a time — the watcher now
-	// drains promptly, so each flush delivers and carries the pending
-	// drop counts — until the books balance exactly.
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		for drainOne(time.Millisecond) {
 		}
-		if delivered+lost == published.Load() {
+		if run.delivered+run.lost == run.published.Load() {
 			break
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("accounting never balanced: delivered %d + lost %d != published %d",
-				delivered, lost, published.Load())
+				run.delivered, run.lost, run.published.Load())
 		}
 		kernel.Publish(ctxkernel.Event{Topic: "burst.flush", At: time.Now(), Source: "acct"})
-		published.Add(1)
+		run.published.Add(1)
 		time.Sleep(2 * time.Millisecond)
 	}
 
-	if delivered+lost != published.Load() {
+	if run.delivered+run.lost != run.published.Load() {
 		t.Fatalf("conservation violated: delivered %d + lost %d != published %d",
-			delivered, lost, published.Load())
+			run.delivered, run.lost, run.published.Load())
 	}
-	if lost == 0 {
+	return run
+}
+
+// TestWatchDropAccountingConservation is the conservation law of the
+// v1 Watch stream's in-band drop accounting: under bursty publishers
+// and a deliberately slow watcher, every published event is either
+// delivered or counted in some delivered event's Lost — exactly, with
+// no double-counting across the server-side queue drop path and the
+// client-side sink drop path. The server-side share of those drops must
+// also land on the mdagent_ctl_watch_dropped_total counter (the
+// /metrics surface), which can never exceed the in-band total — the
+// in-band figure additionally counts client-sink drops the server
+// cannot see. Run under -race, the test also exercises the
+// publisher/pusher/sink interleavings the accounting must survive.
+func TestWatchDropAccountingConservation(t *testing.T) {
+	drops := obs.Default.Counter("mdagent_ctl_watch_dropped_total")
+	before := drops.Value()
+	run := runBurstWatch(t, 1) // pin the per-event gob stream
+	if run.lost == 0 {
 		t.Fatalf("burst never overflowed the watch queues (delivered %d, published %d): the test lost its teeth",
-			delivered, published.Load())
+			run.delivered, run.published.Load())
 	}
-	t.Logf("published %d, delivered %d, lost %d", published.Load(), delivered, lost)
+	metric := drops.Value() - before
+	if metric <= 0 {
+		t.Fatalf("mdagent_ctl_watch_dropped_total did not move (in-band lost %d)", run.lost)
+	}
+	if metric > run.lost {
+		t.Fatalf("metric counted %d drops but only %d were reported in-band", metric, run.lost)
+	}
+	t.Logf("published %d, delivered %d, lost %d (metric %d)",
+		run.published.Load(), run.delivered, run.lost, metric)
+}
+
+// TestWatchConservationV2 runs the identical burst against the v2
+// stream: the replay ring is deeper than the whole burst, so the same
+// slow watcher that lost thousands of events on v1 must now see every
+// single one — zero Lost, delivered == published, strictly increasing
+// sequence numbers, and no movement on the drop counter.
+func TestWatchConservationV2(t *testing.T) {
+	drops := obs.Default.Counter("mdagent_ctl_watch_dropped_total")
+	before := drops.Value()
+	run := runBurstWatch(t, 0) // negotiate: lands on v2
+	if run.lost != 0 {
+		t.Fatalf("v2 stream lost %d events (delivered %d of %d): the ring should have absorbed the burst",
+			run.lost, run.delivered, run.published.Load())
+	}
+	if run.delivered != run.published.Load() {
+		t.Fatalf("delivered %d != published %d", run.delivered, run.published.Load())
+	}
+	if run.lastSeq == 0 {
+		t.Fatal("v2 stream delivered no sequence numbers")
+	}
+	if metric := drops.Value() - before; metric != 0 {
+		t.Fatalf("drop counter moved by %d on a lossless v2 run", metric)
+	}
+	t.Logf("published %d, delivered %d, highest seq %d",
+		run.published.Load(), run.delivered, run.lastSeq)
 }

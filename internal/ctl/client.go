@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mdagent/internal/ctxkernel"
@@ -23,6 +24,12 @@ type Client struct {
 	// itself is unbounded and lives until its context is canceled).
 	// Zero takes 30 seconds.
 	SubscribeTimeout time.Duration
+	// ForceProto pins the watch stream encoding instead of negotiating:
+	// 1 subscribes like a pre-v2 client (per-event gob pushes), 2
+	// demands the batched fast path. Zero negotiates — ask for v2, fall
+	// back to v1 when the server's ack shows it doesn't speak it. The
+	// protocol-diff benchmarks and the compat tests set this.
+	ForceProto byte
 }
 
 // NewClient creates a client that calls the control plane served at
@@ -144,16 +151,29 @@ func (c *Client) InstallApp(ctx context.Context, app, host string) error {
 
 // --- Watch: server-streamed typed events. ---
 
+// clientEvent is one pushed event as the sink buffers it: the bus form
+// plus the v2 stream metadata (Seq is zero on a v1 stream).
+type clientEvent struct {
+	Ev   ctxkernel.Event
+	Seq  uint64
+	Lost uint64
+}
+
 // clientSink buffers one watch's pushed events on the client side.
 // lost accumulates events this sink could not buffer (plus their
 // piggybacked server-side drop counts), reported on the next delivered
 // event so the in-band drop accounting survives client-side pressure
 // exactly as it survives server-side pressure.
 type clientSink struct {
-	ch   chan eventMsg
+	ch   chan clientEvent
 	mu   sync.Mutex
 	lost uint64
 }
+
+// sinkQueueLen sizes the sink buffer. It is deeper than the v1 server
+// queue because a v2 replay hands the client a whole ring's backlog in
+// a few dozen batched frames.
+const sinkQueueLen = 4096
 
 // dispatcher fans incoming ctl.event pushes out to this endpoint's live
 // watches. One dispatcher per endpoint (the endpoint has a single
@@ -161,10 +181,16 @@ type clientSink struct {
 // registry entry is dropped again when its last watch ends, so
 // short-lived endpoints are not pinned for process lifetime.
 type dispatcher struct {
-	mu     sync.Mutex
-	nextID uint64
-	sinks  map[uint64]*clientSink
+	mu    sync.Mutex
+	sinks map[uint64]*clientSink
 }
+
+// watchIDs allocates watch ids process-wide. Ids must never collide
+// across a dispatcher's teardown/recreate cycle: a watch resumed right
+// after its predecessor's cancellation must not inherit the
+// predecessor's id, or the server would treat the new subscribe as an
+// idempotent retry and straggler pushes would land in the wrong sink.
+var watchIDs atomic.Uint64
 
 var (
 	dispMu      sync.Mutex
@@ -182,40 +208,83 @@ func watchSlot(ep *transport.Endpoint) (*dispatcher, uint64, *clientSink) {
 	if !ok {
 		d = &dispatcher{sinks: make(map[uint64]*clientSink)}
 		dispatchers[ep] = d
-		ep.Handle(MsgEvent, func(msg transport.Message) ([]byte, error) {
+		// Both push encodings register as ordered handlers: a single
+		// worker per message type processes frames in arrival order, so
+		// the stream the watcher sees is the stream the server sent.
+		ep.HandleOrdered(MsgEvent, func(msg transport.Message) ([]byte, error) {
 			var em eventMsg
 			if err := transport.Decode(msg.Payload, &em); err != nil {
 				return nil, nil // torn push: drop (one-way, nothing to answer)
 			}
-			d.mu.Lock()
-			sink, ok := d.sinks[em.ID]
-			d.mu.Unlock()
-			if !ok {
+			d.offer(em.ID, clientEvent{Ev: em.Event, Lost: em.Lost})
+			return nil, nil
+		})
+		ep.HandleOrdered(MsgEventV2, func(msg transport.Message) ([]byte, error) {
+			id, lost, events, err := decodeEventBatch(msg.Payload)
+			if err != nil {
+				return nil, nil // torn push: drop
+			}
+			if len(events) == 0 {
+				// Overflow report with nothing deliverable: bank the
+				// count for the next delivered event.
+				d.bankLost(id, lost)
 				return nil, nil
 			}
-			sink.mu.Lock()
-			em.Lost += sink.lost
-			sink.lost = 0
-			sink.mu.Unlock()
-			select {
-			case sink.ch <- em:
-			default:
-				// Client not draining: count this event (and the drops it
-				// was reporting) for the next one that gets through.
-				sink.mu.Lock()
-				sink.lost += 1 + em.Lost
-				sink.mu.Unlock()
+			for i, se := range events {
+				ce := clientEvent{Ev: se.Event, Seq: se.Seq}
+				if i == 0 {
+					ce.Lost = lost
+				}
+				d.offer(id, ce)
 			}
 			return nil, nil
 		})
 	}
+	id := watchIDs.Add(1)
+	sink := &clientSink{ch: make(chan clientEvent, sinkQueueLen)}
 	d.mu.Lock()
-	d.nextID++
-	id := d.nextID
-	sink := &clientSink{ch: make(chan eventMsg, watchQueueLen)}
 	d.sinks[id] = sink
 	d.mu.Unlock()
 	return d, id, sink
+}
+
+// offer hands one event to a watch's sink, folding the banked lost
+// count into it, or — when the sink is full — banks the event itself
+// (plus whatever loss it was reporting) so the accounting conserves.
+func (d *dispatcher) offer(id uint64, ce clientEvent) {
+	d.mu.Lock()
+	sink, ok := d.sinks[id]
+	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	sink.mu.Lock()
+	ce.Lost += sink.lost
+	sink.lost = 0
+	sink.mu.Unlock()
+	select {
+	case sink.ch <- ce:
+	default:
+		sink.mu.Lock()
+		sink.lost += 1 + ce.Lost
+		sink.mu.Unlock()
+	}
+}
+
+// bankLost adds a loss count to a watch's carry without an event.
+func (d *dispatcher) bankLost(id, lost uint64) {
+	if lost == 0 {
+		return
+	}
+	d.mu.Lock()
+	sink, ok := d.sinks[id]
+	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	sink.mu.Lock()
+	sink.lost += lost
+	sink.mu.Unlock()
 }
 
 // freeWatchSlot releases a watch id, unregistering the endpoint's
@@ -239,35 +308,76 @@ func freeWatchSlot(ep *transport.Endpoint, d *dispatcher, id uint64) {
 // best-effort), and the whole stream costs one request: pushed events
 // ride one-way messages on the connection's learned route.
 func (c *Client) Watch(ctx context.Context, pattern string) (<-chan WatchEvent, error) {
+	return c.WatchFrom(ctx, pattern, 0)
+}
+
+// WatchFrom is Watch with replay: fromSeq non-zero asks the server to
+// re-deliver its event stream starting at that sequence number
+// (inclusive) out of its replay ring before going live, so a watcher
+// that disconnected resumes at WatchEvent.Seq+1 with nothing dropped.
+// A from-seq the ring no longer retains fails with ErrReplayGap (the
+// caller decides whether live-from-now is acceptable); a server that
+// predates the v2 protocol fails a replay request with ErrUnsupported.
+func (c *Client) WatchFrom(ctx context.Context, pattern string, fromSeq uint64) (<-chan WatchEvent, error) {
+	proto := transport.ProtoV2
+	if c.ForceProto != 0 {
+		proto = c.ForceProto
+	}
+	if proto < transport.ProtoV2 && fromSeq != 0 {
+		return nil, fmt.Errorf("ctl: watch replay from seq %d: %w: needs protocol >= 2", fromSeq, ErrUnsupported)
+	}
 	d, id, sink := watchSlot(c.ep)
+	req := watchReq{ID: id, Pattern: pattern, FromSeq: fromSeq}
+	if proto >= transport.ProtoV2 {
+		req.Proto = proto
+	}
+	payload, err := transport.EncodeSealed(req)
+	if err != nil {
+		freeWatchSlot(c.ep, d, id)
+		return nil, err
+	}
 	// The subscribe request gets its own deadline under ctx: the stream
 	// context deliberately has none (it lives until canceled), but a
 	// server that accepts the connection and never answers must fail
 	// the call, not wedge it.
 	sctx, scancel := context.WithTimeout(ctx, c.subscribeTimeout())
-	err := c.call(sctx, MsgWatch, watchReq{ID: id, Pattern: pattern}, nil)
+	reply, err := c.ep.Request(sctx, c.server, MsgWatch, payload)
 	scancel()
 	if err != nil {
 		freeWatchSlot(c.ep, d, id)
 		return nil, fmt.Errorf("ctl: watch subscribe: %w", err)
+	}
+	// Version detection: a v2 server acks the subscribe with a payload;
+	// a v1 server's watch handler returns nothing. (A v1 server also
+	// ignored the request's Proto and FromSeq fields — gob drops fields
+	// the decoder's struct doesn't have.)
+	v2 := false
+	if len(reply.Payload) > 0 {
+		var ack watchAck
+		if err := transport.Decode(reply.Payload, &ack); err == nil && ack.Proto >= transport.ProtoV2 {
+			v2 = true
+		}
+	}
+	if !v2 && fromSeq != 0 {
+		// The old server started a live v1 watch, oblivious to the
+		// replay ask. Honest failure beats silent drop: tear it down.
+		c.unwatch(id)
+		freeWatchSlot(c.ep, d, id)
+		return nil, fmt.Errorf("ctl: watch replay from seq %d: %w: server speaks v1 only", fromSeq, ErrUnsupported)
 	}
 	out := make(chan WatchEvent, 16)
 	go func() {
 		defer close(out)
 		defer func() {
 			freeWatchSlot(c.ep, d, id)
-			// Best-effort server-side unsubscribe; a dead link retires
-			// the watch on its own via the server's push error path.
-			uctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			defer cancel()
-			_ = c.call(uctx, MsgUnwatch, unwatchReq{ID: id}, nil)
+			c.unwatch(id)
 		}()
 		for {
 			select {
 			case <-ctx.Done():
 				return
-			case em := <-sink.ch:
-				we := WatchEvent{Event: em.Event, Typed: ctxkernel.FromBus(em.Event), Lost: em.Lost}
+			case ce := <-sink.ch:
+				we := WatchEvent{Event: ce.Ev, Typed: ctxkernel.FromBus(ce.Ev), Lost: ce.Lost, Seq: ce.Seq}
 				select {
 				case out <- we:
 				case <-ctx.Done():
@@ -277,4 +387,12 @@ func (c *Client) Watch(ctx context.Context, pattern string) (<-chan WatchEvent, 
 		}
 	}()
 	return out, nil
+}
+
+// unwatch sends a best-effort server-side unsubscribe; a dead link
+// retires the watch on its own via the server's push error path.
+func (c *Client) unwatch(id uint64) {
+	uctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = c.call(uctx, MsgUnwatch, unwatchReq{ID: id}, nil)
 }

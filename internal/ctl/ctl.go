@@ -53,9 +53,15 @@ const (
 	MsgMetrics = "ctl.metrics"
 	// MsgTrace returns an app's latest migration trace (obs.MigrationTrace).
 	MsgTrace = "ctl.trace"
-	// MsgEvent is the server->client stream push (one-way, unsealed
-	// reply-direction frame carrying an eventMsg).
+	// MsgEvent is the v1 server->client stream push (one-way, unsealed
+	// reply-direction frame carrying a gob eventMsg, one per event).
 	MsgEvent = "ctl.event"
+	// MsgEventV2 is the v2 stream push: one-way fast frames
+	// (transport.OpEventBatch) carrying a whole flush window of
+	// sequenced events. A distinct message type — not payload sniffing —
+	// separates the two push encodings, so a v1 client never sees a v2
+	// frame.
+	MsgEventV2 = "ctl.eventv2"
 )
 
 // Alias is the well-known extra endpoint name every control-plane TCP
@@ -77,6 +83,11 @@ var (
 	// ErrUnsupported reports an operation this control-plane endpoint
 	// does not serve (e.g. lifecycle ops on a registry center).
 	ErrUnsupported = errors.New("mdagent: operation not supported by this endpoint")
+	// ErrReplayGap reports a watch replay request whose from-seq is no
+	// longer covered by the server's event ring (aged out behind the
+	// oldest retained event, or ahead of the stream). Callers fall back
+	// to a live watch from now.
+	ErrReplayGap = errors.New("mdagent: replay seq outside the retained event ring")
 	// ErrVersion aliases transport.ErrVersion: the request's protocol
 	// version byte was refused by the server.
 	ErrVersion = transport.ErrVersion
@@ -89,6 +100,7 @@ func init() {
 	transport.RegisterWireSentinel(ErrUnknownHost)
 	transport.RegisterWireSentinel(ErrAppNotFound)
 	transport.RegisterWireSentinel(ErrUnsupported)
+	transport.RegisterWireSentinel(ErrReplayGap)
 }
 
 // ServerInfo describes a control-plane endpoint.
@@ -171,8 +183,16 @@ type WatchEvent struct {
 	// or ctxkernel.GenericEvent for topics outside the catalog.
 	Typed ctxkernel.TypedEvent
 	// Lost counts events the server dropped on this watch before this
-	// one because the client was not draining fast enough.
+	// one because the client was not draining fast enough. On a v2
+	// stream it counts ring overflow: events that aged out of the
+	// server's replay ring before this watch's cursor reached them
+	// (an upper bound — it includes aged-out events that would not have
+	// matched the watch pattern).
 	Lost uint64
+	// Seq is the server's monotonic event sequence number on a v2
+	// stream (first event ever published is 1); resume a dropped stream
+	// with WatchFrom(ctx, pattern, Seq+1). Zero on a v1 stream.
+	Seq uint64
 }
 
 // JoinApps builds the control plane's app listing: one AppInfo per
@@ -210,6 +230,30 @@ type (
 		ID uint64
 		// Pattern is a kernel topic pattern: exact, "prefix.*", or "*".
 		Pattern string
+		// Proto is the newest push encoding the client accepts: >= 2
+		// requests batched fast-frame pushes (MsgEventV2). Gob drops
+		// unknown fields, so an old server reads a new client's request
+		// fine — and replies with an empty payload, which is how the
+		// client detects a v1-only server (a v2 server replies with a
+		// gob watchAck).
+		Proto byte
+		// FromSeq, when non-zero, replays the stream from that sequence
+		// number (inclusive) out of the server's event ring instead of
+		// starting live. Requires Proto >= 2.
+		FromSeq uint64
+	}
+
+	// watchAck is a v2 server's reply to a watch subscribe. v1 servers
+	// reply with an empty payload (their handler returns nil), so the
+	// payload's mere presence is the version signal.
+	watchAck struct {
+		// Proto is the push encoding the server will use.
+		Proto byte
+		// Next is the sequence number the next published event will get,
+		// at subscribe time.
+		Next uint64
+		// Ring is the server's replay ring capacity in events.
+		Ring int
 	}
 
 	unwatchReq struct{ ID uint64 }

@@ -41,6 +41,15 @@ type Backend struct {
 // of stalling the bus.
 const watchQueueLen = 256
 
+// Defaults for the v2 stream: the replay ring's capacity in events, the
+// batching window a pusher waits after waking before it collects, and
+// the largest number of events packed into one push frame.
+const (
+	defaultRingSize    = 8192
+	defaultFlushWindow = 500 * time.Microsecond
+	maxEventBatch      = 512
+)
+
 // watcher is one live watch subscription.
 type watcher struct {
 	client string // subscriber endpoint name (the push destination)
@@ -56,6 +65,108 @@ type watcher struct {
 
 func (w *watcher) close() { w.once.Do(func() { close(w.done) }) }
 
+// --- v2 stream: one shared sequenced ring, per-watch cursors. ---
+
+// watchHub is the server's replay ring: every kernel event, stamped
+// with a monotonic sequence number (the first event published after
+// the hub exists gets seq 1), retained in a fixed-capacity ring. Each
+// v2 watch is just a cursor into it plus a topic pattern, which is what
+// makes replay work across client reconnects — the ring belongs to the
+// server, not to any one watch. The hub is created lazily on the first
+// v2 watch and lives until the server closes.
+type watchHub struct {
+	kernel *ctxkernel.Kernel
+	subID  int
+
+	mu       sync.Mutex
+	buf      []seqEvent // ring: seq s lives at buf[(s-1) % len]
+	next     uint64     // seq the next published event will get
+	watchers map[*v2watcher]struct{}
+}
+
+// v2watcher is one live v2 watch: a cursor into the hub's ring. The
+// cursor is guarded by the hub mutex (the pusher advances it, the
+// subscribe path sets it).
+type v2watcher struct {
+	client  string
+	id      uint64
+	pattern string
+	cursor  uint64        // next seq to deliver
+	kick    chan struct{} // cap 1: publish signal, collapsed
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (w *v2watcher) close() { w.once.Do(func() { close(w.done) }) }
+
+func newWatchHub(kernel *ctxkernel.Kernel, size int) *watchHub {
+	h := &watchHub{
+		kernel:   kernel,
+		buf:      make([]seqEvent, size),
+		next:     1,
+		watchers: make(map[*v2watcher]struct{}),
+	}
+	// One kernel subscription feeds every v2 watch; per-watch filtering
+	// happens at collect time with the kernel's own matching rule.
+	h.subID = kernel.Subscribe("*", h.append)
+	return h
+}
+
+// append stamps and ring-buffers one event, then kicks every pusher.
+// It runs on publisher goroutines: O(watchers), no blocking sends.
+func (h *watchHub) append(ev ctxkernel.Event) {
+	h.mu.Lock()
+	h.buf[(h.next-1)%uint64(len(h.buf))] = seqEvent{Seq: h.next, Event: ev}
+	h.next++
+	for w := range h.watchers {
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+	h.mu.Unlock()
+}
+
+// oldestLocked is the lowest seq the ring still holds (callers hold mu).
+func (h *watchHub) oldestLocked() uint64 {
+	if h.next > uint64(len(h.buf))+1 {
+		return h.next - uint64(len(h.buf))
+	}
+	return 1
+}
+
+// collect advances w's cursor through the ring, returning up to max
+// pattern-matching events and the number of events that aged out of the
+// ring before the cursor reached them. lost is an upper bound on the
+// watch's real loss: aged-out events are gone, so the hub cannot know
+// which of them would have matched the pattern.
+func (h *watchHub) collect(w *v2watcher, max int) (events []seqEvent, lost uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if oldest := h.oldestLocked(); w.cursor < oldest {
+		lost = oldest - w.cursor
+		w.cursor = oldest
+	}
+	for w.cursor < h.next && len(events) < max {
+		se := h.buf[(w.cursor-1)%uint64(len(h.buf))]
+		if ctxkernel.MatchTopic(w.pattern, se.Event.Topic) {
+			events = append(events, se)
+		}
+		w.cursor++
+	}
+	return events, lost
+}
+
+// remove retires a pusher and closes its done channel.
+func (h *watchHub) remove(w *v2watcher) {
+	h.mu.Lock()
+	delete(h.watchers, w)
+	h.mu.Unlock()
+	w.close()
+}
+
+func (h *watchHub) close() { h.kernel.Unsubscribe(h.subID) }
+
 // Server binds a Backend onto transport endpoints. One Server may serve
 // several endpoints (the in-process deployment serves one per space).
 type Server struct {
@@ -64,15 +175,44 @@ type Server struct {
 	// no caller deadline). Zero takes a minute — migrations move real
 	// megabytes.
 	OpTimeout time.Duration
+	// RingSize is the v2 replay ring's capacity in events (zero takes
+	// defaultRingSize). Set before the first watch arrives.
+	RingSize int
+	// FlushWindow is how long a v2 pusher waits after a publish kick
+	// before collecting a batch, trading one window of latency for
+	// fewer, fuller push frames. Zero takes defaultFlushWindow;
+	// negative flushes immediately.
+	FlushWindow time.Duration
 
-	mu       sync.Mutex
-	watchers map[string]map[uint64]*watcher // client endpoint -> id -> watcher
-	closed   bool
+	mu        sync.Mutex
+	watchers  map[string]map[uint64]*watcher   // v1: client endpoint -> id -> watcher
+	watchers2 map[string]map[uint64]*v2watcher // v2: client endpoint -> id -> cursor watch
+	hub       *watchHub                        // created on first v2 watch
+	pushers   sync.WaitGroup                   // live pushV2 goroutines; Close joins them
+	closed    bool
 }
 
 // NewServer creates a control-plane server over b.
 func NewServer(b Backend) *Server {
-	return &Server{b: b, watchers: make(map[string]map[uint64]*watcher)}
+	return &Server{
+		b:         b,
+		watchers:  make(map[string]map[uint64]*watcher),
+		watchers2: make(map[string]map[uint64]*v2watcher),
+	}
+}
+
+func (s *Server) ringSize() int {
+	if s.RingSize > 0 {
+		return s.RingSize
+	}
+	return defaultRingSize
+}
+
+func (s *Server) flushWindow() time.Duration {
+	if s.FlushWindow != 0 {
+		return s.FlushWindow
+	}
+	return defaultFlushWindow
 }
 
 func (s *Server) timeout() time.Duration {
@@ -108,13 +248,13 @@ func handle[Req any](s *Server, fn func(ctx context.Context, req Req) (any, erro
 func (s *Server) Serve(ep *transport.Endpoint) *Server {
 	ep.Handle(MsgInfo, handle(s, func(ctx context.Context, _ struct{}) (any, error) {
 		if s.b.Info == nil {
-			return ServerInfo{Proto: transport.ProtoVersion}, nil
+			return ServerInfo{Proto: transport.MaxProto}, nil
 		}
 		info, err := s.b.Info(ctx)
 		if err != nil {
 			return nil, err
 		}
-		info.Proto = transport.ProtoVersion
+		info.Proto = transport.MaxProto
 		return info, nil
 	}))
 	ep.Handle(MsgMembers, handle(s, func(ctx context.Context, _ struct{}) (any, error) {
@@ -210,6 +350,11 @@ func (s *Server) Serve(ep *transport.Endpoint) *Server {
 		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
 			return nil, err
 		}
+		if req.Proto >= transport.ProtoV2 {
+			return s.addWatchV2(ep, msg.From, req)
+		}
+		// v1 clients cannot carry FromSeq (the field postdates them), so
+		// the legacy path ignores it — exactly what a pre-v2 server did.
 		return nil, s.addWatch(ep, msg.From, req)
 	})
 	ep.Handle(MsgUnwatch, func(msg transport.Message) ([]byte, error) {
@@ -308,6 +453,126 @@ func (s *Server) push(ep *transport.Endpoint, w *watcher) {
 	}
 }
 
+// addWatchV2 registers a cursor watch on the replay ring and answers
+// with a watchAck (the reply payload's presence is what tells the
+// client it got a v2 stream). FromSeq outside the ring's retained
+// window is refused with ErrReplayGap — replaying silently from
+// somewhere else would break the "re-deliver instead of drop" promise.
+func (s *Server) addWatchV2(ep *transport.Endpoint, client string, req watchReq) ([]byte, error) {
+	if s.b.Kernel == nil {
+		return nil, fmt.Errorf("%w: watch", ErrUnsupported)
+	}
+	if client == "" {
+		return nil, fmt.Errorf("ctl: watch request carries no reply endpoint")
+	}
+	pattern := req.Pattern
+	if pattern == "" {
+		pattern = "*"
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("ctl: server closed")
+	}
+	if s.hub == nil {
+		s.hub = newWatchHub(s.b.Kernel, s.ringSize())
+	}
+	hub := s.hub
+	s.mu.Unlock()
+
+	w := &v2watcher{
+		client: client, id: req.ID, pattern: pattern,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	hub.mu.Lock()
+	next := hub.next
+	w.cursor = next
+	if req.FromSeq != 0 {
+		if oldest := hub.oldestLocked(); req.FromSeq < oldest || req.FromSeq > next {
+			hub.mu.Unlock()
+			return nil, fmt.Errorf("%w: from-seq %d, ring retains [%d, %d)",
+				ErrReplayGap, req.FromSeq, oldest, next)
+		}
+		w.cursor = req.FromSeq
+	}
+	hub.watchers[w] = struct{}{}
+	ring := len(hub.buf)
+	hub.mu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		hub.remove(w)
+		return nil, fmt.Errorf("ctl: server closed")
+	}
+	byID := s.watchers2[client]
+	if byID == nil {
+		byID = make(map[uint64]*v2watcher)
+		s.watchers2[client] = byID
+	}
+	if old, ok := byID[req.ID]; ok {
+		hub.remove(old) // idempotent re-subscribe: replace
+	}
+	byID[req.ID] = w
+	// Registered under the same lock Close takes, so Close either sees
+	// this watch (and waits for its pusher) or refused it above.
+	s.pushers.Add(1)
+	s.mu.Unlock()
+
+	if w.cursor < next {
+		w.kick <- struct{}{} // replay backlog: wake the pusher immediately
+	}
+	go s.pushV2(ep, hub, w)
+	return transport.Encode(watchAck{Proto: transport.ProtoV2, Next: next, Ring: ring})
+}
+
+// pushV2 drains one cursor watch into batched fast-frame pushes: wake
+// on a publish kick, linger one flush window so a burst coalesces, then
+// collect and send full batches until the cursor catches the ring.
+func (s *Server) pushV2(ep *transport.Endpoint, hub *watchHub, w *v2watcher) {
+	defer s.pushers.Done()
+	flush := s.flushWindow()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-w.kick:
+		}
+		if flush > 0 {
+			timer := time.NewTimer(flush)
+			select {
+			case <-w.done:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		}
+		for {
+			select {
+			case <-w.done: // retired mid-drain: stop before booking more
+				return
+			default:
+			}
+			events, lost := hub.collect(w, maxEventBatch)
+			if len(events) == 0 && lost == 0 {
+				break
+			}
+			mWatchEvents.Add(int64(len(events)))
+			if lost > 0 {
+				mWatchDrops.Add(int64(lost))
+			}
+			if err := ep.Send(w.client, MsgEventV2, encodeEventBatch(w.id, lost, events)); err != nil {
+				s.dropWatch(w.client, w.id)
+				return
+			}
+			if len(events) < maxEventBatch {
+				break // collect drained the ring (cursor == next)
+			}
+		}
+	}
+}
+
 // dropWatch retires one watch (client unsubscribe or dead push path).
 func (s *Server) dropWatch(client string, id uint64) {
 	s.mu.Lock()
@@ -319,6 +584,15 @@ func (s *Server) dropWatch(client string, id uint64) {
 			delete(s.watchers, client)
 		}
 	}
+	if w, ok := s.watchers2[client][id]; ok {
+		if s.hub != nil {
+			s.hub.remove(w)
+		}
+		delete(s.watchers2[client], id)
+		if len(s.watchers2[client]) == 0 {
+			delete(s.watchers2, client)
+		}
+	}
 }
 
 func (s *Server) removeLocked(w *watcher) {
@@ -328,11 +602,13 @@ func (s *Server) removeLocked(w *watcher) {
 	w.close()
 }
 
-// Close retires every live watch. The endpoint handlers stay registered
-// (the endpoint owns its own lifecycle); new watches are refused.
+// Close retires every live watch and the replay hub, then joins the
+// pusher goroutines — after Close returns, no pusher will send another
+// frame or touch the drop metrics. The endpoint handlers stay
+// registered (the endpoint owns its own lifecycle); new watches are
+// refused.
 func (s *Server) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
 	for client, byID := range s.watchers {
 		for id, w := range byID {
@@ -341,4 +617,20 @@ func (s *Server) Close() {
 		}
 		delete(s.watchers, client)
 	}
+	for client, byID := range s.watchers2 {
+		for id, w := range byID {
+			if s.hub != nil {
+				s.hub.remove(w)
+			}
+			delete(byID, id)
+		}
+		delete(s.watchers2, client)
+	}
+	if s.hub != nil {
+		s.hub.close()
+		s.hub = nil
+	}
+	s.mu.Unlock()
+	// Outside the lock: a pusher's exit path (dropWatch) takes s.mu.
+	s.pushers.Wait()
 }

@@ -148,6 +148,12 @@ func (k *Kernel) Unsubscribe(id int) {
 	}
 }
 
+// MatchTopic reports whether a subscription pattern (exact topic,
+// "prefix.*", or "*") matches a topic — the kernel's own matching rule,
+// exported so the control plane's replay ring can filter buffered
+// events with exactly the semantics a live subscription would have.
+func MatchTopic(pattern, topic string) bool { return matches(pattern, topic) }
+
 func matches(pattern, topic string) bool {
 	if pattern == "*" || pattern == topic {
 		return true

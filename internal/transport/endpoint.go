@@ -28,9 +28,20 @@ type Endpoint struct {
 
 	mu       sync.Mutex
 	handlers map[string]Handler
+	ordered  map[string]*orderedEntry
 	pending  map[uint64]chan Message
 	closed   bool
 	inflight sync.WaitGroup
+	quit     chan struct{} // closed after Close drains inflight; stops ordered workers
+}
+
+// orderedEntry is one HandleOrdered registration: a queue drained by a
+// single worker goroutine, so messages of this type are handled in
+// arrival order. h is guarded by the endpoint mutex (re-registration
+// swaps the handler but keeps the queue and worker).
+type orderedEntry struct {
+	q chan Message
+	h Handler
 }
 
 func newEndpoint(name string, fab fabric) *Endpoint {
@@ -38,7 +49,9 @@ func newEndpoint(name string, fab fabric) *Endpoint {
 		name:     name,
 		fab:      fab,
 		handlers: make(map[string]Handler),
+		ordered:  make(map[string]*orderedEntry),
 		pending:  make(map[uint64]chan Message),
+		quit:     make(chan struct{}),
 	}
 }
 
@@ -51,6 +64,42 @@ func (e *Endpoint) Handle(msgType string, h Handler) {
 	e.mu.Lock()
 	e.handlers[msgType] = h
 	e.mu.Unlock()
+}
+
+// HandleOrdered registers a handler whose messages are processed in
+// arrival order by a single worker goroutine, instead of one goroutine
+// per message. Both fabrics deliver in send order (LocalFabric
+// dispatches synchronously; a TCP link writes through one encoder), so
+// this is all a stream consumer needs for in-order delivery — the
+// control plane's watch pushes use it. The queue is bounded; a full
+// queue blocks the fabric's delivery path, which backpressures the
+// sender rather than reordering or dropping. Re-registering the same
+// type swaps the handler but keeps the queue and worker.
+func (e *Endpoint) HandleOrdered(msgType string, h Handler) {
+	e.mu.Lock()
+	if ent, ok := e.ordered[msgType]; ok {
+		ent.h = h
+		e.mu.Unlock()
+		return
+	}
+	ent := &orderedEntry{q: make(chan Message, 4096), h: h}
+	e.ordered[msgType] = ent
+	e.mu.Unlock()
+	go func() {
+		for {
+			select {
+			case msg := <-ent.q:
+				e.mu.Lock()
+				h := ent.h
+				e.mu.Unlock()
+				e.invoke(msg, h, true)
+			case <-e.quit:
+				// Close has drained inflight, so the queue is empty and
+				// no enqueue is pending; exit.
+				return
+			}
+		}
+	}()
 }
 
 // Send delivers a one-way message; no reply is expected.
@@ -129,28 +178,38 @@ func (e *Endpoint) dispatch(msg Message) {
 		e.mu.Unlock()
 		return
 	}
+	if ent, ok := e.ordered[msg.Type]; ok {
+		e.inflight.Add(1)
+		e.mu.Unlock()
+		ent.q <- msg // full queue backpressures the fabric's delivery path
+		return
+	}
 	h, ok := e.handlers[msg.Type]
 	e.inflight.Add(1)
 	e.mu.Unlock()
 
-	go func() {
-		defer e.inflight.Done()
-		reply := Message{To: msg.From, From: e.name, ID: msg.ID, IsReply: true, Type: msg.Type}
-		if !ok {
-			reply.Err = ErrNoHandler.Error() + ": " + msg.Type
+	go e.invoke(msg, h, ok)
+}
+
+// invoke runs one handler and sends the reply when the message was a
+// request. It balances the inflight count taken by dispatch.
+func (e *Endpoint) invoke(msg Message, h Handler, ok bool) {
+	defer e.inflight.Done()
+	reply := Message{To: msg.From, From: e.name, ID: msg.ID, IsReply: true, Type: msg.Type}
+	if !ok {
+		reply.Err = ErrNoHandler.Error() + ": " + msg.Type
+	} else {
+		payload, err := h(msg)
+		if err != nil {
+			reply.Err = err.Error()
 		} else {
-			payload, err := h(msg)
-			if err != nil {
-				reply.Err = err.Error()
-			} else {
-				reply.Payload = payload
-			}
+			reply.Payload = payload
 		}
-		// Only requests (ID != 0) get replies.
-		if msg.ID != 0 {
-			_ = e.fab.deliver(reply) // best effort; requester may be gone
-		}
-	}()
+	}
+	// Only requests (ID != 0) get replies.
+	if msg.ID != 0 {
+		_ = e.fab.deliver(reply) // best effort; requester may be gone
+	}
 }
 
 // Close detaches the endpoint from its fabric, waits for in-flight
@@ -173,6 +232,7 @@ func (e *Endpoint) Close() error {
 		}
 	}
 	e.inflight.Wait()
+	close(e.quit) // inflight drained: ordered queues are empty, workers exit
 	e.fab.endpointClosed(e.name)
 	return nil
 }

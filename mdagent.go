@@ -312,9 +312,11 @@ var NewControlClient = ctl.NewClient
 // daemon answers to — mdctl needs only an address.
 const ControlAlias = ctl.Alias
 
-// ProtoVersion is the control-plane (and registry/snapshot) wire
-// protocol version this build speaks.
-const ProtoVersion = transport.ProtoVersion
+// ProtoVersion is the newest control-plane (and registry/snapshot)
+// wire protocol version this build speaks — what ServerInfo.Proto
+// reports. v2 adds the binary fast path for snapshot puts and watch
+// pushes; every op still interoperates with v1 peers via negotiation.
+const ProtoVersion = transport.MaxProto
 
 // Typed sentinel errors shared by in-process and remote callers.
 var (
