@@ -2,19 +2,50 @@ package main
 
 import (
 	"context"
+	"crypto/ed25519"
 	"fmt"
 	"time"
 
 	"mdagent/internal/app"
+	"mdagent/internal/bundle"
 	"mdagent/internal/cluster"
 	"mdagent/internal/core"
 	"mdagent/internal/ctl"
 	"mdagent/internal/ctxkernel"
 	"mdagent/internal/migrate"
+	"mdagent/internal/obs"
 	"mdagent/internal/owl"
 	"mdagent/internal/registry"
 	"mdagent/internal/state"
 )
+
+// Bundle accounting — the same metric names every mdagent process
+// registers, so /metrics reads identically across the fleet.
+var (
+	mBundlePushes   = obs.Default.Counter("mdagent_bundle_pushes_total")
+	mBundleInstalls = obs.Default.Counter("mdagent_bundle_installs_total")
+	mBundleRejected = obs.Default.Counter("mdagent_bundle_rejected_total")
+	mBundleBytes    = obs.Default.Counter("mdagent_bundle_bytes_total")
+)
+
+// verifyBundle opens raw against the daemon's trusted keys and checks
+// the manifest names the app the bundle is stored (or pushed) as. Every
+// refusal books a rejection metric; every acceptance books the payload
+// bytes.
+func verifyBundle(name string, raw []byte, trusted []ed25519.PublicKey) (*bundle.Bundle, error) {
+	b, err := bundle.Open(raw, trusted)
+	if err != nil {
+		mBundleRejected.Inc()
+		return nil, fmt.Errorf("mdagentd: refuse bundle %q: %w", name, err)
+	}
+	if b.Manifest.App != name {
+		mBundleRejected.Inc()
+		return nil, fmt.Errorf("mdagentd: refuse bundle: %w: named %q but manifest declares %q",
+			bundle.ErrCorrupt, name, b.Manifest.App)
+	}
+	mBundleBytes.Add(int64(len(raw)))
+	return b, nil
+}
 
 // daemonBackend builds this host daemon's control-plane surface:
 // lifecycle on the local engine, introspection through the registry
@@ -24,7 +55,8 @@ import (
 // to serve.
 func daemonBackend(host, space string, eng *migrate.Engine, cat *registry.Client,
 	member *cluster.Node, snapCli *cluster.SnapshotClient, repl *state.Replicator,
-	skeletons map[string]skeletonApp, kernel *ctxkernel.Kernel) ctl.Backend {
+	skeletons map[string]skeletonApp, kernel *ctxkernel.Kernel,
+	trusted []ed25519.PublicKey, secrets bundle.Resolver) ctl.Backend {
 
 	// checkHost rejects operations addressed to some other host — this
 	// daemon serves exactly one.
@@ -32,6 +64,41 @@ func daemonBackend(host, space string, eng *migrate.Engine, cat *registry.Client
 		if h != "" && h != host {
 			return fmt.Errorf("mdagentd: %w: %q (this daemon serves %s)", ctl.ErrUnknownHost, h, host)
 		}
+		return nil
+	}
+
+	// installFromBundle assembles an application factory from a bundle
+	// stored at the center — the generic install arm: no compiled-in
+	// skeleton needed, the signed manifest is the skeleton.
+	installFromBundle := func(ctx context.Context, appName string) error {
+		raw, found, err := cat.GetBundle(ctx, appName)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("mdagentd: %w: %q on %s", ctl.ErrUnknownApp, appName, host)
+		}
+		b, err := verifyBundle(appName, raw, trusted)
+		if err != nil {
+			return err
+		}
+		factory, err := bundle.Instantiate(b, secrets)
+		if err != nil {
+			mBundleRejected.Inc()
+			return fmt.Errorf("mdagentd: instantiate bundle %q: %w", appName, err)
+		}
+		eng.InstallFactory(appName, factory)
+		components := make([]string, 0, len(b.Manifest.Components))
+		for _, spec := range b.Manifest.Components {
+			components = append(components, spec.Name)
+		}
+		if err := cat.RegisterApp(ctx, registry.AppRecord{
+			Name: appName, Host: host, Space: space,
+			Description: b.Manifest.Description, Components: components,
+		}); err != nil {
+			return err
+		}
+		mBundleInstalls.Inc()
 		return nil
 	}
 
@@ -127,7 +194,10 @@ func daemonBackend(host, space string, eng *migrate.Engine, cat *registry.Client
 			}
 			sk, ok := skeletons[appName]
 			if !ok {
-				return fmt.Errorf("mdagentd: %w: unknown skeleton %q", ctl.ErrAppNotFound, appName)
+				// No compiled-in skeleton: fall back to a bundle pushed to
+				// the center. A miss there too is the typed unknown-app
+				// refusal (not ErrAppNotFound — nothing is installable).
+				return installFromBundle(ctx, appName)
 			}
 			eng.InstallFactory(appName, sk.factory)
 			if err := cat.RegisterApp(ctx, registry.AppRecord{
@@ -137,6 +207,35 @@ func daemonBackend(host, space string, eng *migrate.Engine, cat *registry.Client
 				return err
 			}
 			return nil
+		},
+		PushBundle: func(ctx context.Context, name string, raw []byte) error {
+			// Verified before forwarding: a host daemon never launders an
+			// unsigned or untrusted artifact into the federation.
+			if _, err := verifyBundle(name, raw, trusted); err != nil {
+				return err
+			}
+			if err := cat.PutBundle(ctx, name, raw); err != nil {
+				return err
+			}
+			mBundlePushes.Inc()
+			return nil
+		},
+		ListBundles: func(ctx context.Context) ([]ctl.BundleInfo, error) {
+			infos, err := cat.Bundles(ctx)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]ctl.BundleInfo, 0, len(infos))
+			for _, info := range infos {
+				out = append(out, ctl.BundleInfo{Name: info.Name, Bytes: info.Bytes})
+			}
+			return out, nil
+		},
+		InstallBundle: func(ctx context.Context, appName, h string) error {
+			if err := checkHost(h); err != nil {
+				return err
+			}
+			return installFromBundle(ctx, appName)
 		},
 		Apps: func(ctx context.Context) ([]ctl.AppInfo, error) {
 			recs, err := cat.Apps(ctx)

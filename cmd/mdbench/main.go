@@ -79,7 +79,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mdbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	fig := fs.String("fig", "all", "figures to regenerate (comma-separated): 7, 8, 9, 10, clone, churn, flap, delta, durability, ctl, obs, members, store, suspicion, or all")
+	fig := fs.String("fig", "all", "figures to regenerate (comma-separated): 7, 8, 9, 10, clone, churn, flap, delta, durability, ctl, obs, members, store, suspicion, bundle, or all")
 	csvPath := fs.String("csv", "", "also write the series as CSV to this file")
 	jsonPath := fs.String("json", "", "also write every figure that ran as one JSON document to this file")
 	rooms := fs.Int("rooms", 3, "overflow rooms for the clone-dispatch experiment")
@@ -107,6 +107,8 @@ func run(args []string, out io.Writer) error {
 	suspCycles := fs.Int("suspicion-cycles", 6, "freeze/recover cycles per timeout for the suspicion sweep")
 	suspBlip := fs.Duration("suspicion-blip", 50*time.Millisecond, "freeze duration per cycle for the suspicion sweep")
 	suspTimeouts := fs.String("suspicion-timeouts", "10ms,25ms,50ms,100ms,250ms,500ms", "SuspicionTimeout values to sweep (comma-separated durations)")
+	bundleHosts := fs.Int("bundle-hosts", 16, "installing hosts for the bundle fan-out experiment")
+	bundleStateBytes := fs.Int("bundle-state-bytes", 256<<10, "initial-state payload packed into the benchmark bundle")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,8 +136,9 @@ func run(args []string, out io.Writer) error {
 		"suspicion": func() error {
 			return suspicion(out, &csv, doc, *suspHosts, *suspCycles, *suspBlip, *suspTimeouts)
 		},
+		"bundle": func() error { return bundleFig(out, &csv, doc, *bundleHosts, *bundleStateBytes) },
 	}
-	all := []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta", "durability", "ctl", "obs", "members", "store", "suspicion"}
+	all := []string{"7", "8", "9", "10", "clone", "churn", "flap", "delta", "durability", "ctl", "obs", "members", "store", "suspicion", "bundle"}
 	var order []string
 	if *fig == "all" {
 		order = all
@@ -607,6 +610,28 @@ func storeFig(out io.Writer, csv *strings.Builder, doc map[string]any, cfg bench
 		"value_bytes": cfg.ValueBytes, "blob_every": cfg.BlobEvery, "blob_bytes": cfg.BlobBytes,
 		"crash_trials": crashTrials,
 	}, map[string]any{"rows": results, "crash": crash})
+	return nil
+}
+
+func bundleFig(out io.Writer, csv *strings.Builder, doc map[string]any, hosts, stateBytes int) error {
+	fmt.Fprintf(out, "== Bundle — signed app distribution: one push, %d-host install fan-out (%dKB initial state) ==\n",
+		hosts, stateBytes/1024)
+	fmt.Fprintln(out, "   (every host fetches, signature-checks, secret-resolves and runs a value-checked instance)")
+	res, err := bench.RunBundle(hosts, stateBytes)
+	if err != nil {
+		return err
+	}
+	record(doc, "bundle", map[string]any{"hosts": hosts, "state_bytes": stateBytes}, res)
+	fmt.Fprintf(out, "  bundle size: %d bytes signed (%d bytes initial state)\n", res.BundleBytes, res.StateBytes)
+	fmt.Fprintf(out, "  pack+sign: %v, push (verify+store): %v\n", res.Pack, res.Push)
+	fmt.Fprintf(out, "  install fan-out: %v total, %v/host, %.0f instances/sec, %d bytes fetched/host\n",
+		res.Install, res.InstallPerHost, res.InstancesPerSec, res.BytesPerHost)
+	fmt.Fprintln(out)
+	fmt.Fprintf(csv, "bundle,hosts,state_bytes,bundle_bytes,pack_us,push_us,install_ms,install_per_host_us,instances_per_sec,bytes_per_host\n")
+	fmt.Fprintf(csv, "bundle,%d,%d,%d,%d,%d,%d,%d,%.0f,%d\n\n",
+		res.Hosts, res.StateBytes, res.BundleBytes,
+		res.Pack.Microseconds(), res.Push.Microseconds(), res.Install.Milliseconds(),
+		res.InstallPerHost.Microseconds(), res.InstancesPerSec, res.BytesPerHost)
 	return nil
 }
 

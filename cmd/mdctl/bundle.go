@@ -1,0 +1,352 @@
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"mdagent/internal/app"
+	"mdagent/internal/bundle"
+	"mdagent/internal/ctl"
+	"mdagent/internal/wsdl"
+)
+
+const bundleUsage = `usage: mdctl [flags] bundle <subcommand> [flags] [args]
+
+subcommands:
+  keygen -out <prefix>      generate an ed25519 signing keypair (<prefix>.key + <prefix>.pub)
+  pack -spec <app.json> -key <keyfile> -out <file.mdab>
+                            build and sign a portable app bundle from a JSON spec
+  inspect <file.mdab>       print a bundle's manifest and signer (no trust check)
+  push <file.mdab>          upload the bundle to the server (verified there)
+  list                      list the bundles stored at the server
+  install <app>             instantiate a stored bundle on the serving host
+`
+
+// bundleSpec is the JSON authoring format `mdctl bundle pack` reads. It
+// deliberately mirrors the manifest plus optional initial contents —
+// "state" seeds key=value fields of state components, "data" seeds blob
+// component contents; either makes the bundle carry an initial-state
+// frame.
+type bundleSpec struct {
+	App        string `json:"app"`
+	Doc        string `json:"doc,omitempty"`
+	Components []struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	} `json:"components"`
+	Resources []string `json:"resources,omitempty"`
+	Profile   struct {
+		User        string            `json:"user,omitempty"`
+		Preferences map[string]string `json:"preferences,omitempty"`
+	} `json:"profile,omitempty"`
+	Secrets []struct {
+		Key string `json:"key"`
+		Ref string `json:"ref"`
+	} `json:"secrets,omitempty"`
+	State map[string]map[string]string `json:"state,omitempty"`
+	Data  map[string]string            `json:"data,omitempty"`
+}
+
+// bundleCmd dispatches the bundle subcommands. keygen/pack/inspect are
+// local (no server round trip); push/list/install speak the control
+// plane through cli.
+func bundleCmd(ctx context.Context, args []string, cli *ctl.Client, out io.Writer, jsonOut bool, host string) error {
+	if len(args) == 0 {
+		fmt.Fprint(out, bundleUsage)
+		return fmt.Errorf("missing bundle subcommand")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("mdctl bundle "+sub, flag.ContinueOnError)
+	fs.SetOutput(out)
+	spec := fs.String("spec", "", "pack: JSON bundle spec file")
+	keyFile := fs.String("key", "", "pack: signing key file (hex ed25519 seed, from keygen)")
+	outPath := fs.String("out", "", "pack: output bundle file; keygen: key file prefix")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	emit := func(v any) error {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+
+	switch sub {
+	case "keygen":
+		if *outPath == "" {
+			return fmt.Errorf("usage: mdctl bundle keygen -out <prefix>")
+		}
+		pub, priv, err := bundle.GenerateKey()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath+".key", []byte(bundle.FormatPrivateKey(priv)+"\n"), 0o600); err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath+".pub", []byte(bundle.FormatPublicKey(pub)+"\n"), 0o644); err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(map[string]string{"key": *outPath + ".key", "pub": *outPath + ".pub", "public": bundle.FormatPublicKey(pub)})
+		}
+		fmt.Fprintf(out, "keygen: wrote %s.key (secret) and %s.pub\npublic key: %s\n", *outPath, *outPath, bundle.FormatPublicKey(pub))
+		return nil
+
+	case "pack":
+		if *spec == "" || *keyFile == "" || *outPath == "" {
+			return fmt.Errorf("usage: mdctl bundle pack -spec <app.json> -key <keyfile> -out <file.mdab>")
+		}
+		raw, pub, err := packBundle(*spec, *keyFile)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(map[string]any{"out": *outPath, "bytes": len(raw), "signer": bundle.FormatPublicKey(pub)})
+		}
+		fmt.Fprintf(out, "packed %s: %d bytes, signed by %s\n", *outPath, len(raw), bundle.FormatPublicKey(pub))
+		return nil
+
+	case "inspect":
+		path := fs.Arg(0)
+		if path == "" {
+			return fmt.Errorf("usage: mdctl bundle inspect <file.mdab>")
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		b, err := bundle.Inspect(raw)
+		if err != nil {
+			return err
+		}
+		return printBundle(out, jsonOut, b, len(raw))
+
+	case "push":
+		path := fs.Arg(0)
+		if path == "" {
+			return fmt.Errorf("usage: mdctl bundle push <file.mdab>")
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Inspect locally for the storage name; the server re-verifies
+		// signature and trust before storing anything.
+		b, err := bundle.Inspect(raw)
+		if err != nil {
+			return err
+		}
+		if err := cli.PushBundle(ctx, b.Manifest.App, raw); err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(map[string]any{"op": "bundle.push", "app": b.Manifest.App, "bytes": len(raw), "result": "ok"})
+		}
+		fmt.Fprintf(out, "pushed %s (%d bytes): ok\n", b.Manifest.App, len(raw))
+		return nil
+
+	case "list":
+		infos, err := cli.Bundles(ctx)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(infos)
+		}
+		fmt.Fprintf(out, "%-32s %s\n", "BUNDLE", "BYTES")
+		for _, info := range infos {
+			fmt.Fprintf(out, "%-32s %d\n", info.Name, info.Bytes)
+		}
+		return nil
+
+	case "install":
+		appName := fs.Arg(0)
+		if appName == "" {
+			return fmt.Errorf("usage: mdctl bundle install <app>")
+		}
+		if err := cli.InstallBundle(ctx, appName, host); err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(map[string]string{"op": "bundle.install", "app": appName, "result": "ok"})
+		}
+		fmt.Fprintf(out, "bundle install %s: ok\n", appName)
+		return nil
+	}
+	fmt.Fprint(out, bundleUsage)
+	return fmt.Errorf("unknown bundle subcommand %q", sub)
+}
+
+// packBundle reads a JSON spec and a signing key and assembles the
+// signed bundle bytes.
+func packBundle(specPath, keyPath string) ([]byte, ed25519.PublicKey, error) {
+	specRaw, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var spec bundleSpec
+	dec := json.NewDecoder(strings.NewReader(string(specRaw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, nil, fmt.Errorf("parse %s: %w", specPath, err)
+	}
+	m := bundle.Manifest{
+		App:         spec.App,
+		Description: specDescription(spec),
+		Resources:   spec.Resources,
+		Profile:     app.UserProfile{User: spec.Profile.User, Preferences: spec.Profile.Preferences},
+	}
+	for _, c := range spec.Components {
+		kind, ok := bundle.ParseKind(c.Kind)
+		if !ok {
+			return nil, nil, fmt.Errorf("component %q: unknown kind %q (want logic, ui, data, or state)", c.Name, c.Kind)
+		}
+		m.Components = append(m.Components, bundle.ComponentSpec{Name: c.Name, Kind: kind})
+	}
+	for _, s := range spec.Secrets {
+		m.Secrets = append(m.Secrets, bundle.SecretRef{Key: s.Key, Ref: s.Ref})
+	}
+	wrap, err := specWrap(spec, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyRaw, err := os.ReadFile(keyPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	key, err := bundle.ParsePrivateKey(strings.TrimSpace(string(keyRaw)))
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse %s: %w", keyPath, err)
+	}
+	raw, err := bundle.Pack(m, wrap, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, key.Public().(ed25519.PublicKey), nil
+}
+
+// specDescription synthesizes the minimal valid WSDL description for a
+// packed app: one service, one port, one operation. Authors needing the
+// full device-requirement vocabulary compile their apps in; the bundle
+// path is for portable distribution.
+func specDescription(spec bundleSpec) wsdl.Description {
+	return wsdl.Description{
+		Name: spec.App,
+		Doc:  spec.Doc,
+		Services: []wsdl.Service{{
+			Name: spec.App + "-service",
+			Ports: []wsdl.Port{{
+				Name:       "main",
+				Operations: []wsdl.Operation{{Name: "serve"}},
+			}},
+		}},
+	}
+}
+
+// specWrap builds the bundle's optional initial-state frame: an app
+// instance assembled per the manifest, seeded with the spec's state
+// fields and blob contents, then wrapped.
+func specWrap(spec bundleSpec, m bundle.Manifest) (*app.Wrap, error) {
+	if len(spec.State) == 0 && len(spec.Data) == 0 {
+		return nil, nil
+	}
+	inst := app.New(spec.App, "mdctl-pack", m.Description)
+	for _, cs := range m.Components {
+		var c app.Component
+		if cs.Kind == app.KindState {
+			c = app.NewState(cs.Name)
+		} else {
+			c = app.NewBlob(cs.Name, cs.Kind, nil)
+		}
+		if err := inst.AddComponent(c); err != nil {
+			return nil, err
+		}
+	}
+	for name, fields := range spec.State {
+		c, ok := inst.Component(name)
+		if !ok {
+			return nil, fmt.Errorf("state for undeclared component %q", name)
+		}
+		sc, ok := c.(*app.StateComponent)
+		if !ok {
+			return nil, fmt.Errorf("state for non-state component %q", name)
+		}
+		for k, v := range fields {
+			sc.Set(k, v)
+		}
+	}
+	for name, content := range spec.Data {
+		c, ok := inst.Component(name)
+		if !ok {
+			return nil, fmt.Errorf("data for undeclared component %q", name)
+		}
+		bc, ok := c.(*app.BlobComponent)
+		if !ok {
+			return nil, fmt.Errorf("data for state component %q (use \"state\")", name)
+		}
+		bc.SetContent([]byte(content))
+	}
+	w, err := inst.WrapComponents(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// printBundle renders an inspected bundle.
+func printBundle(out io.Writer, jsonOut bool, b *bundle.Bundle, size int) error {
+	type componentLine struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	}
+	kindName := map[app.ComponentKind]string{
+		app.KindLogic: "logic", app.KindUI: "ui", app.KindData: "data", app.KindState: "state",
+	}
+	comps := make([]componentLine, 0, len(b.Manifest.Components))
+	for _, c := range b.Manifest.Components {
+		comps = append(comps, componentLine{Name: c.Name, Kind: kindName[c.Kind]})
+	}
+	secrets := make([]string, 0, len(b.Manifest.Secrets))
+	for _, s := range b.Manifest.Secrets {
+		secrets = append(secrets, s.Key+" <- "+s.Ref)
+	}
+	sort.Strings(secrets)
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"app":        b.Manifest.App,
+			"signer":     bundle.FormatPublicKey(b.Key),
+			"bytes":      size,
+			"components": comps,
+			"resources":  b.Manifest.Resources,
+			"secrets":    secrets,
+			"state":      b.State != nil,
+		})
+	}
+	fmt.Fprintf(out, "bundle %s (%d bytes)\n", b.Manifest.App, size)
+	fmt.Fprintf(out, "  signer: %s\n", bundle.FormatPublicKey(b.Key))
+	for _, c := range comps {
+		fmt.Fprintf(out, "  component %-24s %s\n", c.Name, c.Kind)
+	}
+	for _, r := range b.Manifest.Resources {
+		fmt.Fprintf(out, "  resource %s\n", r)
+	}
+	for _, s := range secrets {
+		fmt.Fprintf(out, "  secret %s\n", s)
+	}
+	if b.State != nil {
+		fmt.Fprintf(out, "  initial state: yes\n")
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mdctlFail runs the CLI binary expecting a non-zero exit, returning
+// the combined output for refusal-text assertions.
+func mdctlFail(t *testing.T, bin, server string, args ...string) string {
+	t.Helper()
+	full := append([]string{"-server", server, "-timeout", "30s"}, args...)
+	cmd := exec.Command(bin, full...)
+	out, err := cmd.CombinedOutput()
+	t.Logf("[mdctl %s] %s", strings.Join(args, " "), out)
+	if err == nil {
+		t.Fatalf("mdctl %v unexpectedly succeeded:\n%s", args, out)
+	}
+	return string(out)
+}
+
+// bundleMeter scrapes one mdagent_bundle_* counter from a daemon's
+// /metrics exposition.
+func bundleMeter(t *testing.T, debugAddr, name string) int64 {
+	t.Helper()
+	var total int64
+	for _, line := range strings.Split(debugGet(t, debugAddr, "/metrics"), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q: %v", line, err)
+		}
+		total += v
+	}
+	return total
+}
+
+// TestBundleE2EOverTCP proves the portable-bundle path over the real
+// binaries and real TCP: keygen and pack with mdctl, push through a
+// trusted mdregistry, install on two mdagentd hosts that have no
+// compiled-in factory for the app, run and migrate the instance, and
+// refuse an identically-shaped bundle signed by an untrusted key — the
+// CI e2e job runs exactly this.
+func TestBundleE2EOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs real binaries")
+	}
+	bins := buildBinaries(t)
+	dir := t.TempDir()
+
+	// Publisher and rogue keypairs, minted by the CLI itself.
+	mdctl(t, bins["mdctl"], "127.0.0.1:1", "bundle", "keygen", "-out", filepath.Join(dir, "publisher"))
+	mdctl(t, bins["mdctl"], "127.0.0.1:1", "bundle", "keygen", "-out", filepath.Join(dir, "rogue"))
+	pubHex, err := os.ReadFile(filepath.Join(dir, "publisher.pub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trustKey := strings.TrimSpace(string(pubHex))
+
+	// The app ships entirely as a bundle: two components, seeded state,
+	// and a secret carried by reference — resolved from the daemon's
+	// environment at install time, never stored in the artifact.
+	spec := filepath.Join(dir, "notepad.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"app": "bundled-notepad",
+		"doc": "portable notepad distributed as a signed bundle",
+		"components": [
+			{"name": "notes", "kind": "state"},
+			{"name": "attachment", "kind": "data"}
+		],
+		"secrets": [{"key": "api-token", "ref": "ref://env/NOTEPAD_TOKEN"}],
+		"state": {"notes": {"line1": "hello from the bundle"}},
+		"data": {"attachment": "attachment-payload-0123456789"}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("NOTEPAD_TOKEN", "s3cret-from-env")
+
+	goodBundle := filepath.Join(dir, "notepad.mdab")
+	mdctl(t, bins["mdctl"], "127.0.0.1:1", "bundle", "pack",
+		"-spec", spec, "-key", filepath.Join(dir, "publisher.key"), "-out", goodBundle)
+	rogueBundle := filepath.Join(dir, "rogue.mdab")
+	mdctl(t, bins["mdctl"], "127.0.0.1:1", "bundle", "pack",
+		"-spec", spec, "-key", filepath.Join(dir, "rogue.key"), "-out", rogueBundle)
+
+	// The secret must not appear in the packed artifact.
+	rawBundle, err := os.ReadFile(goodBundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(rawBundle), "s3cret-from-env") {
+		t.Fatal("packed bundle contains the resolved secret value")
+	}
+
+	reg := startProc(t, "mdregistry", bins["mdregistry"], "-listen", "127.0.0.1:0", "-space", "lab",
+		"-store", filepath.Join(t.TempDir(), "registry"),
+		"-trust-key", trustKey, "-debug-addr", "127.0.0.1:0")
+	regAddr := addrFromLine(t, reg.waitFor(t, "serving registry@lab on ", 10*time.Second))
+	regDebug := addrFromLine(t, reg.waitFor(t, "debug on ", 10*time.Second))
+
+	outB := startProc(t, "mdagentd-B", bins["mdagentd"],
+		"-host", "hostB", "-listen", "127.0.0.1:0", "-registry", regAddr,
+		"-space", "lab", "-trust-key", trustKey, "-debug-addr", "127.0.0.1:0")
+	debugB := addrFromLine(t, outB.waitFor(t, "debug on ", 10*time.Second))
+	addrB := addrFromLine(t, outB.waitFor(t, "serving on ", 10*time.Second))
+
+	outA := startProc(t, "mdagentd-A", bins["mdagentd"],
+		"-host", "hostA", "-listen", "127.0.0.1:0", "-registry", regAddr,
+		"-space", "lab", "-peer", "hostB="+addrB,
+		"-trust-key", trustKey, "-debug-addr", "127.0.0.1:0")
+	debugA := addrFromLine(t, outA.waitFor(t, "debug on ", 10*time.Second))
+	addrA := addrFromLine(t, outA.waitFor(t, "serving on ", 10*time.Second))
+
+	// Before any push: install is the typed unknown-app refusal with a
+	// hint pointing at the bundle workflow, and errors.Is survived the
+	// wire (the CLI matched ctl.ErrUnknownApp to print the hint).
+	out := mdctlFail(t, bins["mdctl"], addrA, "install", "bundled-notepad")
+	if !strings.Contains(out, "unknown application") || !strings.Contains(out, "mdctl bundle push") {
+		t.Fatalf("install refusal missing typed error or hint:\n%s", out)
+	}
+
+	// An untrusted signature dies at the registry, typed.
+	out = mdctlFail(t, bins["mdctl"], regAddr, "bundle", "push", rogueBundle)
+	if !strings.Contains(out, "signing key is not trusted") {
+		t.Fatalf("rogue push refusal not typed:\n%s", out)
+	}
+	if n := bundleMeter(t, regDebug, "mdagent_bundle_rejected_total"); n < 1 {
+		t.Fatalf("registry rejected counter = %d after rogue push, want >= 1", n)
+	}
+
+	// The trusted bundle pushes once and is listed.
+	if out := mdctl(t, bins["mdctl"], regAddr, "bundle", "push", goodBundle); !strings.Contains(out, "pushed bundled-notepad") {
+		t.Fatalf("push output: %s", out)
+	}
+	if out := mdctl(t, bins["mdctl"], regAddr, "bundle", "list"); !strings.Contains(out, "bundled-notepad") {
+		t.Fatalf("bundle list output: %s", out)
+	}
+
+	// Both hosts install from the stored bundle — neither has a
+	// compiled-in factory for bundled-notepad.
+	mdctl(t, bins["mdctl"], addrA, "bundle", "install", "bundled-notepad")
+	mdctl(t, bins["mdctl"], addrB, "bundle", "install", "bundled-notepad")
+
+	// Run on hostA and check the instance through ps -json: the manifest
+	// components came back exactly.
+	mdctl(t, bins["mdctl"], addrA, "run", "bundled-notepad")
+	var apps []struct {
+		Name       string   `json:"Name"`
+		Host       string   `json:"Host"`
+		Running    bool     `json:"Running"`
+		Components []string `json:"Components"`
+	}
+	psOut := mdctl(t, bins["mdctl"], addrA, "-json", "ps")
+	if err := json.Unmarshal([]byte(psOut), &apps); err != nil {
+		t.Fatalf("unparseable ps JSON: %v\n%s", err, psOut)
+	}
+	found := false
+	for _, a := range apps {
+		if a.Name == "bundled-notepad" && a.Host == "hostA" && a.Running {
+			found = true
+			if got := strings.Join(a.Components, ","); got != "notes,attachment" {
+				t.Fatalf("instance components = %q, want notes,attachment", got)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("ps never listed bundled-notepad running on hostA:\n%s", psOut)
+	}
+
+	// The bundled instance migrates like a native one.
+	if out := mdctl(t, bins["mdctl"], addrA, "migrate", "bundled-notepad", "hostB"); !strings.Contains(out, "migrated bundled-notepad -> hostB") {
+		t.Fatalf("migrate output: %s", out)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		psOut := mdctl(t, bins["mdctl"], addrB, "ps")
+		ok := false
+		for _, line := range strings.Split(psOut, "\n") {
+			if strings.Contains(line, "bundled-notepad") && strings.Contains(line, "hostB") && strings.Contains(line, "true") {
+				ok = true
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hostB never listed the migrated bundle app running:\n%s", psOut)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Bundle accounting on /metrics, fleet-wide names.
+	if n := bundleMeter(t, regDebug, "mdagent_bundle_pushes_total"); n < 1 {
+		t.Fatalf("registry pushes counter = %d, want >= 1", n)
+	}
+	if n := bundleMeter(t, regDebug, "mdagent_bundle_bytes_total"); n < int64(len(rawBundle)) {
+		t.Fatalf("registry bytes counter = %d, want >= %d", n, len(rawBundle))
+	}
+	for _, dbg := range []struct{ tag, addr string }{{"hostA", debugA}, {"hostB", debugB}} {
+		if n := bundleMeter(t, dbg.addr, "mdagent_bundle_installs_total"); n < 1 {
+			t.Fatalf("%s installs counter = %d, want >= 1", dbg.tag, n)
+		}
+	}
+
+	// A tampered copy of the trusted bundle is refused before anything
+	// is stored: flip one payload byte past the header.
+	tampered := append([]byte(nil), rawBundle...)
+	tampered[len(tampered)/2] ^= 0xff
+	tamperedPath := filepath.Join(dir, "tampered.mdab")
+	if err := os.WriteFile(tamperedPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = mdctlFail(t, bins["mdctl"], regAddr, "bundle", "push", tamperedPath)
+	if !strings.Contains(out, "corrupt bundle") && !strings.Contains(out, "signature does not verify") {
+		t.Fatalf("tampered push refusal not typed:\n%s", out)
+	}
+}

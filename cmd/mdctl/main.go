@@ -70,6 +70,8 @@ commands:
   stop <app>                gracefully stop a running application
   install <app>             install an application skeleton
   migrate <app> <dest>      follow-me a running application to dest host
+  bundle <subcommand>       pack, inspect, push, list, and install signed app
+                            bundles (run "mdctl bundle" for subcommand help)
   watch                     stream typed events (see -filter, -count, -for, -from-seq)
 `
 
@@ -265,6 +267,20 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			opErr = cli.InstallApp(ctx, appName, *host)
 		}
 		if opErr != nil {
+			// An install refused with the typed unknown-app sentinel gets
+			// the remedy spelled out: the host has neither a compiled-in
+			// skeleton nor a pushed bundle for this name.
+			if cmd == "install" && errors.Is(opErr, ctl.ErrUnknownApp) {
+				hint := fmt.Sprintf("no skeleton or bundle for %q on the server; pack and push one first: "+
+					"mdctl bundle pack -spec app.json -key publisher.key -out app.mdab, then mdctl bundle push app.mdab", appName)
+				if *jsonOut {
+					_ = emit(map[string]string{"op": cmd, "app": appName, "result": "error", "error": opErr.Error(), "hint": hint})
+				}
+				return fmt.Errorf("%w\n  hint: %s", opErr, hint)
+			}
+			if *jsonOut {
+				_ = emit(map[string]string{"op": cmd, "app": appName, "result": "error", "error": opErr.Error()})
+			}
 			return opErr
 		}
 		if *jsonOut {
@@ -288,6 +304,10 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		fmt.Fprintf(out, "migrated %s -> %s: suspend %v, migrate %v, resume %v, total %v, %d bytes (delta: %v)\n",
 			res.App, res.To, res.Suspend, res.Migrate, res.Resume, res.Total(), res.BytesMoved, res.Delta)
 		return nil
+
+	case "bundle":
+		// After the re-parse above, fs.Args() starts at the subcommand.
+		return bundleCmd(ctx, fs.Args(), cli, out, *jsonOut, *host)
 
 	case "watch":
 		return watch(cli, out, stop, *jsonOut, *filter, *count, *forDur, *fromSeq)

@@ -25,6 +25,7 @@ package main
 
 import (
 	"context"
+	"crypto/ed25519"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"mdagent/internal/bundle"
 	"mdagent/internal/cluster"
 	"mdagent/internal/core"
 	"mdagent/internal/ctl"
@@ -46,6 +48,26 @@ import (
 	"mdagent/internal/store"
 	"mdagent/internal/transport"
 )
+
+// trustList accumulates repeated -trust-key hex Ed25519 public keys.
+type trustList []ed25519.PublicKey
+
+func (t *trustList) String() string {
+	parts := make([]string, 0, len(*t))
+	for _, k := range *t {
+		parts = append(parts, bundle.FormatPublicKey(k))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *trustList) Set(v string) error {
+	k, err := bundle.ParsePublicKey(v)
+	if err != nil {
+		return err
+	}
+	*t = append(*t, k)
+	return nil
+}
 
 // fedPeers accumulates repeated -fed-peer space=addr flags.
 type fedPeers map[string]string
@@ -100,6 +122,8 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 	fs.Var(peers, "fed-peer", "federated peer center space=addr (repeatable; requires -space)")
 	concern := fs.String("write-concern", "", "federation write durability: async (default), one, or quorum (requires -space)")
 	debugAddr := fs.String("debug-addr", "", "HTTP debug listen address: /metrics, /healthz, /debug/pprof (empty = off)")
+	trusted := trustList{}
+	fs.Var(&trusted, "trust-key", "trusted bundle publisher key, hex ed25519 public key (repeatable; none = refuse every bundle push)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,7 +186,7 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 
 	if *space == "" {
 		reg.Serve(node.Endpoint())
-		ctlSrv := ctl.NewServer(registryBackend(*space, reg, nil, kernel))
+		ctlSrv := ctl.NewServer(registryBackend(*space, reg, nil, kernel, trusted))
 		ctlSrv.Serve(node.Endpoint())
 		defer ctlSrv.Close()
 		fmt.Fprintf(out, "mdregistry: serving registry-center on %s (store: %s)\n", node.Addr(), storeDesc(*storePath))
@@ -183,7 +207,7 @@ func run(args []string, out io.Writer, ready func(addr string), stop <-chan stru
 		center.Serve(node.Endpoint())
 		center.Start()
 		defer center.Stop()
-		ctlSrv := ctl.NewServer(registryBackend(*space, reg, center, kernel))
+		ctlSrv := ctl.NewServer(registryBackend(*space, reg, center, kernel, trusted))
 		ctlSrv.Serve(node.Endpoint())
 		defer ctlSrv.Close()
 		fmt.Fprintf(out, "mdregistry: serving %s on %s, federated with %d peer(s) (store: %s, write concern: %s)\n",
@@ -214,10 +238,18 @@ func storeDesc(path string) string {
 	return path
 }
 
-// registryBackend is the center's control-plane surface: registry views
-// and the Watch stream. Lifecycle operations stay unsupported — a
-// registry center runs no applications.
-func registryBackend(space string, reg *registry.Registry, center *cluster.Center, kernel *ctxkernel.Kernel) ctl.Backend {
+// Bundle accounting — the same metric names every mdagent process
+// registers, so /metrics reads identically across the fleet.
+var (
+	mBundlePushes   = obs.Default.Counter("mdagent_bundle_pushes_total")
+	mBundleRejected = obs.Default.Counter("mdagent_bundle_rejected_total")
+	mBundleBytes    = obs.Default.Counter("mdagent_bundle_bytes_total")
+)
+
+// registryBackend is the center's control-plane surface: registry views,
+// bundle distribution, and the Watch stream. Lifecycle operations stay
+// unsupported — a registry center runs no applications.
+func registryBackend(space string, reg *registry.Registry, center *cluster.Center, kernel *ctxkernel.Kernel, trusted []ed25519.PublicKey) ctl.Backend {
 	b := ctl.Backend{
 		Info: func(context.Context) (ctl.ServerInfo, error) {
 			return ctl.ServerInfo{Role: "registry", Space: space}, nil
@@ -232,6 +264,45 @@ func registryBackend(space string, reg *registry.Registry, center *cluster.Cente
 				heads = center.SnapshotHeads()
 			}
 			return ctl.JoinApps(recs, heads), nil
+		},
+		PushBundle: func(ctx context.Context, name string, raw []byte) error {
+			// The center is the trust gate for the whole federation: a
+			// push lands here once and replicates everywhere, so an
+			// unsigned or untrusted artifact must die here.
+			b, err := bundle.Open(raw, trusted)
+			if err != nil {
+				mBundleRejected.Inc()
+				return fmt.Errorf("mdregistry: refuse bundle %q: %w", name, err)
+			}
+			if b.Manifest.App != name {
+				mBundleRejected.Inc()
+				return fmt.Errorf("mdregistry: refuse bundle: %w: named %q but manifest declares %q",
+					bundle.ErrCorrupt, name, b.Manifest.App)
+			}
+			if center != nil {
+				// A durability shortfall still stored the bundle locally;
+				// anti-entropy finishes the fan-out (same contract as the
+				// registry write handlers).
+				if err := center.PutBundle(ctx, name, raw); err != nil && !errors.Is(err, state.ErrNotDurable) {
+					return err
+				}
+			} else if err := reg.PutBundle(name, raw); err != nil {
+				return err
+			}
+			mBundlePushes.Inc()
+			mBundleBytes.Add(int64(len(raw)))
+			return nil
+		},
+		ListBundles: func(context.Context) ([]ctl.BundleInfo, error) {
+			infos, err := reg.Bundles()
+			if err != nil {
+				return nil, err
+			}
+			out := make([]ctl.BundleInfo, 0, len(infos))
+			for _, info := range infos {
+				out = append(out, ctl.BundleInfo{Name: info.Name, Bytes: info.Bytes})
+			}
+			return out, nil
 		},
 		Metrics: core.ObsMetrics,
 		Kernel:  kernel,

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"crypto/ed25519"
+	"fmt"
+	"time"
+
+	"mdagent/internal/app"
+	"mdagent/internal/bundle"
+	"mdagent/internal/core"
+	"mdagent/internal/netsim"
+	"mdagent/internal/wsdl"
+)
+
+// BundleResult is the portable-bundle distribution benchmark: one
+// signed push into the deployment, then an install fan-out where every
+// host fetches the stored bundle, verifies the signature, resolves the
+// secret references, and runs its own value-checked instance — no
+// compiled-in factory anywhere.
+type BundleResult struct {
+	Hosts       int
+	StateBytes  int   // initial-state payload carried by the bundle
+	BundleBytes int64 // signed wire size of the packed bundle
+
+	Pack    time.Duration // manifest + state + sign
+	Push    time.Duration // one verified store into the registry
+	Install time.Duration // full N-host fetch/verify/instantiate/run fan-out
+
+	InstallPerHost  time.Duration // Install / Hosts
+	InstancesPerSec float64       // Hosts / Install
+	BytesPerHost    int64         // bundle bytes fetched per installing host
+}
+
+// benchBundleApp is the bundle's manifest plus its initial-state wrap,
+// sized by stateBytes — a state component with a handful of settings
+// and one data blob carrying the bulk.
+func benchBundleApp(appName string, stateBytes int) (bundle.Manifest, *app.Wrap, error) {
+	desc := wsdl.Description{
+		Name: appName,
+		Doc:  "portable bench app distributed as a signed bundle",
+		Services: []wsdl.Service{{
+			Name: appName + "-service",
+			Ports: []wsdl.Port{{
+				Name:       "main",
+				Operations: []wsdl.Operation{{Name: "serve", Input: "request", Output: "reply"}},
+			}},
+		}},
+	}
+	m := bundle.Manifest{
+		App:         appName,
+		Description: desc,
+		Components: []bundle.ComponentSpec{
+			{Name: "settings", Kind: app.KindState},
+			{Name: "payload", Kind: app.KindData},
+		},
+		Profile: app.UserProfile{User: "bench"},
+		Secrets: []bundle.SecretRef{{Key: "api-token", Ref: "ref://env/BENCH_BUNDLE_TOKEN"}},
+	}
+
+	inst := app.New(appName, "bench-packer", desc)
+	settings := app.NewState("settings")
+	settings.Set("theme", "dark")
+	settings.Set("volume", "7")
+	if err := inst.AddComponent(settings); err != nil {
+		return m, nil, err
+	}
+	if err := inst.AddComponent(app.NewBlob("payload", app.KindData, bytes.Repeat([]byte{0x5a}, stateBytes))); err != nil {
+		return m, nil, err
+	}
+	w, err := inst.WrapComponents(nil)
+	if err != nil {
+		return m, nil, err
+	}
+	return m, &w, nil
+}
+
+// RunBundle measures the bundle path end to end on an in-process
+// deployment of n hosts: pack once, push once, then install and run on
+// every host, checking each instance restored the shipped state
+// byte-for-byte. The secret reference resolves from an injected env so
+// the fan-out exercises the full instantiation path, not a shortcut.
+func RunBundle(hosts, stateBytes int) (BundleResult, error) {
+	if hosts < 1 {
+		return BundleResult{}, fmt.Errorf("bench: bundle fan-out needs at least one host, got %d", hosts)
+	}
+	res := BundleResult{Hosts: hosts, StateBytes: stateBytes}
+
+	pub, priv, err := bundle.GenerateKey()
+	if err != nil {
+		return res, err
+	}
+	mw, err := core.New(core.Config{
+		Seed:        11,
+		TrustedKeys: []ed25519.PublicKey{pub},
+		Secrets: bundle.Resolver{LookupEnv: func(name string) (string, bool) {
+			if name == "BENCH_BUNDLE_TOKEN" {
+				return "bench-secret", true
+			}
+			return "", false
+		}},
+	})
+	if err != nil {
+		return res, err
+	}
+	defer mw.Close()
+	if err := mw.AddSpace("bundle-space"); err != nil {
+		return res, err
+	}
+	names := make([]string, hosts)
+	for i := range names {
+		names[i] = fmt.Sprintf("bundleHost%d", i+1)
+		if _, err := mw.AddHost(names[i], "bundle-space", netsim.PentiumM_1600(), desktop(names[i]), 0); err != nil {
+			return res, err
+		}
+	}
+
+	const appName = "bench-bundled-app"
+	start := time.Now()
+	manifest, wrap, err := benchBundleApp(appName, stateBytes)
+	if err != nil {
+		return res, err
+	}
+	raw, err := bundle.Pack(manifest, wrap, priv)
+	if err != nil {
+		return res, err
+	}
+	res.Pack = time.Since(start)
+	res.BundleBytes = int64(len(raw))
+	res.BytesPerHost = res.BundleBytes
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	start = time.Now()
+	if err := mw.PushBundle(ctx, appName, raw); err != nil {
+		return res, err
+	}
+	res.Push = time.Since(start)
+
+	want := bytes.Repeat([]byte{0x5a}, stateBytes)
+	start = time.Now()
+	for _, host := range names {
+		if err := mw.InstallBundle(ctx, appName, host); err != nil {
+			return res, fmt.Errorf("install on %s: %w", host, err)
+		}
+		rt, _ := mw.Host(host)
+		factory, ok := rt.Engine.Factory(appName)
+		if !ok {
+			return res, fmt.Errorf("install on %s left no factory", host)
+		}
+		inst := factory(host)
+		if err := rt.Engine.Run(inst); err != nil {
+			return res, fmt.Errorf("run on %s: %w", host, err)
+		}
+		// Value checks: the shipped state must have survived pack, store,
+		// fetch, and instantiation — a fast-but-wrong path scores zero.
+		if v := inst.Profile().Preferences["api-token"]; v != "bench-secret" {
+			return res, fmt.Errorf("instance on %s resolved secret %q, want %q", host, v, "bench-secret")
+		}
+		c, _ := inst.Component("payload")
+		blob, ok := c.(*app.BlobComponent)
+		if !ok {
+			return res, fmt.Errorf("instance on %s has no payload blob", host)
+		}
+		got, err := blob.Snapshot()
+		if err != nil {
+			return res, err
+		}
+		if !bytes.Equal(got, want) {
+			return res, fmt.Errorf("instance on %s restored %d payload bytes, want %d", host, len(got), len(want))
+		}
+	}
+	res.Install = time.Since(start)
+	if res.Install <= 0 {
+		res.Install = time.Millisecond
+	}
+	res.InstallPerHost = res.Install / time.Duration(hosts)
+	res.InstancesPerSec = float64(hosts) / res.Install.Seconds()
+	return res, nil
+}

@@ -1,0 +1,171 @@
+// Package bundle implements MDAgent's portable application bundles: a
+// signed, secret-free distribution format that lets any host in the
+// federation instantiate an application it has no compiled-in factory
+// for. A bundle carries a manifest (app name, interface description,
+// component catalog with kinds, OWL resource references, a user-profile
+// default, and secret *references*), plus an optional initial-state
+// frame in the internal/state MDST codec. Everything is CRC-sectioned
+// behind a magic + version byte and Ed25519-signed over the canonical
+// digest, so a tampered or unsigned bundle is refused — with a typed
+// sentinel that survives the wire — before any state is touched.
+//
+// Secrets are never carried in a bundle (per the HPRT bundle plan this
+// reproduces): the manifest lists `ref://` references which the
+// *installing* host resolves at instantiation time from its environment
+// or a -secrets-file. A bundle leaked in transit therefore leaks no
+// credentials.
+package bundle
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"strings"
+
+	"mdagent/internal/app"
+	"mdagent/internal/transport"
+	"mdagent/internal/wsdl"
+)
+
+// Version is the current bundle-format version. Decoders accept any
+// version up to this one; a bundle stamped by a newer codec is refused
+// with ErrVersion (never half-parsed).
+const Version = 1
+
+// Typed refusals. All of them are registered as cross-wire sentinels,
+// so errors.Is keeps working when the refusal happens on a remote
+// daemon and crosses back as a transport.RemoteError.
+var (
+	// ErrNotBundle marks bytes without the MDAB magic — not a bundle at
+	// all (or one truncated inside the header).
+	ErrNotBundle = errors.New("bundle: not a bundle")
+	// ErrVersion marks a bundle written by a newer codec than this
+	// build understands.
+	ErrVersion = errors.New("bundle: unsupported bundle version")
+	// ErrCorrupt marks a structurally damaged bundle: a truncated or
+	// duplicated section, a section CRC mismatch, or a manifest/state
+	// pair that contradicts itself.
+	ErrCorrupt = errors.New("bundle: corrupt bundle")
+	// ErrUnsigned marks a bundle with no signature section.
+	ErrUnsigned = errors.New("bundle: bundle is not signed")
+	// ErrBadSignature marks a bundle whose Ed25519 signature does not
+	// verify over the canonical digest — content was altered after
+	// signing (and re-CRC'd, or the CRC check would have fired first).
+	ErrBadSignature = errors.New("bundle: signature does not verify")
+	// ErrUntrustedKey marks a correctly signed bundle whose signing key
+	// is not in the verifier's trusted set.
+	ErrUntrustedKey = errors.New("bundle: signing key is not trusted")
+	// ErrSecret marks a secret reference the installing host could not
+	// resolve (unknown scheme, or the env var / secrets-file key is
+	// absent).
+	ErrSecret = errors.New("bundle: unresolved secret reference")
+)
+
+func init() {
+	for _, err := range []error{
+		ErrNotBundle, ErrVersion, ErrCorrupt, ErrUnsigned,
+		ErrBadSignature, ErrUntrustedKey, ErrSecret,
+	} {
+		transport.RegisterWireSentinel(err)
+	}
+}
+
+// ComponentSpec declares one component the installing host must
+// assemble: a name and a kind from the existing catalog (logic, ui,
+// data, state). State kinds instantiate as StateComponent; everything
+// else as a BlobComponent, optionally filled by the initial-state frame.
+type ComponentSpec struct {
+	Name string
+	Kind app.ComponentKind
+}
+
+// SecretRef is a secret carried by reference, never by value. Key names
+// the profile preference the resolved value lands in; Ref is a
+// `ref://env/NAME` or `ref://file/KEY` locator resolved by the
+// installing host at instantiation time.
+type SecretRef struct {
+	Key string
+	Ref string
+}
+
+// Manifest is the signed description of a portable application.
+type Manifest struct {
+	// App is the application name instances register under.
+	App string
+	// Description is the WSDL-like interface description registered at
+	// the registry center, exactly as a compiled-in factory would.
+	Description wsdl.Description
+	// Components lists what the host must assemble, in order.
+	Components []ComponentSpec
+	// Resources are OWL resource references (individual IDs in the imcl
+	// namespace) the application binds at instantiation.
+	Resources []string
+	// Profile is the default user profile applied when the bundle
+	// carries no initial state.
+	Profile app.UserProfile
+	// Secrets are references resolved at instantiation — see SecretRef.
+	Secrets []SecretRef
+}
+
+// Validate checks the manifest is instantiable: a named app, a valid
+// interface description, at least one uniquely-named component of a
+// known kind, and well-formed secret references.
+func (m *Manifest) Validate() error {
+	if m.App == "" {
+		return fmt.Errorf("%w: manifest has no app name", ErrCorrupt)
+	}
+	if err := m.Description.Validate(); err != nil {
+		return fmt.Errorf("%w: manifest description: %v", ErrCorrupt, err)
+	}
+	if len(m.Components) == 0 {
+		return fmt.Errorf("%w: manifest %s declares no components", ErrCorrupt, m.App)
+	}
+	seen := make(map[string]bool, len(m.Components))
+	for _, c := range m.Components {
+		if c.Name == "" {
+			return fmt.Errorf("%w: manifest %s has an unnamed component", ErrCorrupt, m.App)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("%w: manifest %s duplicates component %q", ErrCorrupt, m.App, c.Name)
+		}
+		seen[c.Name] = true
+		switch c.Kind {
+		case app.KindLogic, app.KindUI, app.KindData, app.KindState:
+		default:
+			return fmt.Errorf("%w: manifest %s component %q has invalid kind %d",
+				ErrCorrupt, m.App, c.Name, c.Kind)
+		}
+	}
+	for _, s := range m.Secrets {
+		if s.Key == "" {
+			return fmt.Errorf("%w: manifest %s has a secret with no key", ErrCorrupt, m.App)
+		}
+		if !strings.HasPrefix(s.Ref, RefScheme) {
+			return fmt.Errorf("%w: manifest %s secret %q: reference %q is not a %s locator",
+				ErrCorrupt, m.App, s.Key, s.Ref, RefScheme)
+		}
+	}
+	return nil
+}
+
+// Component reports the declared kind of a component name.
+func (m *Manifest) Component(name string) (app.ComponentKind, bool) {
+	for _, c := range m.Components {
+		if c.Name == name {
+			return c.Kind, true
+		}
+	}
+	return 0, false
+}
+
+// Bundle is a parsed, signature-checked bundle.
+type Bundle struct {
+	Manifest Manifest
+	// State is the optional initial-state wrap (nil when the bundle
+	// ships skeleton components only).
+	State *app.Wrap
+	// Key is the Ed25519 public key the bundle was signed with. Inspect
+	// verifies the signature against it; Open additionally requires it
+	// to be in the trusted set.
+	Key ed25519.PublicKey
+}

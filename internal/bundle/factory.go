@@ -1,0 +1,92 @@
+package bundle
+
+import (
+	"fmt"
+
+	"mdagent/internal/app"
+	"mdagent/internal/owl"
+	"mdagent/internal/rdf"
+)
+
+// Instantiate turns an opened bundle into an application factory — the
+// same func(host) *app.Application shape Engine.InstallFactory takes
+// for compiled-in apps, so a bundled app is indistinguishable from a
+// native one downstream (run, migrate, replicate, failover).
+//
+// Secrets are resolved once, eagerly, before the factory is returned:
+// a host that cannot satisfy every reference refuses the install with
+// ErrSecret instead of minting instances that fail later. The factory
+// itself cannot return an error (the Engine's contract), so Instantiate
+// also dry-runs one full assembly to surface state-restore failures at
+// install time.
+func Instantiate(b *Bundle, resolver Resolver) (func(host string) *app.Application, error) {
+	if err := b.Manifest.Validate(); err != nil {
+		return nil, err
+	}
+	secrets, err := resolver.ResolveAll(b.Manifest.Secrets)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: instantiate %s: %w", b.Manifest.App, err)
+	}
+
+	build := func(host string) (*app.Application, error) {
+		m := &b.Manifest
+		a := app.New(m.App, host, m.Description)
+		for _, spec := range m.Components {
+			var c app.Component
+			if spec.Kind == app.KindState {
+				c = app.NewState(spec.Name)
+			} else {
+				c = app.NewBlob(spec.Name, spec.Kind, nil)
+			}
+			if err := a.AddComponent(c); err != nil {
+				return nil, err
+			}
+		}
+		for _, ref := range m.Resources {
+			a.BindResource(owl.Resource{
+				ID:            ref,
+				Class:         rdf.IMCL("Resource"),
+				Substitutable: true,
+				Host:          host,
+			})
+		}
+		profile := m.Profile
+		if b.State != nil {
+			if err := a.Unwrap(*b.State); err != nil {
+				return nil, err
+			}
+			// Unwrap installed the wrap's profile; it wins over the
+			// manifest default when it names a user.
+			if p := a.Profile(); p.User != "" || len(p.Preferences) != 0 {
+				profile = p
+			}
+		}
+		// Overlay resolved secrets onto a per-instance copy of the
+		// preferences — instances must never share (or retain a
+		// reference into) the manifest's map.
+		prefs := make(map[string]string, len(profile.Preferences)+len(secrets))
+		for k, v := range profile.Preferences {
+			prefs[k] = v
+		}
+		for k, v := range secrets {
+			prefs[k] = v
+		}
+		a.SetProfile(app.UserProfile{User: profile.User, Preferences: prefs})
+		return a, nil
+	}
+
+	// Dry-run: fail at install time, not first run.
+	if _, err := build("bundle-dry-run"); err != nil {
+		return nil, fmt.Errorf("%w: instantiate %s: %v", ErrCorrupt, b.Manifest.App, err)
+	}
+
+	return func(host string) *app.Application {
+		a, err := build(host)
+		if err != nil {
+			// The dry-run proved the bundle assembles; a failure here
+			// would be a programming error, not input.
+			panic(fmt.Sprintf("bundle: factory %s: %v", b.Manifest.App, err))
+		}
+		return a
+	}, nil
+}

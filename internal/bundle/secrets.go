@@ -1,0 +1,108 @@
+package bundle
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// RefScheme prefixes every secret locator a manifest may carry.
+const RefScheme = "ref://"
+
+// Resolver resolves `ref://` secret locators on the installing host.
+// Two sources exist:
+//
+//	ref://env/NAME  — the NAME environment variable
+//	ref://file/KEY  — the KEY entry of the host's -secrets-file
+//
+// The zero Resolver resolves env references from the real process
+// environment and has no file entries; tests inject LookupEnv.
+type Resolver struct {
+	// LookupEnv overrides os.LookupEnv when non-nil.
+	LookupEnv func(string) (string, bool)
+	// File holds the parsed -secrets-file entries.
+	File map[string]string
+}
+
+// LoadSecretsFile parses a key=value secrets file (one entry per line;
+// blank lines and #-comments ignored) into a Resolver.
+func LoadSecretsFile(path string) (Resolver, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Resolver{}, fmt.Errorf("bundle: secrets file: %w", err)
+	}
+	defer f.Close()
+	entries := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(text, "=")
+		key = strings.TrimSpace(key)
+		if !ok || key == "" {
+			return Resolver{}, fmt.Errorf("bundle: secrets file %s:%d: want key=value", path, line)
+		}
+		entries[key] = strings.TrimSpace(val)
+	}
+	if err := sc.Err(); err != nil {
+		return Resolver{}, fmt.Errorf("bundle: secrets file %s: %w", path, err)
+	}
+	return Resolver{File: entries}, nil
+}
+
+// Resolve maps one locator to its secret value. Failures wrap
+// ErrSecret, which crosses the wire typed, and the error never echoes a
+// resolved value — only the locator.
+func (r Resolver) Resolve(ref string) (string, error) {
+	rest, ok := strings.CutPrefix(ref, RefScheme)
+	if !ok {
+		return "", fmt.Errorf("%w: %q is not a %s locator", ErrSecret, ref, RefScheme)
+	}
+	source, name, ok := strings.Cut(rest, "/")
+	if !ok || name == "" {
+		return "", fmt.Errorf("%w: malformed locator %q", ErrSecret, ref)
+	}
+	switch source {
+	case "env":
+		lookup := r.LookupEnv
+		if lookup == nil {
+			lookup = os.LookupEnv
+		}
+		v, found := lookup(name)
+		if !found {
+			return "", fmt.Errorf("%w: environment variable %s is not set", ErrSecret, name)
+		}
+		return v, nil
+	case "file":
+		v, found := r.File[name]
+		if !found {
+			return "", fmt.Errorf("%w: secrets file has no entry %q", ErrSecret, name)
+		}
+		return v, nil
+	default:
+		return "", fmt.Errorf("%w: unknown source %q in %q", ErrSecret, source, ref)
+	}
+}
+
+// ResolveAll resolves every manifest secret reference, failing on the
+// first locator the host cannot satisfy — instantiation is all-or-
+// nothing, never a partially-configured instance.
+func (r Resolver) ResolveAll(refs []SecretRef) (map[string]string, error) {
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]string, len(refs))
+	for _, ref := range refs {
+		v, err := r.Resolve(ref.Ref)
+		if err != nil {
+			return nil, fmt.Errorf("secret %q: %w", ref.Key, err)
+		}
+		out[ref.Key] = v
+	}
+	return out, nil
+}

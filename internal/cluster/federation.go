@@ -795,6 +795,36 @@ func (c *Center) RegisterDevice(ctx context.Context, dev wsdl.DeviceProfile) err
 	return c.write(ctx, Record{Key: "dev/" + dev.Host, Kind: RecordDevice, Dev: dev})
 }
 
+// PutBundle stores a signed app bundle federation-wide: one push to any
+// center replicates the bundle to every space under the configured
+// write concern, so any host in the federation can install it. The
+// center stores the bytes opaquely — the pushing daemon verified the
+// signature against its trusted set, and every installing host verifies
+// again before instantiating.
+func (c *Center) PutBundle(ctx context.Context, name string, raw []byte) error {
+	if name == "" {
+		return fmt.Errorf("cluster: bundle has no name")
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("cluster: bundle %q is empty", name)
+	}
+	return c.write(ctx, Record{
+		Key:  "bundle/" + name,
+		Kind: RecordBundle,
+		Bdl:  registry.BundleRecord{Name: name, Raw: raw},
+	})
+}
+
+// GetBundle reads a bundle from the replicated view.
+func (c *Center) GetBundle(_ context.Context, name string) ([]byte, bool, error) {
+	return c.reg.GetBundle(name)
+}
+
+// Bundles lists the bundles in the replicated view.
+func (c *Center) Bundles(_ context.Context) ([]registry.BundleInfo, error) {
+	return c.reg.Bundles()
+}
+
 // write stamps a locally originated record and replicates it under the
 // center's configured write concern.
 func (c *Center) write(ctx context.Context, r Record) error {
@@ -971,6 +1001,11 @@ func (c *Center) applyToRegistry(r Record) error {
 		// Snapshots live only in the replication table (and its persisted
 		// mirror); the registry proper never sees them.
 		return nil
+	case RecordBundle:
+		if r.Deleted {
+			return c.reg.DeleteBundle(r.Bdl.Name)
+		}
+		return c.reg.PutBundle(r.Bdl.Name, r.Bdl.Raw)
 	}
 	return fmt.Errorf("cluster: unknown record kind %d", r.Kind)
 }
@@ -1042,6 +1077,16 @@ func (c *Center) Serve(ep *transport.Endpoint) *Center {
 			return nil, err
 		}
 		return nil, stripNotDurable(c.RegisterDevice(context.Background(), dev))
+	})
+	ep.Handle(registry.MsgPutBundle, func(msg transport.Message) ([]byte, error) {
+		var req struct {
+			Name string
+			Raw  []byte
+		}
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		return nil, stripNotDurable(c.PutBundle(context.Background(), req.Name, req.Raw))
 	})
 	// Snapshot put/get: multi-process daemons (cmd/mdagentd) join the
 	// state pipeline over the same wire as their registry traffic. The

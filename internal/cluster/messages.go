@@ -80,11 +80,15 @@ const (
 	RecordResource
 	RecordDevice
 	RecordSnapshot // an application's latest replicated state snapshot
+	RecordBundle   // a signed portable app bundle (raw, signature-checked at install)
 )
 
 // Record is one versioned, replicated registry entry. Exactly one of App,
-// Res, Dev, Snap is meaningful, selected by Kind; gob cannot carry
+// Res, Dev, Snap, Bdl is meaningful, selected by Kind; gob cannot carry
 // interfaces without registration churn, so the union is explicit.
+// (Adding a union arm is gob-additive: old decoders ignore the unknown
+// field, and old centers never receive RecordBundle pushes they would
+// misfile because applyToRegistry rejects unknown kinds.)
 type Record struct {
 	Key     string // store key, e.g. "app/hostA/smart-media-player"
 	Kind    RecordKind
@@ -96,6 +100,7 @@ type Record struct {
 	Res  owl.Resource
 	Dev  wsdl.DeviceProfile
 	Snap state.SnapshotRecord
+	Bdl  registry.BundleRecord
 }
 
 // digestMsg asks a peer center for every record the sender's digest has

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"mdagent/internal/bundle"
+	"mdagent/internal/ctl"
+	"mdagent/internal/obs"
+	"mdagent/internal/registry"
+)
+
+// Bundle accounting, process-wide. The cmd daemons register the same
+// names into obs.Default, so /metrics reads identically whether the
+// deployment is in-process or multi-process.
+var (
+	mBundlePushes   = obs.Default.Counter("mdagent_bundle_pushes_total")
+	mBundleInstalls = obs.Default.Counter("mdagent_bundle_installs_total")
+	mBundleRejected = obs.Default.Counter("mdagent_bundle_rejected_total")
+	mBundleBytes    = obs.Default.Counter("mdagent_bundle_bytes_total")
+)
+
+// PushBundle verifies a signed app bundle against the deployment's
+// trusted keys and stores it: at the first space's federated center
+// when clustered (whence it replicates everywhere), else at the single
+// registry. The bundle must be named for its manifest's app — storing
+// it under any other key would let an installer fetch a verified-but-
+// wrong artifact.
+func (m *Middleware) PushBundle(ctx context.Context, name string, raw []byte) error {
+	if _, err := m.verifyBundle(name, raw); err != nil {
+		return err
+	}
+	mBundlePushes.Inc()
+	if m.Cluster != nil {
+		for _, space := range m.Cluster.Spaces() {
+			if center, ok := m.Cluster.Center(space); ok {
+				return ignoreNotDurable(center.PutBundle(ctx, name, raw))
+			}
+		}
+	}
+	return m.Registry.PutBundle(name, raw)
+}
+
+// ListBundles lists the stored bundles, deduplicated across the
+// federation's centers when clustered.
+func (m *Middleware) ListBundles(context.Context) ([]registry.BundleInfo, error) {
+	if m.Cluster == nil {
+		return m.Registry.Bundles()
+	}
+	seen := make(map[string]registry.BundleInfo)
+	for _, space := range m.Cluster.Spaces() {
+		center, ok := m.Cluster.Center(space)
+		if !ok {
+			continue
+		}
+		infos, err := center.Bundles(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		for _, info := range infos {
+			seen[info.Name] = info
+		}
+	}
+	out := make([]registry.BundleInfo, 0, len(seen))
+	for _, info := range seen {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// InstallBundle assembles an application factory from a stored, signed
+// bundle and installs it on host — the generic arm of InstallApp: no
+// compiled-in factory needed, the manifest is the skeleton. The bundle
+// is re-verified here even though the push path already did, because in
+// a federation the bytes may have arrived via replication from a center
+// this deployment never vetted.
+func (m *Middleware) InstallBundle(ctx context.Context, appName, host string) error {
+	rt, ok := m.Host(host)
+	if !ok {
+		return fmt.Errorf("core: %w: %q", ctl.ErrUnknownHost, host)
+	}
+	raw, found, err := m.getBundle(ctx, rt.Space, appName)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("core: %w: %q (push its bundle first)", ctl.ErrUnknownApp, appName)
+	}
+	b, err := m.verifyBundle(appName, raw)
+	if err != nil {
+		return err
+	}
+	factory, err := bundle.Instantiate(b, m.cfg.Secrets)
+	if err != nil {
+		mBundleRejected.Inc()
+		return fmt.Errorf("core: instantiate bundle %q: %w", appName, err)
+	}
+	rt.Engine.InstallFactory(appName, factory)
+	specs := b.Manifest.Components
+	components := make([]string, 0, len(specs))
+	for _, spec := range specs {
+		components = append(components, spec.Name)
+	}
+	if err := m.registerApp(ctx, registry.AppRecord{
+		Name: appName, Host: host, Space: rt.Space,
+		Description: b.Manifest.Description, Components: components,
+	}); err != nil {
+		return err
+	}
+	mBundleInstalls.Inc()
+	return nil
+}
+
+// verifyBundle opens raw against the deployment's trusted keys and
+// checks the manifest names the app it was stored (or pushed) as. Every
+// refusal books a rejection metric; every acceptance books the payload
+// bytes.
+func (m *Middleware) verifyBundle(name string, raw []byte) (*bundle.Bundle, error) {
+	b, err := bundle.Open(raw, m.cfg.TrustedKeys)
+	if err != nil {
+		mBundleRejected.Inc()
+		return nil, fmt.Errorf("core: refuse bundle %q: %w", name, err)
+	}
+	if b.Manifest.App != name {
+		mBundleRejected.Inc()
+		return nil, fmt.Errorf("core: refuse bundle: %w: named %q but manifest declares %q",
+			bundle.ErrCorrupt, name, b.Manifest.App)
+	}
+	mBundleBytes.Add(int64(len(raw)))
+	return b, nil
+}
+
+// getBundle reads a stored bundle, preferring the installing host's own
+// space center (federation replication makes any center equivalent once
+// converged; mid-replication the local one is what the host can reach).
+func (m *Middleware) getBundle(ctx context.Context, space, name string) ([]byte, bool, error) {
+	if m.Cluster == nil {
+		return m.Registry.GetBundle(name)
+	}
+	spaces := append([]string{space}, m.Cluster.Spaces()...)
+	for _, sp := range spaces {
+		center, ok := m.Cluster.Center(sp)
+		if !ok {
+			continue
+		}
+		raw, found, err := center.GetBundle(ctx, name)
+		if err != nil || found {
+			return raw, found, err
+		}
+	}
+	return nil, false, nil
+}
+
+// ctlListBundles adapts ListBundles to the control plane's reply shape.
+func (m *Middleware) ctlListBundles(ctx context.Context) ([]ctl.BundleInfo, error) {
+	infos, err := m.ListBundles(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ctl.BundleInfo, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, ctl.BundleInfo{Name: info.Name, Bytes: info.Bytes})
+	}
+	return out, nil
+}
+
+// ctlInstall serves the control plane's plain install op: a compiled-in
+// skeleton factory when the engine holds one, else the stored bundle,
+// else the typed ErrUnknownApp refusal.
+func (m *Middleware) ctlInstall(ctx context.Context, appName, host string) error {
+	rt, ok := m.Host(host)
+	if !ok {
+		return fmt.Errorf("core: %w: %q", ctl.ErrUnknownHost, host)
+	}
+	if factory, ok := rt.Engine.Factory(appName); ok {
+		inst := factory(host)
+		return m.registerApp(ctx, registry.AppRecord{
+			Name: appName, Host: host, Space: rt.Space,
+			Description: inst.Description(), Components: inst.Components(),
+		})
+	}
+	return m.InstallBundle(ctx, appName, host)
+}

@@ -23,16 +23,20 @@ func (m *Middleware) ControlBackend() ctl.Backend {
 		Info: func(context.Context) (ctl.ServerInfo, error) {
 			return ctl.ServerInfo{Role: "middleware"}, nil
 		},
-		Members:   m.ctlMembers,
-		Apps:      m.ctlApps,
-		Snapshots: m.ctlSnapshots,
-		Stats:     m.ctlStats,
-		RunApp:    m.ctlRunApp,
-		StopApp:   m.ctlStopApp,
-		Migrate:   m.ctlMigrate,
-		Metrics:   ObsMetrics,
-		Trace:     ObsTrace,
-		Kernel:    m.Kernel,
+		Members:       m.ctlMembers,
+		Apps:          m.ctlApps,
+		Snapshots:     m.ctlSnapshots,
+		Stats:         m.ctlStats,
+		RunApp:        m.ctlRunApp,
+		StopApp:       m.ctlStopApp,
+		Migrate:       m.ctlMigrate,
+		Install:       m.ctlInstall,
+		PushBundle:    m.PushBundle,
+		ListBundles:   m.ctlListBundles,
+		InstallBundle: m.InstallBundle,
+		Metrics:       ObsMetrics,
+		Trace:         ObsTrace,
+		Kernel:        m.Kernel,
 	}
 }
 

@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"crypto/ed25519"
 	"errors"
 	"fmt"
 	"sort"
@@ -17,6 +18,7 @@ import (
 
 	"mdagent/internal/agents"
 	"mdagent/internal/app"
+	"mdagent/internal/bundle"
 	"mdagent/internal/cluster"
 	"mdagent/internal/ctl"
 	"mdagent/internal/ctxkernel"
@@ -62,6 +64,14 @@ type Config struct {
 	// automatic failover re-homing of a dead host's applications. Nil
 	// (the default) keeps the paper's single-center topology.
 	Cluster *cluster.Config
+	// TrustedKeys are the Ed25519 publisher keys this deployment accepts
+	// signed app bundles from. Empty refuses every bundle (push and
+	// install) with bundle.ErrUntrustedKey — trust is opt-in.
+	TrustedKeys []ed25519.PublicKey
+	// Secrets resolves the ref:// secret references a bundle's manifest
+	// declares, at instantiation time. The zero Resolver reads only the
+	// process environment.
+	Secrets bundle.Resolver
 }
 
 // Kernel topics published by the cluster layer (canonical strings live in

@@ -143,10 +143,41 @@ func (c *Client) Migrate(ctx context.Context, req MigrateRequest) (MigrateResult
 	return res, nil
 }
 
-// InstallApp installs a named application skeleton on host ("" = the
-// serving host).
+// InstallApp installs a named application on host ("" = the serving
+// host): a compiled-in skeleton when the host has one, else its stored
+// bundle. A host with neither fails with ErrUnknownApp.
 func (c *Client) InstallApp(ctx context.Context, app, host string) error {
 	return c.call(ctx, MsgInstall, runReq{App: app, Host: host}, nil)
+}
+
+// PushBundle uploads a signed app bundle to the serving center/host,
+// which verifies it against its trusted keys and (when federated)
+// replicates it to every space. The payload rides a v2 fast frame
+// unless ForceProto pins the client below v2 — a multi-megabyte bundle
+// skips gob's reflection walk and byte-slice re-copy.
+func (c *Client) PushBundle(ctx context.Context, name string, raw []byte) error {
+	if c.ForceProto != 0 && c.ForceProto < transport.ProtoV2 {
+		return c.call(ctx, MsgBundlePush, bundlePushReq{Name: name, Raw: raw}, nil)
+	}
+	body := transport.AppendString(make([]byte, 0, len(name)+len(raw)+16), name)
+	body = transport.AppendBytes(body, raw)
+	payload := transport.SealFast(transport.OpBundlePush, body)
+	return c.ep.RequestDecode(ctx, c.server, MsgBundlePush, payload, nil)
+}
+
+// Bundles lists the bundles stored at the serving center/host.
+func (c *Client) Bundles(ctx context.Context) ([]BundleInfo, error) {
+	var out []BundleInfo
+	if err := c.call(ctx, MsgBundleList, struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InstallBundle instantiates a stored bundle on host ("" = the serving
+// host), skipping any compiled-in factory of the same name.
+func (c *Client) InstallBundle(ctx context.Context, app, host string) error {
+	return c.call(ctx, MsgBundleInstall, bundleInstallReq{App: app, Host: host}, nil)
 }
 
 // --- Watch: server-streamed typed events. ---

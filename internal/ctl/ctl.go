@@ -49,6 +49,15 @@ const (
 	MsgInstall   = "ctl.install"
 	MsgWatch     = "ctl.watch"
 	MsgUnwatch   = "ctl.unwatch"
+	// MsgBundlePush uploads a signed app bundle. The request payload is
+	// either a v2 fast frame (transport.OpBundlePush: name + raw bytes —
+	// the hot path for multi-megabyte bundles) or a v1 gob seal; the
+	// server sniffs the version byte, like the snapshot-put handler.
+	MsgBundlePush = "ctl.bundle-push"
+	// MsgBundleList lists the bundles stored at the serving center/host.
+	MsgBundleList = "ctl.bundle-list"
+	// MsgBundleInstall instantiates a stored bundle on the serving host.
+	MsgBundleInstall = "ctl.bundle-install"
 	// MsgMetrics snapshots the server process's obs metrics registry.
 	MsgMetrics = "ctl.metrics"
 	// MsgTrace returns an app's latest migration trace (obs.MigrationTrace).
@@ -88,6 +97,13 @@ var (
 	// oldest retained event, or ahead of the stream). Callers fall back
 	// to a live watch from now.
 	ErrReplayGap = errors.New("mdagent: replay seq outside the retained event ring")
+	// ErrUnknownApp reports an install of an application the target host
+	// can not assemble: no compiled-in factory AND no stored bundle.
+	// Distinct from ErrUnsupported (the endpoint serves installs, it
+	// just has nothing to install) and from ErrAppNotFound (which is
+	// about running instances, not installable artifacts). Remedy:
+	// `mdctl bundle push` the app's bundle first.
+	ErrUnknownApp = errors.New("mdagent: unknown application (no factory or bundle)")
 	// ErrVersion aliases transport.ErrVersion: the request's protocol
 	// version byte was refused by the server.
 	ErrVersion = transport.ErrVersion
@@ -101,6 +117,7 @@ func init() {
 	transport.RegisterWireSentinel(ErrAppNotFound)
 	transport.RegisterWireSentinel(ErrUnsupported)
 	transport.RegisterWireSentinel(ErrReplayGap)
+	transport.RegisterWireSentinel(ErrUnknownApp)
 }
 
 // ServerInfo describes a control-plane endpoint.
@@ -222,9 +239,27 @@ func JoinApps(recs []registry.AppRecord, heads []state.SnapshotHead) []AppInfo {
 	return out
 }
 
+// BundleInfo is one stored bundle in a bundle.list reply.
+type BundleInfo struct {
+	Name  string
+	Bytes int64
+}
+
 // Wire bodies (gob-encoded inside the sealed payload).
 type (
 	runReq struct{ App, Host string }
+
+	// bundlePushReq is the v1 (gob) form of a bundle push; v2 clients
+	// send a fast frame instead (see MsgBundlePush).
+	bundlePushReq struct {
+		Name string
+		Raw  []byte
+	}
+
+	// bundleInstallReq asks the serving host to instantiate a stored
+	// bundle. Host selects the target on a multi-host (in-process)
+	// server; "" means the server's own host.
+	bundleInstallReq struct{ App, Host string }
 
 	watchReq struct {
 		ID uint64

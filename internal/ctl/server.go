@@ -26,6 +26,13 @@ type Backend struct {
 	StopApp   func(ctx context.Context, app, host string) error
 	Migrate   func(ctx context.Context, req MigrateRequest) (MigrateResult, error)
 	Install   func(ctx context.Context, app, host string) error
+	// PushBundle stores a signed app bundle at the serving center/host
+	// (verification against the trusted keys happens in the backend).
+	PushBundle func(ctx context.Context, name string, raw []byte) error
+	// ListBundles lists the bundles stored at the serving center/host.
+	ListBundles func(ctx context.Context) ([]BundleInfo, error)
+	// InstallBundle instantiates a stored bundle on the serving host.
+	InstallBundle func(ctx context.Context, app, host string) error
 	// Metrics snapshots the server process's obs registry.
 	Metrics func(ctx context.Context) ([]obs.Sample, error)
 	// Trace returns the latest migration trace for an app.
@@ -324,6 +331,59 @@ func (s *Server) Serve(ep *transport.Endpoint) *Server {
 			return nil, fmt.Errorf("%w: install", ErrUnsupported)
 		}
 		return nil, s.b.Install(ctx, req.App, req.Host)
+	}))
+	ep.Handle(MsgBundlePush, func(msg transport.Message) ([]byte, error) {
+		if s.b.PushBundle == nil {
+			return nil, fmt.Errorf("%w: bundle-push", ErrUnsupported)
+		}
+		var name string
+		var raw []byte
+		// The hot path is a v2 fast frame (no gob copy of a
+		// multi-megabyte payload); a v1 gob seal is the fallback. Any
+		// other version byte falls through to DecodeSealed's typed
+		// ErrVersion refusal.
+		if transport.IsFast(msg.Payload) {
+			op, body, err := transport.OpenFast(msg.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if op != transport.OpBundlePush {
+				return nil, fmt.Errorf("ctl: bundle-push got fast opcode %#x", op)
+			}
+			r := transport.NewFastReader(body)
+			name = r.String()
+			// FastReader.Bytes aliases the frame; the bundle outlives
+			// this handler (it lands in the store), so copy.
+			raw = append([]byte(nil), r.Bytes()...)
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+		} else {
+			var req bundlePushReq
+			if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
+				return nil, err
+			}
+			name, raw = req.Name, req.Raw
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.timeout())
+		defer cancel()
+		return nil, s.b.PushBundle(ctx, name, raw)
+	})
+	ep.Handle(MsgBundleList, handle(s, func(ctx context.Context, _ struct{}) (any, error) {
+		if s.b.ListBundles == nil {
+			return nil, fmt.Errorf("%w: bundle-list", ErrUnsupported)
+		}
+		out, err := s.b.ListBundles(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}))
+	ep.Handle(MsgBundleInstall, handle(s, func(ctx context.Context, req bundleInstallReq) (any, error) {
+		if s.b.InstallBundle == nil {
+			return nil, fmt.Errorf("%w: bundle-install", ErrUnsupported)
+		}
+		return nil, s.b.InstallBundle(ctx, req.App, req.Host)
 	}))
 	ep.Handle(MsgMetrics, handle(s, func(ctx context.Context, _ struct{}) (any, error) {
 		if s.b.Metrics == nil {

@@ -22,6 +22,9 @@ const (
 	MsgQuery            = "registry.query"
 	MsgPlanRebinding    = "registry.plan-rebinding"
 	MsgListApps         = "registry.list-apps"
+	MsgPutBundle        = "registry.put-bundle"
+	MsgGetBundle        = "registry.get-bundle"
+	MsgListBundles      = "registry.list-bundles"
 )
 
 // Every request payload is sealed with a protocol version byte
@@ -49,6 +52,18 @@ type (
 
 	deviceReply struct {
 		Dev   wsdl.DeviceProfile
+		Found bool
+	}
+
+	putBundleReq struct {
+		Name string
+		Raw  []byte
+	}
+
+	getBundleReq struct{ Name string }
+
+	getBundleReply struct {
+		Raw   []byte
 		Found bool
 	}
 )
@@ -168,6 +183,34 @@ func (r *Registry) Serve(ep *transport.Endpoint) *Registry {
 		}
 		return transport.Encode(plan)
 	})
+	ep.Handle(MsgPutBundle, func(msg transport.Message) ([]byte, error) {
+		var req putBundleReq
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		return nil, r.PutBundle(req.Name, req.Raw)
+	})
+	ep.Handle(MsgGetBundle, func(msg transport.Message) ([]byte, error) {
+		var req getBundleReq
+		if err := transport.DecodeSealed(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		raw, found, err := r.GetBundle(req.Name)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(getBundleReply{Raw: raw, Found: found})
+	})
+	ep.Handle(MsgListBundles, func(msg transport.Message) ([]byte, error) {
+		if _, err := transport.Open(msg.Payload); err != nil {
+			return nil, err
+		}
+		infos, err := r.Bundles()
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(infos)
+	})
 	return r
 }
 
@@ -272,6 +315,31 @@ func (c *Client) Query(ctx context.Context, q string) ([]map[string]string, erro
 		return nil, err
 	}
 	return rows, nil
+}
+
+// PutBundle stores a bundle's raw bytes at the center. Against a
+// federated center this routes through the replication machinery (the
+// center shadows the handler), so one push fans out to every space.
+func (c *Client) PutBundle(ctx context.Context, name string, raw []byte) error {
+	return c.call(ctx, MsgPutBundle, putBundleReq{Name: name, Raw: raw}, nil)
+}
+
+// GetBundle fetches a stored bundle's bytes.
+func (c *Client) GetBundle(ctx context.Context, name string) ([]byte, bool, error) {
+	var reply getBundleReply
+	if err := c.call(ctx, MsgGetBundle, getBundleReq{Name: name}, &reply); err != nil {
+		return nil, false, err
+	}
+	return reply.Raw, reply.Found, nil
+}
+
+// Bundles lists the bundles stored at the center.
+func (c *Client) Bundles(ctx context.Context) ([]BundleInfo, error) {
+	var infos []BundleInfo
+	if err := c.call(ctx, MsgListBundles, struct{}{}, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
 }
 
 // PlanRebinding asks the registry for a rebinding plan.

@@ -35,6 +35,10 @@ const (
 	OpSnapPutBatchReply byte = 0x04
 	// OpEventBatch carries a watch-id-tagged run of sequenced events.
 	OpEventBatch byte = 0x10
+	// OpBundlePush carries one signed app bundle (name + raw bytes) —
+	// the bundle-distribution hot path, where a multi-megabyte payload
+	// makes gob's reflection and copy costs visible.
+	OpBundlePush byte = 0x20
 )
 
 // SealFast frames a fast-path body: [ProtoV2][opcode][body].

@@ -50,6 +50,7 @@ package mdagent
 import (
 	"mdagent/internal/agents"
 	"mdagent/internal/app"
+	"mdagent/internal/bundle"
 	"mdagent/internal/cluster"
 	"mdagent/internal/core"
 	"mdagent/internal/ctl"
@@ -273,6 +274,63 @@ func ApplyDelta(base Wrap, d WrapDelta) (Wrap, error) { return state.ApplyDelta(
 // pipeline chains captures with.
 func WrapDigest(w Wrap) [32]byte { return state.WrapDigest(w) }
 
+// Portable app bundles (signed, secret-free app distribution). A bundle
+// packs an application's manifest — components, resource references, an
+// optional initial-state frame — into one Ed25519-signed artifact that
+// any host in the federation can instantiate without a compiled-in
+// factory. Secrets never ride in a bundle: the manifest carries ref://
+// references that a Resolver answers from the environment or a secrets
+// file at install time. Push one bundle to any registry center
+// (Middleware.PushBundle, `mdctl bundle push`) and every space
+// replicates it; install anywhere with Middleware.InstallBundle.
+type (
+	// Bundle is a verified (or inspected) portable app bundle.
+	Bundle = bundle.Bundle
+	// BundleManifest declares what a bundle assembles.
+	BundleManifest = bundle.Manifest
+	// BundleComponentSpec is one declared component (name + kind).
+	BundleComponentSpec = bundle.ComponentSpec
+	// BundleSecretRef is one named ref:// secret reference.
+	BundleSecretRef = bundle.SecretRef
+	// SecretResolver answers ref://env/... and ref://file/... references.
+	SecretResolver = bundle.Resolver
+)
+
+// Bundle codec and helpers.
+var (
+	// PackBundle assembles and signs a bundle.
+	PackBundle = bundle.Pack
+	// OpenBundle verifies a bundle against trusted publisher keys.
+	OpenBundle = bundle.Open
+	// InspectBundle decodes a bundle without a trust decision.
+	InspectBundle = bundle.Inspect
+	// InstantiateBundle builds an application factory from a bundle.
+	InstantiateBundle = bundle.Instantiate
+	// GenerateBundleKey mints an Ed25519 signing keypair.
+	GenerateBundleKey = bundle.GenerateKey
+	// LoadSecretsFile parses a key=value secrets file into a Resolver.
+	LoadSecretsFile = bundle.LoadSecretsFile
+)
+
+// Bundle refusal sentinels (errors.Is works across the wire).
+var (
+	// ErrBundleNotBundle reports bytes that are not a bundle at all.
+	ErrBundleNotBundle = bundle.ErrNotBundle
+	// ErrBundleVersion reports a bundle format version this build does
+	// not speak.
+	ErrBundleVersion = bundle.ErrVersion
+	// ErrBundleCorrupt reports structural or checksum damage.
+	ErrBundleCorrupt = bundle.ErrCorrupt
+	// ErrBundleUnsigned reports a bundle with no signature section.
+	ErrBundleUnsigned = bundle.ErrUnsigned
+	// ErrBundleBadSignature reports a signature that does not verify.
+	ErrBundleBadSignature = bundle.ErrBadSignature
+	// ErrBundleUntrustedKey reports a valid signature by an untrusted key.
+	ErrBundleUntrustedKey = bundle.ErrUntrustedKey
+	// ErrBundleSecret reports a secret reference that failed to resolve.
+	ErrBundleSecret = bundle.ErrSecret
+)
+
 // Control plane (versioned remote API; cmd/mdctl is the CLI).
 type (
 	// Client is the typed control-plane client: lifecycle
@@ -329,6 +387,9 @@ var (
 	// ErrUnsupported reports an operation this control-plane endpoint
 	// does not serve.
 	ErrUnsupported = ctl.ErrUnsupported
+	// ErrUnknownApp reports an install of an app the target host cannot
+	// assemble: no compiled-in factory and no stored bundle.
+	ErrUnknownApp = ctl.ErrUnknownApp
 	// ErrVersion reports a wire frame whose protocol version the peer
 	// does not speak.
 	ErrVersion = transport.ErrVersion

@@ -204,8 +204,11 @@ func TestControlPlaneInProcess(t *testing.T) {
 	if err := cli.RunApp(ctx, "no-such-app", "hostA"); !errors.Is(err, mdagent.ErrAppNotFound) {
 		t.Fatalf("run unknown app error = %v, want ErrAppNotFound", err)
 	}
-	if err := cli.InstallApp(ctx, "smart-media-player", "hostA"); !errors.Is(err, mdagent.ErrUnsupported) {
-		t.Fatalf("in-process install error = %v, want ErrUnsupported", err)
+	// Install on a host with neither a compiled-in factory nor a pushed
+	// bundle is the typed unknown-app refusal (not ErrUnsupported — the
+	// op exists, the artifact doesn't), and errors.Is survives the wire.
+	if err := cli.InstallApp(ctx, "smart-media-player", "hostA"); !errors.Is(err, mdagent.ErrUnknownApp) {
+		t.Fatalf("in-process install error = %v, want ErrUnknownApp", err)
 	}
 }
 
